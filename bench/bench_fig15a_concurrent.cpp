@@ -1,0 +1,56 @@
+// Reproduces Fig. 15a: concurrent orthogonal LoRa demodulation with both
+// transmissions at the same received power — SER vs RSSI for SF8/BW125 and
+// SF8/BW250 decoded simultaneously, with the single-transmission curves for
+// the concurrency penalty.
+#include "bench_common.hpp"
+#include "core/concurrent.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::lora;
+
+int main() {
+  bench::print_header(
+      "Fig. 15a", "paper Fig. 15a",
+      "Concurrent orthogonal LoRa, equal received power: SER vs RSSI");
+
+  LoraParams p125{8, Hertz::from_kilohertz(125.0)};
+  LoraParams p250{8, Hertz::from_kilohertz(250.0)};
+  Hertz fs = Hertz::from_kilohertz(500.0);
+  const std::size_t symbols = 250;
+
+  std::vector<std::vector<double>> rows;
+  for (double rssi = -130.0; rssi <= -108.0; rssi += 2.0) {
+    Rng rng{55};
+    auto conc = core::run_concurrent_trial(p125, p250, Dbm{rssi}, Dbm{rssi},
+                                           symbols, fs, rng,
+                                           bench::kLoraSystemNf);
+    Rng rng125{56}, rng250{57};
+    double single125 =
+        core::run_single_trial(p125, Dbm{rssi}, symbols, fs, rng125,
+                               bench::kLoraSystemNf);
+    double single250 =
+        core::run_single_trial(p250, Dbm{rssi}, symbols, fs, rng250,
+                               bench::kLoraSystemNf);
+    rows.push_back({rssi, conc.ser_a * 100.0, conc.ser_b * 100.0,
+                    single125 * 100.0, single250 * 100.0});
+  }
+  bench::print_series(
+      "RSSI (dBm)",
+      {"conc BW125 SER(%)", "conc BW250 SER(%)", "single BW125 SER(%)",
+       "single BW250 SER(%)"},
+      rows, 2);
+
+  std::cout
+      << "\nShape (paper): ~2 dB sensitivity loss for BW125 and ~0.5 dB for "
+         "BW250 under concurrency — the chirps are orthogonal in theory but "
+         "discrete frequency steps leave residual cross-energy.\n"
+      << "Concurrent receiver: "
+      << core::ConcurrentReceiver{{p125, p250}, fs}.design().total_luts()
+      << " LUTs, platform power "
+      << TextTable::num(
+             core::ConcurrentReceiver{{p125, p250}, fs}.platform_power()
+                 .value(),
+             0)
+      << " mW (paper: 17% of fabric, 207 mW).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 15b: concurrent LoRa with asymmetric power — the
+// SF8/BW125 transmission is fixed near its sensitivity while the
+// SF8/BW250 transmission's power sweeps. SER on the weak link is flat
+// while noise dominates, then climbs once the quasi-orthogonal interferer
+// dominates the noise (the paper's argument for power control).
+#include "bench_common.hpp"
+#include "core/concurrent.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::lora;
+
+int main() {
+  bench::print_header(
+      "Fig. 15b", "paper Fig. 15b",
+      "Concurrent LoRa, interferer power sweep (BW125 fixed near "
+      "sensitivity)");
+
+  LoraParams p125{8, Hertz::from_kilohertz(125.0)};
+  LoraParams p250{8, Hertz::from_kilohertz(250.0)};
+  Hertz fs = Hertz::from_kilohertz(500.0);
+  const std::size_t symbols = 250;
+  // Paper: the BW125 signal is fixed at -123 dBm, near its sensitivity.
+  const Dbm fixed_a{-123.0};
+
+  std::vector<std::vector<double>> rows;
+  for (double interferer = -130.0; interferer <= -104.0; interferer += 2.0) {
+    Rng rng{77};
+    auto r = core::run_concurrent_trial(p125, p250, fixed_a, Dbm{interferer},
+                                        symbols, fs, rng,
+                                        bench::kLoraSystemNf);
+    rows.push_back({interferer, r.ser_a * 100.0});
+  }
+  bench::print_series("Interferer power (dBm)", {"SF8/BW125 SER (%)"}, rows,
+                      2);
+
+  std::cout
+      << "\nShape (paper): flat noise-dominated region, ~3 dB degradation "
+         "where interferer power crosses the noise power (around -116 dBm), "
+         "then interferer-dominated growth — demonstrating the need for "
+         "power control when IoT endpoints decode concurrent "
+         "transmissions.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces the §5.2 LoRa power decomposition: packet TX at SF9/BW500 and
+// 14 dBm (paper: 287 mW total, 179 mW radio), packet RX (186 mW total,
+// 59 mW radio), and the per-packet energy at the paper's configuration.
+#include "bench_common.hpp"
+#include "lora/airtime.hpp"
+#include "mcu/msp432.hpp"
+#include "power/platform_power.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::power;
+
+int main() {
+  bench::print_header("LoRa packet power", "paper §5.2",
+                      "Packet TX/RX power decomposition, SF9/BW500");
+
+  PlatformPowerModel model;
+  fpga::Design tx_design = fpga::lora_tx_design();
+  fpga::Design rx_design = fpga::lora_rx_design(9);
+
+  double tx_radio = model.radio_tx_draw(radio::Band::kSubGhz900,
+                                        Dbm{14.0}).value();
+  double tx_total =
+      model.draw_with_design(Activity::kLoraTransmit, tx_design, Dbm{14.0})
+          .value();
+  double rx_radio = model.radio_rx_draw().value();
+  double rx_total =
+      model.draw_with_design(Activity::kLoraReceive, rx_design).value();
+
+  TextTable table{{"Mode", "Radio (mW)", "FPGA+MCU+reg (mW)", "Total (mW)",
+                   "Paper total (mW)", "Paper radio (mW)"}};
+  table.add_row({"LoRa TX @14 dBm", TextTable::num(tx_radio, 0),
+                 TextTable::num(tx_total - tx_radio, 0),
+                 TextTable::num(tx_total, 0), "287", "179"});
+  table.add_row({"LoRa RX", TextTable::num(rx_radio, 0),
+                 TextTable::num(rx_total - rx_radio, 0),
+                 TextTable::num(rx_total, 0), "186", "59"});
+  table.add_row(
+      {"Concurrent RX (2x SF8)", TextTable::num(rx_radio, 0),
+       TextTable::num(
+           model.draw(Activity::kConcurrentReceive).value() - rx_radio, 0),
+       TextTable::num(model.draw(Activity::kConcurrentReceive).value(), 0),
+       "207", "59"});
+  table.print(std::cout);
+
+  // Per-packet energy at the measured operating point.
+  lora::LoraParams p{9, Hertz::from_kilohertz(500.0)};
+  for (std::size_t payload : {12ul, 51ul, 222ul}) {
+    Seconds toa = lora::time_on_air(p, payload);
+    Millijoules tx_energy = Milliwatts{tx_total} * toa;
+    std::cout << "Packet of " << payload << " B: airtime "
+              << TextTable::num(toa.milliseconds(), 1) << " ms, TX energy "
+              << TextTable::num(tx_energy.value(), 2) << " mJ\n";
+  }
+  std::cout << "\nMCU resource usage with TTN MAC + drivers + OTA "
+               "decompressor: "
+            << TextTable::num(mcu::baseline_firmware().utilization() * 100.0,
+                              0)
+            << "% (paper: 18%).\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the hot DSP and codec paths,
+// with the real-time claims they back:
+//   - the LoRa demodulator must keep up with 4 MHz I/Q ("both the LoRa
+//     modulator and demodulator run in real-time", §5.2)
+//   - miniLZO-class decompression must finish a full image in <= 450 ms
+//     (§5.3) at the modeled MCU throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "lora/chirp.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/modulator.hpp"
+#include "ota/lzo.hpp"
+
+using namespace tinysdr;
+
+static void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::FftPlan plan{n};
+  Rng rng{1};
+  dsp::Samples x(n);
+  for (auto& v : x)
+    v = dsp::Complex{static_cast<float>(rng.next_gaussian()),
+                     static_cast<float>(rng.next_gaussian())};
+  for (auto _ : state) {
+    dsp::Samples copy = x;
+    plan.forward(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_Fir14Tap(benchmark::State& state) {
+  dsp::FirFilter fir{dsp::design_lowpass(14, 0.125)};
+  Rng rng{2};
+  dsp::Samples block(4096);
+  for (auto& v : block)
+    v = dsp::Complex{static_cast<float>(rng.next_gaussian()), 0.0f};
+  for (auto _ : state) {
+    auto out = fir.filter(block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Fir14Tap);
+
+static void BM_ChirpGenerate(benchmark::State& state) {
+  lora::LoraParams p{static_cast<int>(state.range(0)),
+                     Hertz::from_kilohertz(125.0)};
+  lora::ChirpGenerator gen{p, p.bandwidth};
+  std::uint32_t value = 0;
+  for (auto _ : state) {
+    auto sym = gen.symbol(value++ & (p.chips() - 1),
+                          lora::ChirpDirection::kUp);
+    benchmark::DoNotOptimize(sym.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(p.chips()));
+}
+BENCHMARK(BM_ChirpGenerate)->Arg(8)->Arg(12);
+
+static void BM_LoraSymbolDemod(benchmark::State& state) {
+  // Real-time requirement: one symbol (2^SF samples at the bandwidth rate)
+  // must demodulate faster than its airtime.
+  lora::LoraParams p{static_cast<int>(state.range(0)),
+                     Hertz::from_kilohertz(125.0)};
+  lora::Demodulator demod{p, p.bandwidth};
+  lora::ChirpGenerator gen{p, p.bandwidth};
+  auto sym = gen.symbol(p.chips() / 3, lora::ChirpDirection::kUp);
+  for (auto _ : state) {
+    auto v = demod.demodulate_symbol(sym);
+    benchmark::DoNotOptimize(v);
+  }
+  // items/s >= BW / 2^SF means real time.
+  state.SetItemsProcessed(state.iterations());
+  state.counters["required_sym_per_s"] =
+      p.bandwidth.value() / static_cast<double>(p.chips());
+}
+BENCHMARK(BM_LoraSymbolDemod)->Arg(7)->Arg(8)->Arg(10)->Arg(12);
+
+static void BM_LoraPacketModulate(benchmark::State& state) {
+  lora::LoraParams p{8, Hertz::from_kilohertz(125.0)};
+  lora::Modulator mod{p, p.bandwidth};
+  std::vector<std::uint8_t> payload(20, 0xA5);
+  for (auto _ : state) {
+    auto wave = mod.modulate(payload);
+    benchmark::DoNotOptimize(wave.data());
+  }
+}
+BENCHMARK(BM_LoraPacketModulate);
+
+static void BM_LzoCompressBitstreamLike(benchmark::State& state) {
+  Rng rng{3};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  // Bitstream-like: 15% random, rest zeros.
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = (i % 7 == 0) ? rng.next_byte() : 0;
+  for (auto _ : state) {
+    auto out = ota::lzo_compress(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzoCompressBitstreamLike)->Arg(30 * 1024)->Arg(579 * 1024);
+
+static void BM_LzoDecompress(benchmark::State& state) {
+  Rng rng{4};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = (i % 7 == 0) ? rng.next_byte() : 0;
+  auto compressed = ota::lzo_compress(data);
+  for (auto _ : state) {
+    auto out = ota::lzo_decompress(compressed, data.size());
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LzoDecompress)->Arg(30 * 1024)->Arg(579 * 1024);
+
+BENCHMARK_MAIN();

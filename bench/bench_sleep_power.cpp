@@ -1,0 +1,52 @@
+// Reproduces the §5.1 sleep-mode result: the 30 uW budget, its
+// component-level breakdown, and the duty-cycling payoff (battery life vs
+// duty cycle) that motivates the whole design.
+#include "bench_common.hpp"
+#include "power/ledger.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::power;
+
+int main() {
+  bench::print_header("Sleep power", "paper §5.1 + Table 1 context",
+                      "Sleep-mode power budget and duty-cycling payoff");
+
+  PlatformPowerModel model;
+  const auto& sleep = model.sleep_budget();
+  TextTable budget{{"Contributor", "Power (uW)"}};
+  budget.add_row({"MCU LPM3 + RTC (via LDO)",
+                  TextTable::num(model.mcu().lpm3_uw.microwatts(), 1)});
+  budget.add_row({"I/Q radio deep sleep", TextTable::num(sleep.iq_radio_uw, 1)});
+  budget.add_row({"Backbone radio sleep",
+                  TextTable::num(sleep.backbone_radio_uw, 1)});
+  budget.add_row({"PAs (2 x 1 uA)", TextTable::num(sleep.pas_uw, 1)});
+  budget.add_row({"Flash deep power-down", TextTable::num(sleep.flash_uw, 1)});
+  budget.add_row({"Regulator shutdown leakage (5x)",
+                  TextTable::num(5 * 0.1 * 3.7, 1)});
+  budget.add_row({"Board leakage (dividers, pull-ups)",
+                  TextTable::num(sleep.board_leak_uw, 1)});
+  budget.add_row({"Total", TextTable::num(model.sleep_power().microwatts(), 1)});
+  budget.print(std::cout);
+  std::cout << "Paper measurement: 30 uW. FPGA fully power-gated (0 uW).\n";
+
+  // Duty-cycling payoff: average power and 1000 mAh battery life.
+  BatteryCapacity battery{1000.0, 3.7};
+  std::vector<std::vector<double>> rows;
+  for (double duty : {1.0, 0.1, 0.01, 0.001, 0.0001}) {
+    Milliwatts avg = model.duty_cycled_average(Activity::kLoraTransmit, duty,
+                                               Dbm{14.0});
+    double days = battery.lifetime_at(avg).value() / 86400.0;
+    rows.push_back({duty * 100.0, avg.value(), days});
+  }
+  bench::print_series("TX duty cycle (%)",
+                      {"Average power (mW)", "1000 mAh battery life (days)"},
+                      rows, 3);
+
+  std::cout << "\nKey comparison (paper): every other SDR's *sleep* power "
+               "exceeds tinySDR's *transmit* power — duty cycling buys them "
+               "nothing. bladeRF sleeps at 717 mW vs tinySDR TX at "
+            << TextTable::num(
+                   model.draw(Activity::kLoraTransmit, Dbm{14.0}).value(), 0)
+            << " mW.\n";
+  return 0;
+}

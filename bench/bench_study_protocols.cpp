@@ -1,0 +1,134 @@
+// Protocol coverage demonstration: Table 1 claims tinySDR's 4 MHz / dual
+// band front end covers "most IoT protocols including Bluetooth, Zigbee,
+// LoRa, Sigfox, NB-IoT and LTE-M". This bench runs an actual packet
+// through each implemented PHY end to end and prints the comparative
+// numbers the introduction quotes (bandwidths from 200 Hz to 2 MHz).
+#include "bench_common.hpp"
+#include "ble/advertiser.hpp"
+#include "ble/cc2650.hpp"
+#include "channel/noise.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/airtime.hpp"
+#include "lora/modulator.hpp"
+#include "nbiot/uplink.hpp"
+#include "radio/builtin_modem.hpp"
+#include "sigfox/unb.hpp"
+#include "zigbee/oqpsk.hpp"
+
+using namespace tinysdr;
+
+int main() {
+  bench::print_header("Protocol coverage", "paper Table 1 / §1",
+                      "One payload through every implemented IoT PHY");
+
+  const std::vector<std::uint8_t> payload{0x54, 0x69, 0x6E, 0x79};  // "Tiny"
+  TextTable table{{"Protocol", "Band", "Bandwidth", "Bit rate",
+                   "Airtime (4 B)", "Loopback"}};
+
+  // LoRa SF8/BW125.
+  {
+    lora::LoraParams p{8, Hertz::from_kilohertz(125.0)};
+    lora::Modulator mod{p, p.bandwidth};
+    lora::Demodulator demod{p, p.bandwidth};
+    auto wave = mod.modulate(payload);
+    dsp::Samples padded(300, dsp::Complex{0, 0});
+    padded.insert(padded.end(), wave.begin(), wave.end());
+    padded.insert(padded.end(), 300, dsp::Complex{0, 0});
+    auto rx = demod.receive(padded);
+    bool ok = rx && rx->packet.crc_valid && rx->packet.payload == payload;
+    table.add_row({"LoRa (CSS, SF8)", "915 MHz", "125 kHz",
+                   TextTable::num(p.coded_rate_bps() / 1000.0, 2) + " kbps",
+                   TextTable::num(
+                       lora::time_on_air(p, payload.size()).milliseconds(),
+                       1) + " ms",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  // BLE beacon.
+  {
+    ble::AdvPacket beacon;
+    beacon.adv_address = {1, 2, 3, 4, 5, 6};
+    beacon.adv_data = payload;
+    ble::Advertiser adv{beacon};
+    auto wave = adv.waveform(37);
+    auto bits = ble::assemble_air_bits(beacon, 37);
+    ble::GfskDemodulator demod{ble::GfskConfig{}};
+    auto rx_bits = demod.demodulate(wave, demod.estimate_timing(wave));
+    auto parsed = ble::parse_air_bits(rx_bits, 37);
+    bool ok = parsed && parsed->packet.adv_data == payload;
+    table.add_row({"BLE beacon (GFSK)", "2.4 GHz", "2 MHz", "1 Mbps",
+                   TextTable::num(ble::airtime_us(beacon), 0) + " us",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  // Zigbee / 802.15.4 O-QPSK.
+  {
+    zigbee::OqpskModem modem;
+    auto rx = modem.demodulate(modem.modulate(payload));
+    bool ok = rx && *rx == payload;
+    table.add_row({"Zigbee (O-QPSK DSSS)", "2.4 GHz", "2 MHz", "250 kbps",
+                   TextTable::num(
+                       modem.airtime(payload.size()).microseconds(), 0) +
+                       " us",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  // Sigfox-style UNB.
+  {
+    sigfox::UnbModem modem;
+    auto rx = modem.demodulate(modem.modulate(payload));
+    bool ok = rx && *rx == payload;
+    table.add_row({"Sigfox-style (UNB DBPSK)", "915 MHz", "200 Hz",
+                   "100 bps",
+                   TextTable::num(modem.airtime(payload.size()).value(), 2) +
+                       " s",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  // NB-IoT-style single-tone pi/2-BPSK.
+  {
+    nbiot::SingleToneModem modem;
+    auto rx = modem.demodulate(modem.modulate(payload));
+    bool ok = rx && *rx == payload;
+    table.add_row({"NB-IoT-style (pi/2-BPSK)", "915 MHz", "3.75 kHz",
+                   "3.75 kbps",
+                   TextTable::num(
+                       modem.airtime(payload.size()).milliseconds(), 1) +
+                       " ms",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  // 802.15.4g MR-FSK (the radio's built-in modem, FPGA bypassed).
+  {
+    radio::BuiltinFskModem modem;
+    auto rx = modem.demodulate(modem.modulate(payload));
+    bool ok = rx && *rx == payload;
+    table.add_row({"MR-FSK (radio built-in)", "915 MHz", "400 kHz",
+                   "50 kbps",
+                   TextTable::num(
+                       modem.airtime(payload.size()).milliseconds(), 2) +
+                       " ms",
+                   ok ? "ok" : "FAIL"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery protocol fits the AT86RF215's 4 MHz I/Q bandwidth "
+               "and band plan — the Table 1 argument that gateway-class "
+               "30+ MHz SDR front ends are wasted on IoT endpoints.\n";
+
+  // Sensitivity-class comparison from the noise-floor arithmetic.
+  std::cout << "\nNoise-floor (NF 6 dB) by protocol bandwidth:\n";
+  for (auto [name, bw] :
+       {std::pair<const char*, double>{"Sigfox 200 Hz", 200.0},
+        {"LoRa 125 kHz", 125e3},
+        {"MR-FSK 400 kHz", 400e3},
+        {"BLE/Zigbee 2 MHz", 2e6}}) {
+    std::cout << "  " << name << ": "
+              << TextTable::num(channel::noise_floor(Hertz{bw}).value(), 0)
+              << " dBm floor\n";
+  }
+  std::cout << "The 40+ dB spread of floors is why LPWAN rates are so low "
+               "— and why 4 MHz of front-end bandwidth suffices for all of "
+               "them.\n";
+  return 0;
+}

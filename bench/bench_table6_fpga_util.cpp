@@ -1,0 +1,45 @@
+// Reproduces Table 6: FPGA LUT utilization for the LoRa modulator and
+// demodulator at every spreading factor, plus the BLE (3%) and concurrent
+// (17%) design points quoted in the text.
+#include "bench_common.hpp"
+#include "fpga/resources.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::fpga;
+
+int main() {
+  bench::print_header("Table 6", "paper Table 6",
+                      "FPGA utilization for the LoRa protocol (LFE5U-25F, "
+                      "24k LUTs)");
+
+  DeviceSpec dev;
+  TextTable table{{"SF", "LoRa TX (LUT)", "TX util", "LoRa RX (LUT)",
+                   "RX util"}};
+  for (int sf = 6; sf <= 12; ++sf) {
+    auto tx = lora_tx_design();
+    auto rx = lora_rx_design(sf);
+    table.add_row({std::to_string(sf), std::to_string(tx.total_luts()),
+                   TextTable::num(tx.utilization(dev) * 100.0, 1) + "%",
+                   std::to_string(rx.total_luts()),
+                   TextTable::num(rx.utilization(dev) * 100.0, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBlock breakdown, LoRa RX SF8 (Fig. 6b blocks):\n";
+  for (const auto& [name, luts] : lora_rx_design(8).breakdown())
+    std::cout << "  " << name << ": " << luts << " LUTs\n";
+
+  auto ble = ble_tx_design();
+  auto conc = concurrent_rx_design({8, 8});
+  std::cout << "\nBLE beacon generator: " << ble.total_luts() << " LUTs ("
+            << TextTable::num(ble.utilization(dev) * 100.0, 1)
+            << "%, paper: 3%)\n"
+            << "Concurrent dual-SF8 demodulator: " << conc.total_luts()
+            << " LUTs (" << TextTable::num(conc.utilization(dev) * 100.0, 1)
+            << "%, paper: 17%)\n"
+            << "Headroom with the largest demodulator loaded: "
+            << TextTable::num(
+                   (1.0 - lora_rx_design(12).utilization(dev)) * 100.0, 0)
+            << "% of the fabric free for custom logic.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// BLE beacon scenario (paper §4.2): build an iBeacon-style
+// ADV_NONCONN_IND, generate the full baseband on the "FPGA" (CRC-24,
+// whitening, GFSK), hop across the three advertising channels with the
+// 220 us retune gap, and verify reception on a CC2650-class receiver at a
+// range of RSSI levels.
+//
+// Build:  cmake --build build && ./build/examples/ble_beacon
+#include <iostream>
+
+#include "ble/advertiser.hpp"
+#include "ble/cc2650.hpp"
+#include "core/device.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::ble;
+
+int main() {
+  // iBeacon-style payload: flags + manufacturer-specific data.
+  AdvPacket beacon;
+  beacon.adv_address = {0xC3, 0x00, 0x00, 0x12, 0x34, 0x56};
+  beacon.adv_data = {0x02, 0x01, 0x06,                    // flags
+                     0x0B, 0xFF, 0x4C, 0x00, 0x02, 0x15,  // mfr header
+                     0xDE, 0xAD, 0xBE, 0xEF, 0x42};       // UUID prefix
+  std::cout << "Beacon PDU: " << beacon.pdu().size() << " B, on-air "
+            << air_bytes(beacon) << " B = " << airtime_us(beacon)
+            << " us at 1 Mbps\n";
+
+  // Burst schedule across channels 37/38/39.
+  Advertiser adv{beacon};
+  std::cout << "\nAdvertising burst:\n";
+  for (const auto& entry : adv.burst_schedule())
+    std::cout << "  ch " << entry.channel_index << " @ " << entry.start_us
+              << " us (+" << entry.duration_us << " us airtime)\n";
+  std::cout << "Hop gap: " << adv.hop_gap().microseconds()
+            << " us (iPhone 8 comparison: 350 us)\n";
+
+  // Transmit through the device facade (energy-accounted).
+  core::TinySdrDevice dev{1};
+  dev.wake();
+  auto waves = dev.transmit_ble_burst(beacon, Dbm{0.0});
+  std::cout << "\nTransmitted " << waves.size()
+            << " channel waveforms through the radio; burst duration "
+            << adv.burst_duration().microseconds() << " us\n";
+
+  // Receive sweep on a CC2650.
+  Cc2650Model receiver;
+  std::cout << "\nReception vs RSSI (channel 37):\n";
+  auto reference = assemble_air_bits(beacon, 37);
+  for (double rssi : {-70.0, -85.0, -94.0, -100.0}) {
+    Rng rng{static_cast<std::uint64_t>(-rssi)};
+    auto result = receiver.receive(waves[0], reference, 37, Dbm{rssi}, rng);
+    std::cout << "  " << rssi << " dBm: "
+              << (result ? "received, BER " + std::to_string(result->ber)
+                         : std::string("lost"))
+              << "\n";
+  }
+
+  // Battery life at 1 beacon/second (the paper's 2-year claim). Only the
+  // three airtimes draw TX power; the 220 us hop gaps are PLL settling at
+  // negligible draw.
+  power::PlatformPowerModel model;
+  double tx_s = 3.0 * airtime_us(beacon) * 1e-6;
+  Milliwatts avg = model.duty_cycled_average(power::Activity::kBleTransmit,
+                                             tx_s / 1.0, Dbm{0.0});
+  BatteryCapacity battery{1000.0, 3.7};
+  std::cout << "\nBeaconing once per second: average "
+            << avg.microwatts() << " uW -> "
+            << battery.lifetime_at(avg).value() / (365.25 * 86400.0)
+            << " years on 1000 mAh (paper: > 2 years)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Research study (paper §6): can an IoT endpoint decode concurrent LoRa
+// transmissions in real time within its power and resource budget?
+//
+// Two transmitters share a channel using quasi-orthogonal chirp slopes
+// (SF8/BW125 and SF8/BW250); a single tinySDR runs one dechirp+FFT branch
+// per configuration on its FPGA. This example walks the whole argument:
+// orthogonality check, resource budget, power budget, and the decode
+// quality at equal and asymmetric powers.
+//
+// Build:  cmake --build build && ./build/examples/concurrent_rx
+#include <iostream>
+
+#include "core/concurrent.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::core;
+
+int main() {
+  lora::LoraParams a{8, Hertz::from_kilohertz(125.0)};
+  lora::LoraParams b{8, Hertz::from_kilohertz(250.0)};
+  Hertz fs = Hertz::from_kilohertz(500.0);
+
+  std::cout << "Configurations:\n"
+            << "  A: SF8/BW125, chirp slope " << a.chirp_slope() / 1e6
+            << " MHz/s\n"
+            << "  B: SF8/BW250, chirp slope " << b.chirp_slope() / 1e6
+            << " MHz/s\n"
+            << "  orthogonal (slopes differ): "
+            << (lora::orthogonal(a, b) ? "yes" : "no") << "\n";
+
+  ConcurrentReceiver receiver{{a, b}, fs};
+  fpga::DeviceSpec device;
+  auto design = receiver.design();
+  std::cout << "\nResource budget: " << design.total_luts() << " LUTs = "
+            << design.utilization(device) * 100.0
+            << "% of the LFE5U-25F (paper: 17%)\n"
+            << "Power budget: " << receiver.platform_power().value()
+            << " mW while decoding both streams (paper: 207 mW)\n";
+
+  std::cout << "\n[1] Equal received power, sweeping level:\n";
+  for (double rssi : {-110.0, -118.0, -122.0, -126.0}) {
+    Rng rng{42};
+    auto r = run_concurrent_trial(a, b, Dbm{rssi}, Dbm{rssi}, 150, fs, rng,
+                                  11.5);
+    std::cout << "  " << rssi << " dBm: SER A " << r.ser_a * 100.0
+              << "%, SER B " << r.ser_b * 100.0 << "%  (" << r.symbols_a
+              << "+" << r.symbols_b << " symbols)\n";
+  }
+
+  std::cout << "\n[2] A fixed at -123 dBm, interferer B sweeping "
+               "(the power-control argument):\n";
+  for (double interferer : {-126.0, -118.0, -112.0, -106.0}) {
+    Rng rng{43};
+    auto r = run_concurrent_trial(a, b, Dbm{-123.0}, Dbm{interferer}, 150,
+                                  fs, rng, 11.5);
+    std::cout << "  interferer " << interferer << " dBm: SER A "
+              << r.ser_a * 100.0 << "%\n";
+  }
+
+  std::cout << "\nConclusion (paper): an IoT endpoint CAN decode concurrent "
+               "LoRa in real time — at 17% of a small FPGA and ~207 mW — "
+               "but links need power control once an interferer rises "
+               "above the noise floor.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Flowgraph prototyping scenario (paper §7: "integrate with GNUradio for
+// easy prototyping"): assemble the radio's receive front end from reusable
+// blocks, the way a researcher would sketch a custom PHY before committing
+// it to Verilog.
+//
+// Build:  cmake --build build && ./build/examples/flowgraph
+#include <iostream>
+
+#include "dsp/fft.hpp"
+#include "flow/blocks.hpp"
+#include "flow/graph.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::flow;
+
+int main() {
+  // A 100 kHz tone at the radio's 4 MHz I/Q rate, through the Fig. 6b
+  // front end: FIR low-pass -> decimate to 1 MHz -> 13-bit ADC -> probe.
+  const double tone_hz = 100e3;
+  const double fs = 4e6;
+
+  FlowGraph graph;
+  graph.add<NcoSource>(tone_hz / fs, 1 << 16);
+  graph.add<FirBlock>(dsp::design_lowpass(14, 0.125));
+  graph.add<DecimatorBlock>(4);
+  graph.add<QuantizerBlock>(13);
+  auto* sink = graph.add<VectorSink>();
+
+  std::cout << "Running " << graph.block_count()
+            << "-block receive chain: nco -> fir(14) -> decim(4) -> "
+               "adc(13b) -> sink\n";
+  if (!graph.run()) {
+    std::cout << "graph stalled\n";
+    return 1;
+  }
+  std::cout << "Produced " << sink->data().size()
+            << " critical-rate samples\n";
+
+  // Verify the tone survived: FFT at the decimated rate.
+  dsp::Samples window(sink->data().begin(), sink->data().begin() + 8192);
+  dsp::FftPlan fft{8192};
+  fft.forward(window);
+  auto bin = dsp::peak_bin(window);
+  double measured_hz = static_cast<double>(bin) / 8192.0 * (fs / 4.0);
+  std::cout << "Tone recovered at " << measured_hz / 1e3 << " kHz (expected "
+            << tone_hz / 1e3 << " kHz)\n";
+
+  // Second sketch: an energy detector (the CAD building block) as a graph.
+  FlowGraph detector;
+  detector.add<NcoSource>(0.21, 4096);
+  detector.add<MapBlock>([](dsp::Complex s) { return s * 0.05f; });  // -26 dB
+  auto* probe = detector.add<PowerProbe>();
+  detector.run();
+  std::cout << "\nEnergy detector sketch: mean power "
+            << 10.0 * std::log10(probe->mean_power()) << " dBFS over "
+            << probe->samples() << " samples\n";
+
+  std::cout << "\nThe same Block interface hosts any custom stage — write "
+               "one work() function instead of a Verilog module while "
+               "exploring, then commit the winner to the FPGA.\n";
+  return 0;
+}

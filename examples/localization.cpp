@@ -1,0 +1,44 @@
+// Localization scenario (paper §7, "Research on IoT localization"): use
+// tinySDR's raw I/Q phase access to range a target with multi-carrier
+// phase measurements — something no packet-radio IoT chip can do.
+//
+// Build:  cmake --build build && ./build/examples/localization
+#include <iomanip>
+#include <iostream>
+
+#include "core/localization.hpp"
+
+using namespace tinysdr;
+using namespace tinysdr::core;
+
+int main() {
+  RangingConfig cfg;  // 10 tones, 902..920 MHz in 2 MHz steps
+  std::cout << "Frequency ladder: " << cfg.tones << " tones from "
+            << cfg.start.megahertz() << " MHz, step "
+            << cfg.step.megahertz() << " MHz\n"
+            << "Unambiguous range: " << cfg.unambiguous_range_m()
+            << " m\n\n";
+
+  Rng rng{2029};
+  std::cout << std::fixed << std::setprecision(2);
+  for (double truth : {7.5, 31.0, 66.6, 120.0}) {
+    // 10 degrees of phase noise per tone — a realistic endpoint PLL.
+    auto sweep = simulate_phase_sweep(cfg, truth, 10.0 * 3.14159 / 180.0,
+                                      rng);
+    std::cout << "Target at " << std::setw(6) << truth << " m. Phases: ";
+    for (const auto& m : sweep)
+      std::cout << std::setprecision(1) << m.phase_rad << " ";
+    auto est = estimate_range(cfg, sweep);
+    std::cout << "\n  -> estimate " << std::setprecision(2)
+              << est.distance_m << " m (error "
+              << std::abs(est.distance_m - truth) << " m, residual "
+              << est.residual_rad << " rad)\n";
+  }
+
+  std::cout << "\nWhy tinySDR: the estimate needs the raw carrier phase at "
+               "each frequency — exactly what the I/Q interface exposes "
+               "and what fixed-function IoT radios hide. A distributed set "
+               "of these endpoints is the paper's 'large MIMO sensing "
+               "system' direction.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "ble/advertiser.hpp"
+
+namespace tinysdr::ble {
+
+Advertiser::Advertiser(AdvPacket packet, GfskConfig gfsk,
+                       radio::TimingModel timing)
+    : packet_(std::move(packet)),
+      gfsk_(gfsk),
+      timing_(timing),
+      modulator_(gfsk) {}
+
+std::vector<BeaconBurstEntry> Advertiser::burst_schedule() const {
+  std::vector<BeaconBurstEntry> out;
+  double t = 0.0;
+  double air_us = airtime_us(packet_, gfsk_.bitrate / 1e6);
+  for (const auto& chan : kAdvChannels) {
+    out.push_back(BeaconBurstEntry{chan.index, t, air_us});
+    t += air_us + timing_.frequency_switch.microseconds();
+  }
+  return out;
+}
+
+Seconds Advertiser::burst_duration() const {
+  auto schedule = burst_schedule();
+  const auto& last = schedule.back();
+  return Seconds::from_microseconds(last.start_us + last.duration_us);
+}
+
+dsp::Samples Advertiser::waveform(int channel_index) const {
+  auto bits = assemble_air_bits(packet_, channel_index);
+  return modulator_.modulate(bits);
+}
+
+std::vector<double> Advertiser::burst_envelope() const {
+  const double fs = gfsk_.sample_rate().value();
+  auto schedule = burst_schedule();
+  auto total_samples = static_cast<std::size_t>(
+      burst_duration().value() * fs) + 1;
+  std::vector<double> envelope(total_samples, 0.0);
+  for (const auto& entry : schedule) {
+    auto wave = waveform(entry.channel_index);
+    auto start = static_cast<std::size_t>(entry.start_us * 1e-6 * fs);
+    for (std::size_t i = 0; i < wave.size() && start + i < envelope.size();
+         ++i)
+      envelope[start + i] = std::abs(wave[i]);
+  }
+  return envelope;
+}
+
+}  // namespace tinysdr::ble

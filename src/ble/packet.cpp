@@ -1,0 +1,153 @@
+#include "ble/packet.hpp"
+
+#include <stdexcept>
+
+#include "common/bitio.hpp"
+#include "common/crc.hpp"
+
+namespace tinysdr::ble {
+
+std::vector<std::uint8_t> AdvPacket::pdu() const {
+  if (adv_data.size() > 31)
+    throw std::invalid_argument("AdvPacket: AdvData exceeds 31 bytes");
+  std::vector<std::uint8_t> out;
+  // Header: PDU type in bits 0..3, TxAdd/RxAdd zero; length byte.
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(6 + adv_data.size()));
+  out.insert(out.end(), adv_address.begin(), adv_address.end());
+  out.insert(out.end(), adv_data.begin(), adv_data.end());
+  return out;
+}
+
+Whitener::Whitener(int channel_index) {
+  if (channel_index < 0 || channel_index > 39)
+    throw std::invalid_argument("Whitener: channel index out of range");
+  // Position 0 set to one, positions 1..6 = channel index (BT spec).
+  state_ = static_cast<std::uint8_t>(0x40 | (channel_index & 0x3F));
+}
+
+bool Whitener::next_bit() {
+  // Standard BLE form (matches commercial chipsets): output is position 0
+  // (register bit 6); feedback taps realise x^7 + x^4 + 1.
+  bool out = (state_ >> 6) & 1u;
+  state_ = static_cast<std::uint8_t>((state_ << 1) & 0x7F);
+  if (out) state_ ^= 0x11;  // x^4 and x^0 taps
+  return out;
+}
+
+std::uint8_t Whitener::apply(std::uint8_t byte) {
+  std::uint8_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    bool w = next_bit();
+    bool b = (byte >> i) & 1u;
+    out |= static_cast<std::uint8_t>((b != w ? 1u : 0u) << i);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Whitener::apply(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes.size());
+  for (std::uint8_t b : bytes) out.push_back(apply(b));
+  return out;
+}
+
+std::vector<bool> assemble_air_bits(const AdvPacket& packet,
+                                    int channel_index) {
+  auto pdu = packet.pdu();
+
+  // CRC over the *unwhitened* PDU, LSB-first input.
+  std::uint32_t crc = ble_crc24(pdu);
+  std::vector<std::uint8_t> pdu_crc = pdu;
+  // CRC transmitted MSB of register first: bits 23..0. Packed here as three
+  // bytes whose air (LSB-first) order emits bit 23 first.
+  std::uint8_t c0 = 0, c1 = 0, c2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    c0 |= static_cast<std::uint8_t>(((crc >> (23 - i)) & 1u) << i);
+    c1 |= static_cast<std::uint8_t>(((crc >> (15 - i)) & 1u) << i);
+    c2 |= static_cast<std::uint8_t>(((crc >> (7 - i)) & 1u) << i);
+  }
+  pdu_crc.push_back(c0);
+  pdu_crc.push_back(c1);
+  pdu_crc.push_back(c2);
+
+  // Whitening covers PDU + CRC only.
+  Whitener whitener{channel_index};
+  auto whitened = whitener.apply(pdu_crc);
+
+  BitWriter bits;
+  bits.push_byte_lsb_first(kPreamble);
+  bits.push_bits_lsb_first(kAccessAddress, 32);
+  for (std::uint8_t b : whitened) bits.push_byte_lsb_first(b);
+  return bits.bits();
+}
+
+std::size_t air_bytes(const AdvPacket& packet) {
+  // preamble(1) + AA(4) + header(2) + AdvA(6) + data + CRC(3).
+  return 1 + 4 + 2 + 6 + packet.adv_data.size() + 3;
+}
+
+std::optional<ParsedAdv> parse_air_bits(const std::vector<bool>& bits,
+                                        int channel_index) {
+  // Hunt for the access address (allow the preamble to be partially lost).
+  if (bits.size() < 48) return std::nullopt;
+  std::optional<std::size_t> aa_end;
+  for (std::size_t start = 0; start + 32 <= bits.size(); ++start) {
+    std::uint32_t aa = 0;
+    for (int i = 0; i < 32; ++i)
+      aa |= static_cast<std::uint32_t>(bits[start + static_cast<std::size_t>(i)]
+                                           ? 1u
+                                           : 0u)
+            << i;
+    if (aa == kAccessAddress) {
+      aa_end = start + 32;
+      break;
+    }
+  }
+  if (!aa_end) return std::nullopt;
+
+  // Dewhiten the remainder byte by byte.
+  std::size_t remaining_bits = bits.size() - *aa_end;
+  std::size_t body_bytes = remaining_bits / 8;
+  if (body_bytes < 2 + 6 + 3) return std::nullopt;
+
+  Whitener whitener{channel_index};
+  std::vector<std::uint8_t> body;
+  for (std::size_t i = 0; i < body_bytes; ++i) {
+    std::uint8_t raw = 0;
+    for (int b = 0; b < 8; ++b)
+      raw |= static_cast<std::uint8_t>(
+          (bits[*aa_end + i * 8 + static_cast<std::size_t>(b)] ? 1u : 0u)
+          << b);
+    body.push_back(whitener.apply(raw));
+  }
+
+  std::uint8_t length = body[1];
+  if (length < 6 || length > 37) return std::nullopt;
+  std::size_t pdu_len = 2 + static_cast<std::size_t>(length);
+  if (body.size() < pdu_len + 3) return std::nullopt;
+
+  std::vector<std::uint8_t> pdu(body.begin(),
+                                body.begin() + static_cast<std::ptrdiff_t>(pdu_len));
+  std::uint32_t crc = ble_crc24(pdu);
+  std::uint8_t e0 = 0, e1 = 0, e2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    e0 |= static_cast<std::uint8_t>(((crc >> (23 - i)) & 1u) << i);
+    e1 |= static_cast<std::uint8_t>(((crc >> (15 - i)) & 1u) << i);
+    e2 |= static_cast<std::uint8_t>(((crc >> (7 - i)) & 1u) << i);
+  }
+  if (body[pdu_len] != e0 || body[pdu_len + 1] != e1 ||
+      body[pdu_len + 2] != e2)
+    return std::nullopt;
+
+  ParsedAdv out;
+  out.packet.type = static_cast<PduType>(pdu[0] & 0x0F);
+  for (int i = 0; i < 6; ++i)
+    out.packet.adv_address[static_cast<std::size_t>(i)] =
+        pdu[2 + static_cast<std::size_t>(i)];
+  out.packet.adv_data.assign(pdu.begin() + 8, pdu.end());
+  return out;
+}
+
+}  // namespace tinysdr::ble

@@ -1,0 +1,82 @@
+// BLE advertising packet construction (paper §4.2).
+//
+// Non-connectable advertisements (ADV_NONCONN_IND): preamble 0xAA, access
+// address 0x8E89BED6, PDU (header + AdvA + AdvData), CRC-24 from the
+// 0x555555-seeded LFSR, then whitening over PDU+CRC with the 7-bit LFSR
+// x^7 + x^4 + 1 seeded with the channel index. All bit-exact per the
+// Bluetooth Core Specification and round-trip tested.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tinysdr::ble {
+
+inline constexpr std::uint8_t kPreamble = 0xAA;
+inline constexpr std::uint32_t kAccessAddress = 0x8E89BED6;
+
+/// The three advertising channels (index -> RF frequency).
+struct AdvChannel {
+  int index;          ///< 37, 38, 39
+  double freq_mhz;    ///< 2402, 2426, 2480
+};
+inline constexpr std::array<AdvChannel, 3> kAdvChannels{
+    AdvChannel{37, 2402.0}, AdvChannel{38, 2426.0}, AdvChannel{39, 2480.0}};
+
+enum class PduType : std::uint8_t {
+  kAdvInd = 0x0,
+  kAdvNonconnInd = 0x2,
+  kAdvScanInd = 0x6,
+};
+
+struct AdvPacket {
+  PduType type = PduType::kAdvNonconnInd;
+  std::array<std::uint8_t, 6> adv_address{};  ///< AdvA, little-endian
+  std::vector<std::uint8_t> adv_data;         ///< 0..31 bytes
+
+  /// PDU bytes: 2-byte header + AdvA + AdvData.
+  /// @throws std::invalid_argument if adv_data exceeds 31 bytes.
+  [[nodiscard]] std::vector<std::uint8_t> pdu() const;
+};
+
+/// Whitening LFSR (x^7 + x^4 + 1), seeded with the channel index (bit 6
+/// set, lower 6 bits = channel). Self-inverse XOR stream.
+class Whitener {
+ public:
+  explicit Whitener(int channel_index);
+  /// Next whitening bit.
+  [[nodiscard]] bool next_bit();
+  /// Whiten/dewhiten a byte (LSB first, matching air order).
+  [[nodiscard]] std::uint8_t apply(std::uint8_t byte);
+  [[nodiscard]] std::vector<std::uint8_t> apply(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::uint8_t state_;
+};
+
+/// Assemble the full on-air bit sequence (LSB-first per byte):
+/// preamble | access address | whitened(PDU | CRC24).
+[[nodiscard]] std::vector<bool> assemble_air_bits(const AdvPacket& packet,
+                                                  int channel_index);
+
+/// On-air packet length in bits/bytes (for airtime: 1 Mbps PHY).
+[[nodiscard]] std::size_t air_bytes(const AdvPacket& packet);
+[[nodiscard]] inline double airtime_us(const AdvPacket& packet,
+                                       double bitrate_mbps = 1.0) {
+  return static_cast<double>(air_bytes(packet)) * 8.0 / bitrate_mbps;
+}
+
+/// Parse a received air bit sequence back into a packet: find the access
+/// address, dewhiten, check CRC. Returns nullopt on any mismatch.
+struct ParsedAdv {
+  AdvPacket packet;
+  std::size_t bit_errors_corrected = 0;  ///< always 0 (no FEC in BLE 4)
+};
+[[nodiscard]] std::optional<ParsedAdv> parse_air_bits(
+    const std::vector<bool>& bits, int channel_index);
+
+}  // namespace tinysdr::ble

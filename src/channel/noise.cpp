@@ -1,0 +1,67 @@
+#include "channel/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::channel {
+
+dsp::Samples AwgnChannel::apply(const dsp::Samples& signal, Dbm rssi) {
+  return apply_snr(signal, snr_db(rssi));
+}
+
+dsp::Samples AwgnChannel::apply_snr(const dsp::Samples& signal,
+                                    double snr_db) {
+  // Unit signal power assumed; complex noise power = 10^(-snr/10), split
+  // evenly between I and Q.
+  double noise_power = std::pow(10.0, -snr_db / 10.0);
+  auto sigma = static_cast<float>(std::sqrt(noise_power / 2.0));
+  dsp::Samples out;
+  out.reserve(signal.size());
+  for (const auto& s : signal) {
+    out.push_back(s + dsp::Complex{
+                          sigma * static_cast<float>(rng_.next_gaussian()),
+                          sigma * static_cast<float>(rng_.next_gaussian())});
+  }
+  return out;
+}
+
+dsp::Samples AwgnChannel::noise_only(std::size_t count, Dbm reference_rssi) {
+  double snr = snr_db(reference_rssi);
+  double noise_power = std::pow(10.0, -snr / 10.0);
+  auto sigma = static_cast<float>(std::sqrt(noise_power / 2.0));
+  dsp::Samples out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(dsp::Complex{
+        sigma * static_cast<float>(rng_.next_gaussian()),
+        sigma * static_cast<float>(rng_.next_gaussian())});
+  }
+  return out;
+}
+
+dsp::Samples superpose(const dsp::Samples& a, const dsp::Samples& b,
+                       double relative_db, std::size_t offset) {
+  auto scale = static_cast<float>(std::pow(10.0, relative_db / 20.0));
+  dsp::Samples out = a;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    std::size_t idx = offset + i;
+    if (idx >= out.size()) break;
+    out[idx] += b[i] * scale;
+  }
+  return out;
+}
+
+dsp::Samples apply_cfo(const dsp::Samples& in, double cycles_per_sample) {
+  dsp::Samples out;
+  out.reserve(in.size());
+  double phase = 0.0;
+  for (const auto& s : in) {
+    out.push_back(s * dsp::Complex{static_cast<float>(std::cos(phase)),
+                                   static_cast<float>(std::sin(phase))});
+    phase += 2.0 * std::numbers::pi * cycles_per_sample;
+    if (phase > std::numbers::pi * 2.0) phase -= std::numbers::pi * 4.0;
+  }
+  return out;
+}
+
+}  // namespace tinysdr::channel

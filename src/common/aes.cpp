@@ -1,0 +1,161 @@
+#include "common/aes.hpp"
+
+#include <cstring>
+
+namespace tinysdr {
+
+namespace {
+
+// FIPS-197 S-box.
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  // Key expansion (FIPS-197 §5.2), 11 round keys of 16 bytes.
+  std::memcpy(round_keys_[0].data(), key.data(), 16);
+  std::uint8_t rcon = 0x01;
+  for (int round = 1; round <= 10; ++round) {
+    const auto& prev = round_keys_[round - 1];
+    auto& rk = round_keys_[round];
+    // RotWord + SubWord + Rcon on the last word of the previous key.
+    std::uint8_t t[4] = {kSbox[prev[13]], kSbox[prev[14]], kSbox[prev[15]],
+                         kSbox[prev[12]]};
+    t[0] ^= rcon;
+    rcon = xtime(rcon);
+    for (int i = 0; i < 4; ++i) rk[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(prev[static_cast<std::size_t>(i)] ^ t[i]);
+    for (int i = 4; i < 16; ++i)
+      rk[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+          prev[static_cast<std::size_t>(i)] ^ rk[static_cast<std::size_t>(i - 4)]);
+  }
+}
+
+AesBlock Aes128::encrypt(const AesBlock& plaintext) const {
+  AesBlock s = plaintext;
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i)
+      s[static_cast<std::size_t>(i)] ^=
+          round_keys_[static_cast<std::size_t>(round)]
+                     [static_cast<std::size_t>(i)];
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = kSbox[b];
+  };
+  auto shift_rows = [&] {
+    AesBlock t = s;
+    // Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+    for (int r = 1; r < 4; ++r)
+      for (int c = 0; c < 4; ++c)
+        s[static_cast<std::size_t>(r + 4 * c)] =
+            t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[static_cast<std::size_t>(4 * c)];
+      std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+      col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+      col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+      col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+      col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  return s;
+}
+
+namespace {
+/// Doubling in GF(2^128) for CMAC subkey derivation.
+AesBlock gf_double(const AesBlock& in) {
+  AesBlock out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    auto idx = static_cast<std::size_t>(i);
+    out[idx] = static_cast<std::uint8_t>((in[idx] << 1) | carry);
+    carry = static_cast<std::uint8_t>((in[idx] >> 7) & 1);
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+}  // namespace
+
+AesCmac::AesCmac(const AesKey& key) : cipher_(key) {
+  AesBlock zero{};
+  AesBlock l = cipher_.encrypt(zero);
+  k1_ = gf_double(l);
+  k2_ = gf_double(k1_);
+}
+
+AesBlock AesCmac::compute(std::span<const std::uint8_t> message) const {
+  const std::size_t n_blocks =
+      message.empty() ? 1 : (message.size() + 15) / 16;
+  const bool complete = !message.empty() && message.size() % 16 == 0;
+
+  AesBlock x{};
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    for (int i = 0; i < 16; ++i)
+      x[static_cast<std::size_t>(i)] ^=
+          message[b * 16 + static_cast<std::size_t>(i)];
+    x = cipher_.encrypt(x);
+  }
+
+  // Last block: XOR with K1 if complete, else pad 10* and XOR with K2.
+  AesBlock last{};
+  std::size_t offset = (n_blocks - 1) * 16;
+  std::size_t rem = message.size() - offset;
+  for (std::size_t i = 0; i < rem; ++i) last[i] = message[offset + i];
+  if (!complete) last[rem] = 0x80;
+  const AesBlock& subkey = complete ? k1_ : k2_;
+  for (int i = 0; i < 16; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    x[idx] ^= static_cast<std::uint8_t>(last[idx] ^ subkey[idx]);
+  }
+  return cipher_.encrypt(x);
+}
+
+std::uint32_t AesCmac::mic(std::span<const std::uint8_t> message) const {
+  AesBlock tag = compute(message);
+  return static_cast<std::uint32_t>(tag[0]) |
+         (static_cast<std::uint32_t>(tag[1]) << 8) |
+         (static_cast<std::uint32_t>(tag[2]) << 16) |
+         (static_cast<std::uint32_t>(tag[3]) << 24);
+}
+
+}  // namespace tinysdr

@@ -1,0 +1,91 @@
+// CRC implementations used across the platform:
+//  - CRC-16/CCITT for LoRa payloads and the OTA update protocol
+//  - CRC-24 (Bluetooth) as an LFSR, bit-exact to the BT core spec
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tinysdr {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — used by LoRa payload CRC
+/// and by our OTA data packets.
+[[nodiscard]] constexpr std::uint16_t crc16_ccitt(
+    std::span<const std::uint8_t> data, std::uint16_t init = 0xFFFF) {
+  std::uint16_t crc = init;
+  for (std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+/// Bluetooth CRC-24.
+///
+/// Polynomial x^24 + x^10 + x^9 + x^6 + x^4 + x^3 + x + 1, LFSR initialised
+/// to 0x555555 for advertising packets; PDU bytes enter LSB first
+/// (BT Core Spec v5.1, Vol 6 Part B §3.1.1).
+class BleCrc24 {
+ public:
+  explicit constexpr BleCrc24(std::uint32_t init = 0x555555)
+      : state_(init & 0xFFFFFF) {}
+
+  constexpr void feed_bit(bool bit) {
+    // MSB of the 24-bit register is position 23.
+    bool msb = (state_ >> 23) & 1u;
+    bool fb = msb != bit;
+    state_ = (state_ << 1) & 0xFFFFFF;
+    if (fb) {
+      // Taps per the polynomial above (excluding x^24 which is the feedback).
+      state_ ^= 0x00065B;  // bits 10,9,6,4,3,1,0
+    }
+  }
+
+  constexpr void feed_byte_lsb_first(std::uint8_t byte) {
+    for (int bit = 0; bit < 8; ++bit) feed_bit((byte >> bit) & 1u);
+  }
+
+  constexpr void feed(std::span<const std::uint8_t> data) {
+    for (std::uint8_t b : data) feed_byte_lsb_first(b);
+  }
+
+  /// Final CRC register value (24 bits).
+  [[nodiscard]] constexpr std::uint32_t value() const { return state_; }
+
+  /// The three CRC bytes as transmitted over the air (MSB of the register
+  /// first, each bit sent as-is).
+  [[nodiscard]] constexpr std::uint32_t transmitted() const { return state_; }
+
+ private:
+  std::uint32_t state_;
+};
+
+/// Convenience: CRC-24 over a complete PDU.
+[[nodiscard]] constexpr std::uint32_t ble_crc24(
+    std::span<const std::uint8_t> pdu, std::uint32_t init = 0x555555) {
+  BleCrc24 crc{init};
+  crc.feed(pdu);
+  return crc.value();
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — used to fingerprint firmware images in
+/// the OTA flash store.
+[[nodiscard]] constexpr std::uint32_t crc32_ieee(
+    std::span<const std::uint8_t> data, std::uint32_t init = 0xFFFFFFFF) {
+  std::uint32_t crc = init;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+}  // namespace tinysdr

@@ -1,0 +1,62 @@
+// Minimal fixed-width text table renderer used by the benchmark harness to
+// print paper tables/figure series in a uniform, diffable format.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tinysdr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format a double with fixed precision — the common cell type.
+  [[nodiscard]] static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto line = [&] {
+      os << '+';
+      for (auto w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        std::string cell = c < cells.size() ? cells[c] : "";
+        os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ')
+           << '|';
+      }
+      os << '\n';
+    };
+
+    line();
+    emit(headers_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tinysdr

@@ -1,0 +1,212 @@
+// Strong unit types used across the tinysdr simulation.
+//
+// The paper reasons in dBm (RF power), milliwatts (DC power), hertz
+// (bandwidth / sample rate), and seconds (timings from 11 us to minutes).
+// Mixing those up silently is the classic SDR bug, so each quantity gets a
+// small value type with explicit conversions only.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tinysdr {
+
+/// RF power expressed in dBm (decibels relative to 1 mW).
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  /// Linear power in milliwatts.
+  [[nodiscard]] double milliwatts() const {
+    return std::pow(10.0, value_ / 10.0);
+  }
+  /// Linear power in watts.
+  [[nodiscard]] double watts() const { return milliwatts() * 1e-3; }
+
+  [[nodiscard]] static Dbm from_milliwatts(double mw) {
+    if (mw <= 0.0) throw std::domain_error("Dbm::from_milliwatts: mw <= 0");
+    return Dbm{10.0 * std::log10(mw)};
+  }
+
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+  /// dB offsets add directly to a dBm level.
+  constexpr Dbm operator+(double db) const { return Dbm{value_ + db}; }
+  constexpr Dbm operator-(double db) const { return Dbm{value_ - db}; }
+  /// Difference of two absolute levels is a gain/loss in dB.
+  constexpr double operator-(Dbm other) const { return value_ - other.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// DC power draw in milliwatts.
+class Milliwatts {
+ public:
+  constexpr Milliwatts() = default;
+  constexpr explicit Milliwatts(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double microwatts() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double watts() const { return value_ * 1e-3; }
+
+  [[nodiscard]] static constexpr Milliwatts from_microwatts(double uw) {
+    return Milliwatts{uw * 1e-3};
+  }
+  /// P = V * I with I in milliamps gives milliwatts directly.
+  [[nodiscard]] static constexpr Milliwatts from_volts_milliamps(double volts,
+                                                                 double ma) {
+    return Milliwatts{volts * ma};
+  }
+
+  constexpr auto operator<=>(const Milliwatts&) const = default;
+
+  constexpr Milliwatts operator+(Milliwatts o) const {
+    return Milliwatts{value_ + o.value_};
+  }
+  constexpr Milliwatts operator-(Milliwatts o) const {
+    return Milliwatts{value_ - o.value_};
+  }
+  constexpr Milliwatts& operator+=(Milliwatts o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Milliwatts operator*(double k) const {
+    return Milliwatts{value_ * k};
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Frequency or bandwidth in hertz.
+class Hertz {
+ public:
+  constexpr Hertz() = default;
+  constexpr explicit Hertz(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double kilohertz() const { return value_ * 1e-3; }
+  [[nodiscard]] constexpr double megahertz() const { return value_ * 1e-6; }
+
+  [[nodiscard]] static constexpr Hertz from_kilohertz(double khz) {
+    return Hertz{khz * 1e3};
+  }
+  [[nodiscard]] static constexpr Hertz from_megahertz(double mhz) {
+    return Hertz{mhz * 1e6};
+  }
+
+  constexpr auto operator<=>(const Hertz&) const = default;
+
+  constexpr Hertz operator+(Hertz o) const { return Hertz{value_ + o.value_}; }
+  constexpr Hertz operator-(Hertz o) const { return Hertz{value_ - o.value_}; }
+  constexpr Hertz operator*(double k) const { return Hertz{value_ * k}; }
+  constexpr double operator/(Hertz o) const { return value_ / o.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Duration in seconds (double precision covers 11 us .. minutes fine).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double milliseconds() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double microseconds() const { return value_ * 1e6; }
+
+  [[nodiscard]] static constexpr Seconds from_milliseconds(double ms) {
+    return Seconds{ms * 1e-3};
+  }
+  [[nodiscard]] static constexpr Seconds from_microseconds(double us) {
+    return Seconds{us * 1e-6};
+  }
+
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  constexpr Seconds operator+(Seconds o) const {
+    return Seconds{value_ + o.value_};
+  }
+  constexpr Seconds operator-(Seconds o) const {
+    return Seconds{value_ - o.value_};
+  }
+  constexpr Seconds& operator+=(Seconds o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Seconds operator*(double k) const { return Seconds{value_ * k}; }
+  constexpr double operator/(Seconds o) const { return value_ / o.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Energy in millijoules; the natural product of Milliwatts * Seconds.
+class Millijoules {
+ public:
+  constexpr Millijoules() = default;
+  constexpr explicit Millijoules(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double joules() const { return value_ * 1e-3; }
+
+  constexpr auto operator<=>(const Millijoules&) const = default;
+
+  constexpr Millijoules operator+(Millijoules o) const {
+    return Millijoules{value_ + o.value_};
+  }
+  constexpr Millijoules& operator+=(Millijoules o) {
+    value_ += o.value_;
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Millijoules operator*(Milliwatts p, Seconds t) {
+  return Millijoules{p.value() * t.value()};
+}
+constexpr Millijoules operator*(Seconds t, Milliwatts p) { return p * t; }
+
+/// Battery capacity helper: a LiPo cell rated in mAh at a nominal voltage.
+class BatteryCapacity {
+ public:
+  constexpr BatteryCapacity(double mah, double volts)
+      : mah_(mah), volts_(volts) {}
+
+  [[nodiscard]] constexpr double milliamp_hours() const { return mah_; }
+  [[nodiscard]] constexpr double volts() const { return volts_; }
+  [[nodiscard]] constexpr Millijoules energy() const {
+    // mAh * V = mWh; * 3600 = mJ.
+    return Millijoules{mah_ * volts_ * 3600.0};
+  }
+
+  /// Lifetime at a constant average draw.
+  [[nodiscard]] Seconds lifetime_at(Milliwatts draw) const {
+    if (draw.value() <= 0.0)
+      throw std::domain_error("lifetime_at: non-positive draw");
+    return Seconds{energy().value() / draw.value()};
+  }
+
+ private:
+  double mah_;
+  double volts_;
+};
+
+inline std::string to_string(Dbm v) { return std::to_string(v.value()) + " dBm"; }
+inline std::string to_string(Milliwatts v) {
+  return std::to_string(v.value()) + " mW";
+}
+inline std::string to_string(Hertz v) { return std::to_string(v.value()) + " Hz"; }
+inline std::string to_string(Seconds v) { return std::to_string(v.value()) + " s"; }
+
+}  // namespace tinysdr

@@ -1,0 +1,63 @@
+// Backscatter reader study (paper §7, "Low power backscatter readers").
+//
+// "Many of these proposals require either a single-tone generator or a
+// custom receiver to decode the backscatter transmissions. TinySDR can be
+// used as a building block to achieve a battery-operated backscatter
+// signal generation and receiver."
+//
+// Model: tinySDR emits a single tone (the carrier the tag reflects); an
+// OOK backscatter tag toggles its antenna impedance at a low bit rate,
+// amplitude-modulating the reflection; the same tinySDR (or a second one)
+// receives carrier + reflection and decodes the tag bits from the envelope
+// after DC (direct carrier) removal.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/types.hpp"
+
+namespace tinysdr::core {
+
+struct BackscatterConfig {
+  Hertz sample_rate = Hertz::from_megahertz(4.0);
+  double tag_bitrate = 10e3;          ///< tag OOK rate (10 kbps typical)
+  double reflection_db = -20.0;       ///< reflected power vs direct carrier
+  double tone_cycles_per_sample = 0.1;
+
+  [[nodiscard]] std::uint32_t samples_per_bit() const {
+    return static_cast<std::uint32_t>(sample_rate.value() / tag_bitrate);
+  }
+};
+
+class BackscatterLink {
+ public:
+  explicit BackscatterLink(BackscatterConfig config = {});
+
+  [[nodiscard]] const BackscatterConfig& config() const { return config_; }
+
+  /// The carrier tinySDR generates (single tone via the NCO).
+  [[nodiscard]] dsp::Samples carrier(std::size_t samples) const;
+
+  /// What the receiver antenna sees: direct carrier plus the tag's
+  /// bit-keyed reflection (phase-shifted path).
+  [[nodiscard]] dsp::Samples tag_modulate(const std::vector<bool>& bits) const;
+
+  /// Decode tag bits from the received waveform: envelope -> mean removal
+  /// -> per-bit integrate -> threshold. `bit_count` bits expected.
+  [[nodiscard]] std::vector<bool> decode(const dsp::Samples& rx,
+                                         std::size_t bit_count) const;
+
+ private:
+  BackscatterConfig config_;
+};
+
+/// End-to-end helper: BER of a backscatter link at a given carrier-to-noise
+/// ratio (dB over the tag-bandwidth noise floor).
+[[nodiscard]] double backscatter_ber(const BackscatterConfig& config,
+                                     std::size_t bits, double carrier_snr_db,
+                                     Rng& rng);
+
+}  // namespace tinysdr::core

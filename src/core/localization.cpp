@@ -1,0 +1,84 @@
+#include "core/localization.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tinysdr::core {
+
+namespace {
+double wrap_pi(double angle) {
+  while (angle >= std::numbers::pi) angle -= 2.0 * std::numbers::pi;
+  while (angle < -std::numbers::pi) angle += 2.0 * std::numbers::pi;
+  return angle;
+}
+}  // namespace
+
+std::vector<PhaseMeasurement> simulate_phase_sweep(const RangingConfig& config,
+                                                   double distance_m,
+                                                   double phase_noise_rad,
+                                                   Rng& rng) {
+  if (distance_m < 0.0)
+    throw std::invalid_argument("simulate_phase_sweep: negative distance");
+  std::vector<PhaseMeasurement> out;
+  out.reserve(config.tones);
+  for (std::size_t k = 0; k < config.tones; ++k) {
+    Hertz f = config.start + config.step * static_cast<double>(k);
+    // One-way propagation phase: -2*pi*f*d/c.
+    double phase = -2.0 * std::numbers::pi * f.value() * distance_m /
+                   kSpeedOfLight;
+    phase += phase_noise_rad * rng.next_gaussian();
+    out.push_back(PhaseMeasurement{f, wrap_pi(phase)});
+  }
+  return out;
+}
+
+RangeEstimate estimate_range(const RangingConfig& config,
+                             const std::vector<PhaseMeasurement>& measurements,
+                             double resolution_m) {
+  if (measurements.empty())
+    throw std::invalid_argument("estimate_range: no measurements");
+  if (resolution_m <= 0.0)
+    throw std::invalid_argument("estimate_range: bad resolution");
+
+  const double max_d = config.unambiguous_range_m();
+  RangeEstimate best;
+  double best_residual = 1e18;
+  for (double d = 0.0; d < max_d; d += resolution_m) {
+    double sum_sq = 0.0;
+    for (const auto& m : measurements) {
+      double expected = -2.0 * std::numbers::pi * m.carrier.value() * d /
+                        kSpeedOfLight;
+      double err = wrap_pi(m.phase_rad - expected);
+      sum_sq += err * err;
+    }
+    if (sum_sq < best_residual) {
+      best_residual = sum_sq;
+      best.distance_m = d;
+    }
+  }
+  best.residual_rad =
+      std::sqrt(best_residual / static_cast<double>(measurements.size()));
+
+  // Local refinement at a fraction of the grid step.
+  double lo = std::max(0.0, best.distance_m - resolution_m);
+  double hi = std::min(max_d, best.distance_m + resolution_m);
+  for (double d = lo; d <= hi; d += resolution_m / 50.0) {
+    double sum_sq = 0.0;
+    for (const auto& m : measurements) {
+      double expected = -2.0 * std::numbers::pi * m.carrier.value() * d /
+                        kSpeedOfLight;
+      double err = wrap_pi(m.phase_rad - expected);
+      sum_sq += err * err;
+    }
+    if (sum_sq < best_residual) {
+      best_residual = sum_sq;
+      best.distance_m = d;
+      best.residual_rad =
+          std::sqrt(sum_sq / static_cast<double>(measurements.size()));
+    }
+  }
+  return best;
+}
+
+}  // namespace tinysdr::core

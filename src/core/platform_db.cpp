@@ -1,0 +1,81 @@
+#include "core/platform_db.hpp"
+
+namespace tinysdr::core {
+
+const std::vector<SdrPlatform>& sdr_platforms() {
+  // Table 1 and Fig. 2 of the paper. TX powers are the radio-module draws
+  // at the output level annotated in Fig. 2.
+  static const std::vector<SdrPlatform> db = {
+      {"USRP E310", Milliwatts{2820.0}, true, false, 3000.0, 30.72, 12,
+       "70-6000 MHz", 6.8 * 13.3, Milliwatts{1375.0}, Dbm{14.0},
+       Milliwatts{335.0}},
+      {"USRP B200mini", std::nullopt, false, false, 733.0, 30.72, 12,
+       "70-6000 MHz", 5.0 * 8.3, Milliwatts{1260.0}, Dbm{10.0},
+       Milliwatts{305.0}},
+      {"bladeRF 2.0", Milliwatts{717.0}, true, false, 720.0, 30.72, 12,
+       "47-6000 MHz", 6.3 * 12.7, Milliwatts{940.0}, Dbm{10.0},
+       Milliwatts{300.0}},
+      {"LimeSDR Mini", std::nullopt, false, false, 159.0, 30.72, 12,
+       "10-3500 MHz", 3.1 * 6.9, Milliwatts{960.0}, Dbm{10.0},
+       Milliwatts{378.0}},
+      {"PlutoSDR", std::nullopt, false, false, 149.0, 20.0, 12,
+       "325-3800 MHz", 7.9 * 11.7, Milliwatts{900.0}, Dbm{10.0},
+       Milliwatts{262.0}},
+      {"uSDR", Milliwatts{320.0}, true, false, 150.0, 40.0, 8,
+       "2400-2500 MHz", 7.0 * 14.5, Milliwatts{860.0}, Dbm{14.0},
+       Milliwatts{276.0}},
+      {"GalioT", Milliwatts{350.0}, true, false, 60.0, 14.4, 8,
+       "0.5-1766 MHz", 2.5 * 7.0, Milliwatts{0.0} /* RX-only */, Dbm{0.0},
+       Milliwatts{200.0}},
+      {"TinySDR", Milliwatts{0.03}, true, true, 55.0, 4.0, 13,
+       "389.5-510 / 779-1020 / 2400-2483 MHz", 3.0 * 5.0,
+       Milliwatts{179.0}, Dbm{14.0}, Milliwatts{59.0}},
+  };
+  return db;
+}
+
+const std::vector<IqRadioModule>& iq_radio_modules() {
+  static const std::vector<IqRadioModule> db = {
+      {"AD9361", "70-6000 MHz", Milliwatts{262.0}, 282.0, true, true},
+      {"AD9363", "325-3800 MHz", Milliwatts{262.0}, 123.0, true, true},
+      {"AD9364", "70-6000 MHz", Milliwatts{262.0}, 210.0, true, true},
+      {"LMS7002M", "10-3500 MHz", Milliwatts{378.0}, 110.0, true, true},
+      {"MAX2831", "2400-2500 MHz", Milliwatts{276.0}, 9.0, false, true},
+      {"SX1257", "862-1020 MHz", Milliwatts{54.0}, 7.5, true, false},
+      {"AT86RF215", "389.5-510 / 779-1020 / 2400-2483 MHz", Milliwatts{50.0},
+       5.5, true, true},
+  };
+  return db;
+}
+
+const std::vector<BomLine>& bom_lines() {
+  static const std::vector<BomLine> db = {
+      {"DSP", "FPGA (LFE5U-25F)", 8.69},
+      {"DSP", "Oscillator", 0.90},
+      {"IQ Front-End", "Radio (AT86RF215)", 5.08},
+      {"IQ Front-End", "Crystal", 0.53},
+      {"IQ Front-End", "2.4 GHz Balun", 0.36},
+      {"IQ Front-End", "Sub-GHz Balun", 0.30},
+      {"Backbone", "Radio (SX1276)", 4.50},
+      {"Backbone", "Crystal", 0.40},
+      {"Backbone", "Flash Memory (MX25R6435F)", 1.60},
+      {"MAC", "MCU (MSP432P401R)", 3.89},
+      {"MAC", "Crystals", 0.68},
+      {"RF", "Switch (ADG904)", 3.14},
+      {"RF", "Sub-GHz PA (SE2435L)", 1.54},
+      {"RF", "2.4 GHz PA (SKY66112)", 1.72},
+      {"Power Management", "Regulators", 3.70},
+      {"Supporting Components", "Passives / misc", 4.50},
+      {"Production", "Fabrication", 3.00},
+      {"Production", "Assembly", 10.00},
+  };
+  return db;
+}
+
+double bom_total_usd() {
+  double total = 0.0;
+  for (const auto& line : bom_lines()) total += line.price_usd;
+  return total;
+}
+
+}  // namespace tinysdr::core

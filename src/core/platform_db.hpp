@@ -1,0 +1,58 @@
+// Static databases behind the paper's comparison tables:
+//   Table 1 — SDR platforms (sleep power, standalone, OTA, cost, BW, ADC,
+//             spectrum, size)
+//   Fig. 2  — radio-module TX/RX power per platform
+//   Table 2 — off-the-shelf I/Q radio modules
+//   Table 5 — tinySDR bill of materials at 1000 units
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tinysdr::core {
+
+struct SdrPlatform {
+  std::string name;
+  std::optional<Milliwatts> sleep_power;  ///< nullopt = N/A (no standalone)
+  bool standalone = false;
+  bool ota_programming = false;
+  double cost_usd = 0.0;
+  double max_bandwidth_mhz = 0.0;
+  int adc_bits = 0;
+  std::string spectrum;
+  double size_cm2 = 0.0;
+  // Fig. 2: radio-module power at the listed TX output power.
+  Milliwatts radio_tx_power{0.0};
+  Dbm tx_output{0.0};
+  Milliwatts radio_rx_power{0.0};
+};
+
+/// Table 1 + Fig. 2 rows (tinySDR last).
+[[nodiscard]] const std::vector<SdrPlatform>& sdr_platforms();
+
+struct IqRadioModule {
+  std::string name;
+  std::string frequency_range;
+  Milliwatts rx_power{0.0};
+  double cost_usd = 0.0;
+  bool covers_900mhz = false;
+  bool covers_2400mhz = false;
+};
+
+/// Table 2 rows.
+[[nodiscard]] const std::vector<IqRadioModule>& iq_radio_modules();
+
+struct BomLine {
+  std::string category;
+  std::string component;
+  double price_usd;
+};
+
+/// Table 5: cost breakdown for 1000 units; sums to ~$54.53.
+[[nodiscard]] const std::vector<BomLine>& bom_lines();
+[[nodiscard]] double bom_total_usd();
+
+}  // namespace tinysdr::core

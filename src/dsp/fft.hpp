@@ -1,0 +1,51 @@
+// Radix-2 iterative FFT with cached twiddle factors.
+//
+// The LoRa demodulator (paper Fig. 6b) uses a Lattice FFT IP core sized
+// 2^SF; this is our software equivalent. Plans are cached per size the way
+// the FPGA instantiates one core per configuration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace tinysdr::dsp {
+
+/// Pre-planned FFT of a fixed power-of-two size.
+class FftPlan {
+ public:
+  /// @throws std::invalid_argument if size is not a power of two >= 2.
+  explicit FftPlan(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// In-place forward DFT (no scaling).
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse DFT (scaled by 1/N).
+  void inverse(std::span<Complex> data) const;
+
+  /// Out-of-place convenience.
+  [[nodiscard]] Samples forward_copy(std::span<const Complex> data) const;
+
+ private:
+  void transform(std::span<Complex> data, bool invert) const;
+
+  std::size_t size_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<Complex> twiddles_;      // forward
+  std::vector<Complex> inv_twiddles_;  // inverse
+};
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+/// Index of the FFT bin with the largest magnitude.
+[[nodiscard]] std::size_t peak_bin(std::span<const Complex> spectrum);
+
+/// Magnitude of the largest bin.
+[[nodiscard]] double peak_magnitude(std::span<const Complex> spectrum);
+
+}  // namespace tinysdr::dsp

@@ -1,0 +1,60 @@
+#include "dsp/fir.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::dsp {
+
+std::vector<float> design_lowpass(std::size_t taps, double cutoff_ratio,
+                                  WindowKind window) {
+  if (taps == 0) throw std::invalid_argument("design_lowpass: taps == 0");
+  if (cutoff_ratio <= 0.0 || cutoff_ratio > 0.5)
+    throw std::invalid_argument("design_lowpass: cutoff must be in (0, 0.5]");
+
+  auto win = make_window(window, taps);
+  std::vector<float> h(taps);
+  double center = (static_cast<double>(taps) - 1.0) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    double x = static_cast<double>(i) - center;
+    double ideal = 2.0 * cutoff_ratio * sinc(2.0 * cutoff_ratio * x);
+    double v = ideal * win[i];
+    h[i] = static_cast<float>(v);
+    sum += v;
+  }
+  // Normalise for unity DC gain so signal power is preserved in-band.
+  if (sum != 0.0) {
+    for (auto& t : h) t = static_cast<float>(t / sum);
+  }
+  return h;
+}
+
+FirFilter::FirFilter(std::vector<float> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+  delay_.assign(taps_.size(), Complex{0.0f, 0.0f});
+}
+
+Complex FirFilter::process(Complex in) {
+  delay_[head_] = in;
+  Complex acc{0.0f, 0.0f};
+  std::size_t idx = head_;
+  for (float tap : taps_) {
+    acc += delay_[idx] * tap;
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  return acc;
+}
+
+Samples FirFilter::filter(std::span<const Complex> in) {
+  Samples out;
+  out.reserve(in.size());
+  for (Complex s : in) out.push_back(process(s));
+  return out;
+}
+
+void FirFilter::reset() {
+  std::fill(delay_.begin(), delay_.end(), Complex{0.0f, 0.0f});
+  head_ = 0;
+}
+
+}  // namespace tinysdr::dsp

@@ -1,0 +1,49 @@
+// FIR filter design and streaming application.
+//
+// The paper's LoRa demodulator front-end runs a 14-tap FIR low-pass after
+// the I/Q deserializer; we replicate that with a windowed-sinc design of the
+// same length and expose a streaming filter with the same group delay
+// behaviour the FPGA pipeline has.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace tinysdr::dsp {
+
+/// Design a linear-phase low-pass FIR.
+/// @param taps          filter length (paper uses 14)
+/// @param cutoff_ratio  cutoff as a fraction of the sample rate, in (0, 0.5]
+/// @param window        taper applied to the ideal sinc
+[[nodiscard]] std::vector<float> design_lowpass(
+    std::size_t taps, double cutoff_ratio,
+    WindowKind window = WindowKind::kHamming);
+
+/// Streaming FIR filter over complex samples.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<float> taps);
+
+  [[nodiscard]] std::size_t tap_count() const { return taps_.size(); }
+  [[nodiscard]] const std::vector<float>& taps() const { return taps_; }
+
+  /// Process one sample, returning one output sample (direct form,
+  /// zero-initialized state).
+  [[nodiscard]] Complex process(Complex in);
+
+  /// Filter a whole block (stateful: continues from previous calls).
+  [[nodiscard]] Samples filter(std::span<const Complex> in);
+
+  /// Reset internal delay line to zeros.
+  void reset();
+
+ private:
+  std::vector<float> taps_;
+  std::vector<Complex> delay_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace tinysdr::dsp

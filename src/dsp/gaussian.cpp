@@ -1,0 +1,44 @@
+#include "dsp/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tinysdr::dsp {
+
+std::vector<double> design_gaussian(double bt, std::size_t samples_per_symbol,
+                                    std::size_t span_symbols) {
+  if (bt <= 0.0) throw std::invalid_argument("design_gaussian: bt <= 0");
+  if (samples_per_symbol == 0)
+    throw std::invalid_argument("design_gaussian: sps == 0");
+  if (span_symbols == 0)
+    throw std::invalid_argument("design_gaussian: span == 0");
+
+  // Standard GMSK formulation: h(t) ∝ exp(-(2*pi^2*B^2 / ln 2) t^2) with
+  // B = bt / T; sampled at sps per symbol over span symbols (odd length).
+  const std::size_t n = span_symbols * samples_per_symbol + 1;
+  std::vector<double> h(n);
+  const double sps = static_cast<double>(samples_per_symbol);
+  const double alpha =
+      2.0 * std::numbers::pi * std::numbers::pi * bt * bt / std::log(2.0);
+  const double center = static_cast<double>(n - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double t = (static_cast<double>(i) - center) / sps;  // in symbol periods
+    h[i] = std::exp(-alpha * t * t);
+    sum += h[i];
+  }
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+std::vector<double> convolve(const std::vector<double>& in,
+                             const std::vector<double>& taps) {
+  if (in.empty() || taps.empty()) return {};
+  std::vector<double> out(in.size() + taps.size() - 1, 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    for (std::size_t j = 0; j < taps.size(); ++j) out[i + j] += in[i] * taps[j];
+  return out;
+}
+
+}  // namespace tinysdr::dsp

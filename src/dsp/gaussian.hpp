@@ -1,0 +1,28 @@
+// Gaussian pulse shaping for GFSK (BLE) modulation.
+//
+// BLE's GFSK is BFSK with a Gaussian filter applied to the rectangular
+// frequency pulses (paper §4.2). The filter is characterised by its
+// bandwidth-time product BT (0.5 for BLE) and the oversampling factor.
+#pragma once
+
+#include <vector>
+
+namespace tinysdr::dsp {
+
+/// Design a Gaussian pulse-shaping filter.
+///
+/// @param bt                  bandwidth-time product (BLE: 0.5)
+/// @param samples_per_symbol  oversampling factor
+/// @param span_symbols        filter length in symbol periods (typ. 3)
+/// @returns taps normalised to unit sum (preserves frequency deviation)
+[[nodiscard]] std::vector<double> design_gaussian(double bt,
+                                                  std::size_t samples_per_symbol,
+                                                  std::size_t span_symbols = 3);
+
+/// Convolve a real-valued sequence with the given taps ("same" alignment is
+/// NOT applied; output length = in + taps - 1, matching a hardware shift
+/// register that flushes).
+[[nodiscard]] std::vector<double> convolve(const std::vector<double>& in,
+                                           const std::vector<double>& taps);
+
+}  // namespace tinysdr::dsp

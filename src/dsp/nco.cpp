@@ -1,0 +1,33 @@
+#include "dsp/nco.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::dsp {
+
+SinCosLut::SinCosLut() {
+  for (std::size_t i = 0; i < kSize; ++i) {
+    double angle = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                   static_cast<double>(kSize);
+    table_[i] = Complex{static_cast<float>(std::cos(angle)),
+                        static_cast<float>(std::sin(angle))};
+  }
+}
+
+const SinCosLut& SinCosLut::instance() {
+  static const SinCosLut lut;
+  return lut;
+}
+
+Samples generate_tone(double cycles_per_sample, std::size_t count,
+                      std::uint32_t initial_phase) {
+  Nco nco;
+  nco.set_frequency(cycles_per_sample);
+  nco.set_phase(initial_phase);
+  Samples out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(nco.next());
+  return out;
+}
+
+}  // namespace tinysdr::dsp

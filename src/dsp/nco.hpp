@@ -1,0 +1,79 @@
+// Numerically controlled oscillator, mirroring the FPGA implementation.
+//
+// The paper's chirp generator uses "a squared phase accumulator and two
+// lookup tables for Sin and Cos" (§4.1). We model exactly that: a 32-bit
+// fixed-point phase accumulator addressing quarter-wave-symmetric LUTs,
+// so quantization behaviour matches a hardware DDS rather than calling
+// std::sin per sample.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsp/types.hpp"
+
+namespace tinysdr::dsp {
+
+/// Shared sin/cos lookup table (a DDS "phase-to-amplitude converter").
+/// 12-bit table depth and 16-bit sample amplitude — comfortably above the
+/// radio's 13-bit DAC so the LUT is not the limiting quantizer.
+class SinCosLut {
+ public:
+  static constexpr std::size_t kAddressBits = 12;
+  static constexpr std::size_t kSize = std::size_t{1} << kAddressBits;
+
+  SinCosLut();
+
+  /// Look up by the top bits of a 32-bit phase word.
+  [[nodiscard]] Complex lookup(std::uint32_t phase) const {
+    auto index =
+        static_cast<std::size_t>(phase >> (32 - kAddressBits)) & (kSize - 1);
+    return table_[index];
+  }
+
+  /// Process-wide shared instance (the FPGA has one ROM, too).
+  [[nodiscard]] static const SinCosLut& instance();
+
+ private:
+  std::array<Complex, kSize> table_;
+};
+
+/// Phase-accumulator oscillator: phase += step every sample, where
+/// step = freq/sample_rate * 2^32.
+class Nco {
+ public:
+  Nco() = default;
+
+  /// Set the frequency as a fraction of the sample rate in [-0.5, 0.5).
+  void set_frequency(double cycles_per_sample) {
+    step_ = to_step(cycles_per_sample);
+  }
+
+  void set_phase(std::uint32_t phase) { phase_ = phase; }
+  [[nodiscard]] std::uint32_t phase() const { return phase_; }
+
+  /// Produce the next complex exponential sample and advance.
+  [[nodiscard]] Complex next() {
+    Complex out = SinCosLut::instance().lookup(phase_);
+    phase_ += step_;
+    return out;
+  }
+
+  [[nodiscard]] static std::uint32_t to_step(double cycles_per_sample) {
+    // Wrap into [0,1) then scale to the 32-bit phase circle.
+    double f = cycles_per_sample - std::floor(cycles_per_sample);
+    return static_cast<std::uint32_t>(f * 4294967296.0);
+  }
+
+ private:
+  std::uint32_t phase_ = 0;
+  std::uint32_t step_ = 0;
+};
+
+/// Generate `count` samples of a complex tone at the given normalized
+/// frequency (cycles per sample).
+[[nodiscard]] Samples generate_tone(double cycles_per_sample,
+                                    std::size_t count,
+                                    std::uint32_t initial_phase = 0);
+
+}  // namespace tinysdr::dsp

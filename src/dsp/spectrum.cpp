@@ -1,0 +1,88 @@
+#include "dsp/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace tinysdr::dsp {
+
+std::vector<SpectrumPoint> estimate_spectrum(std::span<const Complex> samples,
+                                             const SpectrumConfig& config) {
+  const std::size_t n = config.fft_size;
+  if (!is_power_of_two(n))
+    throw std::invalid_argument("estimate_spectrum: fft_size not pow2");
+  if (samples.size() < n)
+    throw std::invalid_argument("estimate_spectrum: too few samples");
+
+  FftPlan plan{n};
+  auto window = make_window(config.window, n);
+  double coherent_gain = 0.0;
+  for (double w : window) coherent_gain += w;
+
+  std::vector<double> accum(n, 0.0);
+  std::size_t segments = 0;
+  const std::size_t hop = n / 2;
+  for (std::size_t start = 0; start + n <= samples.size(); start += hop) {
+    Samples seg(n);
+    for (std::size_t i = 0; i < n; ++i)
+      seg[i] = samples[start + i] * static_cast<float>(window[i]);
+    plan.forward(seg);
+    for (std::size_t i = 0; i < n; ++i)
+      accum[i] += static_cast<double>(std::norm(seg[i]));
+    ++segments;
+  }
+
+  // Normalise by the window's coherent gain so a full-scale (unit
+  // amplitude) tone lands at config.full_scale_dbm, the way a spectrum
+  // analyzer's marker reads tone power.
+  const double norm =
+      static_cast<double>(segments) * coherent_gain * coherent_gain;
+
+  std::vector<SpectrumPoint> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // FFT bin i maps to frequency offsets [0, fs) -> wrap to [-fs/2, fs/2).
+    double bin_freq = static_cast<double>(i) / static_cast<double>(n) *
+                      config.sample_rate_hz;
+    if (bin_freq >= config.sample_rate_hz / 2.0)
+      bin_freq -= config.sample_rate_hz;
+    double linear = accum[i] / norm;
+    double dbm = config.full_scale_dbm +
+                 10.0 * std::log10(std::max(linear, 1e-30));
+    out[i] = SpectrumPoint{config.center_frequency_hz + bin_freq, dbm};
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpectrumPoint& a, const SpectrumPoint& b) {
+              return a.frequency_hz < b.frequency_hz;
+            });
+  return out;
+}
+
+SpectrumPoint spectrum_peak(const std::vector<SpectrumPoint>& spectrum) {
+  if (spectrum.empty())
+    throw std::invalid_argument("spectrum_peak: empty spectrum");
+  return *std::max_element(spectrum.begin(), spectrum.end(),
+                           [](const SpectrumPoint& a, const SpectrumPoint& b) {
+                             return a.power_dbm < b.power_dbm;
+                           });
+}
+
+double spurious_free_range_db(const std::vector<SpectrumPoint>& spectrum,
+                              std::size_t exclusion_bins) {
+  if (spectrum.size() < 2 * exclusion_bins + 2)
+    throw std::invalid_argument("spurious_free_range_db: spectrum too small");
+  std::size_t peak_idx = 0;
+  for (std::size_t i = 1; i < spectrum.size(); ++i)
+    if (spectrum[i].power_dbm > spectrum[peak_idx].power_dbm) peak_idx = i;
+
+  double next_best = -1e30;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    std::size_t dist = i > peak_idx ? i - peak_idx : peak_idx - i;
+    if (dist <= exclusion_bins) continue;
+    next_best = std::max(next_best, spectrum[i].power_dbm);
+  }
+  return spectrum[peak_idx].power_dbm - next_best;
+}
+
+}  // namespace tinysdr::dsp

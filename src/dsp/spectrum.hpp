@@ -1,0 +1,41 @@
+// Power spectrum estimation (Welch periodogram) used to reproduce the
+// paper's Fig. 8 single-tone spectrum measurement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace tinysdr::dsp {
+
+struct SpectrumPoint {
+  double frequency_hz;  ///< absolute RF frequency (center + offset)
+  double power_dbm;     ///< estimated power in that bin
+};
+
+struct SpectrumConfig {
+  std::size_t fft_size = 4096;
+  double sample_rate_hz = 4e6;
+  double center_frequency_hz = 0.0;
+  /// Power calibration: dBm corresponding to a full-scale tone.
+  double full_scale_dbm = 0.0;
+  WindowKind window = WindowKind::kHann;
+};
+
+/// Welch-averaged periodogram over 50%-overlapped segments.
+[[nodiscard]] std::vector<SpectrumPoint> estimate_spectrum(
+    std::span<const Complex> samples, const SpectrumConfig& config);
+
+/// Highest-power point of a spectrum.
+[[nodiscard]] SpectrumPoint spectrum_peak(
+    const std::vector<SpectrumPoint>& spectrum);
+
+/// Ratio (dB) between the peak and the strongest point at least
+/// `exclusion_bins` away from it — a spurious-free dynamic range proxy used
+/// to verify "no unexpected harmonics" (Fig. 8).
+[[nodiscard]] double spurious_free_range_db(
+    const std::vector<SpectrumPoint>& spectrum, std::size_t exclusion_bins);
+
+}  // namespace tinysdr::dsp

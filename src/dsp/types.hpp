@@ -1,0 +1,32 @@
+// Core sample types for the DSP layer.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tinysdr::dsp {
+
+/// Baseband I/Q sample. Single precision: the hardware path is 13-bit, so
+/// float's 24-bit mantissa has ample headroom.
+using Complex = std::complex<float>;
+
+/// A contiguous run of baseband samples.
+using Samples = std::vector<Complex>;
+
+/// Average power (|x|^2 mean) of a sample block.
+[[nodiscard]] inline double mean_power(const Samples& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : x) acc += static_cast<double>(std::norm(s));
+  return acc / static_cast<double>(x.size());
+}
+
+/// Scale a block so its mean power becomes `target`.
+inline void normalize_power(Samples& x, double target = 1.0) {
+  double p = mean_power(x);
+  if (p <= 0.0) return;
+  auto k = static_cast<float>(std::sqrt(target / p));
+  for (auto& s : x) s *= k;
+}
+
+}  // namespace tinysdr::dsp

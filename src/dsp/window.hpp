@@ -1,0 +1,47 @@
+// Window functions for filter design and spectral analysis.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace tinysdr::dsp {
+
+enum class WindowKind { kRect, kHamming, kHann, kBlackman };
+
+/// Generate a symmetric window of `n` taps.
+[[nodiscard]] inline std::vector<double> make_window(WindowKind kind,
+                                                     std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: n == 0");
+  std::vector<double> w(n, 1.0);
+  if (n == 1 || kind == WindowKind::kRect) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRect:
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+               0.08 * std::cos(4.0 * std::numbers::pi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+/// Normalised sinc: sin(pi x)/(pi x).
+[[nodiscard]] inline double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+}  // namespace tinysdr::dsp

@@ -1,0 +1,197 @@
+// Standard block library for the flowgraph framework: the platform's DSP
+// primitives in GNU-Radio-style clothing.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "dsp/fir.hpp"
+#include "dsp/nco.hpp"
+#include "flow/graph.hpp"
+#include "radio/quantizer.hpp"
+
+namespace tinysdr::flow {
+
+inline constexpr std::size_t kChunk = 1024;
+
+/// Source emitting a fixed sample vector once.
+class VectorSource : public Block {
+ public:
+  explicit VectorSource(dsp::Samples data)
+      : Block("vector_source"), data_(std::move(data)) {}
+
+  bool work(Ring*, Ring* out) override {
+    if (pos_ >= data_.size() || out == nullptr) return false;
+    std::span<const dsp::Complex> remaining{data_.data() + pos_,
+                                            data_.size() - pos_};
+    std::size_t pushed = out->push(remaining.subspan(
+        0, std::min<std::size_t>(remaining.size(), kChunk)));
+    pos_ += pushed;
+    return pushed > 0;
+  }
+  [[nodiscard]] bool finished() const override { return pos_ >= data_.size(); }
+
+ private:
+  dsp::Samples data_;
+  std::size_t pos_ = 0;
+};
+
+/// Source emitting `count` samples of a complex tone from the DDS.
+class NcoSource : public Block {
+ public:
+  NcoSource(double cycles_per_sample, std::size_t count)
+      : Block("nco_source"), count_(count) {
+    nco_.set_frequency(cycles_per_sample);
+  }
+
+  bool work(Ring*, Ring* out) override {
+    if (emitted_ >= count_ || out == nullptr) return false;
+    std::size_t n = std::min({kChunk, count_ - emitted_, out->space()});
+    if (n == 0) return false;
+    dsp::Samples chunk;
+    chunk.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) chunk.push_back(nco_.next());
+    emitted_ += out->push(chunk);
+    return true;
+  }
+  [[nodiscard]] bool finished() const override { return emitted_ >= count_; }
+
+ private:
+  dsp::Nco nco_;
+  std::size_t count_;
+  std::size_t emitted_ = 0;
+};
+
+/// Streaming FIR filter block.
+class FirBlock : public Block {
+ public:
+  explicit FirBlock(std::vector<float> taps)
+      : Block("fir"), fir_(std::move(taps)) {}
+
+  bool work(Ring* in, Ring* out) override {
+    if (in == nullptr || out == nullptr) return false;
+    std::size_t n = std::min(in->size(), out->space());
+    if (n == 0) return false;
+    dsp::Samples chunk;
+    in->pop(std::min(n, kChunk), chunk);
+    auto filtered = fir_.filter(chunk);
+    out->push(filtered);
+    return !chunk.empty();
+  }
+
+ private:
+  dsp::FirFilter fir_;
+};
+
+/// Keep-one-in-N decimator.
+class DecimatorBlock : public Block {
+ public:
+  explicit DecimatorBlock(std::size_t factor)
+      : Block("decimator"), factor_(factor) {
+    if (factor == 0) throw std::invalid_argument("DecimatorBlock: factor 0");
+  }
+
+  bool work(Ring* in, Ring* out) override {
+    if (in == nullptr || out == nullptr || in->empty()) return false;
+    dsp::Samples chunk;
+    in->pop(kChunk, chunk);
+    dsp::Samples kept;
+    for (const auto& s : chunk) {
+      if (phase_ == 0) kept.push_back(s);
+      phase_ = (phase_ + 1) % factor_;
+    }
+    out->push(kept);
+    return true;
+  }
+
+ private:
+  std::size_t factor_;
+  std::size_t phase_ = 0;
+};
+
+/// Block-AGC + ADC quantization (the radio receive path as a block).
+class QuantizerBlock : public Block {
+ public:
+  explicit QuantizerBlock(int bits = 13)
+      : Block("quantizer"), quantizer_(bits, 1.0f) {}
+
+  bool work(Ring* in, Ring* out) override {
+    if (in == nullptr || out == nullptr || in->empty()) return false;
+    dsp::Samples chunk;
+    in->pop(kChunk, chunk);
+    auto quantized = quantizer_.roundtrip(chunk);
+    out->push(quantized);
+    return true;
+  }
+
+ private:
+  radio::IqQuantizer quantizer_;
+};
+
+/// Apply an arbitrary per-sample function (lambda block).
+class MapBlock : public Block {
+ public:
+  using Fn = std::function<dsp::Complex(dsp::Complex)>;
+  explicit MapBlock(Fn fn) : Block("map"), fn_(std::move(fn)) {}
+
+  bool work(Ring* in, Ring* out) override {
+    if (in == nullptr || out == nullptr || in->empty()) return false;
+    dsp::Samples chunk;
+    in->pop(kChunk, chunk);
+    for (auto& s : chunk) s = fn_(s);
+    out->push(chunk);
+    return true;
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Terminal sink collecting everything.
+class VectorSink : public Block {
+ public:
+  VectorSink() : Block("vector_sink") {}
+
+  bool work(Ring* in, Ring*) override {
+    if (in == nullptr || in->empty()) return false;
+    in->pop(in->size(), data_);
+    return true;
+  }
+
+  [[nodiscard]] const dsp::Samples& data() const { return data_; }
+
+ private:
+  dsp::Samples data_;
+};
+
+/// Terminal sink measuring mean power and peak magnitude.
+class PowerProbe : public Block {
+ public:
+  PowerProbe() : Block("power_probe") {}
+
+  bool work(Ring* in, Ring*) override {
+    if (in == nullptr || in->empty()) return false;
+    dsp::Samples chunk;
+    in->pop(in->size(), chunk);
+    for (const auto& s : chunk) {
+      double m = std::norm(s);
+      power_sum_ += m;
+      peak_ = std::max(peak_, std::sqrt(m));
+      ++count_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] double mean_power() const {
+    return count_ == 0 ? 0.0 : power_sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double peak() const { return peak_; }
+  [[nodiscard]] std::size_t samples() const { return count_; }
+
+ private:
+  double power_sum_ = 0.0;
+  double peak_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tinysdr::flow

@@ -1,0 +1,43 @@
+#include "flow/graph.hpp"
+
+namespace tinysdr::flow {
+
+std::size_t Ring::push(std::span<const dsp::Complex> in) {
+  std::size_t n = std::min(in.size(), space());
+  data_.insert(data_.end(), in.begin(), in.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+std::size_t Ring::pop(std::size_t max, dsp::Samples& out) {
+  std::size_t n = std::min(max, data_.size() - head_);
+  out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(head_),
+             data_.begin() + static_cast<std::ptrdiff_t>(head_ + n));
+  head_ += n;
+  // Compact once the consumed prefix dominates, keeping push() amortized.
+  if (head_ > data_.size() / 2 && head_ > 1024) {
+    data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return n;
+}
+
+bool FlowGraph::run(std::size_t max_iterations) {
+  if (blocks_.empty()) return true;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool progress = false;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      Ring* in = i == 0 ? nullptr : rings_[i - 1].get();
+      Ring* out = i + 1 == blocks_.size() ? nullptr : rings_[i].get();
+      progress |= blocks_[i]->work(in, out);
+    }
+    if (progress) continue;
+    // No progress: done if the source finished and all rings are empty.
+    bool drained = blocks_.front()->finished();
+    for (const auto& ring : rings_)
+      if (!ring->empty()) drained = false;
+    return drained;
+  }
+  return false;
+}
+
+}  // namespace tinysdr::flow

@@ -1,0 +1,91 @@
+// Streaming flowgraph framework (paper §7: "Future versions can
+// incorporate a pipeline to use high level synthesis tools or integrate
+// with GNUradio for easy prototyping").
+//
+// A deliberately small GNU-Radio-shaped core: blocks process chunks of
+// complex baseband samples through bounded FIFOs; a round-robin scheduler
+// runs the graph until the source dries up and every buffer drains. The
+// platform's DSP primitives (NCO, FIR, decimator, AGC, quantizer, probes)
+// are wrapped as blocks so a receive chain can be assembled the way a
+// GNU Radio user would sketch it — see flow/blocks.hpp.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace tinysdr::flow {
+
+/// Bounded FIFO of samples connecting two blocks.
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity = std::size_t{1} << 14)
+      : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size() - head_; }
+  [[nodiscard]] std::size_t space() const { return capacity_ - size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Append up to space() samples; returns how many were accepted.
+  std::size_t push(std::span<const dsp::Complex> in);
+  /// Remove up to `max` samples into `out` (appended); returns how many.
+  std::size_t pop(std::size_t max, dsp::Samples& out);
+
+ private:
+  std::size_t capacity_;
+  std::vector<dsp::Complex> data_;
+  std::size_t head_ = 0;  // index of the first valid sample
+};
+
+/// A processing stage. Sources ignore `in`; sinks produce nothing.
+class Block {
+ public:
+  explicit Block(std::string name) : name_(std::move(name)) {}
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Move data forward: consume from `in` (may be nullptr for sources),
+  /// produce into `out` (may be nullptr for sinks). Return true if any
+  /// progress was made (samples consumed or produced).
+  virtual bool work(Ring* in, Ring* out) = 0;
+
+  /// Sources report completion so the scheduler knows when to stop.
+  [[nodiscard]] virtual bool finished() const { return false; }
+
+ private:
+  std::string name_;
+};
+
+/// A linear chain of blocks: source -> transforms... -> sink.
+class FlowGraph {
+ public:
+  /// Append a block; the graph owns it. Returns a borrowed pointer for
+  /// later inspection (e.g. reading a probe).
+  template <typename B, typename... Args>
+  B* add(Args&&... args) {
+    auto block = std::make_unique<B>(std::forward<Args>(args)...);
+    B* raw = block.get();
+    blocks_.push_back(std::move(block));
+    if (blocks_.size() > 1) rings_.push_back(std::make_unique<Ring>());
+    return raw;
+  }
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+  /// Run until the source is finished and all buffers have drained, or no
+  /// block can make progress (stall — returns false).
+  bool run(std::size_t max_iterations = 1 << 20);
+
+ private:
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace tinysdr::flow

@@ -1,0 +1,67 @@
+// Sample FIFO backed by the FPGA's embedded SRAM (paper §3.2.2).
+//
+// The real design buffers 13-bit I/Q pairs in up to 126 kB of block RAM
+// between the LVDS deserializer and the signal-processing chain. We model
+// the capacity limit and overflow/underflow behaviour; timing is not a
+// constraint ("embedded memory can run at rates significantly greater than
+// 4 MHz").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "radio/lvds.hpp"
+
+namespace tinysdr::fpga {
+
+class SampleFifo {
+ public:
+  /// Each buffered I/Q pair occupies two 16-bit words in BRAM.
+  static constexpr std::size_t kBytesPerEntry = 4;
+
+  explicit SampleFifo(std::size_t capacity_bytes = 126 * 1024)
+      : capacity_entries_(capacity_bytes / kBytesPerEntry) {
+    if (capacity_entries_ == 0)
+      throw std::invalid_argument("SampleFifo: zero capacity");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_entries_; }
+
+  /// Number of writes dropped because the FIFO was full.
+  [[nodiscard]] std::size_t overflow_count() const { return overflows_; }
+
+  /// Push one I/Q word; drops (and counts) on overflow, like the hardware.
+  void push(const radio::IqWord& word) {
+    if (full()) {
+      ++overflows_;
+      return;
+    }
+    entries_.push_back(word);
+  }
+
+  /// @throws std::underflow_error when empty.
+  [[nodiscard]] radio::IqWord pop() {
+    if (entries_.empty()) throw std::underflow_error("SampleFifo: empty");
+    radio::IqWord w = entries_.front();
+    entries_.pop_front();
+    return w;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Seconds of signal this FIFO can hold at a given sample rate.
+  [[nodiscard]] double buffer_seconds(double sample_rate_hz) const {
+    return static_cast<double>(capacity_entries_) / sample_rate_hz;
+  }
+
+ private:
+  std::size_t capacity_entries_;
+  std::deque<radio::IqWord> entries_;
+  std::size_t overflows_ = 0;
+};
+
+}  // namespace tinysdr::fpga

@@ -1,0 +1,127 @@
+#include "fpga/microsd.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::fpga {
+
+std::vector<std::uint8_t> pack_iq26(std::span<const radio::IqWord> words) {
+  std::vector<std::uint8_t> out;
+  out.reserve((words.size() * kBitsPerSample + 7) / 8);
+  std::uint32_t bitbuf = 0;
+  int bits = 0;
+  auto push_field = [&](std::uint32_t value, int width) {
+    for (int b = width - 1; b >= 0; --b) {
+      bitbuf = (bitbuf << 1) | ((value >> b) & 1u);
+      if (++bits == 8) {
+        out.push_back(static_cast<std::uint8_t>(bitbuf & 0xFF));
+        bitbuf = 0;
+        bits = 0;
+      }
+    }
+  };
+  for (const auto& w : words) {
+    push_field(radio::encode_sample13(w.i), 13);
+    push_field(radio::encode_sample13(w.q), 13);
+  }
+  if (bits > 0) {
+    bitbuf <<= (8 - bits);
+    out.push_back(static_cast<std::uint8_t>(bitbuf & 0xFF));
+  }
+  return out;
+}
+
+std::vector<radio::IqWord> unpack_iq26(std::span<const std::uint8_t> bytes,
+                                       std::size_t count) {
+  if (bytes.size() * 8 < count * kBitsPerSample)
+    throw std::invalid_argument("unpack_iq26: buffer too small");
+  std::vector<radio::IqWord> out;
+  out.reserve(count);
+  std::size_t bitpos = 0;
+  auto read_field = [&](int width) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < width; ++b) {
+      std::size_t byte = bitpos / 8;
+      std::size_t bit = 7 - (bitpos % 8);
+      v = (v << 1) | ((bytes[byte] >> bit) & 1u);
+      ++bitpos;
+    }
+    return v;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    radio::IqWord w;
+    w.i = radio::decode_sample13(static_cast<std::uint16_t>(read_field(13)));
+    w.q = radio::decode_sample13(static_cast<std::uint16_t>(read_field(13)));
+    out.push_back(w);
+  }
+  return out;
+}
+
+void MicroSdCard::write_block(std::span<const std::uint8_t> block) {
+  if (block.size() > spec_.block_bytes)
+    throw std::invalid_argument("MicroSdCard: block too large");
+  if (data_.size() + spec_.block_bytes > spec_.capacity_bytes)
+    throw std::length_error("MicroSdCard: card full");
+  data_.insert(data_.end(), block.begin(), block.end());
+  data_.resize(((data_.size() + spec_.block_bytes - 1) / spec_.block_bytes) *
+               spec_.block_bytes,
+               0x00);
+}
+
+std::vector<std::uint8_t> MicroSdCard::read(std::size_t offset,
+                                            std::size_t length) const {
+  if (offset + length > data_.size())
+    throw std::out_of_range("MicroSdCard::read past end of written data");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(offset),
+          data_.begin() + static_cast<std::ptrdiff_t>(offset + length)};
+}
+
+SampleRecorder::SampleRecorder(MicroSdCard& card, Hertz sample_rate,
+                               std::size_t fifo_bytes)
+    : card_(&card), sample_rate_(sample_rate), fifo_(fifo_bytes) {}
+
+bool SampleRecorder::realtime_feasible() const {
+  return card_->spec().write_bps >=
+         recording_rate_bps(sample_rate_.value());
+}
+
+double SampleRecorder::stall_margin() const {
+  double stall_samples =
+      card_->spec().max_block_latency.value() * sample_rate_.value();
+  return static_cast<double>(fifo_.capacity()) / stall_samples;
+}
+
+std::size_t SampleRecorder::record(std::span<const radio::IqWord> words) {
+  std::size_t dropped = 0;
+  for (const auto& w : words) {
+    if (fifo_.full()) {
+      ++dropped;
+      fifo_.push(w);  // counts the overflow internally too
+      continue;
+    }
+    fifo_.push(w);
+  }
+  // Drain the FIFO into card blocks whenever a full block's worth of
+  // samples is available. 512 B * 8 / 26 bits = 157 samples per block.
+  const std::size_t samples_per_block =
+      card_->spec().block_bytes * 8 / kBitsPerSample;
+  while (fifo_.size() >= samples_per_block) {
+    staging_.clear();
+    for (std::size_t i = 0; i < samples_per_block; ++i)
+      staging_.push_back(fifo_.pop());
+    auto packed = pack_iq26(staging_);
+    card_->write_block(packed);
+    recorded_ += samples_per_block;
+  }
+  return dropped;
+}
+
+void SampleRecorder::flush() {
+  if (fifo_.empty()) return;
+  staging_.clear();
+  while (!fifo_.empty()) staging_.push_back(fifo_.pop());
+  auto packed = pack_iq26(staging_);
+  card_->write_block(packed);
+  recorded_ += staging_.size();
+}
+
+}  // namespace tinysdr::fpga

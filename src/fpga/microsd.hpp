@@ -1,0 +1,109 @@
+// microSD storage interface and real-time I/Q sample recorder
+// (paper §3.2.2).
+//
+// The FPGA reuses its SPI block for the microSD card: SPI mode is a 1-bit
+// serial interface but "supports the 104 Mbps data rate which we need to
+// write data in real time". That number is exactly the raw sample payload:
+// 4 Msps x 26 bits (13-bit I + 13-bit Q, packed without the LVDS framing
+// overhead) = 104 Mbps. The recorder models that packing, the card's
+// block-oriented writes, and the FIFO between radio and card that absorbs
+// write-latency jitter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fpga/fifo.hpp"
+#include "radio/lvds.hpp"
+
+namespace tinysdr::fpga {
+
+/// Pack I/Q words to the 26-bit recording format (13-bit I then 13-bit Q,
+/// MSB first, bit-contiguous across samples). Control bits are dropped —
+/// storage keeps samples, not framing.
+[[nodiscard]] std::vector<std::uint8_t> pack_iq26(
+    std::span<const radio::IqWord> words);
+
+/// Unpack the 26-bit format back to I/Q words. `count` samples are read;
+/// @throws std::invalid_argument if the buffer is too small.
+[[nodiscard]] std::vector<radio::IqWord> unpack_iq26(
+    std::span<const std::uint8_t> bytes, std::size_t count);
+
+/// Bits per stored sample and the required real-time write rate.
+inline constexpr std::size_t kBitsPerSample = 26;
+[[nodiscard]] constexpr double recording_rate_bps(double samples_per_second) {
+  return samples_per_second * static_cast<double>(kBitsPerSample);
+}
+
+/// microSD card in SPI mode.
+struct MicroSdSpec {
+  std::size_t capacity_bytes = 8ull * 1024 * 1024 * 1024 / 4;  // 2 GB card
+  std::size_t block_bytes = 512;
+  /// SPI-mode sustained throughput (paper: 104 Mbps).
+  double write_bps = 104e6;
+  /// Worst-case per-block write latency (card internal programming).
+  Seconds max_block_latency = Seconds::from_microseconds(250.0);
+};
+
+class MicroSdCard {
+ public:
+  explicit MicroSdCard(MicroSdSpec spec = {}) : spec_(spec) {}
+
+  [[nodiscard]] const MicroSdSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t bytes_written() const { return data_.size(); }
+
+  /// Append one block; partial blocks are zero-padded (as FAT writes are).
+  /// @throws std::length_error when the card is full.
+  void write_block(std::span<const std::uint8_t> block);
+
+  [[nodiscard]] std::vector<std::uint8_t> read(std::size_t offset,
+                                               std::size_t length) const;
+
+  /// Seconds of 4 MHz I/Q this card can hold.
+  [[nodiscard]] double capacity_seconds(double samples_per_second) const {
+    double bytes_per_second =
+        recording_rate_bps(samples_per_second) / 8.0;
+    return static_cast<double>(spec_.capacity_bytes) / bytes_per_second;
+  }
+
+ private:
+  MicroSdSpec spec_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Streams I/Q words through a FIFO to the card, checking the real-time
+/// budget: the card's sustained rate must exceed the recording rate, and
+/// the FIFO must ride out the worst-case block latency.
+class SampleRecorder {
+ public:
+  SampleRecorder(MicroSdCard& card, Hertz sample_rate,
+                 std::size_t fifo_bytes = 126 * 1024);
+
+  /// True if sustained card throughput covers the stream.
+  [[nodiscard]] bool realtime_feasible() const;
+
+  /// FIFO headroom (in samples) vs the samples arriving during one
+  /// worst-case block latency; > 1 means the FIFO absorbs the stall.
+  [[nodiscard]] double stall_margin() const;
+
+  /// Record a block of words (buffered through the FIFO, flushed in card
+  /// blocks). Returns samples dropped on FIFO overflow (0 in a correctly
+  /// sized design).
+  std::size_t record(std::span<const radio::IqWord> words);
+
+  /// Flush any buffered samples to the card (pads the final block).
+  void flush();
+
+  [[nodiscard]] std::size_t samples_recorded() const { return recorded_; }
+
+ private:
+  MicroSdCard* card_;
+  Hertz sample_rate_;
+  SampleFifo fifo_;
+  std::vector<radio::IqWord> staging_;
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace tinysdr::fpga

@@ -1,0 +1,177 @@
+#include "fpga/resources.hpp"
+
+namespace tinysdr::fpga {
+
+std::uint32_t block_luts(Block block) {
+  switch (block) {
+    case Block::kIqSerializer:
+      return 180;
+    case Block::kIqDeserializer:
+      return 220;
+    case Block::kFir14:
+      return 520;
+    case Block::kSampleBufferCtrl:
+      return 140;
+    case Block::kChirpGenerator:
+      return 566;
+    case Block::kComplexMultiplier:
+      return 180;
+    case Block::kSymbolDetector:
+      return 300;
+    case Block::kLoraPacketGen:
+      return 230;
+    case Block::kBlePacketGen:
+      return 150;
+    case Block::kGaussianFilter:
+      return 200;
+    case Block::kPhaseIntegrator:
+      return 90;
+    case Block::kSinCosLut:
+      return 100;
+    case Block::kSpiController:
+      return 160;
+  }
+  throw std::invalid_argument("block_luts: unknown block");
+}
+
+std::uint32_t fft_luts(int sf) {
+  // Calibrated so lora_rx_design(sf) totals equal Table 6 exactly.
+  switch (sf) {
+    case 6:
+      return 730;
+    case 7:
+      return 744;
+    case 8:
+      return 774;
+    case 9:
+      return 816;
+    case 10:
+      return 860;
+    case 11:
+      return 868;
+    case 12:
+      return 892;
+    default:
+      throw std::invalid_argument("fft_luts: sf must be in [6, 12]");
+  }
+}
+
+Design& Design::add(Block block, int count) {
+  if (count <= 0) throw std::invalid_argument("Design::add: count <= 0");
+  blocks_[block] += count;
+  return *this;
+}
+
+Design& Design::add_fft(int sf, int count) {
+  if (count <= 0) throw std::invalid_argument("Design::add_fft: count <= 0");
+  (void)fft_luts(sf);  // validate sf
+  ffts_[sf] += count;
+  return *this;
+}
+
+Design& Design::add_bram_bytes(std::uint32_t bytes) {
+  bram_bytes_ += bytes;
+  return *this;
+}
+
+std::uint32_t Design::total_luts() const {
+  std::uint32_t total = 0;
+  for (const auto& [block, count] : blocks_)
+    total += block_luts(block) * static_cast<std::uint32_t>(count);
+  for (const auto& [sf, count] : ffts_)
+    total += fft_luts(sf) * static_cast<std::uint32_t>(count);
+  return total;
+}
+
+namespace {
+std::string block_name(Block block) {
+  switch (block) {
+    case Block::kIqSerializer:
+      return "I/Q serializer";
+    case Block::kIqDeserializer:
+      return "I/Q deserializer";
+    case Block::kFir14:
+      return "14-tap FIR";
+    case Block::kSampleBufferCtrl:
+      return "sample buffer ctrl";
+    case Block::kChirpGenerator:
+      return "chirp generator";
+    case Block::kComplexMultiplier:
+      return "complex multiplier";
+    case Block::kSymbolDetector:
+      return "symbol detector";
+    case Block::kLoraPacketGen:
+      return "LoRa packet gen";
+    case Block::kBlePacketGen:
+      return "BLE packet gen";
+    case Block::kGaussianFilter:
+      return "Gaussian filter";
+    case Block::kPhaseIntegrator:
+      return "phase integrator";
+    case Block::kSinCosLut:
+      return "sin/cos LUT";
+    case Block::kSpiController:
+      return "SPI controller";
+  }
+  return "?";
+}
+}  // namespace
+
+std::vector<std::pair<std::string, std::uint32_t>> Design::breakdown() const {
+  std::vector<std::pair<std::string, std::uint32_t>> out;
+  for (const auto& [block, count] : blocks_)
+    out.emplace_back(block_name(block),
+                     block_luts(block) * static_cast<std::uint32_t>(count));
+  for (const auto& [sf, count] : ffts_)
+    out.emplace_back("FFT 2^" + std::to_string(sf),
+                     fft_luts(sf) * static_cast<std::uint32_t>(count));
+  return out;
+}
+
+Design lora_tx_design() {
+  Design d{"lora_tx"};
+  d.add(Block::kLoraPacketGen)
+      .add(Block::kChirpGenerator)
+      .add(Block::kIqSerializer);
+  return d;
+}
+
+Design lora_rx_design(int sf) {
+  Design d{"lora_rx_sf" + std::to_string(sf)};
+  d.add(Block::kIqDeserializer)
+      .add(Block::kFir14)
+      .add(Block::kSampleBufferCtrl)
+      .add(Block::kChirpGenerator)
+      .add(Block::kComplexMultiplier)
+      .add(Block::kSymbolDetector)
+      .add_fft(sf)
+      .add_bram_bytes((std::uint32_t{1} << sf) * 4 * 2);  // symbol buffer
+  return d;
+}
+
+Design ble_tx_design() {
+  Design d{"ble_tx"};
+  d.add(Block::kBlePacketGen)
+      .add(Block::kGaussianFilter)
+      .add(Block::kPhaseIntegrator)
+      .add(Block::kSinCosLut)
+      .add(Block::kIqSerializer);
+  return d;
+}
+
+Design concurrent_rx_design(const std::vector<int>& sfs) {
+  Design d{"concurrent_rx"};
+  d.add(Block::kIqDeserializer)
+      .add(Block::kFir14)
+      .add(Block::kSampleBufferCtrl)
+      .add(Block::kChirpGenerator);
+  for (int sf : sfs) {
+    d.add(Block::kComplexMultiplier)
+        .add(Block::kSymbolDetector)
+        .add_fft(sf)
+        .add_bram_bytes((std::uint32_t{1} << sf) * 4 * 2);
+  }
+  return d;
+}
+
+}  // namespace tinysdr::fpga

@@ -1,0 +1,100 @@
+// FPGA resource accounting for the Lattice LFE5U-25F.
+//
+// The paper reports LUT utilization for every PHY configuration (Table 6:
+// LoRa TX 976 LUTs flat across SF, RX 2656-2818 growing with the FFT size;
+// §4.2/§5.2: BLE beacon generation 3%; §6: dual-config concurrent demod
+// 17%). We reproduce those numbers with a block-level inventory: each
+// hardware block the paper's Fig. 6 diagrams name carries a LUT cost, and a
+// design is a composition of blocks. Costs are calibrated so the composed
+// totals match Table 6 — real numbers would come from Lattice synthesis,
+// which we cannot run here (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tinysdr::fpga {
+
+/// LFE5U-25F device limits.
+struct DeviceSpec {
+  std::string name = "LFE5U-25F";
+  std::uint32_t luts = 24000;
+  std::uint32_t bram_bytes = 126 * 1024;  ///< embedded SRAM usable as FIFO
+  std::uint32_t plls = 2;
+  std::uint32_t bitstream_bytes = 579 * 1024;
+};
+
+/// Named hardware blocks from the paper's block diagrams.
+enum class Block {
+  kIqSerializer,        // LVDS TX framer (Fig. 6a)
+  kIqDeserializer,      // LVDS RX framer (Fig. 6b)
+  kFir14,               // 14-tap FIR low-pass
+  kSampleBufferCtrl,    // FIFO/memory controller
+  kChirpGenerator,      // squared phase accumulator + sin/cos LUTs
+  kComplexMultiplier,   // dechirp multiply
+  kSymbolDetector,      // FFT peak scan
+  kLoraPacketGen,       // LoRa packet generator / framer
+  kBlePacketGen,        // BLE PDU + CRC24 + whitening
+  kGaussianFilter,      // GFSK pulse shaping
+  kPhaseIntegrator,     // frequency -> phase for GFSK
+  kSinCosLut,           // standalone phase-to-amplitude ROM
+  kSpiController,       // shared SPI block (microSD / flash)
+};
+
+/// LUT cost of a single block. FFT cost is separate (depends on SF).
+[[nodiscard]] std::uint32_t block_luts(Block block);
+
+/// LUT cost of the 2^sf-point FFT core (Lattice IP in the paper).
+/// @throws std::invalid_argument for sf outside [6, 12].
+[[nodiscard]] std::uint32_t fft_luts(int sf);
+
+/// A composed FPGA design: a set of blocks (+ FFTs) with utilization math.
+class Design {
+ public:
+  explicit Design(std::string name) : name_(std::move(name)) {}
+
+  Design& add(Block block, int count = 1);
+  Design& add_fft(int sf, int count = 1);
+  Design& add_bram_bytes(std::uint32_t bytes);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t total_luts() const;
+  [[nodiscard]] std::uint32_t bram_bytes() const { return bram_bytes_; }
+
+  [[nodiscard]] double utilization(const DeviceSpec& device) const {
+    return static_cast<double>(total_luts()) /
+           static_cast<double>(device.luts);
+  }
+  [[nodiscard]] bool fits(const DeviceSpec& device) const {
+    return total_luts() <= device.luts && bram_bytes_ <= device.bram_bytes;
+  }
+
+  /// Human-readable breakdown (block name -> LUTs) for reports.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint32_t>> breakdown()
+      const;
+
+ private:
+  std::string name_;
+  std::map<Block, int> blocks_;
+  std::map<int, int> ffts_;  // sf -> count
+  std::uint32_t bram_bytes_ = 0;
+};
+
+/// Factory: the LoRa modulator design (Fig. 6a). LUT count is SF-independent
+/// (Table 6: 976 for all SF).
+[[nodiscard]] Design lora_tx_design();
+
+/// Factory: the LoRa demodulator design (Fig. 6b) for a given SF.
+[[nodiscard]] Design lora_rx_design(int sf);
+
+/// Factory: BLE beacon baseband generator (§4.2).
+[[nodiscard]] Design ble_tx_design();
+
+/// Factory: concurrent demodulator with one dechirp+FFT branch per config,
+/// sharing the front-end deserializer/FIR/buffer/chirp blocks (§6).
+[[nodiscard]] Design concurrent_rx_design(const std::vector<int>& sfs);
+
+}  // namespace tinysdr::fpga

@@ -1,0 +1,46 @@
+// LoRa time-on-air calculator (Semtech AN1200.13 formula), used by the MAC
+// duty-cycle logic and the OTA programming-time model (§5.3).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "lora/params.hpp"
+
+namespace tinysdr::lora {
+
+/// Number of payload symbols (excluding preamble) for a PHY payload of
+/// `payload_bytes`, per the Semtech formula.
+[[nodiscard]] inline std::size_t payload_symbols(const LoraParams& p,
+                                                 std::size_t payload_bytes) {
+  const int sf = p.sf;
+  const int de = p.low_data_rate_optimize() ? 1 : 0;
+  const int ih = p.explicit_header ? 0 : 1;
+  const int crc = p.payload_crc ? 1 : 0;
+  const int cr = static_cast<int>(p.cr);
+  double num = 8.0 * static_cast<double>(payload_bytes) - 4.0 * sf + 28.0 +
+               16.0 * crc - 20.0 * ih;
+  double den = 4.0 * (sf - 2 * de);
+  double blocks = std::max(std::ceil(num / den), 0.0);
+  return static_cast<std::size_t>(8.0 + blocks * (cr + 4));
+}
+
+/// Full packet time on air: preamble (n + 4.25 symbols) + payload symbols.
+[[nodiscard]] inline Seconds time_on_air(const LoraParams& p,
+                                         std::size_t payload_bytes) {
+  double t_sym = p.symbol_time().value();
+  double preamble =
+      (static_cast<double>(p.preamble_symbols) + 4.25) * t_sym;
+  double payload =
+      static_cast<double>(payload_symbols(p, payload_bytes)) * t_sym;
+  return Seconds{preamble + payload};
+}
+
+/// Effective goodput (payload bits / time on air).
+[[nodiscard]] inline double goodput_bps(const LoraParams& p,
+                                        std::size_t payload_bytes) {
+  return 8.0 * static_cast<double>(payload_bytes) /
+         time_on_air(p, payload_bytes).value();
+}
+
+}  // namespace tinysdr::lora

@@ -1,0 +1,69 @@
+#include "lora/chirp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tinysdr::lora {
+
+ChirpGenerator::ChirpGenerator(LoraParams params, Hertz sample_rate)
+    : params_(params), sample_rate_(sample_rate) {
+  params_.validate();
+  double ratio = sample_rate.value() / params_.bandwidth.value();
+  auto os = static_cast<std::uint32_t>(std::lround(ratio));
+  if (os < 1 || std::abs(ratio - static_cast<double>(os)) > 1e-6)
+    throw std::invalid_argument(
+        "ChirpGenerator: sample rate must be an integer multiple of BW");
+  oversampling_ = os;
+}
+
+dsp::Samples ChirpGenerator::generate(std::uint32_t value,
+                                      ChirpDirection direction,
+                                      std::uint32_t sample_count) const {
+  const auto n_chips = static_cast<double>(params_.chips());
+  if (value >= params_.chips())
+    throw std::invalid_argument("ChirpGenerator: symbol value out of range");
+  const double os = static_cast<double>(oversampling_);
+
+  // Frequency accumulator (cycles/sample) and its per-sample increment:
+  // the "squared phase accumulator" — frequency integrates linearly, phase
+  // integrates frequency. The cyclic wrap keeps the instantaneous frequency
+  // inside the +-BW/2 band.
+  const double f_span = 1.0 / os;               // BW in cycles/sample
+  const double df = f_span / (n_chips * os);    // slope per sample
+  double freq =
+      (static_cast<double>(value) / n_chips - 0.5) * f_span;
+  double phase = 0.0;
+
+  dsp::Samples out;
+  out.reserve(sample_count);
+  const auto& lut = dsp::SinCosLut::instance();
+  for (std::uint32_t i = 0; i < sample_count; ++i) {
+    // Quantize phase to the 32-bit circle and look up I/Q, exactly like the
+    // hardware phase-to-amplitude path.
+    double wrapped = phase - std::floor(phase);
+    auto phase_word = static_cast<std::uint32_t>(wrapped * 4294967296.0);
+    dsp::Complex s = lut.lookup(phase_word);
+    out.push_back(direction == ChirpDirection::kUp ? s : std::conj(s));
+
+    phase += freq;
+    freq += df;
+    if (freq >= f_span / 2.0) freq -= f_span;  // band-edge wrap
+  }
+  return out;
+}
+
+dsp::Samples ChirpGenerator::symbol(std::uint32_t value,
+                                    ChirpDirection direction) const {
+  return generate(value, direction, samples_per_symbol());
+}
+
+dsp::Samples ChirpGenerator::partial_symbol(double fraction,
+                                            ChirpDirection direction) const {
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("partial_symbol: fraction out of (0, 1]");
+  auto count = static_cast<std::uint32_t>(
+      std::lround(fraction * static_cast<double>(samples_per_symbol())));
+  return generate(0, direction, count);
+}
+
+}  // namespace tinysdr::lora

@@ -1,0 +1,67 @@
+// Chirp generation — the heart of the LoRa PHY (paper Fig. 6a).
+//
+// The FPGA implementation builds each symbol with "a squared phase
+// accumulator and two lookup tables for Sin and Cos"; we mirror that: the
+// per-sample phase is accumulated in 32-bit fixed point (a first
+// accumulator integrates the frequency ramp, a second integrates phase),
+// and the shared SinCosLut converts phase to I/Q. The cyclic shift encoding
+// the symbol value appears as the initial frequency offset, which wraps
+// naturally in modular fixed-point arithmetic exactly as in hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/nco.hpp"
+#include "dsp/types.hpp"
+#include "lora/params.hpp"
+
+namespace tinysdr::lora {
+
+enum class ChirpDirection { kUp, kDown };
+
+/// Generates chirp symbols for one LoRa configuration at a configurable
+/// sample rate (an integer multiple of the bandwidth).
+class ChirpGenerator {
+ public:
+  /// @param params       SF/BW configuration
+  /// @param sample_rate  output rate; must be an integer multiple of BW
+  ChirpGenerator(LoraParams params, Hertz sample_rate);
+
+  [[nodiscard]] const LoraParams& params() const { return params_; }
+  [[nodiscard]] Hertz sample_rate() const { return sample_rate_; }
+  [[nodiscard]] std::uint32_t oversampling() const { return oversampling_; }
+  /// Samples per full symbol at the configured rate.
+  [[nodiscard]] std::uint32_t samples_per_symbol() const {
+    return params_.chips() * oversampling_;
+  }
+
+  /// Generate one chirp symbol.
+  /// @param value      cyclic shift in [0, 2^SF)
+  /// @param direction  up (data/preamble) or down (SFD)
+  [[nodiscard]] dsp::Samples symbol(std::uint32_t value,
+                                    ChirpDirection direction) const;
+
+  /// Generate a fraction of a symbol (the SFD is 2.25 downchirps).
+  [[nodiscard]] dsp::Samples partial_symbol(double fraction,
+                                            ChirpDirection direction) const;
+
+  /// The base (value 0) upchirp/downchirp used by the demodulator's
+  /// dechirp stage; conjugate-of-upchirp == downchirp.
+  [[nodiscard]] dsp::Samples base_upchirp() const {
+    return symbol(0, ChirpDirection::kUp);
+  }
+  [[nodiscard]] dsp::Samples base_downchirp() const {
+    return symbol(0, ChirpDirection::kDown);
+  }
+
+ private:
+  [[nodiscard]] dsp::Samples generate(std::uint32_t value,
+                                      ChirpDirection direction,
+                                      std::uint32_t sample_count) const;
+
+  LoraParams params_;
+  Hertz sample_rate_;
+  std::uint32_t oversampling_;
+};
+
+}  // namespace tinysdr::lora

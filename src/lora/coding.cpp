@@ -1,0 +1,205 @@
+#include "lora/coding.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::lora {
+
+std::vector<std::uint8_t> whiten(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size());
+  std::uint16_t lfsr = 0x1FF;
+  for (std::uint8_t byte : data) {
+    std::uint8_t mask = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      mask |= static_cast<std::uint8_t>((lfsr & 1u) << bit);
+      // x^9 + x^5 + 1: feedback from taps 0 and 4 (0-indexed), shift right.
+      std::uint16_t fb = ((lfsr >> 0) ^ (lfsr >> 4)) & 1u;
+      lfsr = static_cast<std::uint16_t>((lfsr >> 1) | (fb << 8));
+    }
+    out.push_back(byte ^ mask);
+  }
+  return out;
+}
+
+namespace {
+
+/// Hamming(7,4) parity bits for data bits d0..d3 (d0 = LSB).
+/// p0 = d0^d1^d3, p1 = d0^d2^d3, p2 = d1^d2^d3.
+struct HammingParity {
+  std::uint8_t p0, p1, p2;
+};
+
+HammingParity parity_of(std::uint8_t nibble) {
+  std::uint8_t d0 = nibble & 1u, d1 = (nibble >> 1) & 1u,
+               d2 = (nibble >> 2) & 1u, d3 = (nibble >> 3) & 1u;
+  return HammingParity{static_cast<std::uint8_t>(d0 ^ d1 ^ d3),
+                       static_cast<std::uint8_t>(d0 ^ d2 ^ d3),
+                       static_cast<std::uint8_t>(d1 ^ d2 ^ d3)};
+}
+
+std::uint8_t popcount4(std::uint8_t v) {
+  return static_cast<std::uint8_t>(__builtin_popcount(v & 0xFu));
+}
+
+}  // namespace
+
+std::uint8_t hamming_encode(std::uint8_t nibble, CodingRate cr) {
+  if (nibble > 0xF) throw std::invalid_argument("hamming_encode: not a nibble");
+  auto [p0, p1, p2] = parity_of(nibble);
+  switch (cr) {
+    case CodingRate::kCr45: {
+      // nibble + overall parity.
+      std::uint8_t p = popcount4(nibble) & 1u;
+      return static_cast<std::uint8_t>(nibble | (p << 4));
+    }
+    case CodingRate::kCr46: {
+      // nibble + two checksum bits (detection only).
+      return static_cast<std::uint8_t>(nibble | (p0 << 4) | (p1 << 5));
+    }
+    case CodingRate::kCr47: {
+      // Hamming(7,4): single error correction.
+      return static_cast<std::uint8_t>(nibble | (p0 << 4) | (p1 << 5) |
+                                       (p2 << 6));
+    }
+    case CodingRate::kCr48: {
+      // Hamming(7,4) + overall parity: SEC-DED.
+      std::uint8_t cw = static_cast<std::uint8_t>(nibble | (p0 << 4) |
+                                                  (p1 << 5) | (p2 << 6));
+      std::uint8_t p =
+          static_cast<std::uint8_t>(__builtin_popcount(cw) & 1);
+      return static_cast<std::uint8_t>(cw | (p << 7));
+    }
+  }
+  throw std::invalid_argument("hamming_encode: bad coding rate");
+}
+
+std::uint8_t hamming_decode(std::uint8_t codeword, CodingRate cr,
+                            bool* error_detected) {
+  bool detected = false;
+  std::uint8_t nibble = codeword & 0xFu;
+
+  auto correct_h74 = [&](std::uint8_t cw) -> std::uint8_t {
+    std::uint8_t data = cw & 0xFu;
+    auto [p0, p1, p2] = parity_of(data);
+    std::uint8_t s0 = static_cast<std::uint8_t>(((cw >> 4) & 1u) ^ p0);
+    std::uint8_t s1 = static_cast<std::uint8_t>(((cw >> 5) & 1u) ^ p1);
+    std::uint8_t s2 = static_cast<std::uint8_t>(((cw >> 6) & 1u) ^ p2);
+    std::uint8_t syndrome =
+        static_cast<std::uint8_t>(s0 | (s1 << 1) | (s2 << 2));
+    if (syndrome == 0) return data;
+    detected = true;
+    // Syndrome -> flipped bit position. Data bits participate as:
+    // d0 in p0,p1 (syn 3); d1 in p0,p2 (syn 5); d2 in p1,p2 (syn 6);
+    // d3 in all (syn 7). Single parity-bit errors: syn 1, 2, 4.
+    switch (syndrome) {
+      case 3:
+        return static_cast<std::uint8_t>(data ^ 0x1);
+      case 5:
+        return static_cast<std::uint8_t>(data ^ 0x2);
+      case 6:
+        return static_cast<std::uint8_t>(data ^ 0x4);
+      case 7:
+        return static_cast<std::uint8_t>(data ^ 0x8);
+      default:
+        return data;  // parity bit itself was hit; data intact
+    }
+  };
+
+  switch (cr) {
+    case CodingRate::kCr45: {
+      std::uint8_t expect = popcount4(nibble) & 1u;
+      if (((codeword >> 4) & 1u) != expect) detected = true;
+      break;
+    }
+    case CodingRate::kCr46: {
+      auto [p0, p1, p2] = parity_of(nibble);
+      (void)p2;
+      if ((((codeword >> 4) & 1u) != p0) || (((codeword >> 5) & 1u) != p1))
+        detected = true;
+      break;
+    }
+    case CodingRate::kCr47:
+      nibble = correct_h74(codeword);
+      break;
+    case CodingRate::kCr48: {
+      std::uint8_t body = codeword & 0x7Fu;
+      std::uint8_t p = static_cast<std::uint8_t>((codeword >> 7) & 1u);
+      std::uint8_t actual =
+          static_cast<std::uint8_t>(__builtin_popcount(body) & 1);
+      nibble = correct_h74(body);
+      if (p != actual && !detected) detected = true;
+      break;
+    }
+  }
+  if (error_detected) *error_detected = detected;
+  return nibble;
+}
+
+std::vector<std::uint32_t> interleave(std::span<const std::uint8_t> codewords,
+                                      int rows, CodingRate cr) {
+  const int cols = 4 + static_cast<int>(cr);
+  if (rows <= 0) throw std::invalid_argument("interleave: rows <= 0");
+  if (codewords.size() != static_cast<std::size_t>(rows))
+    throw std::invalid_argument("interleave: need exactly `rows` codewords");
+
+  // Symbol j collects bit j of every codeword, with the LoRa diagonal
+  // rotation: bit from codeword (i + j) mod rows lands in bit i.
+  std::vector<std::uint32_t> symbols(static_cast<std::size_t>(cols), 0);
+  for (int j = 0; j < cols; ++j) {
+    std::uint32_t sym = 0;
+    for (int i = 0; i < rows; ++i) {
+      int src = (i + j) % rows;
+      std::uint32_t bit =
+          (codewords[static_cast<std::size_t>(src)] >> j) & 1u;
+      sym |= bit << i;
+    }
+    symbols[static_cast<std::size_t>(j)] = sym;
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> deinterleave(std::span<const std::uint32_t> symbols,
+                                       int rows, CodingRate cr) {
+  const int cols = 4 + static_cast<int>(cr);
+  if (symbols.size() != static_cast<std::size_t>(cols))
+    throw std::invalid_argument("deinterleave: need exactly 4+CR symbols");
+
+  std::vector<std::uint8_t> codewords(static_cast<std::size_t>(rows), 0);
+  for (int j = 0; j < cols; ++j) {
+    std::uint32_t sym = symbols[static_cast<std::size_t>(j)];
+    for (int i = 0; i < rows; ++i) {
+      int dst = (i + j) % rows;
+      std::uint8_t bit = static_cast<std::uint8_t>((sym >> i) & 1u);
+      codewords[static_cast<std::size_t>(dst)] |=
+          static_cast<std::uint8_t>(bit << j);
+    }
+  }
+  return codewords;
+}
+
+std::vector<std::uint8_t> bytes_to_nibbles(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(b & 0xFu);
+    out.push_back((b >> 4) & 0xFu);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> nibbles_to_bytes(
+    std::span<const std::uint8_t> nibbles) {
+  std::vector<std::uint8_t> out;
+  out.reserve((nibbles.size() + 1) / 2);
+  for (std::size_t i = 0; i < nibbles.size(); i += 2) {
+    std::uint8_t lo = nibbles[i] & 0xFu;
+    std::uint8_t hi = (i + 1 < nibbles.size())
+                          ? static_cast<std::uint8_t>(nibbles[i + 1] & 0xFu)
+                          : std::uint8_t{0};
+    out.push_back(static_cast<std::uint8_t>(lo | (hi << 4)));
+  }
+  return out;
+}
+
+}  // namespace tinysdr::lora

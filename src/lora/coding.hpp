@@ -1,0 +1,70 @@
+// LoRa bit-level encoding chain: whitening, Hamming FEC, diagonal
+// interleaving and Gray mapping.
+//
+// LoRa is proprietary; this chain follows the structure established by the
+// reverse-engineering literature the paper builds on [43, 46, 67]:
+//   payload bytes -> whitening -> nibbles -> Hamming 4/(4+CR) codewords
+//   -> diagonal interleaver (SF codewords -> 4+CR symbols) -> Gray mapping
+//   -> chirp cyclic shifts.
+// Gray mapping ensures that the dominant demodulation error (+-1 FFT bin)
+// corrupts a single code bit, which the Hamming layer can then correct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lora/params.hpp"
+
+namespace tinysdr::lora {
+
+// ---------------------------------------------------------------- whitening
+
+/// PN9 whitening sequence (x^9 + x^5 + 1, seed 0x1FF). XOR-based and thus
+/// self-inverse: apply twice to get the original back.
+[[nodiscard]] std::vector<std::uint8_t> whiten(
+    std::span<const std::uint8_t> data);
+
+// ------------------------------------------------------------------ hamming
+
+/// Encode a nibble (4 bits) into a (4+cr)-bit codeword.
+[[nodiscard]] std::uint8_t hamming_encode(std::uint8_t nibble, CodingRate cr);
+
+/// Decode a codeword back to a nibble.
+/// CR 4/7 and 4/8 correct single-bit errors; 4/5 and 4/6 only detect.
+/// @param[out] error_detected  set when an uncorrectable anomaly is seen
+[[nodiscard]] std::uint8_t hamming_decode(std::uint8_t codeword, CodingRate cr,
+                                          bool* error_detected = nullptr);
+
+// --------------------------------------------------------------- interleave
+
+/// Diagonal interleaver: `rows` codewords of `4+cr` bits each become
+/// (4+cr) symbols of `rows` bits each, with the LoRa diagonal shift.
+/// `rows` is SF, or SF-2 in reduced-rate (header / LDRO) blocks.
+[[nodiscard]] std::vector<std::uint32_t> interleave(
+    std::span<const std::uint8_t> codewords, int rows, CodingRate cr);
+
+/// Inverse of interleave().
+[[nodiscard]] std::vector<std::uint8_t> deinterleave(
+    std::span<const std::uint32_t> symbols, int rows, CodingRate cr);
+
+// --------------------------------------------------------------------- gray
+
+[[nodiscard]] constexpr std::uint32_t gray_encode(std::uint32_t v) {
+  return v ^ (v >> 1);
+}
+[[nodiscard]] constexpr std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t v = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+// ------------------------------------------------------------------ nibbles
+
+[[nodiscard]] std::vector<std::uint8_t> bytes_to_nibbles(
+    std::span<const std::uint8_t> bytes);
+/// Pads with a zero nibble if the count is odd.
+[[nodiscard]] std::vector<std::uint8_t> nibbles_to_bytes(
+    std::span<const std::uint8_t> nibbles);
+
+}  // namespace tinysdr::lora

@@ -1,0 +1,57 @@
+#include "lora/modulator.hpp"
+
+namespace tinysdr::lora {
+
+Modulator::Modulator(LoraParams params, Hertz sample_rate)
+    : codec_(params), chirps_(params, sample_rate) {}
+
+dsp::Samples Modulator::preamble_waveform() const {
+  dsp::Samples out;
+  const auto& p = codec_.params();
+  out.reserve(static_cast<std::size_t>(
+      (p.preamble_symbols + 2) * chirps_.samples_per_symbol() +
+      chirps_.samples_per_symbol() * 9 / 4));
+
+  for (int i = 0; i < p.preamble_symbols; ++i) {
+    auto sym = chirps_.symbol(0, ChirpDirection::kUp);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  for (std::uint32_t sync : {kSyncSymbol1, kSyncSymbol2}) {
+    auto sym = chirps_.symbol(sync & (p.chips() - 1), ChirpDirection::kUp);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  // SFD: 2.25 downchirps.
+  for (int i = 0; i < 2; ++i) {
+    auto sym = chirps_.symbol(0, ChirpDirection::kDown);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  auto quarter = chirps_.partial_symbol(0.25, ChirpDirection::kDown);
+  out.insert(out.end(), quarter.begin(), quarter.end());
+  return out;
+}
+
+dsp::Samples Modulator::modulate_symbols(
+    std::span<const std::uint32_t> symbols) const {
+  dsp::Samples out = preamble_waveform();
+  out.reserve(out.size() + symbols.size() * chirps_.samples_per_symbol());
+  for (std::uint32_t s : symbols) {
+    auto sym = chirps_.symbol(s, ChirpDirection::kUp);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+dsp::Samples Modulator::modulate(std::span<const std::uint8_t> payload) const {
+  EncodedPacket encoded = codec_.encode(payload);
+  return modulate_symbols(encoded.symbols);
+}
+
+std::size_t Modulator::packet_samples(std::size_t payload_bytes) const {
+  const auto& p = codec_.params();
+  std::size_t preamble_syms = static_cast<std::size_t>(p.preamble_symbols) + 2;
+  std::size_t sps = chirps_.samples_per_symbol();
+  std::size_t sfd = sps * 9 / 4;
+  return preamble_syms * sps + sfd + codec_.symbol_count(payload_bytes) * sps;
+}
+
+}  // namespace tinysdr::lora

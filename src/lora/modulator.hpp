@@ -1,0 +1,40 @@
+// LoRa modulator (paper Fig. 6a): Packet Generator -> Chirp Generator ->
+// I/Q stream. Produces the complete packet waveform: preamble upchirps,
+// sync word, 2.25-downchirp SFD, then payload chirps from the PacketCodec.
+#pragma once
+
+#include <span>
+
+#include "dsp/types.hpp"
+#include "lora/chirp.hpp"
+#include "lora/packet.hpp"
+
+namespace tinysdr::lora {
+
+class Modulator {
+ public:
+  Modulator(LoraParams params, Hertz sample_rate);
+
+  [[nodiscard]] const LoraParams& params() const { return codec_.params(); }
+  [[nodiscard]] const ChirpGenerator& chirps() const { return chirps_; }
+
+  /// Full packet waveform for a payload.
+  [[nodiscard]] dsp::Samples modulate(std::span<const std::uint8_t> payload) const;
+
+  /// Waveform for raw symbol values (no header/FEC) with the standard
+  /// preamble/sync/SFD — used by the symbol-error-rate evaluations.
+  [[nodiscard]] dsp::Samples modulate_symbols(
+      std::span<const std::uint32_t> symbols) const;
+
+  /// Just the preamble + sync + SFD section.
+  [[nodiscard]] dsp::Samples preamble_waveform() const;
+
+  /// Samples in a full packet for a payload size.
+  [[nodiscard]] std::size_t packet_samples(std::size_t payload_bytes) const;
+
+ private:
+  PacketCodec codec_;
+  ChirpGenerator chirps_;
+};
+
+}  // namespace tinysdr::lora

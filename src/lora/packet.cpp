@@ -1,0 +1,217 @@
+#include "lora/packet.hpp"
+
+#include <stdexcept>
+
+#include "common/crc.hpp"
+
+namespace tinysdr::lora {
+
+namespace {
+
+constexpr std::size_t kHeaderNibbles = 5;
+
+/// Header layout: [len_hi, len_lo, flags(cr-1 in bits 1..2, crc in bit 0),
+/// check_hi, check_lo] where check is an 8-bit XOR/rotate checksum over the
+/// first three nibbles.
+std::uint8_t header_checksum(std::uint8_t n0, std::uint8_t n1,
+                             std::uint8_t n2) {
+  std::uint8_t c = static_cast<std::uint8_t>((n0 << 4) | n1);
+  c = static_cast<std::uint8_t>(c ^ (n2 * 0x13));
+  c = static_cast<std::uint8_t>((c << 1) | (c >> 7));
+  return c;
+}
+
+}  // namespace
+
+PacketCodec::PacketCodec(LoraParams params) : params_(params) {
+  params_.validate();
+  if (params_.sf == 6 && params_.explicit_header)
+    throw std::invalid_argument(
+        "PacketCodec: SF6 supports implicit header only");
+}
+
+PacketCodec::BlockPlan PacketCodec::plan() const {
+  BlockPlan p;
+  p.header_rows = params_.sf - 2;
+  p.payload_rows =
+      params_.low_data_rate_optimize() ? params_.sf - 2 : params_.sf;
+  return p;
+}
+
+std::uint32_t PacketCodec::to_shift(std::uint32_t interleaved,
+                                    int rows) const {
+  std::uint32_t value = gray_decode(interleaved);
+  int shift_up = params_.sf - rows;
+  return (value << shift_up) & (params_.chips() - 1);
+}
+
+std::uint32_t PacketCodec::from_shift(std::uint32_t shift, int rows) const {
+  int shift_up = params_.sf - rows;
+  // Round to the nearest reduced-rate grid point: +-1 bin errors at full
+  // rate fall back onto the same reduced symbol, which is the robustness
+  // LoRa's header/LDRO mode buys.
+  std::uint32_t grid = std::uint32_t{1} << shift_up;
+  std::uint32_t value =
+      ((shift + grid / 2) & (params_.chips() - 1)) >> shift_up;
+  value &= (std::uint32_t{1} << rows) - 1;
+  return gray_encode(value);
+}
+
+std::size_t PacketCodec::symbol_count(std::size_t payload_bytes) const {
+  std::size_t total_bytes = payload_bytes + (params_.payload_crc ? 2 : 0);
+  std::size_t nibbles = total_bytes * 2;
+  BlockPlan p = plan();
+
+  std::size_t header_capacity =
+      static_cast<std::size_t>(p.header_rows) -
+      (params_.explicit_header ? kHeaderNibbles : 0);
+  std::size_t symbols = 8;  // block 0 is always CR4/8 -> 8 symbols
+  std::size_t remaining =
+      nibbles > header_capacity ? nibbles - header_capacity : 0;
+  std::size_t per_block = static_cast<std::size_t>(p.payload_rows);
+  std::size_t blocks = (remaining + per_block - 1) / per_block;
+  symbols += blocks * (4 + static_cast<std::size_t>(params_.cr));
+  return symbols;
+}
+
+EncodedPacket PacketCodec::encode(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() > kMaxPayload)
+    throw std::invalid_argument("PacketCodec: payload exceeds 255 bytes");
+
+  BlockPlan p = plan();
+
+  // Whitened payload, then CRC16 over the *original* payload appended.
+  std::vector<std::uint8_t> body = whiten(payload);
+  if (params_.payload_crc) {
+    std::uint16_t crc = crc16_ccitt(payload);
+    body.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+    body.push_back(static_cast<std::uint8_t>(crc >> 8));
+  }
+  std::vector<std::uint8_t> nibbles = bytes_to_nibbles(body);
+
+  // Nibble stream with header prefix.
+  std::vector<std::uint8_t> stream;
+  if (params_.explicit_header) {
+    auto len = static_cast<std::uint8_t>(payload.size());
+    std::uint8_t n0 = static_cast<std::uint8_t>(len >> 4);
+    std::uint8_t n1 = static_cast<std::uint8_t>(len & 0xF);
+    std::uint8_t flags = static_cast<std::uint8_t>(
+        ((static_cast<int>(params_.cr) - 1) << 1) |
+        (params_.payload_crc ? 1 : 0));
+    std::uint8_t check = header_checksum(n0, n1, flags);
+    stream.insert(stream.end(), {n0, n1, flags,
+                                 static_cast<std::uint8_t>(check >> 4),
+                                 static_cast<std::uint8_t>(check & 0xF)});
+  }
+  stream.insert(stream.end(), nibbles.begin(), nibbles.end());
+
+  EncodedPacket out;
+  out.params = params_;
+
+  // Block 0: header_rows nibbles at CR4/8.
+  std::size_t pos = 0;
+  {
+    std::vector<std::uint8_t> cws;
+    for (int i = 0; i < p.header_rows; ++i) {
+      std::uint8_t nib = pos < stream.size() ? stream[pos++] : 0;
+      cws.push_back(hamming_encode(nib, CodingRate::kCr48));
+    }
+    auto syms = interleave(cws, p.header_rows, CodingRate::kCr48);
+    for (std::uint32_t s : syms)
+      out.symbols.push_back(to_shift(s, p.header_rows));
+  }
+
+  // Payload blocks.
+  while (pos < stream.size()) {
+    std::vector<std::uint8_t> cws;
+    for (int i = 0; i < p.payload_rows; ++i) {
+      std::uint8_t nib = pos < stream.size() ? stream[pos++] : 0;
+      cws.push_back(hamming_encode(nib, params_.cr));
+    }
+    auto syms = interleave(cws, p.payload_rows, params_.cr);
+    for (std::uint32_t s : syms)
+      out.symbols.push_back(to_shift(s, p.payload_rows));
+  }
+  return out;
+}
+
+DecodedPacket PacketCodec::decode(
+    std::span<const std::uint32_t> symbols,
+    std::optional<std::size_t> implicit_length) const {
+  DecodedPacket out;
+  BlockPlan p = plan();
+  const std::size_t block0_syms = 8;
+  if (symbols.size() < block0_syms) return out;
+
+  // Block 0.
+  std::vector<std::uint32_t> b0;
+  for (std::size_t i = 0; i < block0_syms; ++i)
+    b0.push_back(from_shift(symbols[i], p.header_rows));
+  auto cws0 = deinterleave(b0, p.header_rows, CodingRate::kCr48);
+  std::vector<std::uint8_t> stream;
+  for (std::uint8_t cw : cws0)
+    stream.push_back(hamming_decode(cw, CodingRate::kCr48));
+
+  std::size_t payload_len;
+  CodingRate cr = params_.cr;
+  bool has_crc = params_.payload_crc;
+  std::size_t header_nibbles = 0;
+  if (params_.explicit_header) {
+    if (stream.size() < kHeaderNibbles) return out;
+    std::uint8_t n0 = stream[0], n1 = stream[1], flags = stream[2];
+    std::uint8_t check =
+        static_cast<std::uint8_t>((stream[3] << 4) | stream[4]);
+    if (header_checksum(n0, n1, flags) != check) return out;
+    payload_len = static_cast<std::size_t>((n0 << 4) | n1);
+    int cr_raw = ((flags >> 1) & 0x3) + 1;
+    cr = static_cast<CodingRate>(cr_raw);
+    has_crc = flags & 1u;
+    header_nibbles = kHeaderNibbles;
+    out.header_valid = true;
+  } else {
+    if (!implicit_length)
+      throw std::invalid_argument(
+          "PacketCodec::decode: implicit header needs a length");
+    payload_len = *implicit_length;
+    out.header_valid = true;
+  }
+  out.cr = cr;
+  out.crc_present = has_crc;
+
+  std::size_t total_bytes = payload_len + (has_crc ? 2 : 0);
+  std::size_t need_nibbles = total_bytes * 2 + header_nibbles;
+
+  // Payload blocks.
+  std::size_t pos = block0_syms;
+  const std::size_t cols = 4 + static_cast<std::size_t>(cr);
+  while (stream.size() < need_nibbles && pos + cols <= symbols.size()) {
+    std::vector<std::uint32_t> blk;
+    for (std::size_t j = 0; j < cols; ++j)
+      blk.push_back(from_shift(symbols[pos + j], p.payload_rows));
+    pos += cols;
+    auto cws = deinterleave(blk, p.payload_rows, cr);
+    for (std::uint8_t cw : cws) stream.push_back(hamming_decode(cw, cr));
+  }
+  if (stream.size() < need_nibbles) return out;  // truncated
+
+  std::vector<std::uint8_t> body_nibbles(
+      stream.begin() + static_cast<std::ptrdiff_t>(header_nibbles),
+      stream.begin() + static_cast<std::ptrdiff_t>(need_nibbles));
+  std::vector<std::uint8_t> body = nibbles_to_bytes(body_nibbles);
+
+  std::vector<std::uint8_t> whitened(
+      body.begin(), body.begin() + static_cast<std::ptrdiff_t>(payload_len));
+  out.payload = whiten(whitened);  // self-inverse
+
+  if (has_crc) {
+    std::uint16_t rx_crc = static_cast<std::uint16_t>(
+        body[payload_len] | (body[payload_len + 1] << 8));
+    out.crc_valid = (crc16_ccitt(out.payload) == rx_crc);
+  } else {
+    out.crc_valid = true;
+  }
+  return out;
+}
+
+}  // namespace tinysdr::lora

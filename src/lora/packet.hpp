@@ -1,0 +1,82 @@
+// LoRa packet codec: payload bytes <-> chirp symbol values.
+//
+// Packet structure (paper Fig. 5): preamble of zero-shift upchirps, a
+// two-upchirp sync word, 2.25 downchirp SFD, then the payload symbols
+// carrying header + payload + CRC through the coding chain (coding.hpp).
+//
+// Like real LoRa, the first interleaving block is sent at reduced rate
+// (SF-2 bits per symbol, coding rate 4/8) and carries the explicit header;
+// later blocks use the configured coding rate, with SF-2 rows again when
+// low-data-rate optimisation is active. SF6 supports implicit header only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lora/coding.hpp"
+#include "lora/params.hpp"
+
+namespace tinysdr::lora {
+
+/// Result of symbol-level encoding: the cyclic shifts to modulate.
+struct EncodedPacket {
+  std::vector<std::uint32_t> symbols;  ///< payload-section chirp shifts
+  LoraParams params;
+};
+
+/// Outcome of decoding a symbol stream.
+struct DecodedPacket {
+  std::vector<std::uint8_t> payload;
+  bool header_valid = false;
+  bool crc_valid = false;
+  bool crc_present = false;
+  CodingRate cr = CodingRate::kCr45;
+};
+
+/// Maximum payload the codec accepts (LoRa caps PHY payloads at 255 B).
+inline constexpr std::size_t kMaxPayload = 255;
+
+class PacketCodec {
+ public:
+  explicit PacketCodec(LoraParams params);
+
+  [[nodiscard]] const LoraParams& params() const { return params_; }
+
+  /// Encode payload bytes into chirp symbol values (payload section only;
+  /// preamble/sync/SFD are waveform-level, added by the modulator).
+  /// @throws std::invalid_argument for oversize payloads or SF6+explicit.
+  [[nodiscard]] EncodedPacket encode(std::span<const std::uint8_t> payload) const;
+
+  /// Decode chirp symbol values back to a payload.
+  /// For implicit-header mode the expected payload length and CR must be
+  /// pre-set in params (LoRa semantics).
+  [[nodiscard]] DecodedPacket decode(std::span<const std::uint32_t> symbols,
+                                     std::optional<std::size_t> implicit_length =
+                                         std::nullopt) const;
+
+  /// Number of payload-section symbols for a given payload size.
+  [[nodiscard]] std::size_t symbol_count(std::size_t payload_bytes) const;
+
+ private:
+  struct BlockPlan {
+    int header_rows;     ///< rows in block 0 (SF-2)
+    int payload_rows;    ///< rows in later blocks (SF or SF-2 under LDRO)
+  };
+  [[nodiscard]] BlockPlan plan() const;
+
+  /// Map an interleaved symbol (rows bits) to an on-air chirp shift.
+  [[nodiscard]] std::uint32_t to_shift(std::uint32_t interleaved,
+                                       int rows) const;
+  /// Inverse mapping.
+  [[nodiscard]] std::uint32_t from_shift(std::uint32_t shift, int rows) const;
+
+  LoraParams params_;
+};
+
+/// Sync word symbol values used in the preamble (public network default).
+inline constexpr std::uint32_t kSyncSymbol1 = 0x8;
+inline constexpr std::uint32_t kSyncSymbol2 = 0x10;
+
+}  // namespace tinysdr::lora

@@ -1,0 +1,37 @@
+#include "lora/params.hpp"
+
+#include <cmath>
+
+namespace tinysdr::lora {
+
+double snr_limit_db(int sf) {
+  // SX1276 datasheet, Table 13 "Spreading Factor" SNR limits.
+  switch (sf) {
+    case 6:
+      return -5.0;
+    case 7:
+      return -7.5;
+    case 8:
+      return -10.0;
+    case 9:
+      return -12.5;
+    case 10:
+      return -15.0;
+    case 11:
+      return -17.5;
+    case 12:
+      return -20.0;
+    default:
+      throw std::invalid_argument("snr_limit_db: sf out of range");
+  }
+}
+
+Dbm sx1276_sensitivity(int sf, Hertz bandwidth) {
+  // S = -174 + 10 log10(BW) + NF + SNR_limit with NF = 7 dB, which
+  // reproduces the datasheet sensitivities the paper quotes
+  // (SF8/BW125: -126 dBm, SF12/BW125: -136 dBm, SF7/BW125: -123 dBm).
+  double floor_dbm = -174.0 + 10.0 * std::log10(bandwidth.value()) + 7.0;
+  return Dbm{floor_dbm + snr_limit_db(sf)};
+}
+
+}  // namespace tinysdr::lora

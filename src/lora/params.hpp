@@ -1,0 +1,96 @@
+// LoRa modulation parameters (paper §4.1 primer).
+//
+// Chirp Spread Spectrum: data rides on cyclic shifts of a linear upchirp.
+// A symbol carries SF bits (SF in 6..12); the chirp sweeps BW hertz in
+// 2^SF / BW seconds. PHY rate = SF * BW / 2^SF; chirp slope = BW^2 / 2^SF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace tinysdr::lora {
+
+/// Legal LoRa bandwidths (Hz). The paper cites the 7.8125 kHz .. 500 kHz
+/// range; the evaluation uses 125/250/500 kHz.
+inline constexpr std::array<double, 10> kBandwidthsHz = {
+    7812.5,   10417.0,  15625.0,  20833.0,  31250.0,
+    41667.0,  62500.0,  125000.0, 250000.0, 500000.0};
+
+/// Coding rate 4/(4+cr) with cr in 1..4.
+enum class CodingRate : int { kCr45 = 1, kCr46 = 2, kCr47 = 3, kCr48 = 4 };
+
+struct LoraParams {
+  int sf = 8;                                ///< spreading factor, 6..12
+  Hertz bandwidth = Hertz::from_kilohertz(125.0);
+  CodingRate cr = CodingRate::kCr45;
+  int preamble_symbols = 10;                 ///< paper's packet uses 10
+  bool explicit_header = true;
+  bool payload_crc = true;
+
+  LoraParams() = default;
+  LoraParams(int sf_, Hertz bw, CodingRate cr_ = CodingRate::kCr45)
+      : sf(sf_), bandwidth(bw), cr(cr_) {
+    validate();
+  }
+
+  void validate() const {
+    if (sf < 6 || sf > 12)
+      throw std::invalid_argument("LoraParams: SF must be in [6, 12]");
+    bool ok = false;
+    for (double b : kBandwidthsHz)
+      if (std::abs(b - bandwidth.value()) < 1.0) ok = true;
+    if (!ok) throw std::invalid_argument("LoraParams: illegal bandwidth");
+    if (preamble_symbols < 6)
+      throw std::invalid_argument("LoraParams: preamble too short");
+  }
+
+  /// Samples per symbol at critical sampling (fs = BW).
+  [[nodiscard]] std::uint32_t chips() const { return std::uint32_t{1} << sf; }
+
+  /// Symbol duration 2^SF / BW.
+  [[nodiscard]] Seconds symbol_time() const {
+    return Seconds{static_cast<double>(chips()) / bandwidth.value()};
+  }
+
+  /// Raw PHY bit rate BW / 2^SF * SF (before FEC).
+  [[nodiscard]] double phy_rate_bps() const {
+    return bandwidth.value() / static_cast<double>(chips()) *
+           static_cast<double>(sf);
+  }
+
+  /// Effective bit rate including the coding rate.
+  [[nodiscard]] double coded_rate_bps() const {
+    return phy_rate_bps() * 4.0 / (4.0 + static_cast<double>(cr));
+  }
+
+  /// Chirp slope BW^2 / 2^SF (Hz/s) — orthogonality criterion (§6):
+  /// two configurations are quasi-orthogonal iff their slopes differ.
+  [[nodiscard]] double chirp_slope() const {
+    return bandwidth.value() * bandwidth.value() /
+           static_cast<double>(chips());
+  }
+
+  /// Low-data-rate optimisation applies for symbol times >= 16 ms.
+  [[nodiscard]] bool low_data_rate_optimize() const {
+    return symbol_time().milliseconds() >= 16.0;
+  }
+};
+
+/// Whether two configurations can be decoded concurrently (different chirp
+/// slopes => quasi-orthogonal, paper §6).
+[[nodiscard]] inline bool orthogonal(const LoraParams& a, const LoraParams& b) {
+  return std::abs(a.chirp_slope() - b.chirp_slope()) > 1e-6;
+}
+
+/// SX1276 datasheet sensitivity (dBm) for a SF/BW pair — the reference
+/// lines drawn in the paper's Figs. 10/11/15.
+[[nodiscard]] Dbm sx1276_sensitivity(int sf, Hertz bandwidth);
+
+/// Demodulation SNR threshold (dB) for a spreading factor (Semtech
+/// datasheet table; the basis of the sensitivity figures).
+[[nodiscard]] double snr_limit_db(int sf);
+
+}  // namespace tinysdr::lora

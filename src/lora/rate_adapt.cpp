@@ -1,0 +1,34 @@
+#include "lora/rate_adapt.hpp"
+
+namespace tinysdr::lora {
+
+std::vector<LoraParams> adr_ladder(Hertz bandwidth) {
+  std::vector<LoraParams> ladder;
+  for (int sf = 7; sf <= 12; ++sf)
+    ladder.emplace_back(sf, bandwidth);
+  return ladder;
+}
+
+std::optional<LoraParams> select_rate(Dbm rssi, double margin_db,
+                                      Hertz bandwidth) {
+  for (const auto& params : adr_ladder(bandwidth)) {
+    Dbm needed = sx1276_sensitivity(params.sf, params.bandwidth) + margin_db;
+    if (rssi >= needed) return params;
+  }
+  return std::nullopt;
+}
+
+std::optional<RateAdaptOutcome> evaluate_rate_adaptation(
+    Dbm rssi, std::size_t payload_bytes, double margin_db) {
+  auto chosen = select_rate(rssi, margin_db);
+  if (!chosen) return std::nullopt;
+  LoraParams fixed{12, chosen->bandwidth};
+  RateAdaptOutcome out;
+  out.rssi = rssi;
+  out.adaptive_sf = chosen->sf;
+  out.adaptive_airtime = time_on_air(*chosen, payload_bytes);
+  out.fixed_airtime = time_on_air(fixed, payload_bytes);
+  return out;
+}
+
+}  // namespace tinysdr::lora

@@ -1,0 +1,48 @@
+// Rate adaptation study (paper §7, "Are there benefits of rate
+// adaptation?").
+//
+// An ADR-style policy: given a link's RSSI, pick the fastest LoRa
+// configuration whose sensitivity still leaves the requested margin. The
+// study helpers quantify what adaptation buys over a fixed conservative
+// configuration in airtime and energy per delivered packet.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "lora/airtime.hpp"
+#include "lora/params.hpp"
+
+namespace tinysdr::lora {
+
+/// Candidate ladder from fastest to slowest (all at 125 kHz, like
+/// LoRaWAN's DR5..DR0 in the US/EU plans, SF7..SF12).
+[[nodiscard]] std::vector<LoraParams> adr_ladder(
+    Hertz bandwidth = Hertz::from_kilohertz(125.0));
+
+/// Pick the fastest configuration with `margin_db` of headroom at `rssi`;
+/// nullopt if even the slowest rung cannot close the link.
+[[nodiscard]] std::optional<LoraParams> select_rate(
+    Dbm rssi, double margin_db = 3.0,
+    Hertz bandwidth = Hertz::from_kilohertz(125.0));
+
+/// Study record: per-link comparison of adaptive vs fixed-SF12 operation.
+struct RateAdaptOutcome {
+  Dbm rssi{0.0};
+  int adaptive_sf = 0;
+  Seconds adaptive_airtime{0.0};
+  Seconds fixed_airtime{0.0};
+
+  [[nodiscard]] double airtime_saving() const {
+    return fixed_airtime.value() <= 0.0
+               ? 0.0
+               : 1.0 - adaptive_airtime.value() / fixed_airtime.value();
+  }
+};
+
+/// Evaluate the policy for one link and payload size.
+[[nodiscard]] std::optional<RateAdaptOutcome> evaluate_rate_adaptation(
+    Dbm rssi, std::size_t payload_bytes, double margin_db = 3.0);
+
+}  // namespace tinysdr::lora

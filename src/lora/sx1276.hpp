@@ -1,0 +1,56 @@
+// SX1276 LoRa transceiver model — the paper's comparison baseline and the
+// OTA backbone radio.
+//
+// The SX1276 implements the same CSS PHY; what distinguishes it in the
+// evaluation is its datasheet sensitivity (the reference curves in
+// Figs. 10/11) and that it exposes only packet-level results (PER) — "the
+// Semtech LoRa transceiver does not give access to symbol error rate"
+// (§5.2). The model wraps the shared CSS mod/demod math with the chip's
+// noise figure and a packet-level API.
+#pragma once
+
+#include <optional>
+
+#include "channel/noise.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/modulator.hpp"
+
+namespace tinysdr::lora {
+
+class Sx1276Model {
+ public:
+  /// SX1276 receiver noise figure calibrated to its datasheet
+  /// sensitivities (see sx1276_sensitivity()).
+  static constexpr double kNoiseFigureDb = 7.0;
+
+  explicit Sx1276Model(LoraParams params);
+
+  [[nodiscard]] const LoraParams& params() const { return params_; }
+
+  /// Generate a packet waveform (critical-rate baseband, unit power).
+  [[nodiscard]] dsp::Samples transmit(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Packet-level receive through an AWGN front end at the given RSSI.
+  /// Returns the payload if the packet synchronised and passed CRC.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive(
+      const dsp::Samples& waveform, Dbm rssi, Rng& rng) const;
+
+  /// Datasheet sensitivity for the configured params.
+  [[nodiscard]] Dbm sensitivity() const {
+    return sx1276_sensitivity(params_.sf, params_.bandwidth);
+  }
+
+  /// DC supply draws (datasheet, 3.3 V rail).
+  [[nodiscard]] static Milliwatts rx_power() { return Milliwatts{39.0}; }
+  [[nodiscard]] static Milliwatts tx_power(Dbm out) {
+    return Milliwatts{35.0 + out.milliwatts() * 2.4};
+  }
+
+ private:
+  LoraParams params_;
+  Modulator modulator_;
+  Demodulator demodulator_;
+};
+
+}  // namespace tinysdr::lora

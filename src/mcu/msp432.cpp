@@ -1,0 +1,49 @@
+#include "mcu/msp432.hpp"
+
+namespace tinysdr::mcu {
+
+void Msp432::allocate_sram(const std::string& name, std::uint32_t bytes) {
+  if (sram_allocs_.contains(name))
+    throw std::logic_error("Msp432: duplicate SRAM allocation: " + name);
+  if (sram_used_ + bytes > spec_.sram_bytes)
+    throw std::logic_error("Msp432: SRAM budget exceeded by " + name);
+  sram_allocs_[name] = bytes;
+  sram_used_ += bytes;
+}
+
+void Msp432::free_sram(const std::string& name) {
+  auto it = sram_allocs_.find(name);
+  if (it == sram_allocs_.end())
+    throw std::logic_error("Msp432: freeing unknown SRAM allocation: " + name);
+  sram_used_ -= it->second;
+  sram_allocs_.erase(it);
+}
+
+void Msp432::allocate_flash(const std::string& name, std::uint32_t bytes) {
+  if (flash_allocs_.contains(name))
+    throw std::logic_error("Msp432: duplicate flash allocation: " + name);
+  if (flash_used_ + bytes > spec_.flash_bytes)
+    throw std::logic_error("Msp432: flash budget exceeded by " + name);
+  flash_allocs_[name] = bytes;
+  flash_used_ += bytes;
+}
+
+Msp432 baseline_firmware() {
+  // Sized so (SRAM + flash used) / (SRAM + flash total) = 18% as measured
+  // in §5.2 for TTN MAC + control + OTA decompressor.
+  Msp432 m;
+  m.allocate_flash("ttn_mac", 22 * 1024);
+  m.allocate_flash("radio_driver", 6 * 1024);
+  m.allocate_flash("fpga_loader", 4 * 1024);
+  m.allocate_flash("pmu_control", 3 * 1024);
+  m.allocate_flash("lzo_decompress", 4 * 1024);
+  m.allocate_flash("ota_protocol", 7 * 1024);
+  m.allocate_sram("mac_state", 4 * 1024);
+  m.allocate_sram("driver_state", 2 * 1024);
+  m.allocate_sram("stack", 4 * 1024);
+  // Note: the 30 kB OTA block buffer is allocated transiently during
+  // decompression (see ota::UpdatePlanner), not part of the baseline.
+  return m;
+}
+
+}  // namespace tinysdr::mcu

@@ -1,0 +1,160 @@
+#include "nbiot/uplink.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/crc.hpp"
+
+namespace tinysdr::nbiot {
+
+SingleToneModem::SingleToneModem(SingleToneConfig config) : config_(config) {
+  if (config_.samples_per_symbol < 2)
+    throw std::invalid_argument("SingleToneModem: need >= 2 samples/symbol");
+}
+
+const std::vector<bool>& SingleToneModem::pilot_bits() {
+  // 16-bit m-sequence segment (x^4 + x + 1 LFSR from state 0b1001).
+  static const std::vector<bool> pilots = [] {
+    std::vector<bool> bits;
+    std::uint8_t state = 0b1001;
+    for (int i = 0; i < static_cast<int>(kPilotSymbols); ++i) {
+      bits.push_back(state & 1);
+      std::uint8_t fb = static_cast<std::uint8_t>((state ^ (state >> 1)) & 1);
+      state = static_cast<std::uint8_t>((state >> 1) | (fb << 3));
+    }
+    return bits;
+  }();
+  return pilots;
+}
+
+std::vector<bool> SingleToneModem::frame_bits(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() > kMaxPayload)
+    throw std::invalid_argument("SingleToneModem: payload too long");
+  std::vector<bool> bits = pilot_bits();
+  auto push_byte = [&](std::uint8_t b) {
+    for (int i = 7; i >= 0; --i) bits.push_back((b >> i) & 1);
+  };
+  push_byte(static_cast<std::uint8_t>(payload.size()));
+  for (std::uint8_t b : payload) push_byte(b);
+  std::uint16_t crc = crc16_ccitt(payload);
+  push_byte(static_cast<std::uint8_t>(crc >> 8));
+  push_byte(static_cast<std::uint8_t>(crc & 0xFF));
+  return bits;
+}
+
+dsp::Samples SingleToneModem::modulate(
+    std::span<const std::uint8_t> payload) const {
+  auto bits = frame_bits(payload);
+  const std::uint32_t sps = config_.samples_per_symbol;
+  dsp::Samples out;
+  out.reserve(bits.size() * sps);
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    // pi/2-BPSK: BPSK value rotated by 90 degrees per symbol.
+    double angle = std::numbers::pi / 2.0 * static_cast<double>(k % 4);
+    double amp = bits[k] ? -1.0 : 1.0;
+    dsp::Complex sym{static_cast<float>(amp * std::cos(angle)),
+                     static_cast<float>(amp * std::sin(angle))};
+    for (std::uint32_t s = 0; s < sps; ++s) out.push_back(sym);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> SingleToneModem::demodulate(
+    const dsp::Samples& iq) const {
+  const std::uint32_t sps = config_.samples_per_symbol;
+  const auto& pilots = pilot_bits();
+  if (iq.size() < sps * (kPilotSymbols + 10)) return std::nullopt;
+
+  // Integrate per candidate symbol grid; derotate the pi/2 progression.
+  auto symbols_at = [&](std::size_t offset) {
+    std::vector<dsp::Complex> syms;
+    for (std::size_t start = offset; start + sps <= iq.size();
+         start += sps) {
+      dsp::Complex acc{0, 0};
+      for (std::uint32_t s = 0; s < sps; ++s) acc += iq[start + s];
+      syms.push_back(acc);
+    }
+    return syms;
+  };
+
+  double best_metric = -1.0;
+  std::size_t best_offset = 0, best_shift = 0;
+  dsp::Complex best_gain{1, 0};
+  for (std::size_t offset = 0; offset < sps; ++offset) {
+    auto syms = symbols_at(offset);
+    if (syms.size() < kPilotSymbols + 2) continue;
+    for (std::size_t shift = 0;
+         shift + kPilotSymbols + 3 * 8 <= syms.size(); ++shift) {
+      // Correlate pilots after derotation relative to this shift.
+      dsp::Complex corr{0, 0};
+      for (std::size_t k = 0; k < kPilotSymbols; ++k) {
+        double angle =
+            -std::numbers::pi / 2.0 * static_cast<double>((k) % 4);
+        dsp::Complex derot =
+            syms[shift + k] * dsp::Complex{static_cast<float>(std::cos(angle)),
+                                           static_cast<float>(std::sin(angle))};
+        corr += derot * (pilots[k] ? -1.0f : 1.0f);
+      }
+      double metric = std::abs(corr);
+      if (metric > best_metric) {
+        best_metric = metric;
+        best_offset = offset;
+        best_shift = shift;
+        best_gain = corr;
+      }
+    }
+  }
+  if (best_metric <= 0.0) return std::nullopt;
+
+  auto syms = symbols_at(best_offset);
+  auto gain_conj = std::conj(best_gain);
+  auto bit_at = [&](std::size_t k) {
+    // k indexes the frame's symbols (pilots at 0..15).
+    double angle = -std::numbers::pi / 2.0 * static_cast<double>(k % 4);
+    dsp::Complex derot =
+        syms[best_shift + k] *
+        dsp::Complex{static_cast<float>(std::cos(angle)),
+                     static_cast<float>(std::sin(angle))};
+    return (derot * gain_conj).real() < 0.0f;
+  };
+
+  std::size_t pos = kPilotSymbols;
+  auto read_byte = [&](std::size_t at) {
+    std::uint8_t b = 0;
+    for (int i = 0; i < 8; ++i)
+      b = static_cast<std::uint8_t>((b << 1) |
+                                    (bit_at(at + static_cast<std::size_t>(i))
+                                         ? 1
+                                         : 0));
+    return b;
+  };
+
+  std::size_t available = syms.size() - best_shift;
+  if (pos + 8 > available) return std::nullopt;
+  std::uint8_t len = read_byte(pos);
+  pos += 8;
+  if (len > kMaxPayload) return std::nullopt;
+  if (pos + (static_cast<std::size_t>(len) + 2) * 8 > available)
+    return std::nullopt;
+
+  std::vector<std::uint8_t> payload;
+  for (std::size_t b = 0; b < len; ++b) {
+    payload.push_back(read_byte(pos));
+    pos += 8;
+  }
+  std::uint16_t crc = static_cast<std::uint16_t>(read_byte(pos)) << 8;
+  pos += 8;
+  crc = static_cast<std::uint16_t>(crc | read_byte(pos));
+  if (crc16_ccitt(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+Seconds SingleToneModem::airtime(std::size_t payload_bytes) const {
+  double symbols = static_cast<double>(kPilotSymbols) + 8.0 +
+                   8.0 * static_cast<double>(payload_bytes) + 16.0;
+  return Seconds{symbols / kSymbolRate};
+}
+
+}  // namespace tinysdr::nbiot

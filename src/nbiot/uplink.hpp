@@ -1,0 +1,69 @@
+// NB-IoT-style single-tone uplink PHY — the last of the paper's §1
+// protocol list ("LoRa, Sigfox, NB-IoT and LTE-M ... use only 500 kHz,
+// 200 Hz, 180 kHz, 1.4 MHz" of bandwidth).
+//
+// NB-IoT's NPUSCH format 1 single-tone mode sends pi/2-BPSK symbols on one
+// 3.75 kHz subcarrier — the narrowest cellular IoT uplink. We implement
+// that essence: pi/2-BPSK (each symbol rotates the constellation by 90°,
+// bounding envelope excursions), a known DMRS-like pilot prefix for
+// synchronisation, and a coherent receiver that derotates and integrates
+// per symbol. The 180 kHz NB-IoT carrier and the 3.75 kHz tone both sit
+// trivially inside the AT86RF215's 4 MHz bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dsp/types.hpp"
+
+namespace tinysdr::nbiot {
+
+inline constexpr double kSymbolRate = 3750.0;  ///< one 3.75 kHz subcarrier
+inline constexpr std::size_t kPilotSymbols = 16;
+inline constexpr std::size_t kMaxPayload = 125;
+
+struct SingleToneConfig {
+  std::uint32_t samples_per_symbol = 8;
+
+  [[nodiscard]] Hertz sample_rate() const {
+    return Hertz{kSymbolRate * samples_per_symbol};
+  }
+  /// Occupied bandwidth: one subcarrier.
+  [[nodiscard]] Hertz occupied_bandwidth() const {
+    return Hertz{kSymbolRate};
+  }
+};
+
+class SingleToneModem {
+ public:
+  explicit SingleToneModem(SingleToneConfig config = {});
+
+  [[nodiscard]] const SingleToneConfig& config() const { return config_; }
+
+  /// Frame bits: pilot (known PN sequence) | length byte | payload | CRC16.
+  [[nodiscard]] std::vector<bool> frame_bits(
+      std::span<const std::uint8_t> payload) const;
+
+  /// pi/2-BPSK waveform: symbol k carries bit b as (-1)^b rotated by
+  /// k * 90 degrees.
+  [[nodiscard]] dsp::Samples modulate(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Coherent receiver: pilot correlation for timing + phase, derotate,
+  /// integrate per symbol, CRC check.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> demodulate(
+      const dsp::Samples& iq) const;
+
+  [[nodiscard]] Seconds airtime(std::size_t payload_bytes) const;
+
+  /// The known pilot bit sequence (PN, shared by TX and RX).
+  [[nodiscard]] static const std::vector<bool>& pilot_bits();
+
+ private:
+  SingleToneConfig config_;
+};
+
+}  // namespace tinysdr::nbiot

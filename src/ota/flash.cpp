@@ -1,0 +1,85 @@
+#include "ota/flash.hpp"
+
+#include <stdexcept>
+
+#include "common/crc.hpp"
+
+namespace tinysdr::ota {
+
+void FlashModel::erase_sector(std::size_t address) {
+  if (address >= kCapacity)
+    throw std::out_of_range("FlashModel::erase_sector: past end");
+  std::size_t base = address - (address % kSectorSize);
+  std::fill(memory_.begin() + static_cast<std::ptrdiff_t>(base),
+            memory_.begin() + static_cast<std::ptrdiff_t>(base + kSectorSize),
+            0xFF);
+  ++erase_count_;
+}
+
+void FlashModel::erase_range(std::size_t address, std::size_t length) {
+  if (length == 0) return;
+  if (address + length > kCapacity)
+    throw std::out_of_range("FlashModel::erase_range: past end");
+  std::size_t first = address - (address % kSectorSize);
+  for (std::size_t s = first; s < address + length; s += kSectorSize)
+    erase_sector(s);
+}
+
+void FlashModel::program(std::size_t address,
+                         std::span<const std::uint8_t> data) {
+  if (address + data.size() > kCapacity)
+    throw std::out_of_range("FlashModel::program: past end");
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // NOR: programming can only clear bits.
+    memory_[address + i] &= data[i];
+  }
+  bytes_programmed_ += data.size();
+}
+
+std::vector<std::uint8_t> FlashModel::read(std::size_t address,
+                                           std::size_t length) const {
+  if (address + length > kCapacity)
+    throw std::out_of_range("FlashModel::read: past end");
+  return {memory_.begin() + static_cast<std::ptrdiff_t>(address),
+          memory_.begin() + static_cast<std::ptrdiff_t>(address + length)};
+}
+
+bool FlashModel::is_erased(std::size_t address, std::size_t length) const {
+  if (address + length > kCapacity)
+    throw std::out_of_range("FlashModel::is_erased: past end");
+  for (std::size_t i = 0; i < length; ++i)
+    if (memory_[address + i] != 0xFF) return false;
+  return true;
+}
+
+void FirmwareStore::store(const std::string& name,
+                          std::span<const std::uint8_t> image) {
+  // Reuse the slot if replacing; otherwise allocate after the last image,
+  // rounded to sector alignment so erases never clip a neighbour.
+  std::size_t offset;
+  if (auto it = entries_.find(name);
+      it != entries_.end() && it->second.length >= image.size()) {
+    offset = it->second.offset;
+  } else {
+    offset = next_offset_;
+    std::size_t need = image.size() + FlashModel::kSectorSize -
+                       (image.size() % FlashModel::kSectorSize);
+    if (offset + need > FlashModel::kCapacity)
+      throw std::length_error("FirmwareStore: flash exhausted");
+    next_offset_ = offset + need;
+  }
+  flash_->erase_range(offset, image.size());
+  flash_->program(offset, image);
+  entries_[name] = Entry{offset, image.size(), crc32_ieee(image)};
+}
+
+std::optional<std::vector<std::uint8_t>> FirmwareStore::load(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  auto data = flash_->read(it->second.offset, it->second.length);
+  if (crc32_ieee(data) != it->second.crc32) return std::nullopt;
+  return data;
+}
+
+}  // namespace tinysdr::ota

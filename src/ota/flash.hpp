@@ -1,0 +1,106 @@
+// MX25R6435F flash memory model (paper §3.1.2).
+//
+// 8 MB NOR flash storing FPGA bitstreams and MCU programs: "it allows
+// tinySDR to store multiple FPGA bitstreams and MCU programs to quickly
+// switch between stored protocols without having to re-send the
+// programming data over the air." NOR semantics are modeled: erase sets a
+// 4 KiB sector to 0xFF, programming can only clear bits (AND), and writes
+// to unerased cells without erase corrupt data — catching a real class of
+// firmware-update bugs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace tinysdr::ota {
+
+class FlashModel {
+ public:
+  static constexpr std::size_t kCapacity = 8 * 1024 * 1024;
+  static constexpr std::size_t kSectorSize = 4 * 1024;
+  static constexpr std::size_t kPageSize = 256;
+
+  FlashModel() : memory_(kCapacity, 0xFF) {}
+
+  /// Erase the 4 KiB sector containing `address`.
+  void erase_sector(std::size_t address);
+  /// Erase a whole address range (sector-aligned sweep).
+  void erase_range(std::size_t address, std::size_t length);
+
+  /// Program bytes (NOR AND semantics, page-size chunks internally).
+  /// @throws std::out_of_range past the end of the array.
+  void program(std::size_t address, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::vector<std::uint8_t> read(std::size_t address,
+                                               std::size_t length) const;
+
+  /// True if the whole range reads 0xFF.
+  [[nodiscard]] bool is_erased(std::size_t address, std::size_t length) const;
+
+  /// Lifetime wear statistics.
+  [[nodiscard]] std::uint64_t erase_count() const { return erase_count_; }
+  [[nodiscard]] std::uint64_t bytes_programmed() const {
+    return bytes_programmed_;
+  }
+
+  /// Timing model (datasheet): page program 3 ms max? No — MX25R: tBP
+  /// ~100 us typical per page in low-power mode; sector erase ~58 ms typ.
+  [[nodiscard]] static Seconds page_program_time() {
+    return Seconds::from_microseconds(100.0);
+  }
+  [[nodiscard]] static Seconds sector_erase_time() {
+    return Seconds::from_milliseconds(58.0);
+  }
+  /// Time to stream + program `length` bytes (SPI transfer overlapped with
+  /// page programming; programming dominates).
+  [[nodiscard]] static Seconds program_time(std::size_t length) {
+    auto pages = (length + kPageSize - 1) / kPageSize;
+    return Seconds{page_program_time().value() * static_cast<double>(pages)};
+  }
+
+ private:
+  std::vector<std::uint8_t> memory_;
+  std::uint64_t erase_count_ = 0;
+  std::uint64_t bytes_programmed_ = 0;
+};
+
+/// Slot directory laid over the flash: named firmware images at fixed
+/// offsets, with length and CRC32 tracked in a (RAM-resident) index the
+/// MCU rebuilds at boot in the real system.
+class FirmwareStore {
+ public:
+  explicit FirmwareStore(FlashModel& flash) : flash_(&flash) {}
+
+  struct Entry {
+    std::size_t offset;
+    std::size_t length;
+    std::uint32_t crc32;
+  };
+
+  /// Store an image under a name; erases + programs the region.
+  /// @throws std::length_error when flash space is exhausted.
+  void store(const std::string& name, std::span<const std::uint8_t> image);
+
+  /// Read an image back, verifying its CRC. nullopt if unknown/corrupt.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.contains(name);
+  }
+  [[nodiscard]] std::size_t stored_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes_used() const { return next_offset_; }
+
+ private:
+  FlashModel* flash_;
+  std::map<std::string, Entry> entries_;
+  std::size_t next_offset_ = 0;
+};
+
+}  // namespace tinysdr::ota

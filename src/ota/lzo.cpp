@@ -1,0 +1,159 @@
+#include "ota/lzo.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/crc.hpp"
+
+namespace tinysdr::ota {
+
+namespace {
+
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::size_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzo_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+
+  // Hash table of last-seen positions for 4-byte prefixes (the "small
+  // dictionary" miniLZO keeps; 2^13 entries * 4 B < 16 KiB auxiliary RAM).
+  std::array<std::uint32_t, kHashSize> table{};
+  constexpr std::uint32_t kUnset = 0xFFFFFFFF;
+  table.fill(kUnset);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t run_start = literal_start;
+    while (run_start < end) {
+      std::size_t run =
+          std::min<std::size_t>(kMaxLiteralRun, end - run_start);
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(run_start),
+                 input.begin() + static_cast<std::ptrdiff_t>(run_start + run));
+      run_start += run;
+    }
+    literal_start = end;
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    std::uint32_t prefix = read_u32(&input[pos]);
+    std::size_t h = hash4(prefix);
+    std::uint32_t candidate = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+
+    bool matched = false;
+    if (candidate != kUnset) {
+      std::size_t cand = candidate;
+      std::size_t offset = pos - cand;
+      if (offset >= 1 && offset <= kMaxOffset &&
+          read_u32(&input[cand]) == prefix) {
+        // Extend the match.
+        std::size_t len = kMinMatch;
+        std::size_t max_len =
+            std::min(kMaxMatch, input.size() - pos);
+        while (len < max_len && input[cand + len] == input[pos + len]) ++len;
+
+        flush_literals(pos);
+        out.push_back(
+            static_cast<std::uint8_t>(0x20 + (len - kMinMatch)));
+        out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+
+        // Seed the table sparsely inside the match (every 4th position) —
+        // keeps compression strong on periodic data without O(n*len) cost.
+        for (std::size_t k = 1; k < len && pos + k + kMinMatch <= input.size();
+             k += 4)
+          table[hash4(read_u32(&input[pos + k]))] =
+              static_cast<std::uint32_t>(pos + k);
+
+        pos += len;
+        literal_start = pos;
+        matched = true;
+      }
+    }
+    if (!matched) ++pos;
+  }
+  flush_literals(input.size());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> lzo_decompress(
+    std::span<const std::uint8_t> input, std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::uint8_t token = input[pos++];
+    if (token < 0x20) {
+      std::size_t run = static_cast<std::size_t>(token) + 1;
+      if (pos + run > input.size()) return std::nullopt;
+      if (out.size() + run > expected_size) return std::nullopt;
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + run));
+      pos += run;
+    } else {
+      if (pos + 2 > input.size()) return std::nullopt;
+      std::size_t len = static_cast<std::size_t>(token) - 0x20 + kMinMatch;
+      std::size_t offset = static_cast<std::size_t>(input[pos]) |
+                           (static_cast<std::size_t>(input[pos + 1]) << 8);
+      pos += 2;
+      if (offset == 0 || offset > out.size()) return std::nullopt;
+      if (out.size() + len > expected_size) return std::nullopt;
+      // Byte-by-byte copy: overlapping matches (offset < len) replicate,
+      // which is the RLE trick LZ77 decoders rely on.
+      std::size_t src = out.size() - offset;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != expected_size) return std::nullopt;
+  return out;
+}
+
+std::vector<CompressedBlock> compress_blocks(
+    std::span<const std::uint8_t> image, std::size_t block_size) {
+  std::vector<CompressedBlock> blocks;
+  for (std::size_t start = 0; start < image.size(); start += block_size) {
+    std::size_t len = std::min(block_size, image.size() - start);
+    CompressedBlock block;
+    block.original_size = static_cast<std::uint32_t>(len);
+    block.data = lzo_compress(image.subspan(start, len));
+    block.crc16 = crc16_ccitt(block.data);
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::optional<std::vector<std::uint8_t>> decompress_blocks(
+    const std::vector<CompressedBlock>& blocks) {
+  std::vector<std::uint8_t> image;
+  for (const auto& block : blocks) {
+    if (crc16_ccitt(block.data) != block.crc16) return std::nullopt;
+    auto chunk = lzo_decompress(block.data, block.original_size);
+    if (!chunk) return std::nullopt;
+    image.insert(image.end(), chunk->begin(), chunk->end());
+  }
+  return image;
+}
+
+std::size_t compressed_size(const std::vector<CompressedBlock>& blocks) {
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.data.size();
+  return total;
+}
+
+}  // namespace tinysdr::ota

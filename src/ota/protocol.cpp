@@ -1,0 +1,125 @@
+#include "ota/protocol.hpp"
+
+#include <cmath>
+
+#include "power/platform_power.hpp"
+
+namespace tinysdr::ota {
+
+lora::LoraParams ota_link_params() {
+  lora::LoraParams p{8, Hertz::from_kilohertz(500.0), lora::CodingRate::kCr46};
+  p.preamble_symbols = kOtaPreambleSymbols;
+  return p;
+}
+
+std::size_t OtaPacket::wire_size() const {
+  // type(1) + device(2) + seq(2) + crc16(2) [+ crc32(4) for END] + payload.
+  std::size_t base = 7;
+  if (type == OtaPacketType::kEnd) base += 4;
+  return base + payload.size();
+}
+
+double OtaLink::packet_error_rate(std::size_t payload_bytes) const {
+  Dbm sensitivity = lora::sx1276_sensitivity(params_.sf, params_.bandwidth);
+  double margin = rssi_ - sensitivity;
+  // Logistic waterfall ~3 dB wide, scaled mildly by packet length (longer
+  // packets waterfall slightly earlier).
+  double length_penalty =
+      0.5 * std::log10(1.0 + static_cast<double>(payload_bytes) / 20.0);
+  double x = (margin - length_penalty) / 0.8;
+  double per = 1.0 / (1.0 + std::exp(x));
+  return per;
+}
+
+Seconds OtaLink::airtime(std::size_t payload_bytes) const {
+  return lora::time_on_air(params_, payload_bytes);
+}
+
+bool OtaLink::deliver(std::size_t payload_bytes) {
+  return !rng_.next_bool(packet_error_rate(payload_bytes));
+}
+
+UpdateOutcome AccessPoint::transfer(
+    const std::vector<std::uint8_t>& compressed_image,
+    std::uint16_t device_id, OtaLink& link, std::size_t max_retries) const {
+  UpdateOutcome outcome;
+  power::PlatformPowerModel power_model;
+  const Milliwatts rx_draw =
+      power_model.draw(power::Activity::kOtaReceive);
+
+  auto account = [&](Seconds on_air, Seconds node_listen) {
+    outcome.airtime += on_air;
+    outcome.total_time += on_air + node_listen;
+    outcome.node_energy += rx_draw * (on_air + node_listen);
+  };
+
+  // Control-plane exchange: request -> ready (retry on loss).
+  OtaPacket request{OtaPacketType::kProgrammingRequest, device_id, 0, 0, {}};
+  OtaPacket ready{OtaPacketType::kReady, device_id, 0, 0, {}};
+  bool associated = false;
+  for (std::size_t attempt = 0; attempt < max_retries; ++attempt) {
+    Seconds t_req = link.airtime(request.wire_size());
+    Seconds t_rdy = link.airtime(ready.wire_size());
+    account(t_req + t_rdy, Seconds{0.0});
+    if (link.deliver(request.wire_size()) && link.deliver(ready.wire_size())) {
+      associated = true;
+      break;
+    }
+    outcome.total_time += Seconds::from_milliseconds(50.0);  // retry backoff
+  }
+  if (!associated) return outcome;
+
+  // Data plane: stop-and-wait with per-packet ACKs (§3.4).
+  OtaPacket ack{OtaPacketType::kDataAck, device_id, 0, 0, {}};
+  const Seconds t_ack = link.airtime(ack.wire_size());
+  std::size_t offset = 0;
+  std::uint16_t seq = 0;
+  while (offset < compressed_image.size()) {
+    std::size_t chunk = std::min(kDataPayload, compressed_image.size() - offset);
+    OtaPacket data{OtaPacketType::kData, device_id, seq, 0, {}};
+    data.payload.assign(compressed_image.begin() + static_cast<std::ptrdiff_t>(offset),
+                        compressed_image.begin() +
+                            static_cast<std::ptrdiff_t>(offset + chunk));
+    const Seconds t_data = link.airtime(data.wire_size());
+
+    bool delivered = false;
+    std::size_t attempts = 0;
+    while (!delivered) {
+      if (attempts++ >= max_retries) return outcome;  // link too poor
+      account(t_data, Seconds{0.0});
+      bool data_ok = link.deliver(data.wire_size());
+      if (!data_ok) {
+        // No ACK comes back; AP retransmits after a timeout.
+        outcome.total_time += t_ack + Seconds::from_milliseconds(20.0);
+        ++outcome.retransmissions;
+        continue;
+      }
+      account(t_ack, Seconds{0.0});
+      bool ack_ok = link.deliver(ack.wire_size());
+      if (!ack_ok) {
+        outcome.total_time += Seconds::from_milliseconds(20.0);
+        ++outcome.retransmissions;
+        continue;  // duplicate data; node dedups by seq
+      }
+      delivered = true;
+    }
+    ++outcome.data_packets;
+    offset += chunk;
+    ++seq;
+  }
+
+  // End-of-update handshake.
+  OtaPacket end{OtaPacketType::kEnd, device_id, seq, 0, {}};
+  for (std::size_t attempt = 0; attempt < max_retries; ++attempt) {
+    Seconds t_end = link.airtime(end.wire_size());
+    account(t_end + t_ack, Seconds{0.0});
+    if (link.deliver(end.wire_size()) && link.deliver(ack.wire_size())) {
+      outcome.success = true;
+      break;
+    }
+    outcome.total_time += Seconds::from_milliseconds(20.0);
+  }
+  return outcome;
+}
+
+}  // namespace tinysdr::ota

@@ -1,0 +1,119 @@
+#include "ota/update.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::ota {
+
+UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
+                                UpdateTarget target, std::uint16_t device_id,
+                                OtaLink& link, FlashModel& flash,
+                                mcu::Msp432& mcu) const {
+  UpdateReport report;
+  report.target = target;
+  report.original_bytes = image.size();
+
+  // AP side: block-compress.
+  auto blocks = compress_blocks(image.data);
+  report.compressed_bytes = compressed_size(blocks);
+
+  // Serialize blocks into the transfer byte stream: per block a small
+  // header (orig size u32, comp size u32, crc16) then the payload.
+  std::vector<std::uint8_t> stream;
+  stream.reserve(report.compressed_bytes + blocks.size() * 10);
+  for (const auto& b : blocks) {
+    auto push32 = [&](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i)
+        stream.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    };
+    push32(b.original_size);
+    push32(static_cast<std::uint32_t>(b.data.size()));
+    stream.push_back(static_cast<std::uint8_t>(b.crc16 & 0xFF));
+    stream.push_back(static_cast<std::uint8_t>(b.crc16 >> 8));
+    stream.insert(stream.end(), b.data.begin(), b.data.end());
+  }
+
+  // Radio phase.
+  AccessPoint ap;
+  report.transfer = ap.transfer(stream, device_id, link);
+  if (!report.transfer.success) {
+    report.total_time = report.transfer.total_time;
+    report.total_energy = report.transfer.node_energy;
+    return report;
+  }
+
+  // Node: compressed stream was written to flash as it arrived (staging
+  // region at 4 MB).
+  constexpr std::size_t kStaging = 4 * 1024 * 1024;
+  flash.erase_range(kStaging, stream.size());
+  flash.program(kStaging, stream);
+  report.flash_time += FlashModel::program_time(stream.size());
+
+  // Decompression: radio off; 30 kB SRAM block buffer on the MCU.
+  mcu.allocate_sram("ota_block", static_cast<std::uint32_t>(kOtaBlockSize));
+  std::vector<CompressedBlock> rx_blocks;
+  {
+    auto staged = flash.read(kStaging, stream.size());
+    std::size_t pos = 0;
+    auto read32 = [&](std::size_t at) {
+      return static_cast<std::uint32_t>(staged[at]) |
+             (static_cast<std::uint32_t>(staged[at + 1]) << 8) |
+             (static_cast<std::uint32_t>(staged[at + 2]) << 16) |
+             (static_cast<std::uint32_t>(staged[at + 3]) << 24);
+    };
+    while (pos + 10 <= staged.size()) {
+      CompressedBlock b;
+      b.original_size = read32(pos);
+      std::uint32_t clen = read32(pos + 4);
+      b.crc16 = static_cast<std::uint16_t>(staged[pos + 8] |
+                                           (staged[pos + 9] << 8));
+      pos += 10;
+      if (pos + clen > staged.size()) break;
+      b.data.assign(staged.begin() + static_cast<std::ptrdiff_t>(pos),
+                    staged.begin() + static_cast<std::ptrdiff_t>(pos + clen));
+      pos += clen;
+      rx_blocks.push_back(std::move(b));
+    }
+  }
+  auto decompressed = decompress_blocks(rx_blocks);
+  mcu.free_sram("ota_block");
+  if (!decompressed || decompressed->size() != image.size()) {
+    report.total_time = report.transfer.total_time;
+    report.total_energy = report.transfer.node_energy;
+    return report;
+  }
+  report.decompress_time =
+      Seconds{static_cast<double>(image.size()) / kDecompressBytesPerSecond};
+
+  // Write the boot image to the programming region (offset 0).
+  flash.erase_range(0, decompressed->size());
+  flash.program(0, *decompressed);
+  report.flash_time += FlashModel::program_time(decompressed->size());
+
+  // Reprogram.
+  if (target == UpdateTarget::kFpga) {
+    fpga::ProgrammingModel prog;
+    report.reprogram_time = prog.load_time(decompressed->size());
+  } else {
+    // MCU self-flash at ~32 kB/s effective.
+    report.reprogram_time =
+        Seconds{static_cast<double>(decompressed->size()) / 32768.0};
+  }
+
+  // Energy: radio phase already accounted; add MCU-active phases.
+  power::PlatformPowerModel power_model;
+  Milliwatts mcu_active = power_model.draw(power::Activity::kDecompress);
+  Seconds mcu_time =
+      report.decompress_time + report.flash_time + report.reprogram_time;
+  report.total_energy = report.transfer.node_energy + mcu_active * mcu_time;
+  report.total_time = report.transfer.total_time + mcu_time;
+  report.success = true;
+  return report;
+}
+
+Milliwatts amortized_update_power(const UpdateReport& report, Seconds period) {
+  if (period.value() <= 0.0)
+    throw std::invalid_argument("amortized_update_power: bad period");
+  return Milliwatts{report.total_energy.value() / period.value()};
+}
+
+}  // namespace tinysdr::ota

@@ -1,0 +1,126 @@
+#include "power/domains.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::power {
+
+std::string domain_name(Domain d) {
+  switch (d) {
+    case Domain::kV1:
+      return "V1";
+    case Domain::kV2:
+      return "V2";
+    case Domain::kV3:
+      return "V3";
+    case Domain::kV4:
+      return "V4";
+    case Domain::kV5:
+      return "V5";
+    case Domain::kV6:
+      return "V6";
+    case Domain::kV7:
+      return "V7";
+  }
+  return "?";
+}
+
+std::string component_name(Component c) {
+  switch (c) {
+    case Component::kMcu:
+      return "MCU";
+    case Component::kFpgaCore:
+      return "FPGA core";
+    case Component::kFpgaAux:
+      return "FPGA aux";
+    case Component::kFpgaPll:
+      return "FPGA PLL";
+    case Component::kFpgaIo:
+      return "FPGA I/O";
+    case Component::kIqRadio:
+      return "I/Q radio";
+    case Component::kBackboneRadio:
+      return "backbone radio";
+    case Component::kSubGhzPa:
+      return "sub-GHz PA";
+    case Component::k24GhzPa:
+      return "2.4 GHz PA";
+    case Component::kFlash:
+      return "flash";
+    case Component::kMicroSd:
+      return "microSD";
+  }
+  return "?";
+}
+
+Domain domain_of(Component c) {
+  switch (c) {
+    case Component::kMcu:
+      return Domain::kV1;
+    case Component::kFpgaCore:
+      return Domain::kV2;
+    case Component::kFpgaAux:
+    case Component::kFlash:
+      return Domain::kV3;
+    case Component::kFpgaPll:
+      return Domain::kV4;
+    case Component::kFpgaIo:
+    case Component::kIqRadio:
+    case Component::kBackboneRadio:
+      return Domain::kV5;
+    case Component::kSubGhzPa:
+      return Domain::kV6;
+    case Component::k24GhzPa:
+    case Component::kMicroSd:
+      return Domain::kV7;
+  }
+  throw std::invalid_argument("domain_of: unknown component");
+}
+
+PowerManagementUnit::PowerManagementUnit(double battery_volts) {
+  regs_.emplace(Domain::kV1,
+                Regulator{tps78218_spec(), 1.8, battery_volts});
+  // FPGA core 1.1 V, aux 1.8 V, PLL 2.5 V.
+  auto buck = tps62240_spec();
+  buck.min_volts = 1.1;
+  buck.max_volts = 3.0;
+  regs_.emplace(Domain::kV2, Regulator{buck, 1.1, battery_volts});
+  regs_.emplace(Domain::kV3, Regulator{buck, 1.8, battery_volts});
+  regs_.emplace(Domain::kV4, Regulator{buck, 2.5, battery_volts});
+  regs_.emplace(Domain::kV5, Regulator{sc195_spec(), 1.8, battery_volts});
+  regs_.emplace(Domain::kV6, Regulator{tps62080_spec(), 3.5, battery_volts});
+  regs_.emplace(Domain::kV7, Regulator{buck, 3.0, battery_volts});
+}
+
+void PowerManagementUnit::set_domain_enabled(Domain d, bool on) {
+  if (d == Domain::kV1 && !on)
+    throw std::logic_error("PMU: V1 (MCU) cannot be disabled");
+  regs_.at(d).set_enabled(on);
+}
+
+Milliwatts PowerManagementUnit::battery_draw(
+    const std::map<Domain, Milliwatts>& domain_loads) const {
+  Milliwatts total{0.0};
+  for (const auto& [domain, reg] : regs_) {
+    Milliwatts load{0.0};
+    if (auto it = domain_loads.find(domain); it != domain_loads.end())
+      load = it->second;
+    total += reg.input_power(load);
+  }
+  return total;
+}
+
+Milliwatts PowerManagementUnit::overhead(
+    const std::map<Domain, Milliwatts>& domain_loads) const {
+  Milliwatts loads{0.0};
+  for (const auto& [domain, load] : domain_loads) {
+    if (regs_.at(domain).enabled()) loads += load;
+  }
+  return battery_draw(domain_loads) - loads;
+}
+
+std::vector<Domain> PowerManagementUnit::all_domains() {
+  return {Domain::kV1, Domain::kV2, Domain::kV3, Domain::kV4,
+          Domain::kV5, Domain::kV6, Domain::kV7};
+}
+
+}  // namespace tinysdr::power

@@ -1,0 +1,72 @@
+// Power domain plan (paper Table 3).
+//
+// Components are grouped into domains V1..V7 behind individually
+// controllable regulators; the MCU toggles domains to duty-cycle the
+// platform. V1 (MCU) is always on; V5 is the SC195 adjustable rail shared
+// by the I/Q radio, backbone radio and the FPGA I/O bank.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/regulators.hpp"
+
+namespace tinysdr::power {
+
+enum class Domain { kV1, kV2, kV3, kV4, kV5, kV6, kV7 };
+
+enum class Component {
+  kMcu,
+  kFpgaCore,       // 1.1 V core (V2)
+  kFpgaAux,        // 1.8 V aux (V3)
+  kFpgaPll,        // 2.5 V PLL (V4)
+  kFpgaIo,         // LVDS bank on V5
+  kIqRadio,        // AT86RF215 (V5)
+  kBackboneRadio,  // SX1276 (V5)
+  kSubGhzPa,       // SE2435L (V6)
+  k24GhzPa,        // SKY66112 (V7 + V3 control)
+  kFlash,          // MX25R6435F (V3)
+  kMicroSd,        // V7
+};
+
+[[nodiscard]] std::string domain_name(Domain d);
+[[nodiscard]] std::string component_name(Component c);
+
+/// Which domain powers each component (Table 3; multi-rail parts are
+/// assigned to their dominant rail for accounting).
+[[nodiscard]] Domain domain_of(Component c);
+
+/// The full PMU: one regulator per domain with the Table 3 voltages.
+class PowerManagementUnit {
+ public:
+  explicit PowerManagementUnit(double battery_volts = 3.7);
+
+  [[nodiscard]] Regulator& regulator(Domain d) { return regs_.at(d); }
+  [[nodiscard]] const Regulator& regulator(Domain d) const {
+    return regs_.at(d);
+  }
+
+  /// Enable/disable a whole domain. V1 cannot be disabled (the MCU hosts
+  /// the power manager itself).
+  void set_domain_enabled(Domain d, bool on);
+  [[nodiscard]] bool domain_enabled(Domain d) const {
+    return regs_.at(d).enabled();
+  }
+
+  /// Battery-side draw given per-component load on each domain.
+  [[nodiscard]] Milliwatts battery_draw(
+      const std::map<Domain, Milliwatts>& domain_loads) const;
+
+  /// Regulator overhead alone (quiescent + shutdown + conversion loss) for
+  /// a given load set.
+  [[nodiscard]] Milliwatts overhead(
+      const std::map<Domain, Milliwatts>& domain_loads) const;
+
+  [[nodiscard]] static std::vector<Domain> all_domains();
+
+ private:
+  std::map<Domain, Regulator> regs_;
+};
+
+}  // namespace tinysdr::power

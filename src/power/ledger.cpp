@@ -1,0 +1,20 @@
+#include "power/ledger.hpp"
+
+namespace tinysdr::power {
+
+Millijoules EnergyLedger::record(Activity activity, Seconds duration,
+                                 Dbm tx_power, std::string note) {
+  return record_draw(activity, duration, model_->draw(activity, tx_power),
+                     std::move(note));
+}
+
+Millijoules EnergyLedger::record_draw(Activity activity, Seconds duration,
+                                      Milliwatts draw, std::string note) {
+  Millijoules energy = draw * duration;
+  entries_.push_back(Entry{activity, duration, draw, energy, std::move(note)});
+  total_ += energy;
+  time_ += duration;
+  return energy;
+}
+
+}  // namespace tinysdr::power

@@ -1,0 +1,63 @@
+// Energy ledger: accumulates (activity, duration) intervals into total
+// energy and average power over a simulated timeline. Used for the OTA
+// energy results (§5.3: 6144 mJ per LoRa FPGA update) and battery-lifetime
+// projections ("2100 LoRa updates on a 1000 mAh LiPo").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "power/platform_power.hpp"
+
+namespace tinysdr::power {
+
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(const PlatformPowerModel& model) : model_(&model) {}
+
+  struct Entry {
+    Activity activity;
+    Seconds duration;
+    Milliwatts draw;
+    Millijoules energy;
+    std::string note;
+  };
+
+  /// Record time spent in an activity; returns the energy it cost.
+  Millijoules record(Activity activity, Seconds duration,
+                     Dbm tx_power = Dbm{0.0}, std::string note = {});
+
+  /// Record at an explicit draw (for externally-computed operating points).
+  Millijoules record_draw(Activity activity, Seconds duration,
+                          Milliwatts draw, std::string note = {});
+
+  [[nodiscard]] Millijoules total_energy() const { return total_; }
+  [[nodiscard]] Seconds total_time() const { return time_; }
+  [[nodiscard]] Milliwatts average_power() const {
+    if (time_.value() <= 0.0) return Milliwatts{0.0};
+    return Milliwatts{total_.value() / time_.value()};
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// How many times this ledger's recorded sequence could run on a battery.
+  [[nodiscard]] double runs_on(BatteryCapacity battery) const {
+    if (total_.value() <= 0.0) return 0.0;
+    return battery.energy().value() / total_.value();
+  }
+
+  void reset() {
+    entries_.clear();
+    total_ = Millijoules{0.0};
+    time_ = Seconds{0.0};
+  }
+
+ private:
+  const PlatformPowerModel* model_;
+  std::vector<Entry> entries_;
+  Millijoules total_{0.0};
+  Seconds time_{0.0};
+};
+
+}  // namespace tinysdr::power

@@ -1,0 +1,97 @@
+// Voltage regulator models (paper §3.3).
+//
+// The PMU groups components into domains V1..V7, each behind one of four
+// regulator parts chosen for the domain's duty profile:
+//  - TPS78218 LDO:        always-on MCU rail (low quiescent current)
+//  - TPS62240 buck:       switchable rails (0.1 uA shutdown, ~90% eff.)
+//  - TPS62080 buck:       sub-GHz PA rail (supports the 30 dBm PA current)
+//  - SC195 adjustable:    shared radio/FPGA-I/O rail, 1.8-3.6 V programmable
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tinysdr::power {
+
+struct RegulatorSpec {
+  std::string part;
+  double quiescent_ua = 0.5;    ///< ground current while enabled
+  double shutdown_ua = 0.1;     ///< leakage while disabled
+  double efficiency = 0.90;     ///< output power / input power when loaded
+  bool adjustable = false;
+  double min_volts = 1.8;
+  double max_volts = 1.8;
+};
+
+[[nodiscard]] inline RegulatorSpec tps78218_spec() {
+  return RegulatorSpec{"TPS78218", 0.5, 0.0, /*LDO eff = Vout/Vin*/ 0.0, false,
+                       1.8, 1.8};
+}
+[[nodiscard]] inline RegulatorSpec tps62240_spec() {
+  return RegulatorSpec{"TPS62240", 15.0, 0.1, 0.90, false, 1.1, 3.0};
+}
+[[nodiscard]] inline RegulatorSpec tps62080_spec() {
+  return RegulatorSpec{"TPS62080", 12.0, 0.15, 0.90, false, 3.5, 3.5};
+}
+[[nodiscard]] inline RegulatorSpec sc195_spec() {
+  return RegulatorSpec{"SC195", 20.0, 0.1, 0.90, true, 1.8, 3.6};
+}
+
+/// One regulator instance with an output voltage and enable state.
+class Regulator {
+ public:
+  Regulator(RegulatorSpec spec, double output_volts, double input_volts = 3.7)
+      : spec_(std::move(spec)),
+        output_volts_(output_volts),
+        input_volts_(input_volts) {
+    validate_voltage(output_volts);
+  }
+
+  [[nodiscard]] const RegulatorSpec& spec() const { return spec_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  [[nodiscard]] double output_volts() const { return output_volts_; }
+  void set_output_volts(double volts) {
+    if (!spec_.adjustable)
+      throw std::logic_error("Regulator: " + spec_.part + " not adjustable");
+    validate_voltage(volts);
+    output_volts_ = volts;
+  }
+
+  /// Battery-side power needed to deliver `load` at the output.
+  /// LDOs burn (Vin-Vout) linearly; bucks divide by efficiency. Quiescent /
+  /// shutdown currents are drawn from the battery rail.
+  [[nodiscard]] Milliwatts input_power(Milliwatts load) const {
+    if (!enabled_) {
+      return Milliwatts::from_volts_milliamps(input_volts_,
+                                              spec_.shutdown_ua * 1e-3);
+    }
+    double load_input_mw;
+    if (spec_.efficiency <= 0.0) {
+      // LDO: input current equals output current.
+      double load_ma = load.value() / output_volts_;
+      load_input_mw = load_ma * input_volts_;
+    } else {
+      load_input_mw = load.value() / spec_.efficiency;
+    }
+    double quiescent_mw = spec_.quiescent_ua * 1e-3 * input_volts_;
+    return Milliwatts{load_input_mw + quiescent_mw};
+  }
+
+ private:
+  void validate_voltage(double volts) const {
+    if (volts < spec_.min_volts - 1e-9 || volts > spec_.max_volts + 1e-9)
+      throw std::invalid_argument("Regulator: " + spec_.part +
+                                  " voltage out of range");
+  }
+
+  RegulatorSpec spec_;
+  double output_volts_;
+  double input_volts_;
+  bool enabled_ = true;
+};
+
+}  // namespace tinysdr::power

@@ -1,0 +1,176 @@
+#include "radio/at86rf215.hpp"
+
+#include <cmath>
+
+namespace tinysdr::radio {
+
+std::optional<Band> band_of(Hertz frequency) {
+  double mhz = frequency.megahertz();
+  if (mhz >= 389.5 && mhz <= 510.0) return Band::kSubGhz400;
+  if (mhz >= 779.0 && mhz <= 1020.0) return Band::kSubGhz900;
+  if (mhz >= 2400.0 && mhz <= 2483.5) return Band::kIsm2400;
+  return std::nullopt;
+}
+
+At86rf215::At86rf215(At86rf215Config config)
+    : config_(config), quantizer_(config.adc_bits, 1.0f) {
+  // 2.4 GHz synthesizer chain draws slightly more; Fig. 9 shows the two
+  // curves within a few mW of each other with 2.4 GHz marginally higher at
+  // low output.
+  tx_curve_2400_.flat_region = Milliwatts{127.0};
+  tx_curve_2400_.slope_mw_per_mw = 2.20;
+}
+
+Band At86rf215::band() const {
+  auto b = band_of(frequency_);
+  if (!b) throw std::logic_error("At86rf215: invalid stored frequency");
+  return *b;
+}
+
+void At86rf215::set_frequency(Hertz frequency) {
+  if (!band_of(frequency))
+    throw std::invalid_argument(
+        "At86rf215: frequency outside 389.5-510 / 779-1020 / 2400-2483.5 MHz");
+  frequency_ = frequency;
+}
+
+void At86rf215::set_tx_power(Dbm power) {
+  if (power < config_.min_tx_power || power > config_.max_tx_power)
+    throw std::invalid_argument("At86rf215: TX power out of range");
+  tx_power_ = power;
+}
+
+Seconds At86rf215::wake() {
+  if (state_ != RadioState::kSleep) return Seconds{0.0};
+  state_ = RadioState::kTrxOff;
+  transition_time_ += timing_.radio_setup;
+  return timing_.radio_setup;
+}
+
+Seconds At86rf215::sleep() {
+  state_ = RadioState::kSleep;
+  return Seconds{0.0};
+}
+
+Seconds At86rf215::enter_tx() {
+  Seconds cost{0.0};
+  switch (state_) {
+    case RadioState::kSleep:
+      throw std::logic_error("At86rf215: enter_tx from sleep; wake first");
+    case RadioState::kRx:
+      cost = timing_.rx_to_tx;
+      break;
+    case RadioState::kTrxOff:
+    case RadioState::kTxPrep:
+      cost = Seconds::from_microseconds(50.0);  // PLL settle from off
+      break;
+    case RadioState::kTx:
+      return Seconds{0.0};
+  }
+  state_ = RadioState::kTx;
+  transition_time_ += cost;
+  return cost;
+}
+
+Seconds At86rf215::enter_rx() {
+  Seconds cost{0.0};
+  switch (state_) {
+    case RadioState::kSleep:
+      throw std::logic_error("At86rf215: enter_rx from sleep; wake first");
+    case RadioState::kTx:
+      cost = timing_.tx_to_rx;
+      break;
+    case RadioState::kTrxOff:
+    case RadioState::kTxPrep:
+      cost = Seconds::from_microseconds(90.0);  // PLL settle from off
+      break;
+    case RadioState::kRx:
+      return Seconds{0.0};
+  }
+  state_ = RadioState::kRx;
+  transition_time_ += cost;
+  return cost;
+}
+
+Seconds At86rf215::retune(Hertz f) {
+  if (state_ == RadioState::kSleep)
+    throw std::logic_error("At86rf215: retune from sleep");
+  set_frequency(f);
+  transition_time_ += timing_.frequency_switch;
+  return timing_.frequency_switch;
+}
+
+Milliwatts At86rf215::dc_power() const {
+  switch (state_) {
+    case RadioState::kSleep:
+      // Deep sleep: ~30 nA leakage.
+      return Milliwatts::from_microwatts(0.1);
+    case RadioState::kTrxOff:
+    case RadioState::kTxPrep:
+      return Milliwatts{10.0};
+    case RadioState::kRx:
+      // Table 2 lists 50 mW RX; §5.2 measures 59 mW with the LVDS I/Q
+      // interface streaming, which is the mode this model represents.
+      return Milliwatts{59.0};
+    case RadioState::kTx: {
+      const TxPowerCurve& curve =
+          band() == Band::kIsm2400 ? tx_curve_2400_ : tx_curve_900_;
+      return curve.dc_draw(tx_power_);
+    }
+  }
+  throw std::logic_error("At86rf215: invalid state");
+}
+
+dsp::Samples At86rf215::transmit(const dsp::Samples& baseband) const {
+  if (state_ != RadioState::kTx)
+    throw std::logic_error("At86rf215: transmit while not in TX");
+  return quantizer_.roundtrip(baseband);
+}
+
+dsp::Samples At86rf215::receive(const dsp::Samples& rf) const {
+  if (state_ != RadioState::kRx)
+    throw std::logic_error("At86rf215: receive while not in RX");
+
+  // Front-end impairments (direct-conversion artifacts) before the AGC.
+  dsp::Samples impaired = rf;
+  if (impairments_.any()) {
+    double rms = std::sqrt(std::max(dsp::mean_power(rf), 1e-30));
+    auto dc = static_cast<float>(impairments_.dc_offset * rms);
+    auto q_gain = static_cast<float>(
+        std::pow(10.0, impairments_.iq_gain_imbalance_db / 20.0));
+    double skew = impairments_.iq_phase_skew_deg * 3.14159265358979 / 180.0;
+    auto sin_skew = static_cast<float>(std::sin(skew));
+    auto cos_skew = static_cast<float>(std::cos(skew));
+    double cfo_cps = impairments_.cfo_hz / config_.sample_rate.value();
+    double phase = 0.0;
+    for (auto& s : impaired) {
+      // Quadrature error: Q picks up a fraction of I and a gain error.
+      float i = s.real();
+      float q = q_gain * (s.imag() * cos_skew + s.real() * sin_skew);
+      s = dsp::Complex{i + dc, q + dc};
+      if (cfo_cps != 0.0) {
+        s *= dsp::Complex{static_cast<float>(std::cos(phase)),
+                          static_cast<float>(std::sin(phase))};
+        phase += 2.0 * 3.14159265358979 * cfo_cps;
+      }
+    }
+  }
+
+  // AGC: scale the block so its RMS sits at 1/4 full scale (12 dB backoff,
+  // leaving headroom for the signal's crest factor), then quantize.
+  double power = dsp::mean_power(impaired);
+  dsp::Samples scaled = impaired;
+  if (power > 0.0) {
+    auto gain = static_cast<float>(0.25 / std::sqrt(power));
+    for (auto& s : scaled) s *= gain;
+  }
+  dsp::Samples quantized = quantizer_.roundtrip(scaled);
+  // Undo the AGC gain so downstream processing sees calibrated amplitudes.
+  if (power > 0.0) {
+    auto inv = static_cast<float>(std::sqrt(power) / 0.25);
+    for (auto& s : quantized) s *= inv;
+  }
+  return quantized;
+}
+
+}  // namespace tinysdr::radio

@@ -1,0 +1,130 @@
+// Behavioural model of the AT86RF215 I/Q radio transceiver.
+//
+// This is the platform's only RF chip for payload traffic (paper §3.1.1):
+// it exposes raw 13-bit I/Q at 4 MHz over LVDS, covers the 389.5-510 /
+// 779-1020 / 2400-2483.5 MHz bands, transmits up to +14 dBm, and has a
+// 3-5 dB noise figure front end with LNA + AGC on the receive chain.
+//
+// The model covers: band/frequency validation, the TRX state machine with
+// the measured switching delays (Table 4), DC power draw per state
+// (calibrated to Fig. 9 and Table 2), and the DAC/AGC/ADC signal path.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/types.hpp"
+#include "radio/quantizer.hpp"
+#include "radio/timing.hpp"
+
+namespace tinysdr::radio {
+
+enum class RadioState { kSleep, kTrxOff, kTxPrep, kTx, kRx };
+
+enum class Band { kSubGhz400, kSubGhz900, kIsm2400 };
+
+/// Which band a carrier frequency falls into, if any.
+[[nodiscard]] std::optional<Band> band_of(Hertz frequency);
+
+struct At86rf215Config {
+  Hertz sample_rate = Hertz::from_megahertz(4.0);
+  int adc_bits = 13;
+  double noise_figure_db = 4.0;
+  Dbm max_tx_power{14.0};
+  Dbm min_tx_power{-14.0};
+};
+
+/// Analog front-end impairments of a direct-conversion receiver. Defaults
+/// are the AT86RF215's typical (small) figures; the ablation bench sweeps
+/// them to show the demodulator's tolerance.
+struct RxImpairments {
+  double dc_offset = 0.0;           ///< DC leak, fraction of RMS signal
+  double iq_gain_imbalance_db = 0.0;///< Q-rail gain error
+  double iq_phase_skew_deg = 0.0;   ///< quadrature error
+  double cfo_hz = 0.0;              ///< residual LO offset
+
+  [[nodiscard]] bool any() const {
+    return dc_offset != 0.0 || iq_gain_imbalance_db != 0.0 ||
+           iq_phase_skew_deg != 0.0 || cfo_hz != 0.0;
+  }
+};
+
+/// TX DC power curve calibrated against the paper's Fig. 9 (whole-platform
+/// numbers minus the 108 mW FPGA+MCU+regulator baseline implied by §5.2's
+/// LoRa TX decomposition: 287 mW total, 179 mW radio).
+struct TxPowerCurve {
+  Milliwatts flat_region{123.0};   ///< DC draw at/below the knee
+  Dbm knee{0.0};                   ///< output level where DC starts rising
+  double slope_mw_per_mw = 2.16;   ///< dDC/dRF above the knee (1/efficiency)
+
+  [[nodiscard]] Milliwatts dc_draw(Dbm rf_output) const {
+    if (rf_output <= knee) return flat_region;
+    double extra = rf_output.milliwatts() - knee.milliwatts();
+    return flat_region + Milliwatts{extra * slope_mw_per_mw};
+  }
+};
+
+class At86rf215 {
+ public:
+  explicit At86rf215(At86rf215Config config = {});
+
+  [[nodiscard]] const At86rf215Config& config() const { return config_; }
+  [[nodiscard]] RadioState state() const { return state_; }
+  [[nodiscard]] Hertz frequency() const { return frequency_; }
+  [[nodiscard]] Dbm tx_power() const { return tx_power_; }
+  [[nodiscard]] Band band() const;
+
+  /// Accumulated time spent in state transitions since construction.
+  [[nodiscard]] Seconds transition_time() const { return transition_time_; }
+
+  /// @throws std::invalid_argument for frequencies outside all three bands.
+  void set_frequency(Hertz frequency);
+
+  /// @throws std::invalid_argument outside [min, max] TX power.
+  void set_tx_power(Dbm power);
+
+  /// State transitions; each returns the time it took (per Table 4) and
+  /// accrues into transition_time().
+  Seconds wake();           ///< kSleep  -> kTrxOff
+  Seconds sleep();          ///< any     -> kSleep
+  Seconds enter_tx();       ///< kTrxOff/kRx -> kTx
+  Seconds enter_rx();       ///< kTrxOff/kTx -> kRx
+  Seconds retune(Hertz f);  ///< frequency switch (any active state)
+
+  /// DC power draw in the current state (TX uses the calibrated curve).
+  [[nodiscard]] Milliwatts dc_power() const;
+
+  /// Transmit path: waveform -> DAC quantization. The input must be a
+  /// unit-power-normalised baseband block; the output is the DAC-shaped
+  /// waveform the antenna sees (still unit power scale — absolute power is
+  /// carried separately by tx_power()).
+  /// @throws std::logic_error unless in kTx.
+  [[nodiscard]] dsp::Samples transmit(const dsp::Samples& baseband) const;
+
+  /// Receive path: antenna waveform -> front-end impairments -> AGC ->
+  /// ADC quantization.
+  /// @throws std::logic_error unless in kRx.
+  [[nodiscard]] dsp::Samples receive(const dsp::Samples& rf) const;
+
+  void set_rx_impairments(RxImpairments imp) { impairments_ = imp; }
+  [[nodiscard]] const RxImpairments& rx_impairments() const {
+    return impairments_;
+  }
+
+  [[nodiscard]] const TimingModel& timing() const { return timing_; }
+
+ private:
+  At86rf215Config config_;
+  TimingModel timing_;
+  TxPowerCurve tx_curve_900_;
+  TxPowerCurve tx_curve_2400_;
+  IqQuantizer quantizer_;
+  RxImpairments impairments_;
+  RadioState state_ = RadioState::kSleep;
+  Hertz frequency_ = Hertz::from_megahertz(915.0);
+  Dbm tx_power_{0.0};
+  Seconds transition_time_{0.0};
+};
+
+}  // namespace tinysdr::radio

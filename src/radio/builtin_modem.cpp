@@ -1,0 +1,141 @@
+#include "radio/builtin_modem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitio.hpp"
+#include "common/crc.hpp"
+#include "dsp/nco.hpp"
+
+namespace tinysdr::radio {
+
+BuiltinFskModem::BuiltinFskModem(MrFskConfig config) : config_(config) {
+  if (config_.samples_per_symbol < 2)
+    throw std::invalid_argument("BuiltinFskModem: need >= 2 samples/symbol");
+}
+
+std::vector<bool> BuiltinFskModem::frame_bits(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() > 2047)
+    throw std::invalid_argument("BuiltinFskModem: payload exceeds PHR field");
+
+  BitWriter bits;
+  for (std::size_t i = 0; i < config_.preamble_bytes; ++i)
+    bits.push_byte_lsb_first(0x55);
+  bits.push_bits_lsb_first(kMrFskSfd, 16);
+  // PHR: 11-bit frame length (payload + 2 FCS bytes), 5 reserved bits.
+  auto frame_len = static_cast<std::uint16_t>(payload.size() + 2);
+  bits.push_bits_lsb_first(frame_len, 11);
+  bits.push_bits_lsb_first(0, 5);
+  for (std::uint8_t b : payload) bits.push_byte_lsb_first(b);
+  std::uint16_t fcs = crc16_ccitt(payload);
+  bits.push_bits_lsb_first(fcs, 16);
+  return bits.bits();
+}
+
+dsp::Samples BuiltinFskModem::modulate(
+    std::span<const std::uint8_t> payload) const {
+  auto bits = frame_bits(payload);
+  const double dev_cps =
+      config_.deviation_hz / config_.sample_rate().value();
+  dsp::Samples out;
+  out.reserve(bits.size() * config_.samples_per_symbol);
+  double phase = 0.0;
+  const auto& lut = dsp::SinCosLut::instance();
+  for (bool bit : bits) {
+    double step = bit ? dev_cps : -dev_cps;
+    for (std::uint32_t s = 0; s < config_.samples_per_symbol; ++s) {
+      phase += step;
+      double wrapped = phase - std::floor(phase);
+      out.push_back(
+          lut.lookup(static_cast<std::uint32_t>(wrapped * 4294967296.0)));
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> BuiltinFskModem::demodulate(
+    const dsp::Samples& iq) const {
+  const std::uint32_t sps = config_.samples_per_symbol;
+  if (iq.size() < sps * 48) return std::nullopt;
+
+  // Discriminator + integrate-and-dump at every offset; pick the offset
+  // with the strongest 0x55 preamble correlation.
+  std::vector<double> freq(iq.size() - 1);
+  for (std::size_t i = 1; i < iq.size(); ++i)
+    freq[i - 1] = std::arg(iq[i] * std::conj(iq[i - 1]));
+  // The discriminator yields N-1 samples for N inputs; replicate the last
+  // so the final bit keeps a full integrate-and-dump window.
+  freq.push_back(freq.back());
+
+  auto bits_at = [&](std::size_t offset) {
+    std::vector<bool> bits;
+    for (std::size_t start = offset; start + sps <= freq.size();
+         start += sps) {
+      double acc = 0.0;
+      for (std::uint32_t s = 0; s < sps; ++s) acc += freq[start + s];
+      bits.push_back(acc > 0.0);
+    }
+    return bits;
+  };
+
+  std::size_t best_offset = 0;
+  int best_score = -1;
+  for (std::size_t offset = 0; offset < sps; ++offset) {
+    auto bits = bits_at(offset);
+    int score = 0;
+    // 0x55 LSB-first = alternating 1,0,...
+    std::size_t check = std::min<std::size_t>(bits.size(), 24);
+    for (std::size_t i = 1; i < check; ++i)
+      if (bits[i] != bits[i - 1]) ++score;
+    if (score > best_score) {
+      best_score = score;
+      best_offset = offset;
+    }
+  }
+
+  auto bits = bits_at(best_offset);
+  // SFD hunt over bit positions.
+  for (std::size_t start = 0; start + 16 + 16 <= bits.size(); ++start) {
+    std::uint16_t window = 0;
+    for (int i = 0; i < 16; ++i)
+      window |= static_cast<std::uint16_t>(
+          (bits[start + static_cast<std::size_t>(i)] ? 1u : 0u) << i);
+    if (window != kMrFskSfd) continue;
+
+    std::size_t pos = start + 16;
+    if (pos + 16 > bits.size()) return std::nullopt;
+    std::uint16_t phr = 0;
+    for (int i = 0; i < 11; ++i)
+      phr |= static_cast<std::uint16_t>(
+          (bits[pos + static_cast<std::size_t>(i)] ? 1u : 0u) << i);
+    pos += 16;
+    if (phr < 2 || phr > 2049) continue;
+    std::size_t payload_len = phr - 2;
+    std::size_t need = (payload_len + 2) * 8;
+    if (pos + need > bits.size()) return std::nullopt;
+
+    std::vector<std::uint8_t> body;
+    for (std::size_t i = 0; i < payload_len + 2; ++i) {
+      std::uint8_t byte = 0;
+      for (int b = 0; b < 8; ++b)
+        byte |= static_cast<std::uint8_t>(
+            (bits[pos + i * 8 + static_cast<std::size_t>(b)] ? 1u : 0u) << b);
+      body.push_back(byte);
+    }
+    std::vector<std::uint8_t> payload(body.begin(),
+                                      body.end() - 2);
+    std::uint16_t fcs = static_cast<std::uint16_t>(
+        body[payload_len] | (body[payload_len + 1] << 8));
+    if (crc16_ccitt(payload) == fcs) return payload;
+  }
+  return std::nullopt;
+}
+
+Seconds BuiltinFskModem::airtime(std::size_t payload_bytes) const {
+  std::size_t bits =
+      (config_.preamble_bytes + 2 + 2 + payload_bytes + 2) * 8;
+  return Seconds{static_cast<double>(bits) / config_.symbol_rate};
+}
+
+}  // namespace tinysdr::radio

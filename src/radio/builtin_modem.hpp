@@ -1,0 +1,64 @@
+// AT86RF215 built-in modem path (paper §3.1.1).
+//
+// The radio chip "has built in support for common modulations such as
+// MR-FSK, MR-OFDM, MR-O-QPSK and O-QPSK that can save FPGA resources or
+// power by bypassing the FPGA entirely". We model the MR-FSK (802.15.4g)
+// path: frame assembly (preamble + SFD + PHR + payload + FCS), 2-FSK
+// modulation and a discriminator receiver — all inside the "radio chip",
+// so the FPGA can stay powered down for simple telemetry. A power
+// comparison against the FPGA I/Q path is exposed for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/types.hpp"
+
+namespace tinysdr::radio {
+
+struct MrFskConfig {
+  double symbol_rate = 50e3;     ///< 802.15.4g base mode: 50 kb/s
+  double deviation_hz = 25e3;    ///< h = 1.0
+  std::uint32_t samples_per_symbol = 8;
+  std::size_t preamble_bytes = 4;  ///< 0x55 repeated
+
+  [[nodiscard]] Hertz sample_rate() const {
+    return Hertz{symbol_rate * samples_per_symbol};
+  }
+};
+
+/// 802.15.4g MR-FSK SFD for uncoded mode.
+inline constexpr std::uint16_t kMrFskSfd = 0x7209;
+
+class BuiltinFskModem {
+ public:
+  explicit BuiltinFskModem(MrFskConfig config = {});
+
+  [[nodiscard]] const MrFskConfig& config() const { return config_; }
+
+  /// Assemble a PHY frame: preamble | SFD | PHR(len) | payload | FCS16.
+  /// @throws std::invalid_argument for payloads > 2047 B (11-bit length).
+  [[nodiscard]] std::vector<bool> frame_bits(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Frame -> baseband I/Q (2-FSK, rectangular pulses — MR-FSK base mode).
+  [[nodiscard]] dsp::Samples modulate(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Receive: discriminator, preamble correlation for bit timing, SFD
+  /// hunt, PHR parse, FCS check. Returns the payload or nullopt.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> demodulate(
+      const dsp::Samples& iq) const;
+
+  /// Airtime of a frame.
+  [[nodiscard]] Seconds airtime(std::size_t payload_bytes) const;
+
+ private:
+  MrFskConfig config_;
+};
+
+}  // namespace tinysdr::radio

@@ -1,0 +1,82 @@
+// RF front-end models: the SE2435L (sub-GHz) and SKY66112 (2.4 GHz)
+// PA/LNA chips with their bypass switches, plus the ADG904 SP4T RF switch
+// that shares the 900 MHz antenna between the I/Q radio and the OTA
+// backbone radio (paper §3.1.1, §3.2.3).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tinysdr::radio {
+
+enum class FrontendMode {
+  kSleep,      ///< both PA and LNA off (1 uA)
+  kBypass,     ///< signal routed around PA/LNA (280 uA max)
+  kTransmit,   ///< PA active
+  kReceive,    ///< LNA active
+};
+
+/// Parameters for one front-end chip.
+struct FrontendSpec {
+  std::string name;
+  Dbm max_output{27.0};
+  double lna_gain_db = 12.0;
+  double pa_gain_db = 16.0;
+  /// Drain efficiency of the PA at max output (fraction).
+  double pa_efficiency = 0.30;
+  double sleep_current_ua = 1.0;
+  double bypass_current_ua = 280.0;
+  double supply_volts = 3.5;
+};
+
+/// SE2435L: 900 MHz front-end, up to +30 dBm.
+[[nodiscard]] FrontendSpec se2435l_spec();
+/// SKY66112: 2.4 GHz front-end, up to +27 dBm.
+[[nodiscard]] FrontendSpec sky66112_spec();
+
+/// One PA/LNA front-end instance with mode control.
+class Frontend {
+ public:
+  explicit Frontend(FrontendSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const FrontendSpec& spec() const { return spec_; }
+  [[nodiscard]] FrontendMode mode() const { return mode_; }
+  void set_mode(FrontendMode mode) { mode_ = mode; }
+
+  /// Output power for a given radio-chip output, given the current mode.
+  /// In bypass the signal passes through unamplified; in transmit the PA
+  /// adds its gain up to the saturation limit.
+  [[nodiscard]] Dbm output_power(Dbm radio_output) const;
+
+  /// Effective receive gain ahead of the radio (LNA in kReceive, 0 dB in
+  /// bypass).
+  [[nodiscard]] double receive_gain_db() const;
+
+  /// DC power draw in the current mode at the given RF output power
+  /// (transmit mode only; other modes use the static currents).
+  [[nodiscard]] Milliwatts dc_power(Dbm rf_output = Dbm{0.0}) const;
+
+ private:
+  FrontendSpec spec_;
+  FrontendMode mode_ = FrontendMode::kSleep;
+};
+
+/// ADG904 SP4T switch: selects between the I/Q radio's 900 MHz port and the
+/// backbone radio's separate TX and RX paths.
+enum class RfPath { kIqRadio900, kBackboneTx, kBackboneRx, kUnused };
+
+class RfSwitch {
+ public:
+  [[nodiscard]] RfPath selected() const { return selected_; }
+  void select(RfPath path) { selected_ = path; }
+
+  /// Insertion loss of the switch (datasheet ~0.8 dB at 1 GHz).
+  [[nodiscard]] static double insertion_loss_db() { return 0.8; }
+
+ private:
+  RfPath selected_ = RfPath::kIqRadio900;
+};
+
+}  // namespace tinysdr::radio

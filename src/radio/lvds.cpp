@@ -1,0 +1,117 @@
+#include "radio/lvds.hpp"
+
+#include <stdexcept>
+
+namespace tinysdr::radio {
+
+namespace {
+constexpr std::int32_t kMax13 = 4095;
+constexpr std::int32_t kMin13 = -4096;
+}  // namespace
+
+std::uint16_t encode_sample13(std::int32_t value) {
+  if (value < kMin13 || value > kMax13)
+    throw std::out_of_range("encode_sample13: value outside 13-bit range");
+  return static_cast<std::uint16_t>(value & 0x1FFF);
+}
+
+std::int32_t decode_sample13(std::uint16_t raw) {
+  std::int32_t v = raw & 0x1FFF;
+  if (v & 0x1000) v -= 0x2000;  // sign-extend bit 12
+  return v;
+}
+
+void LvdsSerializer::push(const IqWord& word) {
+  auto push_field = [this](std::uint32_t value, int bits) {
+    for (int b = bits - 1; b >= 0; --b) bits_.push_back((value >> b) & 1u);
+  };
+  push_field(kISync, 2);
+  push_field(encode_sample13(word.i), kSampleBits);
+  bits_.push_back(word.i_ctrl);
+  push_field(kQSync, 2);
+  push_field(encode_sample13(word.q), kSampleBits);
+  bits_.push_back(word.q_ctrl);
+}
+
+void LvdsSerializer::push_samples(
+    const std::vector<IqQuantizer::CodePair>& codes) {
+  for (const auto& c : codes) push(IqWord{c.i, c.q, false, false});
+}
+
+std::optional<IqWord> LvdsDeserializer::parse_at(std::size_t start) const {
+  // Parse 32 bits of window_ starting at `start` (MSB-first fields).
+  auto field = [this, start](std::size_t offset, int bits) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < bits; ++b)
+      v = (v << 1) |
+          (window_[start + offset + static_cast<std::size_t>(b)] ? 1u : 0u);
+    return v;
+  };
+  if (field(0, 2) != kISync) return std::nullopt;
+  if (field(16, 2) != kQSync) return std::nullopt;
+  IqWord w;
+  w.i = decode_sample13(static_cast<std::uint16_t>(field(2, kSampleBits)));
+  w.i_ctrl = window_[start + 15];
+  w.q = decode_sample13(static_cast<std::uint16_t>(field(18, kSampleBits)));
+  w.q_ctrl = window_[start + 31];
+  return w;
+}
+
+void LvdsDeserializer::feed(bool bit) {
+  window_.push_back(bit);
+
+  if (in_sync_) {
+    if (window_.size() < static_cast<std::size_t>(kWordBits)) return;
+    auto word = parse_at(0);
+    if (word) {
+      words_.push_back(*word);
+      window_.clear();
+    } else {
+      // Bit slip: fall back to hunting over the stale window.
+      in_sync_ = false;
+    }
+    return;
+  }
+
+  // Hunting: require two back-to-back parsable words (64 bits) before
+  // declaring lock — a single 4-bit sync match false-fires too often on
+  // random sample data.
+  const auto hunt_bits = static_cast<std::size_t>(2 * kWordBits);
+  if (window_.size() < hunt_bits) return;
+  while (window_.size() > hunt_bits) {
+    window_.erase(window_.begin());
+    ++slipped_;
+  }
+  auto first = parse_at(0);
+  auto second = parse_at(static_cast<std::size_t>(kWordBits));
+  if (first && second) {
+    words_.push_back(*first);
+    words_.push_back(*second);
+    window_.clear();
+    in_sync_ = true;
+  } else {
+    window_.erase(window_.begin());
+    ++slipped_;
+  }
+}
+
+void LvdsDeserializer::feed(const std::vector<bool>& bits) {
+  for (bool b : bits) feed(b);
+}
+
+std::vector<IqWord> LvdsDeserializer::take_words() {
+  std::vector<IqWord> out;
+  out.swap(words_);
+  return out;
+}
+
+std::vector<IqWord> lvds_roundtrip(
+    const std::vector<IqQuantizer::CodePair>& codes) {
+  LvdsSerializer ser;
+  ser.push_samples(codes);
+  LvdsDeserializer des;
+  des.feed(ser.bits());
+  return des.take_words();
+}
+
+}  // namespace tinysdr::radio

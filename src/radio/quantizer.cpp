@@ -1,0 +1,46 @@
+#include "radio/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tinysdr::radio {
+
+IqQuantizer::IqQuantizer(int bits, float full_scale)
+    : bits_(bits), full_scale_(full_scale) {
+  if (bits < 2 || bits > 24)
+    throw std::invalid_argument("IqQuantizer: bits out of range");
+  if (full_scale <= 0.0f)
+    throw std::invalid_argument("IqQuantizer: full_scale <= 0");
+  max_code_ = (std::int32_t{1} << (bits - 1)) - 1;
+  step_ = full_scale_ / static_cast<float>(max_code_);
+}
+
+std::int32_t IqQuantizer::quantize(float value) const {
+  float scaled = value / step_;
+  auto code = static_cast<std::int32_t>(std::lround(scaled));
+  return std::clamp(code, -max_code_ - 1, max_code_);
+}
+
+float IqQuantizer::dequantize(std::int32_t code) const {
+  return static_cast<float>(code) * step_;
+}
+
+IqQuantizer::CodePair IqQuantizer::quantize(dsp::Complex sample) const {
+  return CodePair{quantize(sample.real()), quantize(sample.imag())};
+}
+
+dsp::Complex IqQuantizer::dequantize(CodePair codes) const {
+  return dsp::Complex{dequantize(codes.i), dequantize(codes.q)};
+}
+
+dsp::Samples IqQuantizer::roundtrip(const dsp::Samples& in) const {
+  dsp::Samples out;
+  out.reserve(in.size());
+  for (const auto& s : in) out.push_back(dequantize(quantize(s)));
+  return out;
+}
+
+double IqQuantizer::ideal_snr_db() const { return 6.02 * bits_ + 1.76; }
+
+}  // namespace tinysdr::radio

@@ -1,0 +1,56 @@
+// ADC/DAC quantization model for the AT86RF215 I/Q data path.
+//
+// The radio samples baseband at 4 MHz with 13-bit resolution per rail
+// (paper §3.2.1). Both directions matter: the demodulator sees ADC-quantized
+// samples and the modulator's waveform passes through the DAC. We model a
+// mid-tread uniform quantizer with saturation.
+#pragma once
+
+#include <cstdint>
+
+#include "dsp/types.hpp"
+
+namespace tinysdr::radio {
+
+/// Uniform mid-tread quantizer with configurable bit depth.
+class IqQuantizer {
+ public:
+  /// @param bits        resolution per rail (AT86RF215: 13)
+  /// @param full_scale  analog amplitude mapped to code extremes
+  explicit IqQuantizer(int bits = 13, float full_scale = 1.0f);
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] float full_scale() const { return full_scale_; }
+
+  /// Max positive code (2^(bits-1) - 1).
+  [[nodiscard]] std::int32_t max_code() const { return max_code_; }
+
+  /// Quantize one rail value to an integer code (saturating).
+  [[nodiscard]] std::int32_t quantize(float value) const;
+
+  /// Convert a code back to an analog value.
+  [[nodiscard]] float dequantize(std::int32_t code) const;
+
+  /// Quantize a complex sample to a pair of codes.
+  struct CodePair {
+    std::int32_t i;
+    std::int32_t q;
+  };
+  [[nodiscard]] CodePair quantize(dsp::Complex sample) const;
+  [[nodiscard]] dsp::Complex dequantize(CodePair codes) const;
+
+  /// Round-trip an entire block through the quantizer (what the ADC/DAC
+  /// does to a waveform).
+  [[nodiscard]] dsp::Samples roundtrip(const dsp::Samples& in) const;
+
+  /// Theoretical quantization SNR for a full-scale sine (6.02*bits + 1.76).
+  [[nodiscard]] double ideal_snr_db() const;
+
+ private:
+  int bits_;
+  float full_scale_;
+  std::int32_t max_code_;
+  float step_;
+};
+
+}  // namespace tinysdr::radio

@@ -1,0 +1,137 @@
+#include "sigfox/unb.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/bitio.hpp"
+#include "common/crc.hpp"
+
+namespace tinysdr::sigfox {
+
+UnbModem::UnbModem(UnbConfig config) : config_(config) {
+  if (config_.samples_per_bit < 4)
+    throw std::invalid_argument("UnbModem: need >= 4 samples/bit");
+  if (config_.transition_fraction <= 0.0 ||
+      config_.transition_fraction > 0.5)
+    throw std::invalid_argument("UnbModem: transition fraction in (0, 0.5]");
+}
+
+std::vector<bool> UnbModem::frame_bits(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() > kMaxPayload)
+    throw std::invalid_argument("UnbModem: Sigfox payloads cap at 12 B");
+  BitWriter bits;
+  for (int i = 0; i < 20; ++i) bits.push_bit(i % 2 == 0);  // 1010... preamble
+  bits.push_bits_msb_first(kSyncWord, 16);
+  bits.push_bits_msb_first(payload.size(), 4);
+  for (std::uint8_t b : payload) bits.push_bits_msb_first(b, 8);
+  std::uint16_t crc = crc16_ccitt(payload);
+  bits.push_bits_msb_first(crc, 16);
+  return bits.bits();
+}
+
+dsp::Samples UnbModem::modulate(std::span<const std::uint8_t> payload) const {
+  auto bits = frame_bits(payload);
+  const std::uint32_t spb = config_.samples_per_bit;
+  const auto trans = static_cast<std::uint32_t>(
+      config_.transition_fraction * static_cast<double>(spb));
+
+  // Differential encoding: '0' flips the carrier phase, '1' keeps it.
+  dsp::Samples out;
+  out.reserve((bits.size() + 1) * spb);
+  double phase = 0.0;  // 0 or pi
+  // One reference bit period before the data so the differential receiver
+  // has a phase anchor.
+  for (std::uint32_t s = 0; s < spb; ++s)
+    out.push_back(dsp::Complex{1.0f, 0.0f});
+
+  for (bool bit : bits) {
+    double target = bit ? phase : (phase == 0.0 ? std::numbers::pi : 0.0);
+    for (std::uint32_t s = 0; s < spb; ++s) {
+      double p;
+      if (s < trans && target != phase) {
+        // Smooth raised-cosine phase ramp across the transition region.
+        double x = static_cast<double>(s) / static_cast<double>(trans);
+        double blend = 0.5 * (1.0 - std::cos(std::numbers::pi * x));
+        p = phase + (target - phase) * blend;
+      } else {
+        p = target;
+      }
+      out.push_back(dsp::Complex{static_cast<float>(std::cos(p)),
+                                 static_cast<float>(std::sin(p))});
+    }
+    phase = target;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> UnbModem::demodulate(
+    const dsp::Samples& iq) const {
+  const std::uint32_t spb = config_.samples_per_bit;
+  if (iq.size() < spb * 40) return std::nullopt;
+
+  // Differential detection per offset: bit k decision =
+  // sign(Re sum x[n] conj(x[n - spb])) over the bit's stable region.
+  auto bits_at = [&](std::size_t offset) {
+    std::vector<bool> bits;
+    const std::uint32_t guard = spb / 2;  // skip the transition region
+    for (std::size_t start = offset + spb; start + spb <= iq.size();
+         start += spb) {
+      double acc = 0.0;
+      for (std::uint32_t s = guard; s < spb; ++s) {
+        auto d = iq[start + s] * std::conj(iq[start + s - spb]);
+        acc += d.real();
+      }
+      bits.push_back(acc > 0.0);
+    }
+    return bits;
+  };
+
+  // Sync hunt over sample offsets and bit positions.
+  for (std::size_t offset = 0; offset < spb; ++offset) {
+    auto bits = bits_at(offset);
+    for (std::size_t start = 0; start + 16 + 4 <= bits.size(); ++start) {
+      // Check sync word at candidate position (after >= 6 preamble bits).
+      std::uint16_t sync = 0;
+      for (int i = 0; i < 16; ++i)
+        sync = static_cast<std::uint16_t>(
+            (sync << 1) | (bits[start + static_cast<std::size_t>(i)] ? 1 : 0));
+      if (sync != kSyncWord) continue;
+
+      std::size_t pos = start + 16;
+      std::uint8_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len = static_cast<std::uint8_t>((len << 1) | (bits[pos + static_cast<std::size_t>(i)] ? 1 : 0));
+      pos += 4;
+      if (len > kMaxPayload) continue;
+      std::size_t need = (static_cast<std::size_t>(len) + 2) * 8;
+      if (pos + need > bits.size()) continue;
+
+      std::vector<std::uint8_t> payload;
+      for (std::size_t b = 0; b < len; ++b) {
+        std::uint8_t byte = 0;
+        for (int i = 0; i < 8; ++i)
+          byte = static_cast<std::uint8_t>(
+              (byte << 1) |
+              (bits[pos + b * 8 + static_cast<std::size_t>(i)] ? 1 : 0));
+        payload.push_back(byte);
+      }
+      pos += static_cast<std::size_t>(len) * 8;
+      std::uint16_t crc = 0;
+      for (int i = 0; i < 16; ++i)
+        crc = static_cast<std::uint16_t>(
+            (crc << 1) | (bits[pos + static_cast<std::size_t>(i)] ? 1 : 0));
+      if (crc16_ccitt(payload) == crc) return payload;
+    }
+  }
+  return std::nullopt;
+}
+
+Seconds UnbModem::airtime(std::size_t payload_bytes) const {
+  double bits = 20.0 + 16.0 + 4.0 +
+                static_cast<double>(payload_bytes) * 8.0 + 16.0 + 1.0;
+  return Seconds{bits / kBitRate};
+}
+
+}  // namespace tinysdr::sigfox

@@ -1,0 +1,59 @@
+#include "testbed/campaign.hpp"
+
+namespace tinysdr::testbed {
+
+std::size_t CampaignResult::successes() const {
+  std::size_t n = 0;
+  for (const auto& r : per_node)
+    if (r.success) ++n;
+  return n;
+}
+
+Seconds CampaignResult::mean_time() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : per_node) {
+    if (!r.success) continue;
+    sum += r.total_time.value();
+    ++n;
+  }
+  return n == 0 ? Seconds{0.0} : Seconds{sum / static_cast<double>(n)};
+}
+
+Millijoules CampaignResult::mean_energy() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : per_node) {
+    if (!r.success) continue;
+    sum += r.total_energy.value();
+    ++n;
+  }
+  return n == 0 ? Millijoules{0.0}
+                : Millijoules{sum / static_cast<double>(n)};
+}
+
+std::vector<CdfPoint> CampaignResult::time_cdf_minutes() const {
+  std::vector<double> minutes;
+  for (const auto& r : per_node)
+    if (r.success) minutes.push_back(r.total_time.value() / 60.0);
+  return empirical_cdf(std::move(minutes));
+}
+
+CampaignResult run_campaign(const Deployment& deployment,
+                            const fpga::FirmwareImage& image,
+                            ota::UpdateTarget target, Rng& rng) {
+  CampaignResult result;
+  result.image_name = image.name;
+  ota::UpdatePlanner planner;
+  for (const auto& node : deployment.nodes()) {
+    ota::OtaLink link{ota::ota_link_params(), node.rssi,
+                      Rng{rng.next_u32(), node.id}};
+    ota::FlashModel flash;
+    mcu::Msp432 mcu = mcu::baseline_firmware();
+    result.per_node.push_back(
+        planner.run(image, target, node.id, link, flash, mcu));
+  }
+  return result;
+}
+
+}  // namespace tinysdr::testbed

@@ -1,0 +1,33 @@
+// OTA programming campaign across the testbed (paper §5.3 / Fig. 14).
+//
+// Runs the full update pipeline against every node in a deployment and
+// collects per-node programming times, reproducing the Fig. 14 CDFs for
+// the LoRa FPGA image (579 kB -> ~99 kB), BLE FPGA image (-> ~40 kB) and
+// the MCU programs (78 kB -> ~24 kB).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ota/update.hpp"
+#include "testbed/deployment.hpp"
+
+namespace tinysdr::testbed {
+
+struct CampaignResult {
+  std::string image_name;
+  std::vector<ota::UpdateReport> per_node;
+
+  [[nodiscard]] std::size_t successes() const;
+  [[nodiscard]] Seconds mean_time() const;
+  [[nodiscard]] Millijoules mean_energy() const;
+  /// CDF of per-node total programming time in minutes (Fig. 14's x-axis).
+  [[nodiscard]] std::vector<CdfPoint> time_cdf_minutes() const;
+};
+
+/// Update every node in the deployment with the given image.
+[[nodiscard]] CampaignResult run_campaign(const Deployment& deployment,
+                                          const fpga::FirmwareImage& image,
+                                          ota::UpdateTarget target, Rng& rng);
+
+}  // namespace tinysdr::testbed

@@ -1,0 +1,128 @@
+#include "ble/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::ble {
+namespace {
+
+AdvPacket beacon() {
+  AdvPacket p;
+  p.adv_address = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06};
+  p.adv_data = {0x02, 0x01, 0x06, 0x03, 0xFF, 0xAB, 0xCD};
+  return p;
+}
+
+TEST(AdvPacket, PduLayout) {
+  auto pdu = beacon().pdu();
+  ASSERT_EQ(pdu.size(), 2u + 6u + 7u);
+  EXPECT_EQ(pdu[0], 0x02);  // ADV_NONCONN_IND
+  EXPECT_EQ(pdu[1], 13);    // 6 + 7
+  EXPECT_EQ(pdu[2], 0x01);  // AdvA LSB first
+}
+
+TEST(AdvPacket, RejectsOversizeData) {
+  AdvPacket p;
+  p.adv_data.resize(32);
+  EXPECT_THROW(p.pdu(), std::invalid_argument);
+}
+
+TEST(AdvPacket, AirSizeForEmptyData) {
+  AdvPacket p;
+  // 1 + 4 + 2 + 6 + 0 + 3 = 16 bytes -> 128 us at 1 Mbps.
+  EXPECT_EQ(air_bytes(p), 16u);
+  EXPECT_NEAR(airtime_us(p), 128.0, 1e-9);
+}
+
+TEST(Whitener, SelfInverse) {
+  std::vector<std::uint8_t> data{0x00, 0xFF, 0x42, 0xA5};
+  Whitener w1{37};
+  auto whitened = w1.apply(data);
+  Whitener w2{37};
+  EXPECT_EQ(w2.apply(whitened), data);
+}
+
+TEST(Whitener, ChannelDependentSequence) {
+  std::vector<std::uint8_t> data(8, 0x00);
+  Whitener a{37}, b{38};
+  EXPECT_NE(a.apply(data), b.apply(data));
+}
+
+TEST(Whitener, Period127) {
+  // Maximal-length 7-bit LFSR: sequence repeats every 127 bits.
+  Whitener w{37};
+  std::vector<bool> seq;
+  for (int i = 0; i < 254; ++i) seq.push_back(w.next_bit());
+  for (int i = 0; i < 127; ++i) EXPECT_EQ(seq[i], seq[i + 127]);
+}
+
+TEST(Whitener, RejectsBadChannel) {
+  EXPECT_THROW(Whitener{-1}, std::invalid_argument);
+  EXPECT_THROW(Whitener{40}, std::invalid_argument);
+}
+
+TEST(AirBits, StartsWithPreambleAndAccessAddress) {
+  auto bits = assemble_air_bits(beacon(), 37);
+  // Preamble 0xAA LSB-first: 0,1,0,1,...
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(bits[static_cast<std::size_t>(i)], i % 2 == 1);
+  // Access address LSB-first.
+  std::uint32_t aa = 0;
+  for (int i = 0; i < 32; ++i)
+    aa |= static_cast<std::uint32_t>(bits[8 + static_cast<std::size_t>(i)] ? 1u : 0u) << i;
+  EXPECT_EQ(aa, kAccessAddress);
+}
+
+TEST(AirBits, LengthMatchesAirBytes) {
+  auto p = beacon();
+  EXPECT_EQ(assemble_air_bits(p, 38).size(), air_bytes(p) * 8);
+}
+
+class ChannelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelSweep, AssembleParseRoundTrip) {
+  int channel = GetParam();
+  auto p = beacon();
+  auto bits = assemble_air_bits(p, channel);
+  auto parsed = parse_air_bits(bits, channel);
+  ASSERT_TRUE(parsed.has_value()) << "channel " << channel;
+  EXPECT_EQ(parsed->packet.adv_address, p.adv_address);
+  EXPECT_EQ(parsed->packet.adv_data, p.adv_data);
+  EXPECT_EQ(parsed->packet.type, PduType::kAdvNonconnInd);
+}
+
+INSTANTIATE_TEST_SUITE_P(AdvChannels, ChannelSweep,
+                         ::testing::Values(37, 38, 39));
+
+TEST(ParseAirBits, WrongChannelWhiteningFailsCrc) {
+  auto bits = assemble_air_bits(beacon(), 37);
+  EXPECT_FALSE(parse_air_bits(bits, 38).has_value());
+}
+
+TEST(ParseAirBits, CorruptedPayloadFailsCrc) {
+  auto bits = assemble_air_bits(beacon(), 37);
+  bits[8 + 32 + 20] = !bits[8 + 32 + 20];  // flip a PDU bit
+  EXPECT_FALSE(parse_air_bits(bits, 37).has_value());
+}
+
+TEST(ParseAirBits, ToleratesLeadingGarbage) {
+  auto bits = assemble_air_bits(beacon(), 39);
+  std::vector<bool> padded(13, false);
+  padded.insert(padded.end(), bits.begin(), bits.end());
+  auto parsed = parse_air_bits(padded, 39);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->packet.adv_data, beacon().adv_data);
+}
+
+TEST(ParseAirBits, RejectsTooShort) {
+  std::vector<bool> tiny(30, false);
+  EXPECT_FALSE(parse_air_bits(tiny, 37).has_value());
+}
+
+TEST(AdvChannels, PaperFrequencies) {
+  EXPECT_EQ(kAdvChannels[0].index, 37);
+  EXPECT_DOUBLE_EQ(kAdvChannels[0].freq_mhz, 2402.0);
+  EXPECT_DOUBLE_EQ(kAdvChannels[1].freq_mhz, 2426.0);
+  EXPECT_DOUBLE_EQ(kAdvChannels[2].freq_mhz, 2480.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::ble

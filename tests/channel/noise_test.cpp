@@ -1,0 +1,104 @@
+#include "channel/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tinysdr::channel {
+namespace {
+
+TEST(NoiseFloor, MatchesTextbookFormula) {
+  // -174 + 10log10(125k) + 6 = -117.03 dBm.
+  Dbm floor = noise_floor(Hertz::from_kilohertz(125.0), 6.0);
+  EXPECT_NEAR(floor.value(), -117.03, 0.05);
+}
+
+TEST(NoiseFloor, DoublingBandwidthAddsThreeDb) {
+  Dbm f125 = noise_floor(Hertz::from_kilohertz(125.0));
+  Dbm f250 = noise_floor(Hertz::from_kilohertz(250.0));
+  EXPECT_NEAR(f250 - f125, 3.01, 0.02);
+}
+
+TEST(AwgnChannel, SnrMatchesRequested) {
+  Rng rng{42};
+  AwgnChannel chan{Hertz::from_kilohertz(125.0), 6.0, rng};
+  // Unit-power signal of ones.
+  dsp::Samples signal(50000, dsp::Complex{1.0f, 0.0f});
+  double snr_db = 10.0;
+  auto noisy = chan.apply_snr(signal, snr_db);
+
+  // Measure noise power as deviation from the known signal.
+  double noise_power = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i)
+    noise_power += std::norm(noisy[i] - signal[i]);
+  noise_power /= static_cast<double>(noisy.size());
+  EXPECT_NEAR(10.0 * std::log10(1.0 / noise_power), snr_db, 0.2);
+}
+
+TEST(AwgnChannel, RssiMapping) {
+  Rng rng{7};
+  AwgnChannel chan{Hertz::from_kilohertz(125.0), 6.0, rng};
+  // RSSI at the floor => 0 dB SNR.
+  EXPECT_NEAR(chan.snr_db(chan.floor()), 0.0, 1e-9);
+  EXPECT_NEAR(chan.snr_db(chan.floor() + 10.0), 10.0, 1e-9);
+}
+
+TEST(AwgnChannel, NoiseOnlyPowerCalibrated) {
+  Rng rng{19};
+  AwgnChannel chan{Hertz::from_kilohertz(125.0), 6.0, rng};
+  Dbm ref = chan.floor() + 6.0;  // signal would be 6 dB above floor
+  auto noise = chan.noise_only(100000, ref);
+  double p = dsp::mean_power(noise);
+  // Noise power relative to unit signal = 10^(-6/10).
+  EXPECT_NEAR(10.0 * std::log10(p), -6.0, 0.2);
+}
+
+TEST(Superpose, RelativePowerScaling) {
+  dsp::Samples a(1000, dsp::Complex{1.0f, 0.0f});
+  dsp::Samples b(1000, dsp::Complex{1.0f, 0.0f});
+  auto combined = superpose(a, b, -20.0);
+  // b is 20 dB below a: amplitude contribution 0.1.
+  EXPECT_NEAR(combined[0].real(), 1.1f, 1e-4);
+}
+
+TEST(Superpose, OffsetPlacement) {
+  dsp::Samples a(10, dsp::Complex{0.0f, 0.0f});
+  dsp::Samples b(3, dsp::Complex{1.0f, 0.0f});
+  auto combined = superpose(a, b, 0.0, 5);
+  EXPECT_NEAR(combined[4].real(), 0.0f, 1e-6);
+  EXPECT_NEAR(combined[5].real(), 1.0f, 1e-6);
+  EXPECT_NEAR(combined[7].real(), 1.0f, 1e-6);
+  EXPECT_NEAR(combined[8].real(), 0.0f, 1e-6);
+}
+
+TEST(Superpose, TruncatesAtEnd) {
+  dsp::Samples a(4, dsp::Complex{0.0f, 0.0f});
+  dsp::Samples b(10, dsp::Complex{1.0f, 0.0f});
+  auto combined = superpose(a, b, 0.0, 2);
+  EXPECT_EQ(combined.size(), 4u);
+  EXPECT_NEAR(combined[3].real(), 1.0f, 1e-6);
+}
+
+TEST(ApplyCfo, ShiftsToneFrequency) {
+  // A DC block with CFO applied becomes a tone at the CFO frequency.
+  dsp::Samples dc(1000, dsp::Complex{1.0f, 0.0f});
+  auto shifted = apply_cfo(dc, 0.1);
+  // Check the rotation rate between consecutive samples: 0.1 cycles.
+  for (std::size_t i = 1; i < 10; ++i) {
+    auto rot = shifted[i] * std::conj(shifted[i - 1]);
+    double angle = std::arg(rot) / (2.0 * 3.14159265358979);
+    EXPECT_NEAR(angle, 0.1, 1e-3);
+  }
+}
+
+TEST(ApplyCfo, ZeroCfoIsIdentity) {
+  dsp::Samples x{{1, 2}, {3, -4}, {0.5, 0.25}};
+  auto y = apply_cfo(x, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-6);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tinysdr::channel

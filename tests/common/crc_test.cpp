@@ -1,0 +1,78 @@
+#include "common/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace tinysdr {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  std::vector<std::uint8_t> data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data), 0x29B1);
+}
+
+TEST(Crc16, EmptyIsInit) {
+  EXPECT_EQ(crc16_ccitt(std::span<const std::uint8_t>{}), 0xFFFF);
+}
+
+TEST(Crc16, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data{0xDE, 0xAD, 0xBE, 0xEF};
+  std::uint16_t good = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = data;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16_ccitt(corrupted), good)
+          << "undetected flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926.
+  std::vector<std::uint8_t> data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32_ieee(data), 0xCBF43926u);
+}
+
+TEST(BleCrc24, InitialState) {
+  BleCrc24 crc;
+  EXPECT_EQ(crc.value(), 0x555555u);
+}
+
+TEST(BleCrc24, ZeroBitsShiftState) {
+  // Feeding zeros only shifts/feedbacks; state must stay within 24 bits.
+  BleCrc24 crc;
+  for (int i = 0; i < 100; ++i) crc.feed_bit(false);
+  EXPECT_LE(crc.value(), 0xFFFFFFu);
+}
+
+TEST(BleCrc24, DetectsBitFlipInPdu) {
+  std::vector<std::uint8_t> pdu{0x42, 0x10, 0x01, 0x02, 0x03};
+  std::uint32_t good = ble_crc24(pdu);
+  for (std::size_t byte = 0; byte < pdu.size(); ++byte) {
+    auto corrupted = pdu;
+    corrupted[byte] ^= 0x01;
+    EXPECT_NE(ble_crc24(corrupted), good);
+  }
+}
+
+TEST(BleCrc24, LinearityProperty) {
+  // CRC of x ^ e equals CRC of x ^ CRC0(e) ^ CRC0(0) for LFSR CRCs with the
+  // same length input — verify the weaker property that equal PDUs give
+  // equal CRCs and order matters.
+  std::vector<std::uint8_t> a{0x01, 0x02};
+  std::vector<std::uint8_t> b{0x02, 0x01};
+  EXPECT_EQ(ble_crc24(a), ble_crc24(a));
+  EXPECT_NE(ble_crc24(a), ble_crc24(b));
+}
+
+TEST(BleCrc24, DifferentInitDifferentResult) {
+  std::vector<std::uint8_t> pdu{0xAA, 0xBB};
+  EXPECT_NE(ble_crc24(pdu, 0x555555), ble_crc24(pdu, 0x000000));
+}
+
+}  // namespace
+}  // namespace tinysdr

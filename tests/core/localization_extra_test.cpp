@@ -1,0 +1,57 @@
+// Additional localization properties: residual as a quality signal, tone
+// count scaling, and configuration edge cases.
+#include <gtest/gtest.h>
+
+#include "core/localization.hpp"
+
+namespace tinysdr::core {
+namespace {
+
+TEST(PhaseRangingQuality, ResidualGrowsWithNoise) {
+  RangingConfig cfg;
+  Rng rng{8};
+  auto clean = simulate_phase_sweep(cfg, 50.0, 0.0, rng);
+  auto noisy = simulate_phase_sweep(cfg, 50.0, 0.3, rng);
+  double r_clean = estimate_range(cfg, clean).residual_rad;
+  double r_noisy = estimate_range(cfg, noisy).residual_rad;
+  EXPECT_LT(r_clean, 0.01);
+  EXPECT_GT(r_noisy, r_clean);
+}
+
+TEST(PhaseRangingQuality, MoreTonesReduceNoiseError) {
+  RangingConfig few;
+  few.tones = 4;
+  RangingConfig many;
+  many.tones = 16;
+  double err_few = 0.0, err_many = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    Rng rng_few{static_cast<std::uint64_t>(t)};
+    Rng rng_many{static_cast<std::uint64_t>(t)};
+    double d = 20.0 + 10.0 * t;
+    auto s1 = simulate_phase_sweep(few, d, 0.25, rng_few);
+    auto s2 = simulate_phase_sweep(many, d, 0.25, rng_many);
+    err_few += std::abs(estimate_range(few, s1).distance_m - d);
+    err_many += std::abs(estimate_range(many, s2).distance_m - d);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(PhaseRangingQuality, ZeroDistanceIsRepresentable) {
+  RangingConfig cfg;
+  Rng rng{9};
+  auto sweep = simulate_phase_sweep(cfg, 0.0, 0.0, rng);
+  auto est = estimate_range(cfg, sweep);
+  EXPECT_NEAR(est.distance_m, 0.0, 0.05);
+}
+
+TEST(PhaseRangingQuality, BadResolutionRejected) {
+  RangingConfig cfg;
+  Rng rng{10};
+  auto sweep = simulate_phase_sweep(cfg, 10.0, 0.0, rng);
+  EXPECT_THROW((void)estimate_range(cfg, sweep, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_range(cfg, sweep, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tinysdr::core

@@ -1,0 +1,111 @@
+#include "dsp/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::dsp {
+namespace {
+
+TEST(DesignLowpass, RejectsBadArguments) {
+  EXPECT_THROW(design_lowpass(0, 0.25), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(14, 0.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(14, 0.6), std::invalid_argument);
+}
+
+TEST(DesignLowpass, UnityDcGain) {
+  for (std::size_t taps : {7u, 14u, 31u}) {
+    auto h = design_lowpass(taps, 0.2);
+    double sum = 0.0;
+    for (float t : h) sum += t;
+    EXPECT_NEAR(sum, 1.0, 1e-6) << taps << " taps";
+  }
+}
+
+TEST(DesignLowpass, SymmetricLinearPhase) {
+  auto h = design_lowpass(14, 0.25);
+  for (std::size_t i = 0; i < h.size() / 2; ++i)
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-7);
+}
+
+double tone_gain(FirFilter& f, double freq) {
+  // Measure steady-state gain at a normalized frequency.
+  f.reset();
+  const int n = 4096;
+  double in_power = 0.0, out_power = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double angle = 2.0 * std::numbers::pi * freq * i;
+    Complex x{static_cast<float>(std::cos(angle)),
+              static_cast<float>(std::sin(angle))};
+    Complex y = f.process(x);
+    if (i > 200) {  // skip transient
+      in_power += std::norm(x);
+      out_power += std::norm(y);
+    }
+  }
+  return std::sqrt(out_power / in_power);
+}
+
+TEST(FirFilter, PassbandAndStopband) {
+  // 64-tap filter with cutoff 0.125: passband tone passes, far stopband
+  // tone is strongly attenuated.
+  FirFilter f{design_lowpass(64, 0.125)};
+  EXPECT_NEAR(tone_gain(f, 0.01), 1.0, 0.05);
+  EXPECT_LT(tone_gain(f, 0.4), 0.01);
+}
+
+TEST(FirFilter, FourteenTapPaperFilterAttenuatesHighFreq) {
+  // The paper's 14-tap front-end: modest but real high-frequency rejection.
+  FirFilter f{design_lowpass(14, 0.125)};
+  double pass = tone_gain(f, 0.02);
+  double stop = tone_gain(f, 0.45);
+  EXPECT_GT(pass, 0.9);
+  EXPECT_LT(stop, 0.2);
+}
+
+TEST(FirFilter, ImpulseResponseEqualsTaps) {
+  std::vector<float> taps{0.1f, 0.2f, 0.4f, 0.2f, 0.1f};
+  FirFilter f{taps};
+  Samples in(taps.size() + 3, Complex{0, 0});
+  in[0] = Complex{1, 0};
+  auto out = f.filter(in);
+  for (std::size_t i = 0; i < taps.size(); ++i)
+    EXPECT_NEAR(out[i].real(), taps[i], 1e-6);
+  for (std::size_t i = taps.size(); i < out.size(); ++i)
+    EXPECT_NEAR(out[i].real(), 0.0, 1e-6);
+}
+
+TEST(FirFilter, EmptyTapsThrow) {
+  EXPECT_THROW(FirFilter{std::vector<float>{}}, std::invalid_argument);
+}
+
+TEST(FirFilter, ResetClearsState) {
+  FirFilter f{design_lowpass(14, 0.25)};
+  (void)f.process(Complex{1.0f, -1.0f});
+  f.reset();
+  // After reset, an impulse must reproduce the first tap exactly.
+  Complex y = f.process(Complex{1.0f, 0.0f});
+  EXPECT_NEAR(y.real(), f.taps()[0], 1e-7);
+}
+
+TEST(FirFilter, LinearityOverBlocks) {
+  FirFilter f1{design_lowpass(14, 0.2)};
+  FirFilter f2{design_lowpass(14, 0.2)};
+  Samples a{{1, 0}, {0, 1}, {-1, 0}, {0.5, 0.5}};
+  Samples b{{0, -1}, {2, 0}, {1, 1}, {-0.5, 0}};
+  Samples ab(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ab[i] = a[i] + b[i];
+
+  auto ya = f1.filter(a);
+  f1.reset();
+  auto yb = f1.filter(b);
+  auto yab = f2.filter(ab);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(yab[i].real(), ya[i].real() + yb[i].real(), 1e-5);
+    EXPECT_NEAR(yab[i].imag(), ya[i].imag() + yb[i].imag(), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace tinysdr::dsp

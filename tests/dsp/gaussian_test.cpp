@@ -1,0 +1,87 @@
+#include "dsp/gaussian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tinysdr::dsp {
+namespace {
+
+TEST(DesignGaussian, RejectsBadArguments) {
+  EXPECT_THROW(design_gaussian(0.0, 8), std::invalid_argument);
+  EXPECT_THROW(design_gaussian(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(design_gaussian(0.5, 8, 0), std::invalid_argument);
+}
+
+TEST(DesignGaussian, UnitSum) {
+  auto h = design_gaussian(0.5, 8, 3);
+  double sum = std::accumulate(h.begin(), h.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DesignGaussian, SymmetricAndPeakedAtCenter) {
+  auto h = design_gaussian(0.5, 8, 3);
+  ASSERT_EQ(h.size(), 25u);
+  for (std::size_t i = 0; i < h.size() / 2; ++i)
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+  auto peak = std::max_element(h.begin(), h.end());
+  EXPECT_EQ(std::distance(h.begin(), peak), 12);
+}
+
+TEST(DesignGaussian, SmallerBtIsWider) {
+  // Lower BT = more smoothing = fatter impulse response tails.
+  auto narrow = design_gaussian(1.0, 8, 3);
+  auto wide = design_gaussian(0.3, 8, 3);
+  // Compare tail mass (outside the central symbol).
+  auto tail_mass = [](const std::vector<double>& h) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      auto d = std::abs(static_cast<long>(i) -
+                        static_cast<long>(h.size() / 2));
+      if (d > 4) m += h[i];
+    }
+    return m;
+  };
+  EXPECT_GT(tail_mass(wide), tail_mass(narrow));
+}
+
+TEST(Convolve, IdentityKernel) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> delta{1.0};
+  EXPECT_EQ(convolve(x, delta), x);
+}
+
+TEST(Convolve, KnownResult) {
+  std::vector<double> x{1.0, 1.0};
+  std::vector<double> h{1.0, 1.0};
+  auto y = convolve(x, h);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(Convolve, EmptyInputs) {
+  EXPECT_TRUE(convolve({}, {1.0}).empty());
+  EXPECT_TRUE(convolve({1.0}, {}).empty());
+}
+
+TEST(GfskShaping, SmoothsSquareWave) {
+  // A +1/-1 alternating frequency sequence filtered by the BLE Gaussian
+  // (BT=0.5) must have bounded sample-to-sample steps — the whole point of
+  // GFSK spectral shaping.
+  const std::size_t sps = 8;
+  auto h = design_gaussian(0.5, sps, 3);
+  std::vector<double> freq;
+  for (int bit = 0; bit < 16; ++bit)
+    for (std::size_t s = 0; s < sps; ++s) freq.push_back(bit % 2 ? 1.0 : -1.0);
+  auto shaped = convolve(freq, h);
+  double max_step = 0.0;
+  for (std::size_t i = 1; i < shaped.size(); ++i)
+    max_step = std::max(max_step, std::abs(shaped[i] - shaped[i - 1]));
+  // Unfiltered step would be 2.0; Gaussian shaping keeps it far smaller.
+  EXPECT_LT(max_step, 0.6);
+}
+
+}  // namespace
+}  // namespace tinysdr::dsp

@@ -1,0 +1,96 @@
+#include "dsp/nco.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+
+namespace tinysdr::dsp {
+namespace {
+
+TEST(SinCosLut, UnitMagnitude) {
+  const auto& lut = SinCosLut::instance();
+  for (std::uint32_t phase : {0u, 0x40000000u, 0x80000000u, 0xC0000000u,
+                              0x12345678u, 0xDEADBEEFu}) {
+    Complex v = lut.lookup(phase);
+    EXPECT_NEAR(std::abs(v), 1.0f, 1e-3);
+  }
+}
+
+TEST(SinCosLut, CardinalPhases) {
+  const auto& lut = SinCosLut::instance();
+  Complex zero = lut.lookup(0);
+  EXPECT_NEAR(zero.real(), 1.0f, 1e-3);
+  EXPECT_NEAR(zero.imag(), 0.0f, 1e-3);
+  Complex quarter = lut.lookup(0x40000000);  // 90 degrees
+  EXPECT_NEAR(quarter.real(), 0.0f, 2e-3);
+  EXPECT_NEAR(quarter.imag(), 1.0f, 1e-3);
+  Complex half = lut.lookup(0x80000000);  // 180 degrees
+  EXPECT_NEAR(half.real(), -1.0f, 1e-3);
+}
+
+TEST(Nco, StepQuantization) {
+  // 0.25 cycles/sample is exactly representable.
+  EXPECT_EQ(Nco::to_step(0.25), 0x40000000u);
+  // Negative frequencies wrap onto the upper half of the circle.
+  EXPECT_EQ(Nco::to_step(-0.25), 0xC0000000u);
+}
+
+TEST(Nco, ToneFrequencyIsAccurate) {
+  const std::size_t n = 4096;
+  const double freq = 100.0 / static_cast<double>(n);
+  auto tone = generate_tone(freq, n);
+  FftPlan plan{n};
+  plan.forward(tone);
+  EXPECT_EQ(peak_bin(tone), 100u);
+}
+
+TEST(Nco, NegativeFrequencyTone) {
+  const std::size_t n = 1024;
+  const double freq = -32.0 / static_cast<double>(n);
+  auto tone = generate_tone(freq, n);
+  FftPlan plan{n};
+  plan.forward(tone);
+  EXPECT_EQ(peak_bin(tone), n - 32);
+}
+
+TEST(Nco, SpectralPurityAboveAdcFloor) {
+  // DDS spurs must sit below the 13-bit quantization floor of the radio
+  // (~80 dB), so the LUT is not the limiting quantizer.
+  const std::size_t n = 4096;
+  auto tone = generate_tone(512.0 / static_cast<double>(n), n);
+  FftPlan plan{n};
+  plan.forward(tone);
+  double peak = 0.0;
+  std::size_t pk = peak_bin(tone);
+  peak = std::abs(tone[pk]);
+  double worst_spur = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == pk || i == pk - 1 || i == pk + 1) continue;
+    worst_spur = std::max(worst_spur, static_cast<double>(std::abs(tone[i])));
+  }
+  double sfdr_db = 20.0 * std::log10(peak / worst_spur);
+  EXPECT_GT(sfdr_db, 60.0);
+}
+
+TEST(Nco, PhaseContinuityAcrossCalls) {
+  Nco nco;
+  nco.set_frequency(0.1);
+  Complex a = nco.next();
+  std::uint32_t p1 = nco.phase();
+  Complex b = nco.next();
+  (void)a;
+  (void)b;
+  EXPECT_EQ(nco.phase() - p1, Nco::to_step(0.1));
+}
+
+TEST(GenerateTone, InitialPhaseRespected) {
+  auto t0 = generate_tone(0.01, 4, 0);
+  auto t90 = generate_tone(0.01, 4, 0x40000000);
+  EXPECT_NEAR(t0[0].real(), 1.0f, 1e-3);
+  EXPECT_NEAR(t90[0].imag(), 1.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace tinysdr::dsp

@@ -1,0 +1,77 @@
+#include "dsp/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/nco.hpp"
+
+namespace tinysdr::dsp {
+namespace {
+
+SpectrumConfig fig8_config() {
+  SpectrumConfig cfg;
+  cfg.fft_size = 4096;
+  cfg.sample_rate_hz = 4e6;
+  cfg.center_frequency_hz = 915e6;
+  cfg.full_scale_dbm = -40.0;
+  return cfg;
+}
+
+TEST(Spectrum, PeakAtToneFrequency) {
+  auto cfg = fig8_config();
+  // Tone at +500 kHz offset -> 915.5 MHz.
+  auto tone = generate_tone(0.5e6 / 4e6, 32768);
+  auto spec = estimate_spectrum(tone, cfg);
+  auto peak = spectrum_peak(spec);
+  EXPECT_NEAR(peak.frequency_hz, 915.5e6, 2e3);
+  EXPECT_NEAR(peak.power_dbm, -40.0, 0.5);
+}
+
+TEST(Spectrum, NegativeOffsetTone) {
+  auto cfg = fig8_config();
+  auto tone = generate_tone(-1.0e6 / 4e6, 32768);
+  auto spec = estimate_spectrum(tone, cfg);
+  auto peak = spectrum_peak(spec);
+  EXPECT_NEAR(peak.frequency_hz, 914.0e6, 2e3);
+}
+
+TEST(Spectrum, SortedByFrequency) {
+  auto cfg = fig8_config();
+  auto tone = generate_tone(0.1, 16384);
+  auto spec = estimate_spectrum(tone, cfg);
+  for (std::size_t i = 1; i < spec.size(); ++i)
+    EXPECT_LT(spec[i - 1].frequency_hz, spec[i].frequency_hz);
+}
+
+TEST(Spectrum, CleanToneHasHighSpuriousFreeRange) {
+  // Fig. 8's claim: "no unexpected harmonics introduced by the modulator".
+  auto cfg = fig8_config();
+  auto tone = generate_tone(0.125, 65536);
+  auto spec = estimate_spectrum(tone, cfg);
+  EXPECT_GT(spurious_free_range_db(spec, 8), 40.0);
+}
+
+TEST(Spectrum, RejectsShortInput) {
+  auto cfg = fig8_config();
+  Samples tiny(100);
+  EXPECT_THROW(estimate_spectrum(tiny, cfg), std::invalid_argument);
+}
+
+TEST(Spectrum, RejectsNonPow2Fft) {
+  auto cfg = fig8_config();
+  cfg.fft_size = 1000;
+  auto tone = generate_tone(0.1, 4096);
+  EXPECT_THROW(estimate_spectrum(tone, cfg), std::invalid_argument);
+}
+
+TEST(Spectrum, PowerScalesWithAmplitude) {
+  auto cfg = fig8_config();
+  auto tone = generate_tone(0.2, 32768);
+  Samples half = tone;
+  for (auto& s : half) s *= 0.5f;  // -6 dB
+  auto p_full = spectrum_peak(estimate_spectrum(tone, cfg)).power_dbm;
+  auto p_half = spectrum_peak(estimate_spectrum(half, cfg)).power_dbm;
+  EXPECT_NEAR(p_full - p_half, 6.02, 0.2);
+}
+
+}  // namespace
+}  // namespace tinysdr::dsp

@@ -1,0 +1,44 @@
+#include "dsp/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::dsp {
+namespace {
+
+TEST(MeanPower, EmptyBlockIsZero) {
+  Samples empty;
+  EXPECT_DOUBLE_EQ(mean_power(empty), 0.0);
+}
+
+TEST(MeanPower, UnitToneIsOne) {
+  Samples ones(100, Complex{1.0f, 0.0f});
+  EXPECT_NEAR(mean_power(ones), 1.0, 1e-9);
+}
+
+TEST(MeanPower, ComplexMagnitudes) {
+  Samples x{{3.0f, 4.0f}};  // |x|^2 = 25
+  EXPECT_NEAR(mean_power(x), 25.0, 1e-6);
+}
+
+TEST(NormalizePower, HitsTarget) {
+  Rng rng{1};
+  Samples x(1000);
+  for (auto& s : x)
+    s = Complex{static_cast<float>(rng.next_gaussian() * 3.0),
+                static_cast<float>(rng.next_gaussian() * 3.0)};
+  normalize_power(x, 1.0);
+  EXPECT_NEAR(mean_power(x), 1.0, 1e-4);
+  normalize_power(x, 0.25);
+  EXPECT_NEAR(mean_power(x), 0.25, 1e-4);
+}
+
+TEST(NormalizePower, ZeroBlockUntouched) {
+  Samples zeros(10, Complex{0, 0});
+  normalize_power(zeros, 1.0);
+  for (const auto& s : zeros) EXPECT_EQ(s, (Complex{0, 0}));
+}
+
+}  // namespace
+}  // namespace tinysdr::dsp

@@ -1,0 +1,82 @@
+#include "fpga/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/crc.hpp"
+#include "fpga/programming.hpp"
+
+namespace tinysdr::fpga {
+namespace {
+
+TEST(Bitstream, SizeIs579kB) {
+  Rng rng{1};
+  auto img = generate_bitstream(lora_rx_design(8), DeviceSpec{}, rng);
+  EXPECT_EQ(img.size(), 579u * 1024u);
+}
+
+TEST(Bitstream, CrcMatchesContent) {
+  Rng rng{2};
+  auto img = generate_bitstream(ble_tx_design(), DeviceSpec{}, rng);
+  EXPECT_EQ(img.crc32, crc32_ieee(img.data));
+}
+
+TEST(Bitstream, DensityScalesWithUtilization) {
+  Rng rng1{3}, rng2{3};
+  auto lora = generate_bitstream(lora_rx_design(8), DeviceSpec{}, rng1);
+  auto ble = generate_bitstream(ble_tx_design(), DeviceSpec{}, rng2);
+  auto nonzero = [](const FirmwareImage& img) {
+    std::size_t n = 0;
+    for (auto b : img.data)
+      if (b != 0) ++n;
+    return n;
+  };
+  EXPECT_GT(nonzero(lora), nonzero(ble));
+}
+
+TEST(McuProgram, RequestedSize) {
+  Rng rng{4};
+  auto img = generate_mcu_program("lora_mcu", 78 * 1024, rng);
+  EXPECT_EQ(img.size(), 78u * 1024u);
+  EXPECT_EQ(img.name, "lora_mcu");
+}
+
+TEST(McuProgram, MixedEntropy) {
+  // Program images must be neither all-zero nor fully random: check both
+  // zero runs and byte diversity exist.
+  Rng rng{5};
+  auto img = generate_mcu_program("x", 32 * 1024, rng);
+  std::size_t zeros = 0;
+  bool diverse[256] = {};
+  std::size_t distinct = 0;
+  for (auto b : img.data) {
+    if (b == 0) ++zeros;
+    if (!diverse[b]) {
+      diverse[b] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_GT(zeros, img.size() / 20);
+  EXPECT_LT(zeros, img.size() / 2);
+  EXPECT_GT(distinct, 100u);
+}
+
+TEST(Programming, LoadTimeMatches22ms) {
+  // 579 kB over quad-SPI at 62 MHz + overhead = ~22 ms (Table 4 / §3.4).
+  ProgrammingModel prog;
+  Seconds t = prog.load_time(579 * 1024);
+  EXPECT_NEAR(t.milliseconds(), 22.0, 1.0);
+}
+
+TEST(Programming, LinkRateIsQuadSpi) {
+  ProgrammingModel prog;
+  EXPECT_NEAR(prog.link_bps(), 248e6, 1e3);
+}
+
+TEST(Programming, SmallerImageLoadsFaster) {
+  ProgrammingModel prog;
+  EXPECT_LT(prog.load_time(100 * 1024).value(),
+            prog.load_time(579 * 1024).value());
+}
+
+}  // namespace
+}  // namespace tinysdr::fpga

@@ -1,0 +1,125 @@
+#include "fpga/microsd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::fpga {
+namespace {
+
+std::vector<radio::IqWord> random_words(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<radio::IqWord> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({static_cast<std::int32_t>(rng.next_below(8192)) - 4096,
+                   static_cast<std::int32_t>(rng.next_below(8192)) - 4096,
+                   false, false});
+  return out;
+}
+
+TEST(Iq26Packing, RoundTrip) {
+  auto words = random_words(100, 1);
+  auto packed = pack_iq26(words);
+  auto back = unpack_iq26(packed, words.size());
+  ASSERT_EQ(back.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(back[i].i, words[i].i) << i;
+    EXPECT_EQ(back[i].q, words[i].q) << i;
+  }
+}
+
+TEST(Iq26Packing, PackedSizeIs26BitsPerSample) {
+  auto words = random_words(157, 2);
+  auto packed = pack_iq26(words);
+  EXPECT_EQ(packed.size(), (157 * 26 + 7) / 8);
+}
+
+TEST(Iq26Packing, UnpackRejectsShortBuffer) {
+  std::vector<std::uint8_t> tiny(3, 0);
+  EXPECT_THROW(unpack_iq26(tiny, 2), std::invalid_argument);
+}
+
+TEST(RecordingRate, MatchesPaper104Mbps) {
+  // §3.2.2: SPI mode "supports the 104 Mbps data rate which we need to
+  // write data in real time" — 4 Msps x 26 bits.
+  EXPECT_DOUBLE_EQ(recording_rate_bps(4e6), 104e6);
+}
+
+TEST(MicroSdCard, BlockWritesAndReads) {
+  MicroSdCard card;
+  std::vector<std::uint8_t> block(512, 0xAB);
+  card.write_block(block);
+  EXPECT_EQ(card.bytes_written(), 512u);
+  EXPECT_EQ(card.read(0, 512), block);
+}
+
+TEST(MicroSdCard, PartialBlockPadded) {
+  MicroSdCard card;
+  card.write_block(std::vector<std::uint8_t>(100, 0xFF));
+  EXPECT_EQ(card.bytes_written(), 512u);
+  EXPECT_EQ(card.read(100, 1)[0], 0x00);
+}
+
+TEST(MicroSdCard, OversizeBlockRejected) {
+  MicroSdCard card;
+  EXPECT_THROW(card.write_block(std::vector<std::uint8_t>(513, 0)),
+               std::invalid_argument);
+}
+
+TEST(MicroSdCard, CapacityInMinutesAt4Msps) {
+  MicroSdCard card;  // 2 GB
+  double seconds = card.capacity_seconds(4e6);
+  // 2 GB at 13 MB/s ~ 165 s of raw I/Q.
+  EXPECT_GT(seconds, 120.0);
+  EXPECT_LT(seconds, 300.0);
+}
+
+TEST(SampleRecorder, RealtimeFeasibleAt4Msps) {
+  MicroSdCard card;
+  SampleRecorder rec{card, Hertz::from_megahertz(4.0)};
+  EXPECT_TRUE(rec.realtime_feasible());
+  // FIFO rides out a worst-case block program latency many times over.
+  EXPECT_GT(rec.stall_margin(), 10.0);
+}
+
+TEST(SampleRecorder, NotFeasibleBeyondSpiRate) {
+  MicroSdSpec slow;
+  slow.write_bps = 50e6;
+  MicroSdCard card{slow};
+  SampleRecorder rec{card, Hertz::from_megahertz(4.0)};
+  EXPECT_FALSE(rec.realtime_feasible());
+}
+
+TEST(SampleRecorder, RecordsAndRecoversStream) {
+  MicroSdCard card;
+  SampleRecorder rec{card, Hertz::from_megahertz(4.0)};
+  auto words = random_words(1000, 3);
+  std::size_t dropped = rec.record(words);
+  rec.flush();
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(rec.samples_recorded(), 1000u);
+
+  // Read back the first full block's worth and compare.
+  const std::size_t per_block = 512 * 8 / kBitsPerSample;
+  auto bytes = card.read(0, (per_block * kBitsPerSample + 7) / 8);
+  auto back = unpack_iq26(bytes, per_block);
+  for (std::size_t i = 0; i < per_block; ++i) {
+    EXPECT_EQ(back[i].i, words[i].i) << i;
+    EXPECT_EQ(back[i].q, words[i].q) << i;
+  }
+}
+
+TEST(SampleRecorder, MultipleRecordCallsAreContinuous) {
+  MicroSdCard card;
+  SampleRecorder rec{card, Hertz::from_megahertz(4.0)};
+  auto words = random_words(400, 4);
+  std::span<const radio::IqWord> span{words};
+  rec.record(span.subspan(0, 150));
+  rec.record(span.subspan(150, 150));
+  rec.record(span.subspan(300));
+  rec.flush();
+  EXPECT_EQ(rec.samples_recorded(), 400u);
+}
+
+}  // namespace
+}  // namespace tinysdr::fpga

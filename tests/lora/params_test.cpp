@@ -1,0 +1,115 @@
+#include "lora/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lora/airtime.hpp"
+
+namespace tinysdr::lora {
+namespace {
+
+TEST(LoraParams, ValidationRejectsBadSf) {
+  EXPECT_THROW(LoraParams(5, Hertz::from_kilohertz(125.0)),
+               std::invalid_argument);
+  EXPECT_THROW(LoraParams(13, Hertz::from_kilohertz(125.0)),
+               std::invalid_argument);
+}
+
+TEST(LoraParams, ValidationRejectsBadBandwidth) {
+  EXPECT_THROW(LoraParams(8, Hertz::from_kilohertz(100.0)),
+               std::invalid_argument);
+}
+
+TEST(LoraParams, SymbolTime) {
+  LoraParams p{8, Hertz::from_kilohertz(125.0)};
+  // 256 / 125 kHz = 2.048 ms.
+  EXPECT_NEAR(p.symbol_time().milliseconds(), 2.048, 1e-9);
+}
+
+TEST(LoraParams, PhyRateFormula) {
+  // Paper: rates of BW/2^SF * SF. The paper's headline config SF8/BW125:
+  // 125000/256*8 = 3906 bps ~ "3.12 kbps" after CR4/5 coding.
+  LoraParams p{8, Hertz::from_kilohertz(125.0)};
+  EXPECT_NEAR(p.phy_rate_bps(), 3906.25, 0.01);
+  EXPECT_NEAR(p.coded_rate_bps(), 3125.0, 0.01);
+}
+
+TEST(LoraParams, RateSpansPaperRange) {
+  // "LoRa also supports a wide range of data rates from 11 bps to 37 kbps".
+  LoraParams slowest{12, Hertz{7812.5}, CodingRate::kCr48};
+  LoraParams fastest{6, Hertz::from_kilohertz(500.0)};
+  EXPECT_LT(slowest.coded_rate_bps(), 12.0);
+  EXPECT_GT(fastest.coded_rate_bps(), 37000.0);
+}
+
+TEST(LoraParams, ChirpSlopeOrthogonality) {
+  // §6: slopes BW^2/2^SF differ => orthogonal.
+  LoraParams a{8, Hertz::from_kilohertz(125.0)};
+  LoraParams b{8, Hertz::from_kilohertz(250.0)};
+  LoraParams c{8, Hertz::from_kilohertz(125.0)};
+  EXPECT_TRUE(orthogonal(a, b));
+  EXPECT_FALSE(orthogonal(a, c));
+  // SF10/BW250 has the same slope as SF8/BW125: 250k^2/1024 = 125k^2/256.
+  LoraParams d{10, Hertz::from_kilohertz(250.0)};
+  EXPECT_FALSE(orthogonal(a, d));
+}
+
+TEST(LoraParams, LdroThreshold) {
+  EXPECT_TRUE(LoraParams(12, Hertz::from_kilohertz(125.0))
+                  .low_data_rate_optimize());
+  EXPECT_FALSE(LoraParams(8, Hertz::from_kilohertz(125.0))
+                   .low_data_rate_optimize());
+}
+
+TEST(Sensitivity, MatchesPaperNumbers) {
+  // Paper/datasheet: SF8 BW125 -> -126 dBm (the headline claim).
+  EXPECT_NEAR(sx1276_sensitivity(8, Hertz::from_kilohertz(125.0)).value(),
+              -126.0, 0.3);
+  EXPECT_NEAR(sx1276_sensitivity(8, Hertz::from_kilohertz(250.0)).value(),
+              -123.0, 0.3);
+  EXPECT_NEAR(sx1276_sensitivity(12, Hertz::from_kilohertz(125.0)).value(),
+              -136.0, 0.4);
+  EXPECT_NEAR(sx1276_sensitivity(7, Hertz::from_kilohertz(125.0)).value(),
+              -123.5, 0.5);
+}
+
+TEST(Sensitivity, MonotoneInSf) {
+  for (int sf = 7; sf <= 12; ++sf) {
+    EXPECT_LT(sx1276_sensitivity(sf, Hertz::from_kilohertz(125.0)).value(),
+              sx1276_sensitivity(sf - 1, Hertz::from_kilohertz(125.0)).value());
+  }
+}
+
+TEST(Airtime, SemtechFormulaSpotChecks) {
+  // Reference: Semtech LoRa calculator. SF8/BW125/CR4_5, 3-byte payload,
+  // explicit header, CRC on, 10-symbol preamble.
+  LoraParams p{8, Hertz::from_kilohertz(125.0), CodingRate::kCr45};
+  p.preamble_symbols = 10;
+  std::size_t syms = payload_symbols(p, 3);
+  // 8 + ceil((24 - 32 + 28 + 16)/32) * (1+4) = 8 + 2*5 = 18.
+  EXPECT_EQ(syms, 18u);
+  Seconds t = time_on_air(p, 3);
+  // (10 + 4.25 + 18) * 2.048 ms = 66.05 ms.
+  EXPECT_NEAR(t.milliseconds(), 66.05, 0.5);
+}
+
+TEST(Airtime, ScalesWithPayload) {
+  LoraParams p{8, Hertz::from_kilohertz(125.0)};
+  EXPECT_LT(time_on_air(p, 10).value(), time_on_air(p, 100).value());
+}
+
+TEST(Airtime, Sf9Bw500PacketFromPaper) {
+  // §5.2 measures LoRa packet power with SF9, BW500.
+  LoraParams p{9, Hertz::from_kilohertz(500.0)};
+  // Symbol time 1.024 ms; a 20-byte packet is a few tens of ms.
+  Seconds t = time_on_air(p, 20);
+  EXPECT_GT(t.milliseconds(), 20.0);
+  EXPECT_LT(t.milliseconds(), 60.0);
+}
+
+TEST(Airtime, GoodputBelowCodedRate) {
+  LoraParams p{8, Hertz::from_kilohertz(125.0)};
+  EXPECT_LT(goodput_bps(p, 50), p.coded_rate_bps());
+}
+
+}  // namespace
+}  // namespace tinysdr::lora

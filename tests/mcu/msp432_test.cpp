@@ -1,0 +1,73 @@
+#include "mcu/msp432.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::mcu {
+namespace {
+
+TEST(Msp432, SpecMatchesDatasheet) {
+  Msp432 m;
+  EXPECT_EQ(m.spec().sram_bytes, 64u * 1024u);
+  EXPECT_EQ(m.spec().flash_bytes, 256u * 1024u);
+}
+
+TEST(Msp432, SramBudgetEnforced) {
+  Msp432 m;
+  m.allocate_sram("big", 60 * 1024);
+  EXPECT_THROW(m.allocate_sram("too_much", 8 * 1024), std::logic_error);
+  EXPECT_EQ(m.sram_used(), 60u * 1024u);
+}
+
+TEST(Msp432, DuplicateAllocationRejected) {
+  Msp432 m;
+  m.allocate_sram("buf", 1024);
+  EXPECT_THROW(m.allocate_sram("buf", 1024), std::logic_error);
+}
+
+TEST(Msp432, FreeReturnsBudget) {
+  Msp432 m;
+  m.allocate_sram("buf", 30 * 1024);
+  m.free_sram("buf");
+  EXPECT_EQ(m.sram_used(), 0u);
+  EXPECT_THROW(m.free_sram("buf"), std::logic_error);
+}
+
+TEST(Msp432, BaselineFirmwareIs18Percent) {
+  // §5.2: "TTN protocol together with control for the I/Q radio, backbone
+  // radio, FPGA, PMU and decompression algorithm for OTA take only 18% of
+  // MCU resources."
+  Msp432 m = baseline_firmware();
+  EXPECT_NEAR(m.utilization() * 100.0, 18.0, 1.0);
+}
+
+TEST(Msp432, ThirtyKbOtaBlockFitsBaseline) {
+  // §3.4: blocks of 30 kB "that will fit in the MCU memory" alongside the
+  // baseline firmware's SRAM needs.
+  Msp432 m = baseline_firmware();
+  EXPECT_GE(m.max_block_buffer(), 30u * 1024u);
+  EXPECT_NO_THROW(m.allocate_sram("ota_block", 30 * 1024));
+}
+
+TEST(Msp432, FullBitstreamBufferDoesNotFit) {
+  // §3.4: "a maximum memory allocation of 579 kB which we cannot afford".
+  Msp432 m;
+  EXPECT_THROW(m.allocate_sram("whole_bitstream", 579 * 1024),
+               std::logic_error);
+}
+
+TEST(Msp432, WakeupTimerValidation) {
+  Msp432 m;
+  m.set_wakeup_interval(Seconds{300.0});
+  EXPECT_DOUBLE_EQ(m.wakeup_interval().value(), 300.0);
+  EXPECT_THROW(m.set_wakeup_interval(Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(Msp432, ModeTransitions) {
+  Msp432 m;
+  EXPECT_EQ(m.mode(), McuMode::kActive);
+  m.set_mode(McuMode::kLpm3);
+  EXPECT_EQ(m.mode(), McuMode::kLpm3);
+}
+
+}  // namespace
+}  // namespace tinysdr::mcu

@@ -1,0 +1,122 @@
+#include "ota/flash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::ota {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = rng.next_byte();
+  return v;
+}
+
+TEST(FlashModel, FreshDeviceIsErased) {
+  FlashModel flash;
+  EXPECT_TRUE(flash.is_erased(0, 1024));
+  EXPECT_TRUE(flash.is_erased(FlashModel::kCapacity - 64, 64));
+}
+
+TEST(FlashModel, ProgramAndReadBack) {
+  FlashModel flash;
+  auto data = random_bytes(1000, 1);
+  flash.program(0x1000, data);
+  EXPECT_EQ(flash.read(0x1000, data.size()), data);
+}
+
+TEST(FlashModel, NorAndSemantics) {
+  // Programming over unerased cells can only clear bits.
+  FlashModel flash;
+  flash.program(0, std::vector<std::uint8_t>{0xF0});
+  flash.program(0, std::vector<std::uint8_t>{0x0F});
+  EXPECT_EQ(flash.read(0, 1)[0], 0x00);  // 0xF0 & 0x0F
+}
+
+TEST(FlashModel, EraseRestoresFf) {
+  FlashModel flash;
+  flash.program(100, std::vector<std::uint8_t>(16, 0x00));
+  flash.erase_sector(100);
+  EXPECT_TRUE(flash.is_erased(0, FlashModel::kSectorSize));
+}
+
+TEST(FlashModel, EraseRangeSweepsSectors) {
+  FlashModel flash;
+  flash.program(0, std::vector<std::uint8_t>(20000, 0x00));
+  flash.erase_range(0, 20000);
+  EXPECT_TRUE(flash.is_erased(0, 20000));
+  // 20000 bytes span 5 sectors of 4 KiB.
+  EXPECT_EQ(flash.erase_count(), 5u);
+}
+
+TEST(FlashModel, OutOfRangeThrows) {
+  FlashModel flash;
+  EXPECT_THROW(flash.program(FlashModel::kCapacity - 1,
+                             std::vector<std::uint8_t>(2, 0)),
+               std::out_of_range);
+  EXPECT_THROW((void)flash.read(FlashModel::kCapacity, 1), std::out_of_range);
+  EXPECT_THROW(flash.erase_sector(FlashModel::kCapacity), std::out_of_range);
+}
+
+TEST(FlashModel, EightMegabytesStoresMultipleBitstreams) {
+  // §3.1.2: "it allows tinySDR to store multiple FPGA bitstreams and MCU
+  // programs". 8 MB / 579 kB > 13 images.
+  EXPECT_GT(FlashModel::kCapacity / (579 * 1024), 13u);
+}
+
+TEST(FirmwareStore, StoreLoadRoundTrip) {
+  FlashModel flash;
+  FirmwareStore store{flash};
+  auto lora = random_bytes(579 * 1024, 2);
+  auto ble = random_bytes(579 * 1024, 3);
+  store.store("lora", lora);
+  store.store("ble", ble);
+  EXPECT_EQ(store.stored_count(), 2u);
+  EXPECT_EQ(store.load("lora"), lora);
+  EXPECT_EQ(store.load("ble"), ble);
+}
+
+TEST(FirmwareStore, UnknownNameReturnsNullopt) {
+  FlashModel flash;
+  FirmwareStore store{flash};
+  EXPECT_FALSE(store.load("nothing").has_value());
+}
+
+TEST(FirmwareStore, ReplaceInPlace) {
+  FlashModel flash;
+  FirmwareStore store{flash};
+  store.store("img", random_bytes(10000, 4));
+  auto v2 = random_bytes(9000, 5);
+  store.store("img", v2);
+  EXPECT_EQ(store.load("img"), v2);
+  EXPECT_EQ(store.stored_count(), 1u);
+}
+
+TEST(FirmwareStore, DetectsFlashCorruption) {
+  FlashModel flash;
+  FirmwareStore store{flash};
+  store.store("img", random_bytes(5000, 6));
+  // Corrupt the stored bytes behind the store's back.
+  flash.program(10, std::vector<std::uint8_t>{0x00, 0x00, 0x00});
+  EXPECT_FALSE(store.load("img").has_value());
+}
+
+TEST(FirmwareStore, ExhaustsFlashEventually) {
+  FlashModel flash;
+  FirmwareStore store{flash};
+  auto image = random_bytes(1024 * 1024, 7);
+  for (int i = 0; i < 7; ++i)
+    store.store("img" + std::to_string(i), image);
+  EXPECT_THROW(store.store("one_too_many", image), std::length_error);
+}
+
+TEST(FlashTiming, ProgramTimeScalesWithPages) {
+  Seconds small = FlashModel::program_time(256);
+  Seconds large = FlashModel::program_time(256 * 100);
+  EXPECT_NEAR(large.value() / small.value(), 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::ota

@@ -1,0 +1,73 @@
+#include "ota/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::ota {
+namespace {
+
+TEST(ListenSchedule, NextWindowArithmetic) {
+  ListenSchedule s;
+  s.interval = Seconds{600.0};
+  s.phase = Seconds{100.0};
+  EXPECT_DOUBLE_EQ(s.next_window(Seconds{0.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.next_window(Seconds{100.0}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.next_window(Seconds{100.1}).value(), 700.0);
+  EXPECT_DOUBLE_EQ(s.next_window(Seconds{699.0}).value(), 700.0);
+}
+
+TEST(ListenSchedule, RejectsBadInterval) {
+  ListenSchedule s;
+  s.interval = Seconds{0.0};
+  EXPECT_THROW((void)s.next_window(Seconds{1.0}), std::invalid_argument);
+}
+
+TEST(ListenSchedule, DutyFraction) {
+  ListenSchedule s;
+  s.interval = Seconds{600.0};
+  s.window = Seconds::from_milliseconds(50.0);
+  EXPECT_NEAR(s.duty(), 0.05 / 600.0, 1e-12);
+}
+
+TEST(IdleListenPower, NearSleepForLongIntervals) {
+  // 50 ms of backbone RX every 10 minutes adds single-digit microwatts to
+  // the 30 uW sleep floor — the paper's design intent.
+  ListenSchedule s;
+  s.interval = Seconds{600.0};
+  Milliwatts avg = idle_listen_power(s);
+  EXPECT_LT(avg.microwatts(), 45.0);
+  EXPECT_GT(avg.microwatts(), 29.0);
+}
+
+TEST(IdleListenPower, ShortIntervalsCostReal) {
+  ListenSchedule rarely, often;
+  rarely.interval = Seconds{3600.0};
+  often.interval = Seconds{5.0};
+  EXPECT_GT(idle_listen_power(often).value(),
+            idle_listen_power(rarely).value() * 10.0);
+}
+
+TEST(Rendezvous, WorstAndAverage) {
+  ListenSchedule s;
+  s.interval = Seconds{600.0};
+  EXPECT_DOUBLE_EQ(worst_case_rendezvous(s).value(), 600.0);
+  EXPECT_DOUBLE_EQ(average_rendezvous(s).value(), 300.0);
+}
+
+TEST(FleetRendezvous, SortedWindowTimes) {
+  std::vector<ListenSchedule> fleet;
+  for (int i = 0; i < 10; ++i) {
+    ListenSchedule s;
+    s.interval = Seconds{600.0};
+    s.phase = Seconds{static_cast<double>((i * 331) % 600)};
+    fleet.push_back(s);
+  }
+  auto times = plan_fleet_rendezvous(fleet);
+  ASSERT_EQ(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_LE(times[i - 1].value(), times[i].value());
+  // All within one interval.
+  EXPECT_LE(times.back().value(), 600.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::ota

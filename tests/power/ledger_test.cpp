@@ -1,0 +1,60 @@
+#include "power/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::power {
+namespace {
+
+TEST(EnergyLedger, AccumulatesEnergyAndTime) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  ledger.record(Activity::kLoraTransmit, Seconds{1.0}, Dbm{14.0});
+  ledger.record(Activity::kSleep, Seconds{9.0});
+  EXPECT_NEAR(ledger.total_time().value(), 10.0, 1e-12);
+  // TX second dominates: ~287 mJ + ~0.27 mJ sleep.
+  EXPECT_NEAR(ledger.total_energy().value(), 287.0, 10.0);
+}
+
+TEST(EnergyLedger, AveragePowerIsEnergyOverTime) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  ledger.record_draw(Activity::kSleep, Seconds{2.0}, Milliwatts{5.0});
+  ledger.record_draw(Activity::kSleep, Seconds{2.0}, Milliwatts{15.0});
+  EXPECT_NEAR(ledger.average_power().value(), 10.0, 1e-9);
+}
+
+TEST(EnergyLedger, EmptyLedgerZeroAverage) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  EXPECT_DOUBLE_EQ(ledger.average_power().value(), 0.0);
+}
+
+TEST(EnergyLedger, RunsOnBattery) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  ledger.record_draw(Activity::kOtaReceive, Seconds{100.0}, Milliwatts{61.44});
+  // 6144 mJ per OTA LoRa update -> ~2168 updates on 1000 mAh (paper: 2100).
+  double runs = ledger.runs_on(BatteryCapacity{1000.0, 3.7});
+  EXPECT_NEAR(runs, 2168.0, 20.0);
+}
+
+TEST(EnergyLedger, EntriesCarryNotes) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  ledger.record(Activity::kDecompress, Seconds{0.45}, Dbm{0.0}, "lzo block");
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].note, "lzo block");
+}
+
+TEST(EnergyLedger, ResetClearsEverything) {
+  PlatformPowerModel model;
+  EnergyLedger ledger{model};
+  ledger.record(Activity::kSleep, Seconds{5.0});
+  ledger.reset();
+  EXPECT_TRUE(ledger.entries().empty());
+  EXPECT_DOUBLE_EQ(ledger.total_energy().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_time().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::power

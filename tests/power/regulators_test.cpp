@@ -1,0 +1,53 @@
+#include "power/regulators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::power {
+namespace {
+
+TEST(Regulator, LdoInputCurrentEqualsOutputCurrent) {
+  // TPS78218: 1.8 V out from 3.7 V battery. 10 mA load:
+  // output 18 mW, input = 10 mA * 3.7 V = 37 mW (plus tiny quiescent).
+  Regulator ldo{tps78218_spec(), 1.8, 3.7};
+  Milliwatts in = ldo.input_power(Milliwatts{18.0});
+  EXPECT_NEAR(in.value(), 37.0, 0.1);
+}
+
+TEST(Regulator, BuckDividesByEfficiency) {
+  Regulator buck{tps62240_spec(), 1.8, 3.7};
+  Milliwatts in = buck.input_power(Milliwatts{90.0});
+  EXPECT_NEAR(in.value(), 100.0, 0.5);  // 90 / 0.9 + quiescent
+}
+
+TEST(Regulator, ShutdownLeakageOnly) {
+  Regulator buck{tps62240_spec(), 1.8, 3.7};
+  buck.set_enabled(false);
+  // 0.1 uA * 3.7 V = 0.37 uW regardless of "load".
+  EXPECT_NEAR(buck.input_power(Milliwatts{100.0}).microwatts(), 0.37, 0.01);
+}
+
+TEST(Regulator, AdjustableVoltageWithinRange) {
+  Regulator sc195{sc195_spec(), 1.8, 3.7};
+  EXPECT_NO_THROW(sc195.set_output_volts(3.3));
+  EXPECT_NO_THROW(sc195.set_output_volts(3.6));
+  EXPECT_THROW(sc195.set_output_volts(1.0), std::invalid_argument);
+  EXPECT_THROW(sc195.set_output_volts(4.0), std::invalid_argument);
+}
+
+TEST(Regulator, FixedRegulatorRejectsAdjustment) {
+  Regulator ldo{tps78218_spec(), 1.8, 3.7};
+  EXPECT_THROW(ldo.set_output_volts(2.5), std::logic_error);
+}
+
+TEST(Regulator, ConstructionValidatesVoltage) {
+  EXPECT_THROW((Regulator{tps78218_spec(), 3.3, 3.7}), std::invalid_argument);
+}
+
+TEST(Regulator, QuiescentDominatesAtZeroLoad) {
+  Regulator buck{tps62240_spec(), 1.8, 3.7};
+  double uw = buck.input_power(Milliwatts{0.0}).microwatts();
+  EXPECT_NEAR(uw, 15.0 * 3.7, 1.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::power

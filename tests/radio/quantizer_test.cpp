@@ -1,0 +1,96 @@
+#include "radio/quantizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dsp/nco.hpp"
+
+namespace tinysdr::radio {
+namespace {
+
+TEST(IqQuantizer, RejectsBadConfig) {
+  EXPECT_THROW(IqQuantizer(1, 1.0f), std::invalid_argument);
+  EXPECT_THROW(IqQuantizer(25, 1.0f), std::invalid_argument);
+  EXPECT_THROW(IqQuantizer(13, 0.0f), std::invalid_argument);
+}
+
+TEST(IqQuantizer, ThirteenBitCodeRange) {
+  IqQuantizer q{13, 1.0f};
+  EXPECT_EQ(q.max_code(), 4095);
+  EXPECT_EQ(q.quantize(1.0f), 4095);
+  EXPECT_EQ(q.quantize(-1.0f), -4095);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+}
+
+TEST(IqQuantizer, SaturatesBeyondFullScale) {
+  IqQuantizer q{13, 1.0f};
+  EXPECT_EQ(q.quantize(2.0f), 4095);
+  EXPECT_EQ(q.quantize(-2.0f), -4096);
+}
+
+TEST(IqQuantizer, RoundTripErrorBounded) {
+  IqQuantizer q{13, 1.0f};
+  Rng rng{5};
+  float step = 1.0f / 4095.0f;
+  for (int i = 0; i < 1000; ++i) {
+    float v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    float r = q.dequantize(q.quantize(v));
+    EXPECT_LE(std::abs(r - v), step / 2.0f + 1e-7f);
+  }
+}
+
+TEST(IqQuantizer, ComplexPairRoundTrip) {
+  IqQuantizer q{13, 1.0f};
+  dsp::Complex s{0.5f, -0.25f};
+  auto codes = q.quantize(s);
+  dsp::Complex r = q.dequantize(codes);
+  EXPECT_NEAR(r.real(), 0.5f, 1e-3);
+  EXPECT_NEAR(r.imag(), -0.25f, 1e-3);
+}
+
+TEST(IqQuantizer, IdealSnrFormula) {
+  IqQuantizer q{13, 1.0f};
+  EXPECT_NEAR(q.ideal_snr_db(), 6.02 * 13 + 1.76, 1e-9);
+}
+
+TEST(IqQuantizer, MeasuredSnrNearIdealForSine) {
+  // Quantize a full-scale tone and measure the SNR; it should approach the
+  // 6.02*13+1.76 = 80 dB theoretical value.
+  IqQuantizer q{13, 1.0f};
+  auto tone = tinysdr::dsp::generate_tone(0.01, 8192);
+  auto quantized = q.roundtrip(tone);
+  double sig = 0.0, err = 0.0;
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    sig += std::norm(tone[i]);
+    err += std::norm(quantized[i] - tone[i]);
+  }
+  double snr_db = 10.0 * std::log10(sig / err);
+  EXPECT_GT(snr_db, 70.0);
+  EXPECT_LT(snr_db, 90.0);
+}
+
+class BitDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitDepthSweep, SnrScalesWithBits) {
+  int bits = GetParam();
+  IqQuantizer q{bits, 1.0f};
+  auto tone = tinysdr::dsp::generate_tone(0.013, 4096);
+  auto quantized = q.roundtrip(tone);
+  double sig = 0.0, err = 0.0;
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    sig += std::norm(tone[i]);
+    err += std::norm(quantized[i] - tone[i]);
+  }
+  double snr_db = 10.0 * std::log10(sig / err);
+  // Within ~12 dB of ideal (LUT spurs / rounding asymmetry allowed), and
+  // monotone with bit depth by construction of the bound below.
+  EXPECT_GT(snr_db, q.ideal_snr_db() - 12.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BitDepthSweep,
+                         ::testing::Values(8, 10, 12, 13, 14));
+
+}  // namespace
+}  // namespace tinysdr::radio

@@ -1,0 +1,48 @@
+#include "radio/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::radio {
+namespace {
+
+TEST(TimingModel, Table4Defaults) {
+  TimingModel t;
+  EXPECT_NEAR(t.sleep_to_radio.milliseconds(), 22.0, 1e-12);
+  EXPECT_NEAR(t.radio_setup.milliseconds(), 1.2, 1e-12);
+  EXPECT_NEAR(t.tx_to_rx.microseconds(), 45.0, 1e-9);
+  EXPECT_NEAR(t.rx_to_tx.microseconds(), 11.0, 1e-9);
+  EXPECT_NEAR(t.frequency_switch.microseconds(), 220.0, 1e-9);
+}
+
+TEST(TimingModel, WakeupIsParallelMax) {
+  // §5.1: "we can perform the I/Q radio setup in parallel with booting the
+  // FPGA [so] the total wakeup time ... is 22 ms" — the max, not the sum.
+  TimingModel t;
+  EXPECT_NEAR(t.wakeup_total().milliseconds(), 22.0, 1e-12);
+
+  TimingModel slow_radio = t;
+  slow_radio.radio_setup = Seconds::from_milliseconds(30.0);
+  EXPECT_NEAR(slow_radio.wakeup_total().milliseconds(), 30.0, 1e-12);
+}
+
+TEST(TimingModel, RxToTxFasterThanTxToRx) {
+  // The measured asymmetry (11 vs 45 us) matters for ACK turnarounds.
+  TimingModel t;
+  EXPECT_LT(t.rx_to_tx.value(), t.tx_to_rx.value());
+}
+
+TEST(TimingModel, FourXSmartSenseComparison) {
+  // §5.1: tinySDR wakes ~4x slower than the SmartSense commercial sensor.
+  TimingModel t;
+  double ratio = t.wakeup_total().milliseconds() / kSmartSenseWakeupMs;
+  EXPECT_NEAR(ratio, 4.0, 0.2);
+}
+
+TEST(TimingModel, BleHopBudget) {
+  // Frequency switch (220 us) must beat the iPhone 8's 350 us beacon gap.
+  TimingModel t;
+  EXPECT_LT(t.frequency_switch.microseconds(), 350.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::radio

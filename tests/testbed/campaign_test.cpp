@@ -1,0 +1,79 @@
+#include "testbed/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::testbed {
+namespace {
+
+fpga::FirmwareImage small_image(std::size_t kb, const std::string& name) {
+  // Small synthetic image to keep the test fast; structure mixed.
+  Rng rng{99};
+  auto img = fpga::generate_mcu_program(name, kb * 1024, rng);
+  return img;
+}
+
+TEST(Campaign, UpdatesEveryNode) {
+  Rng rng{1};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(30, "test_fw");
+  Rng campaign_rng{2};
+  auto result = run_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                             campaign_rng);
+  EXPECT_EQ(result.per_node.size(), 20u);
+  // The deployment is engineered to be reachable: all nodes succeed.
+  EXPECT_EQ(result.successes(), 20u);
+}
+
+TEST(Campaign, FarNodesTakeLonger) {
+  Rng rng{3};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(30, "test_fw");
+  Rng campaign_rng{4};
+  auto result = run_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                             campaign_rng);
+
+  // Compare mean time of the 5 nearest vs 5 farthest nodes.
+  std::vector<std::pair<double, double>> dist_time;
+  for (std::size_t i = 0; i < deployment.nodes().size(); ++i) {
+    if (!result.per_node[i].success) continue;
+    dist_time.emplace_back(deployment.nodes()[i].distance_m,
+                           result.per_node[i].total_time.value());
+  }
+  std::sort(dist_time.begin(), dist_time.end());
+  double near = 0.0, far = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    near += dist_time[static_cast<std::size_t>(i)].second;
+    far += dist_time[dist_time.size() - 1 - static_cast<std::size_t>(i)].second;
+  }
+  EXPECT_GE(far, near);
+}
+
+TEST(Campaign, CdfIsMonotone) {
+  Rng rng{5};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(20, "fw");
+  Rng campaign_rng{6};
+  auto result = run_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                             campaign_rng);
+  auto cdf = result.time_cdf_minutes();
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].probability, cdf[i].probability);
+  }
+  EXPECT_NEAR(cdf.back().probability, 1.0, 1e-12);
+}
+
+TEST(Campaign, MeanStatsPositive) {
+  Rng rng{7};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(10, "fw");
+  Rng campaign_rng{8};
+  auto result = run_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                             campaign_rng);
+  EXPECT_GT(result.mean_time().value(), 0.0);
+  EXPECT_GT(result.mean_energy().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tinysdr::testbed

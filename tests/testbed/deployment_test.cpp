@@ -1,0 +1,93 @@
+#include "testbed/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::testbed {
+namespace {
+
+TEST(Deployment, TwentyNodesByDefault) {
+  Rng rng{1};
+  auto d = Deployment::campus(rng);
+  EXPECT_EQ(d.nodes().size(), 20u);
+}
+
+TEST(Deployment, UniqueIds) {
+  Rng rng{2};
+  auto d = Deployment::campus(rng);
+  std::vector<bool> seen(64, false);
+  for (const auto& n : d.nodes()) {
+    ASSERT_LT(n.id, 64);
+    EXPECT_FALSE(seen[n.id]) << "duplicate id " << n.id;
+    seen[n.id] = true;
+  }
+}
+
+TEST(Deployment, DistancesSpanCampusScale) {
+  Rng rng{3};
+  auto d = Deployment::campus(rng);
+  double min_d = 1e9, max_d = 0.0;
+  for (const auto& n : d.nodes()) {
+    min_d = std::min(min_d, n.distance_m);
+    max_d = std::max(max_d, n.distance_m);
+  }
+  EXPECT_LT(min_d, 100.0);
+  EXPECT_GT(max_d, 500.0);
+}
+
+TEST(Deployment, RssiSpreadCoversLinkQualities) {
+  Rng rng{4};
+  auto d = Deployment::campus(rng);
+  // Near nodes strong, far nodes near the SF8/BW500 sensitivity.
+  EXPECT_GT(d.strongest_rssi().value(), -90.0);
+  EXPECT_LT(d.weakest_rssi().value(), -100.0);
+  // But everything must remain reachable (above ~-122 dBm).
+  EXPECT_GT(d.weakest_rssi().value(), -125.0);
+}
+
+TEST(Deployment, RssiMonotoneWithDistanceModuloShadowing) {
+  Rng rng{5};
+  auto d = Deployment::campus(rng);
+  // Correlation between log-distance and RSSI must be strongly negative.
+  double sum_x = 0, sum_y = 0, sum_xy = 0, sum_xx = 0, sum_yy = 0;
+  auto n = static_cast<double>(d.nodes().size());
+  for (const auto& node : d.nodes()) {
+    double x = std::log10(node.distance_m);
+    double y = node.rssi.value();
+    sum_x += x;
+    sum_y += y;
+    sum_xy += x * y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+  }
+  double corr = (n * sum_xy - sum_x * sum_y) /
+                std::sqrt((n * sum_xx - sum_x * sum_x) *
+                          (n * sum_yy - sum_y * sum_y));
+  EXPECT_LT(corr, -0.8);
+}
+
+TEST(Deployment, DifferentSeedsDifferentLayouts) {
+  Rng rng1{6}, rng2{7};
+  auto a = Deployment::campus(rng1);
+  auto b = Deployment::campus(rng2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.nodes().size(); ++i)
+    if (std::abs(a.nodes()[i].distance_m - b.nodes()[i].distance_m) > 1e-9)
+      any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(EmpiricalCdf, SortedAndNormalized) {
+  auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].probability, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].probability, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+}  // namespace
+}  // namespace tinysdr::testbed

@@ -1,0 +1,125 @@
+#include "testbed/multihop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::testbed {
+namespace {
+
+MeshNetwork make_mesh(double exponent = 3.2) {
+  // Aggressive path loss so long links genuinely fail.
+  channel::PathLossModel model{Hertz::from_megahertz(915.0), exponent};
+  return MeshNetwork{model, Dbm{14.0}};
+}
+
+TEST(MeshNetwork, LinkRssiSymmetric) {
+  auto mesh = make_mesh();
+  EXPECT_NEAR(mesh.link_rssi(0.0, 500.0).value(),
+              mesh.link_rssi(500.0, 0.0).value(), 1e-9);
+}
+
+TEST(MeshNetwork, ShortLinksConnected) {
+  auto mesh = make_mesh();
+  EXPECT_TRUE(mesh.connected(0.0, 100.0));
+}
+
+TEST(MeshNetwork, VeryLongLinksNot) {
+  auto mesh = make_mesh();
+  EXPECT_FALSE(mesh.connected(0.0, 50000.0));
+}
+
+TEST(MeshNetwork, DirectRouteWhenInRange) {
+  auto mesh = make_mesh();
+  mesh.add_node({1, 300.0});
+  auto route = mesh.route_to(1, 20);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hop_count(), 1u);
+  EXPECT_EQ(route->hops[0].from, 0);
+  EXPECT_EQ(route->hops[0].to, 1);
+}
+
+TEST(MeshNetwork, RelaysThroughIntermediate) {
+  auto mesh = make_mesh();
+  // Find a distance that is unreachable directly but reachable via a
+  // midpoint relay.
+  double far = 50.0;
+  while (mesh.connected(0.0, far)) far *= 1.25;
+  far *= 1.3;  // clearly out of direct range
+  ASSERT_FALSE(mesh.connected(0.0, far));
+  ASSERT_TRUE(mesh.connected(0.0, far / 2.0));
+
+  mesh.add_node({1, far / 2.0});  // relay
+  mesh.add_node({2, far});        // destination
+  auto route = mesh.route_to(2, 20);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hop_count(), 2u);
+  EXPECT_EQ(route->hops[0].to, 1);
+  EXPECT_EQ(route->hops[1].to, 2);
+}
+
+TEST(MeshNetwork, UnreachableWithoutRelays) {
+  auto mesh = make_mesh();
+  double far = 50.0;
+  while (mesh.connected(0.0, far)) far *= 1.25;
+  mesh.add_node({2, far * 2.0});
+  EXPECT_FALSE(mesh.route_to(2, 20).has_value());
+}
+
+TEST(MeshNetwork, UnknownDestination) {
+  auto mesh = make_mesh();
+  EXPECT_FALSE(mesh.route_to(99, 20).has_value());
+}
+
+TEST(MeshNetwork, DirectPreferredWhenFastEnough) {
+  // When the direct link already supports the fastest rate, relaying can
+  // only add airtime, so the route is a single hop.
+  auto mesh = make_mesh();
+  mesh.add_node({1, 100.0});
+  mesh.add_node({2, 200.0});
+  mesh.add_node({3, 290.0});
+  auto direct_rate = lora::select_rate(mesh.link_rssi(0.0, 290.0), 3.0);
+  ASSERT_TRUE(direct_rate.has_value());
+  if (direct_rate->sf == 7) {
+    auto route = mesh.route_to(3, 20);
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->hop_count(), 1u);
+  }
+}
+
+TEST(CompareDirectVsRelayed, RelayingCanBeatSlowDirectLink) {
+  // §7's question: a marginal direct link forces SF12; two short hops run
+  // at SF7 each and can still win on airtime.
+  auto mesh = make_mesh();
+  // Place the destination where direct needs a slow SF.
+  double d = 50.0;
+  while (true) {
+    auto direct = lora::select_rate(mesh.link_rssi(0.0, d));
+    if (!direct || direct->sf >= 12) break;
+    d *= 1.15;
+  }
+  auto direct = lora::select_rate(mesh.link_rssi(0.0, d));
+  if (!direct) d /= 1.15;  // step back inside coverage
+
+  mesh.add_node({1, d / 2.0});
+  mesh.add_node({2, d});
+  auto outcome = compare_direct_vs_relayed(mesh, 2, 20);
+  ASSERT_TRUE(outcome.direct_possible);
+  ASSERT_TRUE(outcome.relayed.has_value());
+  EXPECT_EQ(outcome.relayed->hop_count(), 2u);
+  // Two fast hops beat one SF12 crawl.
+  EXPECT_LT(outcome.relayed->total_airtime().value(),
+            outcome.direct_airtime.value());
+}
+
+TEST(Route, AirtimeSumsHops) {
+  auto mesh = make_mesh();
+  mesh.add_node({1, 150.0});
+  mesh.add_node({2, 300.0});
+  auto route = mesh.route_to(2, 20);
+  ASSERT_TRUE(route.has_value());
+  Seconds sum{0.0};
+  for (const auto& h : route->hops) sum += h.airtime;
+  EXPECT_NEAR(route->total_airtime().value(), sum.value(), 1e-12);
+}
+
+}  // namespace
+}  // namespace tinysdr::testbed
