@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cad.dir/bench_ablation_cad.cpp.o"
+  "CMakeFiles/bench_ablation_cad.dir/bench_ablation_cad.cpp.o.d"
+  "bench_ablation_cad"
+  "bench_ablation_cad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

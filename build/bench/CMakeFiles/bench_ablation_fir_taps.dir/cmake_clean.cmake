@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fir_taps.dir/bench_ablation_fir_taps.cpp.o"
+  "CMakeFiles/bench_ablation_fir_taps.dir/bench_ablation_fir_taps.cpp.o.d"
+  "bench_ablation_fir_taps"
+  "bench_ablation_fir_taps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fir_taps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ota.dir/bench_ablation_ota.cpp.o"
+  "CMakeFiles/bench_ablation_ota.dir/bench_ablation_ota.cpp.o.d"
+  "bench_ablation_ota"
+  "bench_ablation_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lora_mod_per.dir/bench_fig10_lora_mod_per.cpp.o"
+  "CMakeFiles/bench_fig10_lora_mod_per.dir/bench_fig10_lora_mod_per.cpp.o.d"
+  "bench_fig10_lora_mod_per"
+  "bench_fig10_lora_mod_per.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lora_mod_per.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

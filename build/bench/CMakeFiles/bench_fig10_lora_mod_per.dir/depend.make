@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_lora_mod_per.
+# This may be replaced when dependencies are built.

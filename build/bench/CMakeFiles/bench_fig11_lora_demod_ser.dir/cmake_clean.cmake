@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_lora_demod_ser.dir/bench_fig11_lora_demod_ser.cpp.o"
+  "CMakeFiles/bench_fig11_lora_demod_ser.dir/bench_fig11_lora_demod_ser.cpp.o.d"
+  "bench_fig11_lora_demod_ser"
+  "bench_fig11_lora_demod_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_lora_demod_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ble_hop.dir/bench_fig13_ble_hop.cpp.o"
+  "CMakeFiles/bench_fig13_ble_hop.dir/bench_fig13_ble_hop.cpp.o.d"
+  "bench_fig13_ble_hop"
+  "bench_fig13_ble_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ble_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_ota_cdf.cpp" "bench/CMakeFiles/bench_fig14_ota_cdf.dir/bench_fig14_ota_cdf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_ota_cdf.dir/bench_fig14_ota_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tinysdr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/tinysdr_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ota/CMakeFiles/tinysdr_ota.dir/DependInfo.cmake"
+  "/root/repo/build/src/ble/CMakeFiles/tinysdr_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/zigbee/CMakeFiles/tinysdr_zigbee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sigfox/CMakeFiles/tinysdr_sigfox.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbiot/CMakeFiles/tinysdr_nbiot.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/tinysdr_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/tinysdr_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tinysdr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tinysdr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15a_concurrent.dir/bench_fig15a_concurrent.cpp.o"
+  "CMakeFiles/bench_fig15a_concurrent.dir/bench_fig15a_concurrent.cpp.o.d"
+  "bench_fig15a_concurrent"
+  "bench_fig15a_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15a_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_single_tone.dir/bench_fig8_single_tone.cpp.o"
+  "CMakeFiles/bench_fig8_single_tone.dir/bench_fig8_single_tone.cpp.o.d"
+  "bench_fig8_single_tone"
+  "bench_fig8_single_tone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_single_tone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

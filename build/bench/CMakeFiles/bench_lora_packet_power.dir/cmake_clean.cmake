@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lora_packet_power.dir/bench_lora_packet_power.cpp.o"
+  "CMakeFiles/bench_lora_packet_power.dir/bench_lora_packet_power.cpp.o.d"
+  "bench_lora_packet_power"
+  "bench_lora_packet_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lora_packet_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lora_packet_power.
+# This may be replaced when dependencies are built.

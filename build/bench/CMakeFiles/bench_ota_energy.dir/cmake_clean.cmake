@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ota_energy.dir/bench_ota_energy.cpp.o"
+  "CMakeFiles/bench_ota_energy.dir/bench_ota_energy.cpp.o.d"
+  "bench_ota_energy"
+  "bench_ota_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ota_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sleep_power.dir/bench_sleep_power.cpp.o"
+  "CMakeFiles/bench_sleep_power.dir/bench_sleep_power.cpp.o.d"
+  "bench_sleep_power"
+  "bench_sleep_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sleep_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

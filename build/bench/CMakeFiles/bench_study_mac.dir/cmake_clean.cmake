@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_mac.dir/bench_study_mac.cpp.o"
+  "CMakeFiles/bench_study_mac.dir/bench_study_mac.cpp.o.d"
+  "bench_study_mac"
+  "bench_study_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_protocols.dir/bench_study_protocols.cpp.o"
+  "CMakeFiles/bench_study_protocols.dir/bench_study_protocols.cpp.o.d"
+  "bench_study_protocols"
+  "bench_study_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

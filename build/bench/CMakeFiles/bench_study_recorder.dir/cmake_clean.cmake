@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_recorder.dir/bench_study_recorder.cpp.o"
+  "CMakeFiles/bench_study_recorder.dir/bench_study_recorder.cpp.o.d"
+  "bench_study_recorder"
+  "bench_study_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_research.dir/bench_study_research.cpp.o"
+  "CMakeFiles/bench_study_research.dir/bench_study_research.cpp.o.d"
+  "bench_study_research"
+  "bench_study_research.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_research.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_iq_radios.dir/bench_table2_iq_radios.cpp.o"
+  "CMakeFiles/bench_table2_iq_radios.dir/bench_table2_iq_radios.cpp.o.d"
+  "bench_table2_iq_radios"
+  "bench_table2_iq_radios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_iq_radios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_timings.dir/bench_table4_timings.cpp.o"
+  "CMakeFiles/bench_table4_timings.dir/bench_table4_timings.cpp.o.d"
+  "bench_table4_timings"
+  "bench_table4_timings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_timings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

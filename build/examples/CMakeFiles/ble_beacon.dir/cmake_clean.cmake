@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ble_beacon.dir/ble_beacon.cpp.o"
+  "CMakeFiles/ble_beacon.dir/ble_beacon.cpp.o.d"
+  "ble_beacon"
+  "ble_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ble_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

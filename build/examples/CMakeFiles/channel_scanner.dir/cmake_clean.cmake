@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_scanner.dir/channel_scanner.cpp.o"
+  "CMakeFiles/channel_scanner.dir/channel_scanner.cpp.o.d"
+  "channel_scanner"
+  "channel_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_rx.dir/concurrent_rx.cpp.o"
+  "CMakeFiles/concurrent_rx.dir/concurrent_rx.cpp.o.d"
+  "concurrent_rx"
+  "concurrent_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

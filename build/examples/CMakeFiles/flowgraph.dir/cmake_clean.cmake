@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowgraph.dir/flowgraph.cpp.o"
+  "CMakeFiles/flowgraph.dir/flowgraph.cpp.o.d"
+  "flowgraph"
+  "flowgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

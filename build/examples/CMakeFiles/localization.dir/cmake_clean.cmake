@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localization.dir/localization.cpp.o"
+  "CMakeFiles/localization.dir/localization.cpp.o.d"
+  "localization"
+  "localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_testbed.dir/ota_testbed.cpp.o"
+  "CMakeFiles/ota_testbed.dir/ota_testbed.cpp.o.d"
+  "ota_testbed"
+  "ota_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dsp")
+subdirs("channel")
+subdirs("radio")
+subdirs("fpga")
+subdirs("power")
+subdirs("mcu")
+subdirs("lora")
+subdirs("ble")
+subdirs("zigbee")
+subdirs("sigfox")
+subdirs("nbiot")
+subdirs("ota")
+subdirs("testbed")
+subdirs("flow")
+subdirs("core")

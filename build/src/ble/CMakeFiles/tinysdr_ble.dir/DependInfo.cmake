@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ble/advertiser.cpp" "src/ble/CMakeFiles/tinysdr_ble.dir/advertiser.cpp.o" "gcc" "src/ble/CMakeFiles/tinysdr_ble.dir/advertiser.cpp.o.d"
+  "/root/repo/src/ble/cc2650.cpp" "src/ble/CMakeFiles/tinysdr_ble.dir/cc2650.cpp.o" "gcc" "src/ble/CMakeFiles/tinysdr_ble.dir/cc2650.cpp.o.d"
+  "/root/repo/src/ble/gfsk.cpp" "src/ble/CMakeFiles/tinysdr_ble.dir/gfsk.cpp.o" "gcc" "src/ble/CMakeFiles/tinysdr_ble.dir/gfsk.cpp.o.d"
+  "/root/repo/src/ble/packet.cpp" "src/ble/CMakeFiles/tinysdr_ble.dir/packet.cpp.o" "gcc" "src/ble/CMakeFiles/tinysdr_ble.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

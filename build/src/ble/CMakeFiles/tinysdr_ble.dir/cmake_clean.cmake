@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_ble.dir/advertiser.cpp.o"
+  "CMakeFiles/tinysdr_ble.dir/advertiser.cpp.o.d"
+  "CMakeFiles/tinysdr_ble.dir/cc2650.cpp.o"
+  "CMakeFiles/tinysdr_ble.dir/cc2650.cpp.o.d"
+  "CMakeFiles/tinysdr_ble.dir/gfsk.cpp.o"
+  "CMakeFiles/tinysdr_ble.dir/gfsk.cpp.o.d"
+  "CMakeFiles/tinysdr_ble.dir/packet.cpp.o"
+  "CMakeFiles/tinysdr_ble.dir/packet.cpp.o.d"
+  "libtinysdr_ble.a"
+  "libtinysdr_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/link_budget.cpp" "src/channel/CMakeFiles/tinysdr_channel.dir/link_budget.cpp.o" "gcc" "src/channel/CMakeFiles/tinysdr_channel.dir/link_budget.cpp.o.d"
+  "/root/repo/src/channel/noise.cpp" "src/channel/CMakeFiles/tinysdr_channel.dir/noise.cpp.o" "gcc" "src/channel/CMakeFiles/tinysdr_channel.dir/noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_channel.dir/link_budget.cpp.o"
+  "CMakeFiles/tinysdr_channel.dir/link_budget.cpp.o.d"
+  "CMakeFiles/tinysdr_channel.dir/noise.cpp.o"
+  "CMakeFiles/tinysdr_channel.dir/noise.cpp.o.d"
+  "libtinysdr_channel.a"
+  "libtinysdr_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

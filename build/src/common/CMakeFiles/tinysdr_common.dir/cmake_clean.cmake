@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_common.dir/aes.cpp.o"
+  "CMakeFiles/tinysdr_common.dir/aes.cpp.o.d"
+  "libtinysdr_common.a"
+  "libtinysdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_core.dir/backscatter.cpp.o"
+  "CMakeFiles/tinysdr_core.dir/backscatter.cpp.o.d"
+  "CMakeFiles/tinysdr_core.dir/concurrent.cpp.o"
+  "CMakeFiles/tinysdr_core.dir/concurrent.cpp.o.d"
+  "CMakeFiles/tinysdr_core.dir/device.cpp.o"
+  "CMakeFiles/tinysdr_core.dir/device.cpp.o.d"
+  "CMakeFiles/tinysdr_core.dir/localization.cpp.o"
+  "CMakeFiles/tinysdr_core.dir/localization.cpp.o.d"
+  "CMakeFiles/tinysdr_core.dir/platform_db.cpp.o"
+  "CMakeFiles/tinysdr_core.dir/platform_db.cpp.o.d"
+  "libtinysdr_core.a"
+  "libtinysdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtinysdr_core.a"
+)

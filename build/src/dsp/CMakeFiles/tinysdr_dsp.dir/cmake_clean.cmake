@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_dsp.dir/fft.cpp.o"
+  "CMakeFiles/tinysdr_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/tinysdr_dsp.dir/fir.cpp.o"
+  "CMakeFiles/tinysdr_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/tinysdr_dsp.dir/gaussian.cpp.o"
+  "CMakeFiles/tinysdr_dsp.dir/gaussian.cpp.o.d"
+  "CMakeFiles/tinysdr_dsp.dir/nco.cpp.o"
+  "CMakeFiles/tinysdr_dsp.dir/nco.cpp.o.d"
+  "CMakeFiles/tinysdr_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/tinysdr_dsp.dir/spectrum.cpp.o.d"
+  "libtinysdr_dsp.a"
+  "libtinysdr_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/graph.cpp" "src/flow/CMakeFiles/tinysdr_flow.dir/graph.cpp.o" "gcc" "src/flow/CMakeFiles/tinysdr_flow.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

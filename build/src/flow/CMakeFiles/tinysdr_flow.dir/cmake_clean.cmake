@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_flow.dir/graph.cpp.o"
+  "CMakeFiles/tinysdr_flow.dir/graph.cpp.o.d"
+  "libtinysdr_flow.a"
+  "libtinysdr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

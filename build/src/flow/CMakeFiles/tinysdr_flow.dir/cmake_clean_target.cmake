@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtinysdr_flow.a"
+)

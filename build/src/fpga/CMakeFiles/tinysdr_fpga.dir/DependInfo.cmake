@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitstream.cpp" "src/fpga/CMakeFiles/tinysdr_fpga.dir/bitstream.cpp.o" "gcc" "src/fpga/CMakeFiles/tinysdr_fpga.dir/bitstream.cpp.o.d"
+  "/root/repo/src/fpga/microsd.cpp" "src/fpga/CMakeFiles/tinysdr_fpga.dir/microsd.cpp.o" "gcc" "src/fpga/CMakeFiles/tinysdr_fpga.dir/microsd.cpp.o.d"
+  "/root/repo/src/fpga/resources.cpp" "src/fpga/CMakeFiles/tinysdr_fpga.dir/resources.cpp.o" "gcc" "src/fpga/CMakeFiles/tinysdr_fpga.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_fpga.dir/bitstream.cpp.o"
+  "CMakeFiles/tinysdr_fpga.dir/bitstream.cpp.o.d"
+  "CMakeFiles/tinysdr_fpga.dir/microsd.cpp.o"
+  "CMakeFiles/tinysdr_fpga.dir/microsd.cpp.o.d"
+  "CMakeFiles/tinysdr_fpga.dir/resources.cpp.o"
+  "CMakeFiles/tinysdr_fpga.dir/resources.cpp.o.d"
+  "libtinysdr_fpga.a"
+  "libtinysdr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lora/chirp.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/chirp.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/chirp.cpp.o.d"
+  "/root/repo/src/lora/coding.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/coding.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/coding.cpp.o.d"
+  "/root/repo/src/lora/demodulator.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/demodulator.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/demodulator.cpp.o.d"
+  "/root/repo/src/lora/mac.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/mac.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/mac.cpp.o.d"
+  "/root/repo/src/lora/modulator.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/modulator.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/modulator.cpp.o.d"
+  "/root/repo/src/lora/packet.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/packet.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/packet.cpp.o.d"
+  "/root/repo/src/lora/params.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/params.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/params.cpp.o.d"
+  "/root/repo/src/lora/rate_adapt.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/rate_adapt.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/rate_adapt.cpp.o.d"
+  "/root/repo/src/lora/sx1276.cpp" "src/lora/CMakeFiles/tinysdr_lora.dir/sx1276.cpp.o" "gcc" "src/lora/CMakeFiles/tinysdr_lora.dir/sx1276.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_lora.dir/chirp.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/chirp.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/coding.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/coding.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/demodulator.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/demodulator.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/mac.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/mac.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/modulator.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/modulator.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/packet.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/packet.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/params.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/params.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/rate_adapt.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/rate_adapt.cpp.o.d"
+  "CMakeFiles/tinysdr_lora.dir/sx1276.cpp.o"
+  "CMakeFiles/tinysdr_lora.dir/sx1276.cpp.o.d"
+  "libtinysdr_lora.a"
+  "libtinysdr_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

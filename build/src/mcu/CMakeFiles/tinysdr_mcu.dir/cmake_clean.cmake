@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_mcu.dir/msp432.cpp.o"
+  "CMakeFiles/tinysdr_mcu.dir/msp432.cpp.o.d"
+  "libtinysdr_mcu.a"
+  "libtinysdr_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tinysdr_mcu.
+# This may be replaced when dependencies are built.

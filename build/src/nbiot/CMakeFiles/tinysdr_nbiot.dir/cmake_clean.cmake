@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_nbiot.dir/uplink.cpp.o"
+  "CMakeFiles/tinysdr_nbiot.dir/uplink.cpp.o.d"
+  "libtinysdr_nbiot.a"
+  "libtinysdr_nbiot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_nbiot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ota/broadcast.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/broadcast.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/broadcast.cpp.o.d"
+  "/root/repo/src/ota/flash.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/flash.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/flash.cpp.o.d"
+  "/root/repo/src/ota/lzo.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/lzo.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/lzo.cpp.o.d"
+  "/root/repo/src/ota/protocol.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/protocol.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/protocol.cpp.o.d"
+  "/root/repo/src/ota/scheduler.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/scheduler.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ota/update.cpp" "src/ota/CMakeFiles/tinysdr_ota.dir/update.cpp.o" "gcc" "src/ota/CMakeFiles/tinysdr_ota.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/tinysdr_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tinysdr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/tinysdr_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tinysdr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_ota.dir/broadcast.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/broadcast.cpp.o.d"
+  "CMakeFiles/tinysdr_ota.dir/flash.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/flash.cpp.o.d"
+  "CMakeFiles/tinysdr_ota.dir/lzo.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/lzo.cpp.o.d"
+  "CMakeFiles/tinysdr_ota.dir/protocol.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/protocol.cpp.o.d"
+  "CMakeFiles/tinysdr_ota.dir/scheduler.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tinysdr_ota.dir/update.cpp.o"
+  "CMakeFiles/tinysdr_ota.dir/update.cpp.o.d"
+  "libtinysdr_ota.a"
+  "libtinysdr_ota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/domains.cpp" "src/power/CMakeFiles/tinysdr_power.dir/domains.cpp.o" "gcc" "src/power/CMakeFiles/tinysdr_power.dir/domains.cpp.o.d"
+  "/root/repo/src/power/ledger.cpp" "src/power/CMakeFiles/tinysdr_power.dir/ledger.cpp.o" "gcc" "src/power/CMakeFiles/tinysdr_power.dir/ledger.cpp.o.d"
+  "/root/repo/src/power/platform_power.cpp" "src/power/CMakeFiles/tinysdr_power.dir/platform_power.cpp.o" "gcc" "src/power/CMakeFiles/tinysdr_power.dir/platform_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tinysdr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_power.dir/domains.cpp.o"
+  "CMakeFiles/tinysdr_power.dir/domains.cpp.o.d"
+  "CMakeFiles/tinysdr_power.dir/ledger.cpp.o"
+  "CMakeFiles/tinysdr_power.dir/ledger.cpp.o.d"
+  "CMakeFiles/tinysdr_power.dir/platform_power.cpp.o"
+  "CMakeFiles/tinysdr_power.dir/platform_power.cpp.o.d"
+  "libtinysdr_power.a"
+  "libtinysdr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/at86rf215.cpp" "src/radio/CMakeFiles/tinysdr_radio.dir/at86rf215.cpp.o" "gcc" "src/radio/CMakeFiles/tinysdr_radio.dir/at86rf215.cpp.o.d"
+  "/root/repo/src/radio/builtin_modem.cpp" "src/radio/CMakeFiles/tinysdr_radio.dir/builtin_modem.cpp.o" "gcc" "src/radio/CMakeFiles/tinysdr_radio.dir/builtin_modem.cpp.o.d"
+  "/root/repo/src/radio/frontend.cpp" "src/radio/CMakeFiles/tinysdr_radio.dir/frontend.cpp.o" "gcc" "src/radio/CMakeFiles/tinysdr_radio.dir/frontend.cpp.o.d"
+  "/root/repo/src/radio/lvds.cpp" "src/radio/CMakeFiles/tinysdr_radio.dir/lvds.cpp.o" "gcc" "src/radio/CMakeFiles/tinysdr_radio.dir/lvds.cpp.o.d"
+  "/root/repo/src/radio/quantizer.cpp" "src/radio/CMakeFiles/tinysdr_radio.dir/quantizer.cpp.o" "gcc" "src/radio/CMakeFiles/tinysdr_radio.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_radio.dir/at86rf215.cpp.o"
+  "CMakeFiles/tinysdr_radio.dir/at86rf215.cpp.o.d"
+  "CMakeFiles/tinysdr_radio.dir/builtin_modem.cpp.o"
+  "CMakeFiles/tinysdr_radio.dir/builtin_modem.cpp.o.d"
+  "CMakeFiles/tinysdr_radio.dir/frontend.cpp.o"
+  "CMakeFiles/tinysdr_radio.dir/frontend.cpp.o.d"
+  "CMakeFiles/tinysdr_radio.dir/lvds.cpp.o"
+  "CMakeFiles/tinysdr_radio.dir/lvds.cpp.o.d"
+  "CMakeFiles/tinysdr_radio.dir/quantizer.cpp.o"
+  "CMakeFiles/tinysdr_radio.dir/quantizer.cpp.o.d"
+  "libtinysdr_radio.a"
+  "libtinysdr_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_sigfox.dir/unb.cpp.o"
+  "CMakeFiles/tinysdr_sigfox.dir/unb.cpp.o.d"
+  "libtinysdr_sigfox.a"
+  "libtinysdr_sigfox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_sigfox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_testbed.dir/campaign.cpp.o"
+  "CMakeFiles/tinysdr_testbed.dir/campaign.cpp.o.d"
+  "CMakeFiles/tinysdr_testbed.dir/deployment.cpp.o"
+  "CMakeFiles/tinysdr_testbed.dir/deployment.cpp.o.d"
+  "CMakeFiles/tinysdr_testbed.dir/multihop.cpp.o"
+  "CMakeFiles/tinysdr_testbed.dir/multihop.cpp.o.d"
+  "libtinysdr_testbed.a"
+  "libtinysdr_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysdr_zigbee.dir/oqpsk.cpp.o"
+  "CMakeFiles/tinysdr_zigbee.dir/oqpsk.cpp.o.d"
+  "libtinysdr_zigbee.a"
+  "libtinysdr_zigbee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysdr_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ble.dir/ble/advertiser_test.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/advertiser_test.cpp.o.d"
+  "CMakeFiles/test_ble.dir/ble/gfsk_test.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/gfsk_test.cpp.o.d"
+  "CMakeFiles/test_ble.dir/ble/packet_test.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/packet_test.cpp.o.d"
+  "test_ble"
+  "test_ble.pdb"
+  "test_ble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/concurrent_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/concurrent_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/device_phy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/device_phy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/device_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/device_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/localization_extra_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/localization_extra_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/studies_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/studies_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/fir_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/fir_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/gaussian_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/gaussian_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/nco_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/nco_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/spectrum_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/spectrum_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/types_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/types_test.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

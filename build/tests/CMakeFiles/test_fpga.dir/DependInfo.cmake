@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fpga/bitstream_test.cpp" "tests/CMakeFiles/test_fpga.dir/fpga/bitstream_test.cpp.o" "gcc" "tests/CMakeFiles/test_fpga.dir/fpga/bitstream_test.cpp.o.d"
+  "/root/repo/tests/fpga/fifo_test.cpp" "tests/CMakeFiles/test_fpga.dir/fpga/fifo_test.cpp.o" "gcc" "tests/CMakeFiles/test_fpga.dir/fpga/fifo_test.cpp.o.d"
+  "/root/repo/tests/fpga/microsd_test.cpp" "tests/CMakeFiles/test_fpga.dir/fpga/microsd_test.cpp.o" "gcc" "tests/CMakeFiles/test_fpga.dir/fpga/microsd_test.cpp.o.d"
+  "/root/repo/tests/fpga/resources_test.cpp" "tests/CMakeFiles/test_fpga.dir/fpga/resources_test.cpp.o" "gcc" "tests/CMakeFiles/test_fpga.dir/fpga/resources_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tinysdr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tinysdr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/tinysdr_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/tinysdr_lora.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpga.dir/fpga/bitstream_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/bitstream_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/fifo_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/fifo_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/microsd_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/microsd_test.cpp.o.d"
+  "CMakeFiles/test_fpga.dir/fpga/resources_test.cpp.o"
+  "CMakeFiles/test_fpga.dir/fpga/resources_test.cpp.o.d"
+  "test_fpga"
+  "test_fpga.pdb"
+  "test_fpga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lora/cad_impairments_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/cad_impairments_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/cad_impairments_test.cpp.o.d"
+  "/root/repo/tests/lora/chirp_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/chirp_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/chirp_test.cpp.o.d"
+  "/root/repo/tests/lora/coding_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/coding_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/coding_test.cpp.o.d"
+  "/root/repo/tests/lora/fuzz_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/fuzz_test.cpp.o.d"
+  "/root/repo/tests/lora/mac_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/mac_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/mac_test.cpp.o.d"
+  "/root/repo/tests/lora/modem_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/modem_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/modem_test.cpp.o.d"
+  "/root/repo/tests/lora/packet_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/packet_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/packet_test.cpp.o.d"
+  "/root/repo/tests/lora/params_test.cpp" "tests/CMakeFiles/test_lora.dir/lora/params_test.cpp.o" "gcc" "tests/CMakeFiles/test_lora.dir/lora/params_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tinysdr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/tinysdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/tinysdr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/tinysdr_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/tinysdr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tinysdr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/tinysdr_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/tinysdr_lora.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lora.dir/lora/cad_impairments_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/cad_impairments_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/chirp_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/chirp_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/coding_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/coding_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/fuzz_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/mac_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/mac_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/modem_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/modem_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/packet_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/packet_test.cpp.o.d"
+  "CMakeFiles/test_lora.dir/lora/params_test.cpp.o"
+  "CMakeFiles/test_lora.dir/lora/params_test.cpp.o.d"
+  "test_lora"
+  "test_lora.pdb"
+  "test_lora[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

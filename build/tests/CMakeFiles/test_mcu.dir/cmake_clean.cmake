@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcu.dir/mcu/msp432_test.cpp.o"
+  "CMakeFiles/test_mcu.dir/mcu/msp432_test.cpp.o.d"
+  "test_mcu"
+  "test_mcu.pdb"
+  "test_mcu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbiot.dir/nbiot/uplink_test.cpp.o"
+  "CMakeFiles/test_nbiot.dir/nbiot/uplink_test.cpp.o.d"
+  "test_nbiot"
+  "test_nbiot.pdb"
+  "test_nbiot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbiot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

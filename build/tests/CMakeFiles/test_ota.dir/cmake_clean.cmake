@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ota.dir/ota/broadcast_edge_test.cpp.o"
+  "CMakeFiles/test_ota.dir/ota/broadcast_edge_test.cpp.o.d"
+  "CMakeFiles/test_ota.dir/ota/flash_test.cpp.o"
+  "CMakeFiles/test_ota.dir/ota/flash_test.cpp.o.d"
+  "CMakeFiles/test_ota.dir/ota/lzo_test.cpp.o"
+  "CMakeFiles/test_ota.dir/ota/lzo_test.cpp.o.d"
+  "CMakeFiles/test_ota.dir/ota/protocol_test.cpp.o"
+  "CMakeFiles/test_ota.dir/ota/protocol_test.cpp.o.d"
+  "CMakeFiles/test_ota.dir/ota/scheduler_test.cpp.o"
+  "CMakeFiles/test_ota.dir/ota/scheduler_test.cpp.o.d"
+  "test_ota"
+  "test_ota.pdb"
+  "test_ota[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

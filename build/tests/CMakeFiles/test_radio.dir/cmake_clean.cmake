@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/at86rf215_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/at86rf215_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/builtin_modem_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/builtin_modem_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/frontend_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/frontend_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/lvds_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/lvds_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/quantizer_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/quantizer_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/timing_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/timing_test.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

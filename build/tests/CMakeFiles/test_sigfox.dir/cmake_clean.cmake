@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigfox.dir/sigfox/unb_test.cpp.o"
+  "CMakeFiles/test_sigfox.dir/sigfox/unb_test.cpp.o.d"
+  "test_sigfox"
+  "test_sigfox.pdb"
+  "test_sigfox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigfox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sigfox.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_radio[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_mcu[1]_include.cmake")
+include("/root/repo/build/tests/test_lora[1]_include.cmake")
+include("/root/repo/build/tests/test_ble[1]_include.cmake")
+include("/root/repo/build/tests/test_ota[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_zigbee[1]_include.cmake")
+include("/root/repo/build/tests/test_sigfox[1]_include.cmake")
+include("/root/repo/build/tests/test_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_nbiot[1]_include.cmake")
