@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite in the default configuration,
+# then a second pass under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Usage: scripts/verify.sh [--fast]   (--fast skips the sanitizer pass)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default build =="
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default -j"$(nproc)"
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== tier-1: ASan+UBSan build =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j"$(nproc)"
+  ctest --preset asan-ubsan -j"$(nproc)"
+fi
+
+echo "verify: OK"

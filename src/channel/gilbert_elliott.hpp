@@ -1,0 +1,94 @@
+// Gilbert–Elliott two-state burst-loss channel.
+//
+// The OTA evaluation in the paper runs over a campus LoRa backbone; real
+// links there fade in bursts (people, doors, weather) rather than dropping
+// packets i.i.d. The classic Gilbert–Elliott model captures this with a
+// two-state Markov chain — a Good state with low loss and a Bad (deep-fade)
+// state with high loss — advanced once per packet. It is the burst-loss
+// primitive behind the fault-injection framework (`sim::FaultPlan`).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::channel {
+
+/// Per-packet transition/loss probabilities of the two-state chain.
+struct GilbertElliottParams {
+  double p_enter_bad = 0.05;  ///< P(Good -> Bad) per packet
+  double p_exit_bad = 0.30;   ///< P(Bad -> Good) per packet
+  double loss_good = 0.0;     ///< packet loss probability in Good
+  double loss_bad = 0.9;      ///< packet loss probability in Bad
+
+  /// Stationary probability of being in the Bad state.
+  [[nodiscard]] double steady_bad() const {
+    double denom = p_enter_bad + p_exit_bad;
+    return denom <= 0.0 ? 0.0 : p_enter_bad / denom;
+  }
+
+  /// Long-run average packet loss rate (for equal-PER comparisons against
+  /// an i.i.d. Bernoulli channel).
+  [[nodiscard]] double mean_loss() const {
+    double pb = steady_bad();
+    return loss_good * (1.0 - pb) + loss_bad * pb;
+  }
+
+  /// Mean burst length (packets spent in Bad per visit).
+  [[nodiscard]] double mean_burst_length() const {
+    return p_exit_bad <= 0.0 ? 1e18 : 1.0 / p_exit_bad;
+  }
+
+  /// Degenerate parameters reproducing an i.i.d. Bernoulli loss of `per`
+  /// (both states identical) — the control arm of burst-vs-iid ablations.
+  [[nodiscard]] static GilbertElliottParams bernoulli(double per) {
+    return GilbertElliottParams{0.5, 0.5, per, per};
+  }
+};
+
+/// The chain itself: advanced one step per delivery attempt.
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(GilbertElliottParams params, Rng rng)
+      : params_(params), rng_(rng) {}
+
+  /// Advance the chain one packet and draw the loss for that packet.
+  /// Returns true if the packet is lost.
+  bool lose_packet() {
+    if (in_bad_) {
+      if (rng_.next_bool(params_.p_exit_bad)) in_bad_ = false;
+    } else {
+      if (rng_.next_bool(params_.p_enter_bad)) {
+        in_bad_ = true;
+        ++bad_entries_;
+      }
+    }
+    bool lost = rng_.next_bool(in_bad_ ? params_.loss_bad : params_.loss_good);
+    if (lost) ++packets_lost_;
+    ++packets_seen_;
+    return lost;
+  }
+
+  [[nodiscard]] bool in_bad() const { return in_bad_; }
+  [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
+
+  /// Observed statistics (for tests validating the chain's behaviour).
+  [[nodiscard]] std::size_t packets_seen() const { return packets_seen_; }
+  [[nodiscard]] std::size_t packets_lost() const { return packets_lost_; }
+  [[nodiscard]] std::size_t bad_entries() const { return bad_entries_; }
+  [[nodiscard]] double observed_loss() const {
+    return packets_seen_ == 0 ? 0.0
+                              : static_cast<double>(packets_lost_) /
+                                    static_cast<double>(packets_seen_);
+  }
+
+ private:
+  GilbertElliottParams params_;
+  Rng rng_;
+  bool in_bad_ = false;
+  std::size_t packets_seen_ = 0;
+  std::size_t packets_lost_ = 0;
+  std::size_t bad_entries_ = 0;
+};
+
+}  // namespace tinysdr::channel

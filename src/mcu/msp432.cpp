@@ -28,6 +28,34 @@ void Msp432::allocate_flash(const std::string& name, std::uint32_t bytes) {
   flash_used_ += bytes;
 }
 
+void Msp432::reset(ResetCause cause) {
+  sram_allocs_ = boot_sram_allocs_;
+  sram_used_ = 0;
+  for (const auto& [name, bytes] : sram_allocs_) sram_used_ += bytes;
+  mode_ = McuMode::kActive;
+  watchdog_armed_ = false;
+  watchdog_elapsed_ = Seconds{0.0};
+  ++reset_count_;
+  last_reset_cause_ = cause;
+  if (reset_hook_) reset_hook_(cause);
+}
+
+void Msp432::arm_watchdog(Seconds timeout) {
+  if (timeout.value() <= 0.0)
+    throw std::invalid_argument("arm_watchdog: non-positive timeout");
+  watchdog_armed_ = true;
+  watchdog_timeout_ = timeout;
+  watchdog_elapsed_ = Seconds{0.0};
+}
+
+bool Msp432::advance_time(Seconds elapsed) {
+  if (!watchdog_armed_) return false;
+  watchdog_elapsed_ += elapsed;
+  if (watchdog_elapsed_ < watchdog_timeout_) return false;
+  reset(ResetCause::kWatchdog);
+  return true;
+}
+
 Msp432 baseline_firmware() {
   // Sized so (SRAM + flash used) / (SRAM + flash total) = 18% as measured
   // in §5.2 for TTN MAC + control + OTA decompressor.
@@ -43,6 +71,7 @@ Msp432 baseline_firmware() {
   m.allocate_sram("stack", 4 * 1024);
   // Note: the 30 kB OTA block buffer is allocated transiently during
   // decompression (see ota::UpdatePlanner), not part of the baseline.
+  m.capture_boot_image();
   return m;
 }
 

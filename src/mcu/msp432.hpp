@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -22,6 +23,13 @@ enum class McuMode {
   kActive,  ///< 48 MHz run
   kLpm0,    ///< CPU off, peripherals on
   kLpm3,    ///< RTC + wakeup timer only (the sleep-mode state)
+};
+
+/// Why the MCU last went through reset.
+enum class ResetCause : std::uint8_t {
+  kPowerOn,
+  kBrownout,   ///< supply dipped below the BSL threshold
+  kWatchdog,   ///< WDT expired without a kick
 };
 
 struct Msp432Spec {
@@ -77,14 +85,56 @@ class Msp432 {
     return sram_allocs_;
   }
 
+  // ------------------------------------------------ reset / watchdog model
+
+  /// Snapshot the current SRAM allocation set as the firmware's static
+  /// boot-time layout; a reset restores exactly this set (transient
+  /// buffers are lost, statics are re-established by firmware init).
+  void capture_boot_image() { boot_sram_allocs_ = sram_allocs_; }
+
+  /// Go through reset: SRAM contents are lost (allocations revert to the
+  /// captured boot image), the CPU comes up active, and the reset hook
+  /// (if any) runs — this is how the OTA node re-enters its update
+  /// session after a brownout.
+  void reset(ResetCause cause);
+
+  /// Arm the watchdog timer; `advance_time` fires it (and resets the MCU)
+  /// if no `kick_watchdog` arrives within `timeout`.
+  void arm_watchdog(Seconds timeout);
+  void disarm_watchdog() { watchdog_armed_ = false; }
+  void kick_watchdog() { watchdog_elapsed_ = Seconds{0.0}; }
+  [[nodiscard]] bool watchdog_armed() const { return watchdog_armed_; }
+
+  /// Advance simulated time. Returns true if the watchdog fired (a reset
+  /// has then already happened).
+  bool advance_time(Seconds elapsed);
+
+  [[nodiscard]] std::uint32_t reset_count() const { return reset_count_; }
+  [[nodiscard]] ResetCause last_reset_cause() const {
+    return last_reset_cause_;
+  }
+  /// Invoked after every reset, with the cause. Used by the OTA node agent
+  /// to restore its transfer session from flash.
+  void set_reset_hook(std::function<void(ResetCause)> hook) {
+    reset_hook_ = std::move(hook);
+  }
+
  private:
   Msp432Spec spec_;
   McuMode mode_ = McuMode::kActive;
   std::map<std::string, std::uint32_t> sram_allocs_;
   std::map<std::string, std::uint32_t> flash_allocs_;
+  std::map<std::string, std::uint32_t> boot_sram_allocs_;
   std::uint32_t sram_used_ = 0;
   std::uint32_t flash_used_ = 0;
   Seconds wakeup_interval_ = Seconds{600.0};
+
+  bool watchdog_armed_ = false;
+  Seconds watchdog_timeout_{0.0};
+  Seconds watchdog_elapsed_{0.0};
+  std::uint32_t reset_count_ = 0;
+  ResetCause last_reset_cause_ = ResetCause::kPowerOn;
+  std::function<void(ResetCause)> reset_hook_;
 };
 
 /// The firmware inventory the paper describes: TTN MAC, radio/FPGA/PMU

@@ -6,34 +6,71 @@
 
 namespace tinysdr::ota {
 
-void FlashModel::erase_sector(std::size_t address) {
+bool FlashModel::erase_sector(std::size_t address) {
   if (address >= kCapacity)
     throw std::out_of_range("FlashModel::erase_sector: past end");
   std::size_t base = address - (address % kSectorSize);
+  ++erase_count_;
+  if (sector_erase_hook_ && sector_erase_hook_(base)) {
+    // Power/voltage fault partway through: only the first half blanks.
+    ++erase_failures_;
+    std::fill(
+        memory_.begin() + static_cast<std::ptrdiff_t>(base),
+        memory_.begin() + static_cast<std::ptrdiff_t>(base + kSectorSize / 2),
+        0xFF);
+    return false;
+  }
   std::fill(memory_.begin() + static_cast<std::ptrdiff_t>(base),
             memory_.begin() + static_cast<std::ptrdiff_t>(base + kSectorSize),
             0xFF);
-  ++erase_count_;
+  return true;
 }
 
-void FlashModel::erase_range(std::size_t address, std::size_t length) {
-  if (length == 0) return;
+bool FlashModel::erase_range(std::size_t address, std::size_t length) {
+  if (length == 0) return true;
   if (address + length > kCapacity)
     throw std::out_of_range("FlashModel::erase_range: past end");
+  bool ok = true;
   std::size_t first = address - (address % kSectorSize);
   for (std::size_t s = first; s < address + length; s += kSectorSize)
-    erase_sector(s);
+    ok = erase_sector(s) && ok;
+  return ok;
 }
 
-void FlashModel::program(std::size_t address,
+bool FlashModel::program(std::size_t address,
                          std::span<const std::uint8_t> data) {
   if (address + data.size() > kCapacity)
     throw std::out_of_range("FlashModel::program: past end");
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    // NOR: programming can only clear bits.
-    memory_[address + i] &= data[i];
+  bool ok = true;
+  // Real parts program through the page buffer; faults are per page op.
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t page_end = address + pos + kPageSize -
+                           ((address + pos) % kPageSize);
+    std::size_t len = std::min(data.size() - pos, page_end - (address + pos));
+    std::optional<PageProgramFault> fault;
+    if (page_program_hook_) fault = page_program_hook_(address + pos, len);
+    std::size_t commit = fault ? std::min(fault->committed, len) : len;
+    for (std::size_t i = 0; i < commit; ++i) {
+      // NOR: programming can only clear bits.
+      memory_[address + pos + i] &= data[pos + i];
+    }
+    if (fault) {
+      ++program_failures_;
+      ok = false;
+      if (commit < len) {
+        // Torn byte: the bits in torn_keep_mask refuse to clear.
+        memory_[address + pos + commit] &=
+            static_cast<std::uint8_t>(data[pos + commit] |
+                                      fault->torn_keep_mask);
+      }
+      bytes_programmed_ += commit + (commit < len ? 1 : 0);
+    } else {
+      bytes_programmed_ += len;
+    }
+    pos += len;
   }
-  bytes_programmed_ += data.size();
+  return ok;
 }
 
 std::vector<std::uint8_t> FlashModel::read(std::size_t address,
@@ -50,6 +87,18 @@ bool FlashModel::is_erased(std::size_t address, std::size_t length) const {
   for (std::size_t i = 0; i < length; ++i)
     if (memory_[address + i] != 0xFF) return false;
   return true;
+}
+
+const char* to_string(Slot slot) {
+  switch (slot) {
+    case Slot::kA:
+      return "A";
+    case Slot::kB:
+      return "B";
+    case Slot::kGolden:
+      return "golden";
+  }
+  return "?";
 }
 
 void FirmwareStore::store(const std::string& name,
@@ -80,6 +129,80 @@ std::optional<std::vector<std::uint8_t>> FirmwareStore::load(
   auto data = flash_->read(it->second.offset, it->second.length);
   if (crc32_ieee(data) != it->second.crc32) return std::nullopt;
   return data;
+}
+
+std::size_t FirmwareStore::slot_base(Slot slot) {
+  switch (slot) {
+    case Slot::kA:
+      return kSlotABase;
+    case Slot::kB:
+      return kSlotBBase;
+    case Slot::kGolden:
+      return kGoldenBase;
+  }
+  return kGoldenBase;
+}
+
+bool FirmwareStore::write_slot(Slot slot, std::span<const std::uint8_t> image) {
+  if (image.size() > kSlotCapacity)
+    throw std::length_error("FirmwareStore::write_slot: image too large");
+  std::size_t base = slot_base(slot);
+  auto& st = state(slot);
+  st.valid = false;
+  st.length = image.size();
+  st.crc32 = crc32_ieee(image);
+  // Erase with verify-and-retry, as real update firmware does (a faulted
+  // erase leaves stuck bits that a plain re-program cannot clear).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (flash_->erase_range(base, image.size()) &&
+        flash_->is_erased(base, image.size()))
+      break;
+  }
+  flash_->program(base, image);
+  // Read-back fingerprint verification decides validity.
+  auto back = flash_->read(base, image.size());
+  st.valid = crc32_ieee(back) == st.crc32;
+  return st.valid;
+}
+
+std::optional<std::vector<std::uint8_t>> FirmwareStore::load_slot(
+    Slot slot) const {
+  const auto& st = state(slot);
+  if (!st.valid && st.length == 0) return std::nullopt;
+  auto data = flash_->read(slot_base(slot), st.length);
+  if (crc32_ieee(data) != st.crc32) return std::nullopt;
+  return data;
+}
+
+bool FirmwareStore::activate(Slot slot) {
+  if (!load_slot(slot)) return false;
+  active_ = slot;
+  return true;
+}
+
+bool FirmwareStore::rollback_to_golden() {
+  ++rollbacks_;
+  if (!load_slot(Slot::kGolden)) return false;
+  active_ = Slot::kGolden;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FirmwareStore::boot_image() {
+  if (auto image = load_slot(active_)) return image;
+  // Active image corrupt: fall back to the factory golden image.
+  if (active_ != Slot::kGolden) {
+    if (rollback_to_golden()) return load_slot(Slot::kGolden);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t FirmwareStore::slot_fingerprint(Slot slot) const {
+  return state(slot).crc32;
+}
+
+bool FirmwareStore::slot_valid(Slot slot) const {
+  return load_slot(slot).has_value();
 }
 
 }  // namespace tinysdr::ota

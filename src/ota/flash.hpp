@@ -7,9 +7,15 @@
 // 4 KiB sector to 0xFF, programming can only clear bits (AND), and writes
 // to unerased cells without erase corrupt data — catching a real class of
 // firmware-update bugs.
+//
+// For fault-injection campaigns the model exposes two hooks queried per
+// page-program and per sector-erase operation: a page program can tear
+// mid-page (a prefix commits, one byte is left with partial bits), and a
+// sector erase can fail halfway. `sim::FaultInjector` drives these hooks.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
@@ -20,22 +26,42 @@
 
 namespace tinysdr::ota {
 
+/// Result of a faulted page program (mirrors sim::PageFault without a
+/// dependency on the sim layer): `committed` leading bytes landed, the
+/// next byte keeps the bits in `torn_keep_mask` uncleared.
+struct PageProgramFault {
+  std::size_t committed = 0;
+  std::uint8_t torn_keep_mask = 0;
+};
+
 class FlashModel {
  public:
   static constexpr std::size_t kCapacity = 8 * 1024 * 1024;
   static constexpr std::size_t kSectorSize = 4 * 1024;
   static constexpr std::size_t kPageSize = 256;
 
+  /// Fault hooks, queried once per physical operation. A page-program hook
+  /// returns nullopt on success; a sector-erase hook returns true when the
+  /// erase fails partway (only the first half of the sector is blanked).
+  using PageProgramHook =
+      std::function<std::optional<PageProgramFault>(std::size_t address,
+                                                    std::size_t length)>;
+  using SectorEraseHook = std::function<bool(std::size_t address)>;
+
   FlashModel() : memory_(kCapacity, 0xFF) {}
 
   /// Erase the 4 KiB sector containing `address`.
-  void erase_sector(std::size_t address);
+  /// Returns false if an injected fault left the sector partially erased.
+  bool erase_sector(std::size_t address);
   /// Erase a whole address range (sector-aligned sweep).
-  void erase_range(std::size_t address, std::size_t length);
+  /// Returns false if any sector erase faulted.
+  bool erase_range(std::size_t address, std::size_t length);
 
   /// Program bytes (NOR AND semantics, page-size chunks internally).
+  /// Returns false if an injected fault tore any page program; callers
+  /// that care should read back and verify, as real firmware does.
   /// @throws std::out_of_range past the end of the array.
-  void program(std::size_t address, std::span<const std::uint8_t> data);
+  bool program(std::size_t address, std::span<const std::uint8_t> data);
 
   [[nodiscard]] std::vector<std::uint8_t> read(std::size_t address,
                                                std::size_t length) const;
@@ -43,10 +69,24 @@ class FlashModel {
   /// True if the whole range reads 0xFF.
   [[nodiscard]] bool is_erased(std::size_t address, std::size_t length) const;
 
+  void set_page_program_hook(PageProgramHook hook) {
+    page_program_hook_ = std::move(hook);
+  }
+  void set_sector_erase_hook(SectorEraseHook hook) {
+    sector_erase_hook_ = std::move(hook);
+  }
+
   /// Lifetime wear statistics.
   [[nodiscard]] std::uint64_t erase_count() const { return erase_count_; }
   [[nodiscard]] std::uint64_t bytes_programmed() const {
     return bytes_programmed_;
+  }
+  /// Injected-fault statistics.
+  [[nodiscard]] std::uint64_t program_failures() const {
+    return program_failures_;
+  }
+  [[nodiscard]] std::uint64_t erase_failures() const {
+    return erase_failures_;
   }
 
   /// Timing model (datasheet): page program 3 ms max? No — MX25R: tBP
@@ -68,13 +108,40 @@ class FlashModel {
   std::vector<std::uint8_t> memory_;
   std::uint64_t erase_count_ = 0;
   std::uint64_t bytes_programmed_ = 0;
+  std::uint64_t program_failures_ = 0;
+  std::uint64_t erase_failures_ = 0;
+  PageProgramHook page_program_hook_;
+  SectorEraseHook sector_erase_hook_;
 };
+
+/// Firmware slot identifiers for the dual-image boot layout.
+enum class Slot : std::uint8_t { kA, kB, kGolden };
+
+[[nodiscard]] const char* to_string(Slot slot);
 
 /// Slot directory laid over the flash: named firmware images at fixed
 /// offsets, with length and CRC32 tracked in a (RAM-resident) index the
 /// MCU rebuilds at boot in the real system.
+///
+/// On top of the named store the class manages an A/B dual-slot boot
+/// layout in the top of the array: two update slots plus a factory
+/// "golden" image. OTA updates land in the standby slot; activation
+/// requires a fingerprint match, and a corrupted active image rolls the
+/// node back to golden at boot. The named region grows from offset 0 and
+/// must stay below `kSlotABase` when slots are in use.
 class FirmwareStore {
  public:
+  // Flash layout of the managed region (staging for in-flight OTA data
+  // lives at 4 MB, see ota::NodeAgent):
+  //   [5.0 MB, 6.0 MB)  slot A
+  //   [6.0 MB, 7.0 MB)  slot B
+  //   [7.0 MB, 8 MB - 4 KiB)  golden image
+  //   last sector       OTA transfer-session checkpoint (NodeAgent)
+  static constexpr std::size_t kSlotABase = 0x500000;
+  static constexpr std::size_t kSlotBBase = 0x600000;
+  static constexpr std::size_t kGoldenBase = 0x700000;
+  static constexpr std::size_t kSlotCapacity = 0x0FF000;
+
   explicit FirmwareStore(FlashModel& flash) : flash_(&flash) {}
 
   struct Entry {
@@ -97,10 +164,65 @@ class FirmwareStore {
   [[nodiscard]] std::size_t stored_count() const { return entries_.size(); }
   [[nodiscard]] std::size_t bytes_used() const { return next_offset_; }
 
+  // ------------------------------------------------------- A/B + golden
+
+  /// Write an image into a slot (erase, program, read-back verify against
+  /// the image fingerprint). Returns false if verification fails — e.g.
+  /// under injected flash faults — leaving the slot marked invalid.
+  bool write_slot(Slot slot, std::span<const std::uint8_t> image);
+
+  /// Read a slot back, verifying its recorded fingerprint.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load_slot(
+      Slot slot) const;
+
+  /// Install the factory golden image (write + verify + remember).
+  bool install_golden(std::span<const std::uint8_t> image) {
+    return write_slot(Slot::kGolden, image);
+  }
+
+  /// Make `slot` the boot image. Refuses (returns false) if the slot does
+  /// not currently verify.
+  bool activate(Slot slot);
+
+  [[nodiscard]] Slot active_slot() const { return active_; }
+  /// The slot the next update should land in (the inactive one of A/B).
+  [[nodiscard]] Slot standby_slot() const {
+    return active_ == Slot::kA ? Slot::kB : Slot::kA;
+  }
+
+  /// Roll back to the golden image; counts the event. Returns false if
+  /// the golden image itself does not verify (unrecoverable node).
+  bool rollback_to_golden();
+
+  /// What the node actually boots: the active slot if it verifies, else
+  /// golden (recording a rollback). nullopt if nothing verifies.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> boot_image();
+
+  [[nodiscard]] std::size_t rollback_count() const { return rollbacks_; }
+  [[nodiscard]] std::uint32_t slot_fingerprint(Slot slot) const;
+  [[nodiscard]] bool slot_valid(Slot slot) const;
+
  private:
+  struct SlotState {
+    std::size_t length = 0;
+    std::uint32_t crc32 = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] static std::size_t slot_base(Slot slot);
+  [[nodiscard]] const SlotState& state(Slot slot) const {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] SlotState& state(Slot slot) {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+
   FlashModel* flash_;
   std::map<std::string, Entry> entries_;
   std::size_t next_offset_ = 0;
+  SlotState slots_[3];
+  Slot active_ = Slot::kGolden;
+  std::size_t rollbacks_ = 0;
 };
 
 }  // namespace tinysdr::ota

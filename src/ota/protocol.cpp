@@ -1,7 +1,9 @@
 #include "ota/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/crc.hpp"
 #include "power/platform_power.hpp"
 
 namespace tinysdr::ota {
@@ -19,6 +21,30 @@ std::size_t OtaPacket::wire_size() const {
   return base + payload.size();
 }
 
+const char* to_string(UpdateFailure failure) {
+  switch (failure) {
+    case UpdateFailure::kNone:
+      return "none";
+    case UpdateFailure::kAssociation:
+      return "association";
+    case UpdateFailure::kRetryBudget:
+      return "retry-budget";
+    case UpdateFailure::kDeadline:
+      return "deadline";
+    case UpdateFailure::kEndHandshake:
+      return "end-handshake";
+    case UpdateFailure::kStreamCorrupt:
+      return "stream-corrupt";
+    case UpdateFailure::kDecodeFailed:
+      return "decode-failed";
+    case UpdateFailure::kImageVerify:
+      return "image-verify";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ OtaLink
+
 double OtaLink::packet_error_rate(std::size_t payload_bytes) const {
   Dbm sensitivity = lora::sx1276_sensitivity(params_.sf, params_.bandwidth);
   double margin = rssi_ - sensitivity;
@@ -31,94 +57,674 @@ double OtaLink::packet_error_rate(std::size_t payload_bytes) const {
   return per;
 }
 
+double OtaLink::mean_error_rate(std::size_t payload_bytes) const {
+  double per = packet_error_rate(payload_bytes);
+  if (!burst_) return per;
+  double burst_loss = burst_->params().mean_loss();
+  return 1.0 - (1.0 - per) * (1.0 - burst_loss);
+}
+
 Seconds OtaLink::airtime(std::size_t payload_bytes) const {
   return lora::time_on_air(params_, payload_bytes);
 }
 
-bool OtaLink::deliver(std::size_t payload_bytes) {
-  return !rng_.next_bool(packet_error_rate(payload_bytes));
+void OtaLink::set_burst(const channel::GilbertElliottParams& params) {
+  burst_.emplace(params, Rng{rng_.next_u32(), 0x6E11});
 }
+
+bool OtaLink::deliver(std::size_t payload_bytes) {
+  // Exactly one draw of each loss process per delivery attempt, so
+  // retransmissions redraw and runs replay from the seed.
+  bool rssi_lost = rng_.next_bool(packet_error_rate(payload_bytes));
+  bool burst_lost = burst_ && burst_->lose_packet();
+  return !rssi_lost && !burst_lost;
+}
+
+// ---------------------------------------------------------------- NodeAgent
+
+namespace {
+
+constexpr std::uint32_t kSessionMagic = 0x4F544131;  // "OTA1"
+constexpr std::size_t kSessionHeader = 12;           // magic + id + bytes
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+}  // namespace
+
+NodeAgent::NodeAgent(std::uint16_t device_id, FlashModel& flash,
+                     sim::FaultInjector* faults, mcu::Msp432* mcu,
+                     Seconds watchdog_timeout)
+    : device_id_(device_id),
+      flash_(&flash),
+      faults_(faults),
+      mcu_(mcu),
+      watchdog_timeout_(watchdog_timeout) {
+  install_flash_hooks();
+}
+
+void NodeAgent::install_flash_hooks() {
+  if (!faults_) return;
+  flash_->set_page_program_hook(
+      [this](std::size_t address, std::size_t length)
+          -> std::optional<PageProgramFault> {
+        auto fault = faults_->page_program_fault(address, length);
+        if (!fault) return std::nullopt;
+        return PageProgramFault{fault->committed, fault->torn_keep_mask};
+      });
+  flash_->set_sector_erase_hook([this](std::size_t address) {
+    return faults_->sector_erase_fault(address);
+  });
+}
+
+std::size_t NodeAgent::chunk_bytes(std::size_t seq) const {
+  std::size_t offset = seq * kDataPayload;
+  return std::min(kDataPayload, stream_bytes_ - offset);
+}
+
+bool NodeAgent::has_chunk(std::size_t seq) const {
+  if (seq >= total_chunks_) return false;
+  return (bitmap_[seq / 8] >> (seq % 8)) & 1u;
+}
+
+void NodeAgent::mark_chunk(std::size_t seq) {
+  bitmap_[seq / 8] |= static_cast<std::uint8_t>(1u << (seq % 8));
+}
+
+bool NodeAgent::begin_session(std::uint32_t session_id,
+                              std::size_t stream_bytes) {
+  if (stream_bytes > kStagingCapacity)
+    throw std::length_error("NodeAgent: stream exceeds staging region");
+  if (mcu_) mcu_->kick_watchdog();
+  if (session_active_ && session_id_ == session_id &&
+      stream_bytes_ == stream_bytes)
+    return true;  // already running this session (AP re-associated)
+
+  // A matching checkpoint in flash means we crashed mid-transfer: resume.
+  std::size_t chunks = (stream_bytes + kDataPayload - 1) / kDataPayload;
+  auto record = flash_->read(kSessionSector,
+                             kSessionHeader + (chunks + 7) / 8 + 4);
+  if (read_u32(record, 0) == kSessionMagic &&
+      read_u32(record, 4) == session_id &&
+      read_u32(record, 8) == static_cast<std::uint32_t>(stream_bytes)) {
+    std::size_t body = kSessionHeader + (chunks + 7) / 8;
+    std::uint32_t crc = read_u32(record, body);
+    if (crc32_ieee(std::span(record).first(body)) == crc) {
+      session_id_ = session_id;
+      stream_bytes_ = stream_bytes;
+      total_chunks_ = chunks;
+      bitmap_.assign(record.begin() + kSessionHeader,
+                     record.begin() + static_cast<std::ptrdiff_t>(body));
+      received_ = 0;
+      bytes_received_ = 0;
+      for (std::size_t seq = 0; seq < total_chunks_; ++seq) {
+        if ((bitmap_[seq / 8] >> (seq % 8)) & 1u) {
+          ++received_;
+          bytes_received_ += chunk_bytes(seq);
+        }
+      }
+      session_active_ = true;
+      ++resumes_;
+      if (mcu_) mcu_->arm_watchdog(watchdog_timeout_);
+      return true;
+    }
+  }
+
+  // Fresh session: erase the staging region (verify-and-retry, since an
+  // injected erase fault leaves stuck bits a re-program cannot clear).
+  session_id_ = session_id;
+  stream_bytes_ = stream_bytes;
+  total_chunks_ = chunks;
+  bitmap_.assign((chunks + 7) / 8, 0);
+  received_ = 0;
+  bytes_received_ = 0;
+  session_active_ = true;
+  if (stream_bytes > 0) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (flash_->erase_range(kStagingBase, stream_bytes) &&
+          flash_->is_erased(kStagingBase, stream_bytes))
+        break;
+    }
+  }
+  if (mcu_) mcu_->arm_watchdog(watchdog_timeout_);
+  persist_session();
+  return false;
+}
+
+NodeAgent::RxStatus NodeAgent::receive_chunk(
+    std::uint16_t seq, std::span<const std::uint8_t> payload, bool corrupted) {
+  if (!online_ || !session_active_) return RxStatus::kNoSession;
+  if (mcu_) mcu_->kick_watchdog();
+  // The per-packet CRC16 catches in-flight corruption; the packet is
+  // simply dropped and shows up as a gap in the bitmap.
+  if (corrupted) return RxStatus::kCorrupt;
+  if (seq >= total_chunks_ || payload.size() != chunk_bytes(seq))
+    return RxStatus::kCorrupt;
+  if (has_chunk(seq)) return RxStatus::kDuplicate;
+
+  // "Considering the LoRa radio takes more power than the MCU, we
+  // immediately write the data to flash" (§3.4) — then read back to
+  // verify, as real update firmware does.
+  std::size_t address = kStagingBase + seq * kDataPayload;
+  flash_->program(address, payload);
+  auto back = flash_->read(address, payload.size());
+  if (!std::equal(back.begin(), back.end(), payload.begin())) {
+    ++flash_write_errors_;
+    return RxStatus::kFlashError;
+  }
+  mark_chunk(seq);
+  ++received_;
+  bytes_received_ += payload.size();
+  // A scheduled brownout fires on the byte count crossing its offset.
+  if (faults_ && faults_->brownout_due(bytes_received_)) reboot();
+  return RxStatus::kStored;
+}
+
+std::vector<std::uint8_t> NodeAgent::window_bitmap(std::size_t base,
+                                                   std::size_t count) const {
+  std::vector<std::uint8_t> bits((count + 7) / 8, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (has_chunk(base + i))
+      bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bits;
+}
+
+void NodeAgent::persist_session() {
+  if (!session_active_ || !online_) return;
+  std::vector<std::uint8_t> record;
+  record.reserve(kSessionHeader + bitmap_.size() + 4);
+  push_u32(record, kSessionMagic);
+  push_u32(record, session_id_);
+  push_u32(record, static_cast<std::uint32_t>(stream_bytes_));
+  record.insert(record.end(), bitmap_.begin(), bitmap_.end());
+  push_u32(record, crc32_ieee(record));
+  // Checkpointing must survive its own faults: erase-verify-retry, then
+  // program and read back. A bad checkpoint simply fails the CRC at
+  // restore time and the node starts fresh — never boots corrupt state.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    bool erased = false;
+    for (int e = 0; e < 3; ++e) {
+      if (flash_->erase_sector(kSessionSector) &&
+          flash_->is_erased(kSessionSector, record.size())) {
+        erased = true;
+        break;
+      }
+    }
+    if (!erased) continue;
+    flash_->program(kSessionSector, record);
+    if (flash_->read(kSessionSector, record.size()) == record) return;
+  }
+}
+
+void NodeAgent::clear_session() {
+  flash_->erase_sector(kSessionSector);
+  session_active_ = false;
+  bitmap_.clear();
+  received_ = 0;
+  bytes_received_ = 0;
+  if (mcu_) mcu_->disarm_watchdog();
+}
+
+void NodeAgent::reboot() {
+  // Brownout: every RAM structure is gone; flash (staged chunks + the
+  // session checkpoint) survives.
+  online_ = false;
+  session_active_ = false;
+  bitmap_.clear();
+  received_ = 0;
+  bytes_received_ = 0;
+  ++reboots_;
+  if (mcu_) mcu_->reset(mcu::ResetCause::kBrownout);
+}
+
+bool NodeAgent::poll_boot() {
+  if (online_) return true;
+  online_ = true;
+  // Boot firmware scans the session sector; a valid checkpoint re-enters
+  // the transfer where the last persisted bitmap left off.
+  auto header = flash_->read(kSessionSector, kSessionHeader);
+  if (read_u32(header, 0) == kSessionMagic) {
+    std::uint32_t id = read_u32(header, 4);
+    std::size_t bytes = read_u32(header, 8);
+    if (bytes <= kStagingCapacity) {
+      session_active_ = false;  // force the restore path
+      if (begin_session(id, bytes) && session_active_) return true;
+      // begin_session returning false means it started *fresh* (bad CRC on
+      // the checkpoint); that is still a valid boot.
+    }
+  }
+  return true;
+}
+
+void NodeAgent::advance_time(Seconds elapsed) {
+  if (!mcu_ || !online_) return;
+  if (mcu_->advance_time(elapsed)) {
+    // Watchdog fired: same RAM loss as a brownout, but the MCU reset has
+    // already happened inside advance_time.
+    online_ = false;
+    session_active_ = false;
+    bitmap_.clear();
+    received_ = 0;
+    bytes_received_ = 0;
+    ++reboots_;
+  }
+}
+
+bool NodeAgent::verify_stream(std::uint32_t crc32) const {
+  if (!session_active_ || received_ != total_chunks_) return false;
+  return crc32_ieee(staged_stream()) == crc32;
+}
+
+std::vector<std::uint8_t> NodeAgent::staged_stream() const {
+  return flash_->read(kStagingBase, stream_bytes_);
+}
+
+// -------------------------------------------------------- transfer engine
+
+namespace {
+
+/// Shared state of one simulated transfer: accounting, backoff, and the
+/// control-plane helpers used by both ACK modes.
+class TransferEngine {
+ public:
+  TransferEngine(const std::vector<std::uint8_t>& stream,
+                 std::uint16_t device_id, OtaLink& link,
+                 const TransferPolicy& policy, NodeAgent& node,
+                 sim::FaultInjector* faults, UpdateOutcome& outcome)
+      : stream_(stream),
+        device_id_(device_id),
+        link_(link),
+        policy_(policy),
+        node_(node),
+        faults_(faults),
+        outcome_(outcome),
+        chunks_((stream.size() + kDataPayload - 1) / kDataPayload),
+        got_(chunks_, false),
+        session_id_(crc32_ieee(stream)) {
+    power::PlatformPowerModel power_model;
+    rx_draw_ = power_model.draw(power::Activity::kOtaReceive);
+    outcome_.sends_per_chunk.assign(chunks_, 0);
+    outcome_.link_seed = link.seed();
+  }
+
+  void run() {
+    if (!associate(/*initial=*/true)) {
+      fail(UpdateFailure::kAssociation);
+      return finish();
+    }
+    UpdateFailure data_result = policy_.mode == AckMode::kSelectiveAck
+                                    ? run_selective_ack()
+                                    : run_stop_and_wait();
+    if (data_result != UpdateFailure::kNone) {
+      fail(data_result);
+      return finish();
+    }
+    // END handshake; a verify failure earns one bitmap-rescan repair
+    // round in selective-ACK mode before giving up.
+    for (std::size_t repair = 0; repair <= 1; ++repair) {
+      EndResult end = end_handshake();
+      if (end == EndResult::kOk) {
+        outcome_.success = true;
+        node_.clear_session();
+        return finish();
+      }
+      if (end == EndResult::kTimeout) {
+        fail(UpdateFailure::kEndHandshake);
+        return finish();
+      }
+      if (policy_.mode != AckMode::kSelectiveAck || repair == 1) break;
+      ++outcome_.repair_rounds;
+      rescan_bitmap();
+      if (run_selective_ack() != UpdateFailure::kNone) break;
+    }
+    fail(UpdateFailure::kStreamCorrupt);
+    finish();
+  }
+
+ private:
+  enum class EndResult { kOk, kVerifyFailed, kTimeout };
+
+  // --------------------------------------------------------- accounting
+
+  /// A packet actually on the air: both sides pay airtime and the node's
+  /// radio is up for it.
+  void account_air(Seconds t) {
+    outcome_.airtime += t;
+    outcome_.total_time += t;
+    outcome_.node_energy += rx_draw_ * t;
+    node_.advance_time(t);
+  }
+
+  /// Idle wait (timeout, backoff): wall-clock only. Node boots complete
+  /// during waits.
+  void wait(Seconds t) {
+    if (faults_) t = faults_->jitter(t);
+    outcome_.total_time += t;
+    node_.advance_time(t);
+    node_.poll_boot();
+  }
+
+  void backoff(std::size_t consecutive_failures) {
+    double factor = std::pow(policy_.backoff_factor,
+                             static_cast<double>(
+                                 std::min<std::size_t>(consecutive_failures,
+                                                       10)));
+    Seconds t{std::min(policy_.ack_timeout.value() * factor,
+                       policy_.max_backoff.value())};
+    ++outcome_.backoff_events;
+    wait(t);
+  }
+
+  [[nodiscard]] bool deadline_exceeded() const {
+    return policy_.deadline.value() > 0.0 &&
+           outcome_.total_time > policy_.deadline;
+  }
+
+  void fail(UpdateFailure cause) {
+    outcome_.success = false;
+    if (outcome_.failure == UpdateFailure::kNone) outcome_.failure = cause;
+  }
+
+  void finish() {
+    outcome_.data_packets = static_cast<std::size_t>(
+        std::count(got_.begin(), got_.end(), true));
+    outcome_.node_reboots = node_.reboot_count();
+    outcome_.session_resumes = node_.resume_count();
+    outcome_.flash_write_errors = node_.flash_write_errors();
+  }
+
+  // ------------------------------------------------------ control plane
+
+  bool associate(bool initial) {
+    OtaPacket request{OtaPacketType::kProgrammingRequest, device_id_, 0, 0,
+                      {}};
+    OtaPacket ready{OtaPacketType::kReady, device_id_, 0, 0,
+                    std::vector<std::uint8_t>(1, 0)};
+    for (std::size_t attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      if (deadline_exceeded()) return false;
+      account_air(link_.airtime(request.wire_size()));
+      if (link_.deliver(request.wire_size()) && node_.online()) {
+        bool resumed = node_.begin_session(
+            session_id_, stream_.size());
+        // READY is only on the air if the node heard the request.
+        account_air(link_.airtime(ready.wire_size()));
+        if (link_.deliver(ready.wire_size())) {
+          if (!resumed && !initial) {
+            // Node lost its session state entirely: our delivery ledger
+            // is stale, start over from an empty bitmap.
+            std::fill(got_.begin(), got_.end(), false);
+          }
+          return true;
+        }
+      }
+      backoff(attempt);
+    }
+    return false;
+  }
+
+  /// Budget-exhaustion escape hatch shared by both data-plane modes:
+  /// attempt a re-association (the node may have rebooted and be waiting
+  /// in its resumed session). Returns false when out of budget for good.
+  bool try_reassociate() {
+    if (reassociations_used_ >= policy_.max_reassociations) return false;
+    ++reassociations_used_;
+    ++outcome_.reassociations;
+    return associate(/*initial=*/false);
+  }
+
+  // ----------------------------------------------------------- data plane
+
+  [[nodiscard]] std::size_t chunk_len(std::size_t seq) const {
+    return std::min(kDataPayload, stream_.size() - seq * kDataPayload);
+  }
+
+  /// Transmit one DATA packet; returns true if the node verified+stored
+  /// (or already had) the chunk.
+  bool send_chunk(std::size_t seq) {
+    OtaPacket data{OtaPacketType::kData, device_id_,
+                   static_cast<std::uint16_t>(seq), 0, {}};
+    data.payload.assign(
+        stream_.begin() + static_cast<std::ptrdiff_t>(seq * kDataPayload),
+        stream_.begin() +
+            static_cast<std::ptrdiff_t>(seq * kDataPayload + chunk_len(seq)));
+    account_air(link_.airtime(data.wire_size()));
+    if (++outcome_.sends_per_chunk[seq] > 1) ++outcome_.retransmissions;
+    if (!link_.deliver(data.wire_size()) || !node_.online()) return false;
+
+    bool corrupted = faults_ && faults_->corrupt_packet();
+    auto status = node_.receive_chunk(static_cast<std::uint16_t>(seq),
+                                      data.payload, corrupted);
+    switch (status) {
+      case NodeAgent::RxStatus::kCorrupt:
+        ++outcome_.corrupted_dropped;
+        return false;
+      case NodeAgent::RxStatus::kFlashError:
+      case NodeAgent::RxStatus::kNoSession:
+        return false;
+      case NodeAgent::RxStatus::kDuplicate:
+        ++outcome_.duplicates_dropped;
+        break;
+      case NodeAgent::RxStatus::kStored:
+        break;
+    }
+    // The ether can hand the radio a second copy; the bitmap dedups it.
+    if (faults_ && faults_->duplicate_packet() && node_.online()) {
+      if (node_.receive_chunk(static_cast<std::uint16_t>(seq), data.payload,
+                              false) == NodeAgent::RxStatus::kDuplicate)
+        ++outcome_.duplicates_dropped;
+    }
+    return true;
+  }
+
+  /// One SACK poll over chunks [base, base+count). Returns the bitmap, or
+  /// nullopt if either side of the exchange was lost.
+  std::optional<std::vector<std::uint8_t>> poll_bitmap(std::size_t base,
+                                                       std::size_t count) {
+    OtaPacket query{OtaPacketType::kSackQuery, device_id_,
+                    static_cast<std::uint16_t>(base), 0,
+                    std::vector<std::uint8_t>(2, 0)};
+    account_air(link_.airtime(query.wire_size()));
+    if (!link_.deliver(query.wire_size()) || !node_.online() ||
+        !node_.has_session())
+      return std::nullopt;
+    // The node checkpoints at every acknowledgement point, so anything it
+    // reports as received survives a brownout.
+    node_.persist_session();
+    wait(FlashModel::sector_erase_time() +
+         FlashModel::program_time((node_.total_chunks() + 7) / 8 + 16));
+    auto bits = node_.window_bitmap(base, count);
+    OtaPacket sack{OtaPacketType::kSack, device_id_,
+                   static_cast<std::uint16_t>(base), 0, bits};
+    account_air(link_.airtime(sack.wire_size()));
+    if (!link_.deliver(sack.wire_size())) return std::nullopt;
+    ++outcome_.ack_packets;
+    return bits;
+  }
+
+  /// Largest seq span a single SACK payload can cover (bounded by the
+  /// 60 B LoRa payload: 2 B base + bitmap).
+  static constexpr std::size_t kSackSpan = (kDataPayload - 2) * 8;
+
+  UpdateFailure run_selective_ack() {
+    std::size_t consecutive_failures = 0;
+    while (true) {
+      if (deadline_exceeded()) return UpdateFailure::kDeadline;
+      // Collect the next window: lowest missing seqs within one SACK span.
+      std::vector<std::size_t> window;
+      std::size_t base = 0;
+      for (std::size_t seq = 0; seq < chunks_ && window.size() < policy_.window;
+           ++seq) {
+        if (got_[seq]) continue;
+        if (window.empty()) base = seq;
+        if (seq - base >= kSackSpan) break;
+        window.push_back(seq);
+      }
+      if (window.empty()) return UpdateFailure::kNone;  // all delivered
+
+      if (consecutive_failures > policy_.max_retries) {
+        if (!try_reassociate()) return UpdateFailure::kRetryBudget;
+        consecutive_failures = 0;
+        continue;
+      }
+
+      for (std::size_t seq : window) {
+        if (deadline_exceeded()) return UpdateFailure::kDeadline;
+        send_chunk(seq);
+      }
+
+      std::size_t span =
+          std::min(kSackSpan, chunks_ - base);
+      auto bits = poll_bitmap(base, span);
+      if (!bits) {
+        ++consecutive_failures;
+        backoff(consecutive_failures);
+        continue;
+      }
+      bool progress = false;
+      for (std::size_t i = 0; i < span; ++i) {
+        if (((*bits)[i / 8] >> (i % 8)) & 1u) {
+          if (!got_[base + i]) progress = true;
+          got_[base + i] = true;
+        }
+      }
+      if (progress) {
+        consecutive_failures = 0;
+      } else {
+        ++consecutive_failures;
+        backoff(consecutive_failures);
+      }
+    }
+  }
+
+  UpdateFailure run_stop_and_wait() {
+    OtaPacket ack{OtaPacketType::kDataAck, device_id_, 0, 0, {}};
+    const Seconds t_ack = link_.airtime(ack.wire_size());
+    std::size_t stored_since_persist = 0;
+    for (std::size_t seq = 0; seq < chunks_; ++seq) {
+      if (got_[seq]) continue;
+      std::size_t attempts = 0;
+      while (!got_[seq]) {
+        if (deadline_exceeded()) return UpdateFailure::kDeadline;
+        if (attempts >= policy_.max_retries) {
+          if (!try_reassociate()) return UpdateFailure::kRetryBudget;
+          attempts = 0;
+          if (got_[seq]) break;  // ledger says delivered after re-sync
+        }
+        ++attempts;
+        bool stored = send_chunk(seq);
+        if (!stored) {
+          // No ACK comes back; AP retransmits after a timeout.
+          wait(policy_.ack_timeout);
+          ++outcome_.backoff_events;
+          continue;
+        }
+        // Reordering in stop-and-wait means the ACK shows up after the
+        // timeout: the AP has already given up on the attempt and will
+        // retransmit (the node dedups the copy).
+        if (faults_ && faults_->reorder_packet()) {
+          account_air(t_ack);
+          wait(policy_.ack_timeout);
+          continue;
+        }
+        account_air(t_ack);
+        if (!link_.deliver(ack.wire_size())) {
+          wait(policy_.ack_timeout);
+          continue;  // duplicate data next attempt; node dedups by seq
+        }
+        got_[seq] = true;
+        ++outcome_.ack_packets;
+        if (++stored_since_persist >= policy_.window) {
+          node_.persist_session();
+          wait(FlashModel::sector_erase_time());
+          stored_since_persist = 0;
+        }
+      }
+    }
+    return UpdateFailure::kNone;
+  }
+
+  /// After an END fingerprint failure: rebuild the delivery ledger from
+  /// full-range bitmap polls (the node may have lost unpersisted chunks
+  /// in a brownout).
+  void rescan_bitmap() {
+    for (std::size_t base = 0; base < chunks_; base += kSackSpan) {
+      std::size_t span = std::min(kSackSpan, chunks_ - base);
+      for (std::size_t attempt = 0; attempt < policy_.max_retries; ++attempt) {
+        auto bits = poll_bitmap(base, span);
+        if (bits) {
+          for (std::size_t i = 0; i < span; ++i)
+            got_[base + i] = ((*bits)[i / 8] >> (i % 8)) & 1u;
+          break;
+        }
+        backoff(attempt + 1);
+      }
+    }
+  }
+
+  EndResult end_handshake() {
+    OtaPacket end{OtaPacketType::kEnd, device_id_,
+                  static_cast<std::uint16_t>(chunks_), session_id_, {}};
+    OtaPacket end_ack{OtaPacketType::kEndAck, device_id_, 0, 0,
+                      std::vector<std::uint8_t>(1, 0)};
+    for (std::size_t attempt = 0; attempt < policy_.max_retries; ++attempt) {
+      if (deadline_exceeded()) return EndResult::kTimeout;
+      account_air(link_.airtime(end.wire_size()));
+      if (link_.deliver(end.wire_size()) && node_.online() &&
+          node_.has_session()) {
+        bool verified = node_.verify_stream(session_id_);
+        account_air(link_.airtime(end_ack.wire_size()));
+        if (link_.deliver(end_ack.wire_size()))
+          return verified ? EndResult::kOk : EndResult::kVerifyFailed;
+      }
+      backoff(attempt + 1);
+    }
+    return EndResult::kTimeout;
+  }
+
+  const std::vector<std::uint8_t>& stream_;
+  std::uint16_t device_id_;
+  OtaLink& link_;
+  const TransferPolicy& policy_;
+  NodeAgent& node_;
+  sim::FaultInjector* faults_;
+  UpdateOutcome& outcome_;
+  std::size_t chunks_;
+  std::vector<bool> got_;
+  std::uint32_t session_id_;
+  Milliwatts rx_draw_{0.0};
+  std::size_t reassociations_used_ = 0;
+};
+
+}  // namespace
 
 UpdateOutcome AccessPoint::transfer(
     const std::vector<std::uint8_t>& compressed_image,
-    std::uint16_t device_id, OtaLink& link, std::size_t max_retries) const {
+    std::uint16_t device_id, OtaLink& link, const TransferPolicy& policy,
+    NodeAgent* node, sim::FaultInjector* faults) const {
   UpdateOutcome outcome;
-  power::PlatformPowerModel power_model;
-  const Milliwatts rx_draw =
-      power_model.draw(power::Activity::kOtaReceive);
-
-  auto account = [&](Seconds on_air, Seconds node_listen) {
-    outcome.airtime += on_air;
-    outcome.total_time += on_air + node_listen;
-    outcome.node_energy += rx_draw * (on_air + node_listen);
-  };
-
-  // Control-plane exchange: request -> ready (retry on loss).
-  OtaPacket request{OtaPacketType::kProgrammingRequest, device_id, 0, 0, {}};
-  OtaPacket ready{OtaPacketType::kReady, device_id, 0, 0, {}};
-  bool associated = false;
-  for (std::size_t attempt = 0; attempt < max_retries; ++attempt) {
-    Seconds t_req = link.airtime(request.wire_size());
-    Seconds t_rdy = link.airtime(ready.wire_size());
-    account(t_req + t_rdy, Seconds{0.0});
-    if (link.deliver(request.wire_size()) && link.deliver(ready.wire_size())) {
-      associated = true;
-      break;
-    }
-    outcome.total_time += Seconds::from_milliseconds(50.0);  // retry backoff
+  // Without an explicit node, simulate an ideal one: private flash, no
+  // injected faults, no MCU.
+  std::optional<FlashModel> local_flash;
+  std::optional<NodeAgent> local_node;
+  if (node == nullptr) {
+    local_flash.emplace();
+    local_node.emplace(device_id, *local_flash, faults);
+    node = &*local_node;
   }
-  if (!associated) return outcome;
-
-  // Data plane: stop-and-wait with per-packet ACKs (§3.4).
-  OtaPacket ack{OtaPacketType::kDataAck, device_id, 0, 0, {}};
-  const Seconds t_ack = link.airtime(ack.wire_size());
-  std::size_t offset = 0;
-  std::uint16_t seq = 0;
-  while (offset < compressed_image.size()) {
-    std::size_t chunk = std::min(kDataPayload, compressed_image.size() - offset);
-    OtaPacket data{OtaPacketType::kData, device_id, seq, 0, {}};
-    data.payload.assign(compressed_image.begin() + static_cast<std::ptrdiff_t>(offset),
-                        compressed_image.begin() +
-                            static_cast<std::ptrdiff_t>(offset + chunk));
-    const Seconds t_data = link.airtime(data.wire_size());
-
-    bool delivered = false;
-    std::size_t attempts = 0;
-    while (!delivered) {
-      if (attempts++ >= max_retries) return outcome;  // link too poor
-      account(t_data, Seconds{0.0});
-      bool data_ok = link.deliver(data.wire_size());
-      if (!data_ok) {
-        // No ACK comes back; AP retransmits after a timeout.
-        outcome.total_time += t_ack + Seconds::from_milliseconds(20.0);
-        ++outcome.retransmissions;
-        continue;
-      }
-      account(t_ack, Seconds{0.0});
-      bool ack_ok = link.deliver(ack.wire_size());
-      if (!ack_ok) {
-        outcome.total_time += Seconds::from_milliseconds(20.0);
-        ++outcome.retransmissions;
-        continue;  // duplicate data; node dedups by seq
-      }
-      delivered = true;
-    }
-    ++outcome.data_packets;
-    offset += chunk;
-    ++seq;
-  }
-
-  // End-of-update handshake.
-  OtaPacket end{OtaPacketType::kEnd, device_id, seq, 0, {}};
-  for (std::size_t attempt = 0; attempt < max_retries; ++attempt) {
-    Seconds t_end = link.airtime(end.wire_size());
-    account(t_end + t_ack, Seconds{0.0});
-    if (link.deliver(end.wire_size()) && link.deliver(ack.wire_size())) {
-      outcome.success = true;
-      break;
-    }
-    outcome.total_time += Seconds::from_milliseconds(20.0);
-  }
+  TransferEngine engine{compressed_image, device_id, link,
+                        policy,           *node,     faults,
+                        outcome};
+  engine.run();
   return outcome;
 }
 

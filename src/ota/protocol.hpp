@@ -1,22 +1,35 @@
-// Over-the-air programming protocol (paper §3.4).
+// Over-the-air programming protocol (paper §3.4, hardened).
 //
 // A LoRa access point updates tinySDR nodes sequentially: it announces a
 // programming request naming device IDs and a wake time; an addressed node
 // answers READY; the AP streams the compressed firmware as numbered DATA
 // packets (60 B payloads, 8-chirp preambles — the paper's chosen balance of
-// overhead vs range); the node checks sequence + CRC and ACKs each packet;
-// missing ACKs trigger retransmission after a timeout; a final END packet
-// carries the image fingerprint and tells the node to reprogram itself.
+// overhead vs range); a final END packet carries the image fingerprint and
+// tells the node to reprogram itself.
+//
+// Beyond the paper's per-packet stop-and-wait, the transfer engine
+// supports a windowed selective-ACK mode: the AP streams a window of DATA
+// packets, then polls the node for a received-chunk bitmap and retransmits
+// only the gaps. Retries use exponential backoff under a retry/deadline
+// budget, the node checkpoints its transfer state to flash so a brownout
+// mid-transfer resumes instead of restarting, and every outcome records
+// the RNG seed plus failure-cause/recovery counters so a failed run can be
+// replayed bit-for-bit.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <vector>
 
+#include "channel/gilbert_elliott.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "lora/airtime.hpp"
 #include "lora/params.hpp"
+#include "mcu/msp432.hpp"
+#include "ota/flash.hpp"
+#include "sim/faults.hpp"
 
 namespace tinysdr::ota {
 
@@ -33,6 +46,8 @@ enum class OtaPacketType : std::uint8_t {
   kReady,
   kData,
   kDataAck,
+  kSackQuery,  ///< AP asks for the window bitmap
+  kSack,       ///< node's received-chunk bitmap for the window
   kEnd,
   kEndAck,
 };
@@ -42,7 +57,7 @@ struct OtaPacket {
   std::uint16_t device_id = 0;
   std::uint16_t seq = 0;
   std::uint32_t image_crc32 = 0;          ///< END only
-  std::vector<std::uint8_t> payload;      ///< DATA only
+  std::vector<std::uint8_t> payload;      ///< DATA / SACK bitmap
 
   /// PHY payload size for airtime computation.
   [[nodiscard]] std::size_t wire_size() const;
@@ -53,33 +68,202 @@ struct OtaPacket {
 /// Loss model: a packet is lost if its (analytic) packet error probability
 /// fires. PER follows a logistic curve around the configuration's
 /// sensitivity, with slope matching the measured LoRa waterfall (a few dB
-/// from 10% to 90%).
+/// from 10% to 90%). A Gilbert–Elliott burst process can be layered on
+/// top for fault-injection campaigns. Exactly one loss draw is made per
+/// delivery attempt (retransmissions redraw), so outcomes are reproducible
+/// from the recorded seed.
 class OtaLink {
  public:
   OtaLink(lora::LoraParams params, Dbm rssi, Rng rng)
       : params_(params), rssi_(rssi), rng_(rng) {}
 
+  /// Seeded constructor; the seed is reported in UpdateOutcome so failed
+  /// runs can be replayed.
+  OtaLink(lora::LoraParams params, Dbm rssi, std::uint64_t seed)
+      : params_(params), rssi_(rssi), rng_(seed), seed_(seed) {}
+
   [[nodiscard]] Dbm rssi() const { return rssi_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] double packet_error_rate(std::size_t payload_bytes) const;
+  /// Long-run loss rate including the burst process (if attached).
+  [[nodiscard]] double mean_error_rate(std::size_t payload_bytes) const;
   [[nodiscard]] Seconds airtime(std::size_t payload_bytes) const;
 
+  /// Layer a Gilbert–Elliott burst-loss chain on top of the RSSI loss.
+  void set_burst(const channel::GilbertElliottParams& params);
+  [[nodiscard]] bool has_burst() const { return burst_.has_value(); }
+
   /// Attempt a delivery; returns true if the packet arrives intact.
+  /// One loss draw per call — per delivery attempt.
   [[nodiscard]] bool deliver(std::size_t payload_bytes);
 
  private:
   lora::LoraParams params_;
   Dbm rssi_;
   Rng rng_;
+  std::uint64_t seed_ = 0;
+  std::optional<channel::GilbertElliottChannel> burst_;
 };
+
+/// Acknowledgement strategy for the data plane.
+enum class AckMode : std::uint8_t {
+  kStopAndWait,   ///< paper §3.4: per-packet ACK
+  kSelectiveAck,  ///< windowed transfer with a received-chunk bitmap
+};
+
+/// Knobs of the transfer engine.
+struct TransferPolicy {
+  AckMode mode = AckMode::kSelectiveAck;
+  /// DATA packets streamed between bitmap polls (selective-ACK mode).
+  std::size_t window = 16;
+  /// Consecutive-failure budget per phase (association, data, end).
+  std::size_t max_retries = 25;
+  /// Base retransmission timeout; grows exponentially under failures.
+  Seconds ack_timeout = Seconds::from_milliseconds(20.0);
+  double backoff_factor = 2.0;
+  Seconds max_backoff = Seconds{2.0};
+  /// Whole-transfer wall-clock budget; 0 disables the deadline.
+  Seconds deadline{0.0};
+  /// Re-association attempts after the data phase stalls (e.g. node
+  /// rebooted and lost its session).
+  std::size_t max_reassociations = 2;
+};
+
+/// Why a transfer (or the wider update) failed.
+enum class UpdateFailure : std::uint8_t {
+  kNone,
+  kAssociation,    ///< request/ready never completed
+  kRetryBudget,    ///< consecutive-failure budget exhausted in data phase
+  kDeadline,       ///< transfer deadline exceeded
+  kEndHandshake,   ///< END/END-ACK never completed
+  kStreamCorrupt,  ///< staged stream failed the END fingerprint check
+  kDecodeFailed,   ///< block decompression failed
+  kImageVerify,    ///< slot write/fingerprint verification failed
+};
+
+[[nodiscard]] const char* to_string(UpdateFailure failure);
 
 /// Result of updating a single node.
 struct UpdateOutcome {
   bool success = false;
+  UpdateFailure failure = UpdateFailure::kNone;
+  std::uint64_t link_seed = 0;     ///< replay handle for this run
   Seconds total_time{0.0};         ///< request to reprogram-complete
   Seconds airtime{0.0};            ///< RF on-air time
-  std::size_t data_packets = 0;    ///< unique packets
+  std::size_t data_packets = 0;    ///< unique chunks delivered
   std::size_t retransmissions = 0;
+  std::size_t ack_packets = 0;     ///< ACK/SACK exchanges completed
+  std::size_t duplicates_dropped = 0;
+  std::size_t corrupted_dropped = 0;
+  std::size_t backoff_events = 0;
+  std::size_t node_reboots = 0;    ///< brownouts/watchdog resets survived
+  std::size_t session_resumes = 0; ///< resumed from flash-persisted state
+  std::size_t reassociations = 0;
+  std::size_t repair_rounds = 0;   ///< END-verify failures repaired by rescan
+  std::size_t flash_write_errors = 0;  ///< chunk programs that failed verify
   Millijoules node_energy{0.0};    ///< backbone radio + MCU at the node
+  /// Per-chunk transmission counts (sim instrumentation; index = seq).
+  std::vector<std::uint16_t> sends_per_chunk;
+};
+
+/// The node half of the OTA protocol: receives chunks into the staging
+/// region of the flash as they arrive (the paper writes straight to flash
+/// because the LoRa radio outdraws the MCU), keeps the received-chunk
+/// bitmap, checkpoints the session to flash so a brownout resumes instead
+/// of restarting, and verifies the staged stream fingerprint at END.
+class NodeAgent {
+ public:
+  static constexpr std::size_t kStagingBase = 0x400000;
+  static constexpr std::size_t kStagingCapacity = 0x100000;
+  static constexpr std::size_t kSessionSector =
+      FlashModel::kCapacity - FlashModel::kSectorSize;
+
+  NodeAgent(std::uint16_t device_id, FlashModel& flash,
+            sim::FaultInjector* faults = nullptr,
+            mcu::Msp432* mcu = nullptr,
+            Seconds watchdog_timeout = Seconds{30.0});
+
+  /// Handle a programming request. Starts a fresh session (erasing the
+  /// staging region) or resumes a matching persisted one. Returns true if
+  /// the session was resumed from flash.
+  bool begin_session(std::uint32_t session_id, std::size_t stream_bytes);
+
+  enum class RxStatus : std::uint8_t {
+    kStored,     ///< chunk programmed and verified
+    kDuplicate,  ///< already had it (bitmap dedup)
+    kCorrupt,    ///< payload CRC failed; dropped
+    kFlashError, ///< program/read-back verify failed; not marked received
+    kNoSession,  ///< node has no active session (e.g. lost state)
+  };
+  RxStatus receive_chunk(std::uint16_t seq,
+                         std::span<const std::uint8_t> payload,
+                         bool corrupted = false);
+
+  [[nodiscard]] bool has_session() const { return session_active_; }
+  [[nodiscard]] bool has_chunk(std::size_t seq) const;
+  [[nodiscard]] std::size_t chunks_received() const { return received_; }
+  [[nodiscard]] std::size_t total_chunks() const { return total_chunks_; }
+  [[nodiscard]] bool complete() const {
+    return session_active_ && received_ == total_chunks_;
+  }
+  [[nodiscard]] std::size_t bytes_received() const { return bytes_received_; }
+
+  /// Received-chunk bitmap for seqs [base, base + count), packed LSB-first
+  /// — the payload of a kSack packet.
+  [[nodiscard]] std::vector<std::uint8_t> window_bitmap(
+      std::size_t base, std::size_t count) const;
+
+  /// Checkpoint the session (bitmap) to the session sector in flash.
+  void persist_session();
+  /// Drop the session record (after a successful update).
+  void clear_session();
+
+  /// Brownout: RAM state is lost, flash survives. The node goes offline
+  /// until `poll_boot` brings it back up.
+  void reboot();
+  /// Boot completes: restore the session from the flash checkpoint if one
+  /// matches. Returns true if the node is (now) online.
+  bool poll_boot();
+  [[nodiscard]] bool online() const { return online_; }
+  [[nodiscard]] std::size_t reboot_count() const { return reboots_; }
+  [[nodiscard]] std::size_t resume_count() const { return resumes_; }
+  [[nodiscard]] std::size_t flash_write_errors() const {
+    return flash_write_errors_;
+  }
+
+  /// Advance simulated time at the node (drives the watchdog).
+  void advance_time(Seconds elapsed);
+
+  /// END check: read the staged stream back and compare fingerprints.
+  [[nodiscard]] bool verify_stream(std::uint32_t crc32) const;
+  [[nodiscard]] std::vector<std::uint8_t> staged_stream() const;
+
+  [[nodiscard]] FlashModel& flash() { return *flash_; }
+  [[nodiscard]] sim::FaultInjector* faults() const { return faults_; }
+
+ private:
+  void install_flash_hooks();
+  void mark_chunk(std::size_t seq);
+  [[nodiscard]] std::size_t chunk_bytes(std::size_t seq) const;
+
+  std::uint16_t device_id_;
+  FlashModel* flash_;
+  sim::FaultInjector* faults_;
+  mcu::Msp432* mcu_;
+  Seconds watchdog_timeout_;
+
+  bool online_ = true;
+  bool session_active_ = false;
+  std::uint32_t session_id_ = 0;
+  std::size_t stream_bytes_ = 0;
+  std::size_t total_chunks_ = 0;
+  std::size_t received_ = 0;
+  std::size_t bytes_received_ = 0;
+  std::vector<std::uint8_t> bitmap_;  ///< 1 bit per chunk, LSB-first
+
+  std::size_t reboots_ = 0;
+  std::size_t resumes_ = 0;
+  std::size_t flash_write_errors_ = 0;
 };
 
 /// The AP side: drives one node through a full firmware transfer.
@@ -89,11 +273,23 @@ class AccessPoint {
       : params_(params) {}
 
   /// Transfer `compressed_image` to device `device_id` over `link`.
-  /// @param max_retries  per-packet retransmission budget before aborting
+  /// When `node` is null an internal ideal node (no flash, no faults) is
+  /// simulated; pass a NodeAgent to exercise flash writes, brownout
+  /// resume and injected faults.
   [[nodiscard]] UpdateOutcome transfer(
       const std::vector<std::uint8_t>& compressed_image,
-      std::uint16_t device_id, OtaLink& link, std::size_t max_retries = 25)
-      const;
+      std::uint16_t device_id, OtaLink& link,
+      const TransferPolicy& policy = {}, NodeAgent* node = nullptr,
+      sim::FaultInjector* faults = nullptr) const;
+
+  /// Back-compat shim: per-packet retransmission budget only.
+  [[nodiscard]] UpdateOutcome transfer(
+      const std::vector<std::uint8_t>& compressed_image,
+      std::uint16_t device_id, OtaLink& link, std::size_t max_retries) const {
+    TransferPolicy policy;
+    policy.max_retries = max_retries;
+    return transfer(compressed_image, device_id, link, policy);
+  }
 
   [[nodiscard]] const lora::LoraParams& params() const { return params_; }
 

@@ -2,12 +2,15 @@
 
 #include <stdexcept>
 
+#include "common/crc.hpp"
+
 namespace tinysdr::ota {
 
 UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
                                 UpdateTarget target, std::uint16_t device_id,
                                 OtaLink& link, FlashModel& flash,
-                                mcu::Msp432& mcu) const {
+                                mcu::Msp432& mcu,
+                                const UpdateOptions& options) const {
   UpdateReport report;
   report.target = target;
   report.original_bytes = image.size();
@@ -32,27 +35,41 @@ UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
     stream.insert(stream.end(), b.data.begin(), b.data.end());
   }
 
-  // Radio phase.
+  // Radio phase. The node agent streams chunks straight into the flash
+  // staging region and checkpoints its session, so a brownout mid-transfer
+  // resumes rather than restarting.
   AccessPoint ap;
-  report.transfer = ap.transfer(stream, device_id, link);
+  NodeAgent node(device_id, flash, options.faults, &mcu);
+  report.transfer =
+      ap.transfer(stream, device_id, link, options.policy, &node,
+                  options.faults);
+  report.failure = report.transfer.failure;
   if (!report.transfer.success) {
     report.total_time = report.transfer.total_time;
     report.total_energy = report.transfer.node_energy;
     return report;
   }
 
-  // Node: compressed stream was written to flash as it arrived (staging
-  // region at 4 MB).
-  constexpr std::size_t kStaging = 4 * 1024 * 1024;
-  flash.erase_range(kStaging, stream.size());
-  flash.program(kStaging, stream);
+  // The stream is already in flash (written chunk-by-chunk as it arrived);
+  // keep the aggregate program time in the ledger.
   report.flash_time += FlashModel::program_time(stream.size());
+
+  auto fail_with_rollback = [&](UpdateFailure cause) {
+    report.failure = cause;
+    if (options.store != nullptr &&
+        options.store->rollback_to_golden()) {
+      report.rolled_back = true;
+    }
+    report.total_time = report.transfer.total_time;
+    report.total_energy = report.transfer.node_energy;
+    return report;
+  };
 
   // Decompression: radio off; 30 kB SRAM block buffer on the MCU.
   mcu.allocate_sram("ota_block", static_cast<std::uint32_t>(kOtaBlockSize));
   std::vector<CompressedBlock> rx_blocks;
   {
-    auto staged = flash.read(kStaging, stream.size());
+    auto staged = flash.read(NodeAgent::kStagingBase, stream.size());
     std::size_t pos = 0;
     auto read32 = [&](std::size_t at) {
       return static_cast<std::uint32_t>(staged[at]) |
@@ -77,17 +94,35 @@ UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
   auto decompressed = decompress_blocks(rx_blocks);
   mcu.free_sram("ota_block");
   if (!decompressed || decompressed->size() != image.size()) {
-    report.total_time = report.transfer.total_time;
-    report.total_energy = report.transfer.node_energy;
-    return report;
+    return fail_with_rollback(UpdateFailure::kDecodeFailed);
   }
   report.decompress_time =
       Seconds{static_cast<double>(image.size()) / kDecompressBytesPerSecond};
 
-  // Write the boot image to the programming region (offset 0).
-  flash.erase_range(0, decompressed->size());
-  flash.program(0, *decompressed);
-  report.flash_time += FlashModel::program_time(decompressed->size());
+  if (options.store != nullptr) {
+    // A/B layout: the new image goes to the standby slot; the active slot
+    // keeps running until the fingerprint checks out.
+    Slot slot = options.store->standby_slot();
+    bool written = options.store->write_slot(slot, *decompressed);
+    if (!written) written = options.store->write_slot(slot, *decompressed);
+    std::uint32_t want = crc32_ieee(image.data);
+    if (!written || options.store->slot_fingerprint(slot) != want) {
+      return fail_with_rollback(UpdateFailure::kImageVerify);
+    }
+    options.store->activate(slot);
+    report.slot = slot;
+    auto sectors = (decompressed->size() + FlashModel::kSectorSize - 1) /
+                   FlashModel::kSectorSize;
+    report.flash_time +=
+        Seconds{FlashModel::sector_erase_time().value() *
+                static_cast<double>(sectors)} +
+        FlashModel::program_time(decompressed->size());
+  } else {
+    // Legacy layout: boot image at offset 0.
+    flash.erase_range(0, decompressed->size());
+    flash.program(0, *decompressed);
+    report.flash_time += FlashModel::program_time(decompressed->size());
+  }
 
   // Reprogram.
   if (target == UpdateTarget::kFpga) {

@@ -9,6 +9,7 @@
 // FPGA (22 ms quad-SPI load) or MCU.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "fpga/bitstream.hpp"
@@ -18,6 +19,7 @@
 #include "ota/lzo.hpp"
 #include "ota/protocol.hpp"
 #include "power/ledger.hpp"
+#include "sim/faults.hpp"
 
 namespace tinysdr::ota {
 
@@ -25,6 +27,7 @@ enum class UpdateTarget { kFpga, kMcu };
 
 struct UpdateReport {
   bool success = false;
+  UpdateFailure failure = UpdateFailure::kNone;
   UpdateTarget target = UpdateTarget::kFpga;
   std::size_t original_bytes = 0;
   std::size_t compressed_bytes = 0;
@@ -34,6 +37,8 @@ struct UpdateReport {
   Seconds reprogram_time{0.0};     ///< FPGA load / MCU self-flash
   Millijoules total_energy{0.0};   ///< node-side, whole update
   Seconds total_time{0.0};
+  bool rolled_back = false;        ///< reverted to the golden image
+  std::optional<Slot> slot;        ///< A/B slot the new image landed in
 
   [[nodiscard]] double compression_ratio() const {
     return original_bytes == 0
@@ -41,6 +46,20 @@ struct UpdateReport {
                : static_cast<double>(compressed_bytes) /
                      static_cast<double>(original_bytes);
   }
+};
+
+/// Optional hardening knobs for an update run. Defaults reproduce the
+/// paper's pipeline (ideal node, legacy single-image flash layout).
+struct UpdateOptions {
+  TransferPolicy policy{};
+  /// Fault injector wired into both the link-level transfer and the
+  /// node's flash hooks.
+  sim::FaultInjector* faults = nullptr;
+  /// When set, the decoded image is written to the standby A/B slot with
+  /// fingerprint verification, and a failed verify (or decode) rolls the
+  /// node back to the golden image. When null, the image is written to
+  /// offset 0 the way the original pipeline did.
+  FirmwareStore* store = nullptr;
 };
 
 /// Runs a complete OTA update of one node over a given link.
@@ -56,7 +75,8 @@ class UpdatePlanner {
   [[nodiscard]] UpdateReport run(const fpga::FirmwareImage& image,
                                  UpdateTarget target, std::uint16_t device_id,
                                  OtaLink& link, FlashModel& flash,
-                                 mcu::Msp432& mcu) const;
+                                 mcu::Msp432& mcu,
+                                 const UpdateOptions& options = {}) const;
 };
 
 /// Convenience: average power if a node is OTA-updated once per `period`

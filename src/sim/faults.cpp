@@ -1,0 +1,67 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace tinysdr::sim {
+
+bool FaultInjector::corrupt_packet() {
+  if (plan_.corrupt_rate <= 0.0) return false;
+  bool fired = rng_.next_bool(plan_.corrupt_rate);
+  if (fired) ++counters_.corrupted;
+  return fired;
+}
+
+bool FaultInjector::duplicate_packet() {
+  if (plan_.duplicate_rate <= 0.0) return false;
+  bool fired = rng_.next_bool(plan_.duplicate_rate);
+  if (fired) ++counters_.duplicated;
+  return fired;
+}
+
+bool FaultInjector::reorder_packet() {
+  if (plan_.reorder_rate <= 0.0) return false;
+  bool fired = rng_.next_bool(plan_.reorder_rate);
+  if (fired) ++counters_.reordered;
+  return fired;
+}
+
+bool FaultInjector::brownout_due(std::size_t bytes_received) {
+  if (brownout_fired_ || !plan_.brownout_at_byte) return false;
+  if (bytes_received < *plan_.brownout_at_byte) return false;
+  brownout_fired_ = true;
+  ++counters_.brownouts;
+  return true;
+}
+
+std::optional<PageFault> FaultInjector::page_program_fault(
+    std::size_t address, std::size_t length) {
+  if (plan_.page_program_failure_rate <= 0.0 || !in_fault_region(address))
+    return std::nullopt;
+  if (!rng_.next_bool(plan_.page_program_failure_rate)) return std::nullopt;
+  ++counters_.page_program_failures;
+  PageFault fault;
+  // Power dies partway through the page: a prefix commits, the byte at the
+  // boundary is half-programmed (some bits that should clear stay 1).
+  fault.committed = length == 0 ? 0 : rng_.next_below(
+                                          static_cast<std::uint32_t>(length));
+  fault.torn_keep_mask = rng_.next_byte();
+  if (fault.torn_keep_mask == 0) fault.torn_keep_mask = 0x55;
+  return fault;
+}
+
+bool FaultInjector::sector_erase_fault(std::size_t address) {
+  if (plan_.sector_erase_failure_rate <= 0.0 || !in_fault_region(address))
+    return false;
+  bool fired = rng_.next_bool(plan_.sector_erase_failure_rate);
+  if (fired) ++counters_.sector_erase_failures;
+  return fired;
+}
+
+Seconds FaultInjector::jitter(Seconds nominal) {
+  if (plan_.timeout_jitter <= 0.0) return nominal;
+  double u = 2.0 * rng_.next_double() - 1.0;  // [-1, 1)
+  double factor = std::max(0.0, 1.0 + plan_.timeout_jitter * u);
+  return nominal * factor;
+}
+
+}  // namespace tinysdr::sim

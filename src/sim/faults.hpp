@@ -1,0 +1,142 @@
+// Fault-injection framework for the tinySDR simulation.
+//
+// Real over-the-air reprogramming of remote nodes fails in ways the happy
+// path never exercises: burst fading on the backbone link, bit corruption,
+// duplicated and reordered packets, node brownouts mid-transfer, and flash
+// page-program / sector-erase failures. A `FaultPlan` describes a seeded,
+// reproducible schedule of such faults; a `FaultInjector` is the runtime
+// object the OTA stack and the flash model query at each hookable point.
+// Every draw comes from one PCG32 stream per injector, so a failing
+// campaign run is reproducible from (plan, seed) alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "channel/gilbert_elliott.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace tinysdr::sim {
+
+/// Address window a flash fault applies to (e.g. only the A/B image slots,
+/// leaving the staging region healthy).
+struct FlashRegion {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+
+  [[nodiscard]] bool contains(std::size_t address) const {
+    return address >= offset && address < offset + length;
+  }
+};
+
+/// Declarative, seeded schedule of faults for one simulated node/link.
+struct FaultPlan {
+  std::uint64_t seed = 0x7A17;
+
+  /// Burst packet loss: Gilbert–Elliott chain layered on top of the link's
+  /// RSSI-driven loss. nullopt = no burst fading.
+  std::optional<channel::GilbertElliottParams> burst;
+
+  /// Per-delivered-packet probability the payload arrives bit-corrupted
+  /// (caught by the packet CRC; the receiver drops it).
+  double corrupt_rate = 0.0;
+  /// Per-delivered-packet probability the radio sees a duplicate copy.
+  double duplicate_rate = 0.0;
+  /// Per-delivered-packet probability of late/out-of-order arrival.
+  double reorder_rate = 0.0;
+
+  /// Node brownout/reboot fired once, when cumulative received payload
+  /// bytes cross this offset. RAM transfer state is lost; flash survives.
+  std::optional<std::size_t> brownout_at_byte;
+
+  /// Flash failure rates, drawn per page-program / per sector-erase op.
+  double page_program_failure_rate = 0.0;
+  double sector_erase_failure_rate = 0.0;
+  /// Restrict flash faults to an address window. nullopt = whole array.
+  std::optional<FlashRegion> flash_fault_region;
+
+  /// AP-side timeout jitter: timeouts/backoffs are scaled by a uniform
+  /// factor in [1 - jitter, 1 + jitter].
+  double timeout_jitter = 0.0;
+
+  [[nodiscard]] static FaultPlan none() { return {}; }
+
+  /// True if any fault dimension is active.
+  [[nodiscard]] bool any() const {
+    return burst.has_value() || corrupt_rate > 0.0 || duplicate_rate > 0.0 ||
+           reorder_rate > 0.0 || brownout_at_byte.has_value() ||
+           page_program_failure_rate > 0.0 ||
+           sector_erase_failure_rate > 0.0 || timeout_jitter > 0.0;
+  }
+};
+
+/// Tally of faults actually fired during a run.
+struct FaultCounters {
+  std::size_t corrupted = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t brownouts = 0;
+  std::size_t page_program_failures = 0;
+  std::size_t sector_erase_failures = 0;
+};
+
+/// How a faulted page program tears: `committed` leading bytes land, the
+/// next byte keeps the bits set in `torn_keep_mask` uncleared (a partial
+/// NOR program), everything after is untouched.
+struct PageFault {
+  std::size_t committed = 0;
+  std::uint8_t torn_keep_mask = 0;
+};
+
+/// Runtime fault source. One per simulated node; all draws are funneled
+/// through a single seeded RNG stream so runs replay exactly.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(plan), rng_(plan.seed, 0x5EEDF001ULL) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+  // ----------------------------------------------------- packet-level hooks
+
+  /// Payload of a delivered packet arrives corrupted (CRC will reject it).
+  [[nodiscard]] bool corrupt_packet();
+  /// Receiver sees a duplicate copy of a delivered packet.
+  [[nodiscard]] bool duplicate_packet();
+  /// Delivered packet arrives late / out of order.
+  [[nodiscard]] bool reorder_packet();
+
+  // ------------------------------------------------------- node-level hooks
+
+  /// Fires exactly once when the cumulative byte count crosses the plan's
+  /// brownout offset.
+  [[nodiscard]] bool brownout_due(std::size_t bytes_received);
+
+  // ------------------------------------------------------ flash-level hooks
+
+  /// Queried by FlashModel per page-program op. nullopt = success.
+  [[nodiscard]] std::optional<PageFault> page_program_fault(
+      std::size_t address, std::size_t length);
+  /// Queried by FlashModel per sector erase. True = erase fails partway.
+  [[nodiscard]] bool sector_erase_fault(std::size_t address);
+
+  // --------------------------------------------------------- AP-side hooks
+
+  /// Apply timeout jitter to a nominal wait.
+  [[nodiscard]] Seconds jitter(Seconds nominal);
+
+ private:
+  [[nodiscard]] bool in_fault_region(std::size_t address) const {
+    return !plan_.flash_fault_region ||
+           plan_.flash_fault_region->contains(address);
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  FaultCounters counters_;
+  bool brownout_fired_ = false;
+};
+
+}  // namespace tinysdr::sim

@@ -39,6 +39,16 @@ std::vector<CdfPoint> CampaignResult::time_cdf_minutes() const {
   return empirical_cdf(std::move(minutes));
 }
 
+namespace {
+
+/// Per-node link seed: campaign draw in the high bits, node id in the low
+/// ones, so a node's run replays from its reported `link_seed` alone.
+std::uint64_t derive_seed(Rng& rng, std::uint16_t node_id) {
+  return (static_cast<std::uint64_t>(rng.next_u32()) << 16) | node_id;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const Deployment& deployment,
                             const fpga::FirmwareImage& image,
                             ota::UpdateTarget target, Rng& rng) {
@@ -47,11 +57,105 @@ CampaignResult run_campaign(const Deployment& deployment,
   ota::UpdatePlanner planner;
   for (const auto& node : deployment.nodes()) {
     ota::OtaLink link{ota::ota_link_params(), node.rssi,
-                      Rng{rng.next_u32(), node.id}};
+                      derive_seed(rng, node.id)};
     ota::FlashModel flash;
     mcu::Msp432 mcu = mcu::baseline_firmware();
     result.per_node.push_back(
         planner.run(image, target, node.id, link, flash, mcu));
+  }
+  return result;
+}
+
+namespace {
+
+FaultCampaignEntry summarize(std::string name,
+                             std::vector<ota::UpdateReport> reports,
+                             const FaultCampaignEntry* baseline) {
+  FaultCampaignEntry entry;
+  entry.name = std::move(name);
+  entry.nodes = reports.size();
+  double sum_time = 0.0, sum_air = 0.0, sum_energy = 0.0;
+  for (const auto& r : reports) {
+    entry.total_reboots += r.transfer.node_reboots;
+    entry.total_resumes += r.transfer.session_resumes;
+    entry.total_retransmissions += r.transfer.retransmissions;
+    if (r.rolled_back) ++entry.total_rollbacks;
+    if (!r.success) continue;
+    ++entry.successes;
+    sum_time += r.total_time.value();
+    sum_air += r.transfer.airtime.value();
+    sum_energy += r.total_energy.value();
+  }
+  if (entry.successes > 0) {
+    double n = static_cast<double>(entry.successes);
+    entry.mean_time = Seconds{sum_time / n};
+    entry.mean_airtime = Seconds{sum_air / n};
+    entry.mean_energy = Millijoules{sum_energy / n};
+  }
+  if (baseline != nullptr && entry.successes > 0 &&
+      baseline->successes > 0) {
+    entry.added_airtime =
+        Seconds{entry.mean_airtime.value() - baseline->mean_airtime.value()};
+    entry.added_energy = Millijoules{entry.mean_energy.value() -
+                                     baseline->mean_energy.value()};
+  }
+  entry.per_node = std::move(reports);
+  return entry;
+}
+
+}  // namespace
+
+FaultCampaignResult run_fault_campaign(
+    const Deployment& deployment, const fpga::FirmwareImage& image,
+    ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
+    Rng& rng) {
+  FaultCampaignResult result;
+  ota::UpdatePlanner planner;
+
+  // Fault-free reference pass (same per-node seed derivation, so the
+  // RSSI-driven loss component is comparable across scenarios).
+  {
+    std::vector<ota::UpdateReport> reports;
+    Rng pass_rng{rng.next_u32(), 0xBA5E};
+    for (const auto& node : deployment.nodes()) {
+      ota::OtaLink link{ota::ota_link_params(), node.rssi,
+                        derive_seed(pass_rng, node.id)};
+      ota::FlashModel flash;
+      mcu::Msp432 mcu = mcu::baseline_firmware();
+      reports.push_back(planner.run(image, target, node.id, link, flash, mcu));
+    }
+    result.baseline = summarize("baseline", std::move(reports), nullptr);
+  }
+
+  for (const auto& scenario : scenarios) {
+    std::vector<ota::UpdateReport> reports;
+    Rng pass_rng{rng.next_u32(), 0xFA17};
+    for (const auto& node : deployment.nodes()) {
+      std::uint64_t seed = derive_seed(pass_rng, node.id);
+      ota::OtaLink link{ota::ota_link_params(), node.rssi, seed};
+      if (scenario.plan.burst) link.set_burst(*scenario.plan.burst);
+
+      sim::FaultPlan plan = scenario.plan;
+      plan.seed = seed ^ plan.seed;  // distinct fault stream per node
+      sim::FaultInjector faults{plan};
+
+      ota::FlashModel flash;
+      mcu::Msp432 mcu = mcu::baseline_firmware();
+      ota::FirmwareStore store{flash};
+      // The fleet ships with a factory golden image to fall back on.
+      std::vector<std::uint8_t> golden(16 * 1024,
+                                       static_cast<std::uint8_t>(node.id));
+      store.install_golden(golden);
+
+      ota::UpdateOptions options;
+      options.policy = scenario.policy;
+      options.faults = &faults;
+      options.store = &store;
+      reports.push_back(
+          planner.run(image, target, node.id, link, flash, mcu, options));
+    }
+    result.scenarios.push_back(
+        summarize(scenario.name, std::move(reports), &result.baseline));
   }
   return result;
 }

@@ -30,4 +30,54 @@ struct CampaignResult {
                                           const fpga::FirmwareImage& image,
                                           ota::UpdateTarget target, Rng& rng);
 
+// ----------------------------------------------------- fault campaigns
+
+/// One named fault regime to subject the fleet to.
+struct FaultScenario {
+  std::string name;
+  sim::FaultPlan plan;
+  ota::TransferPolicy policy{};
+};
+
+/// Fleet-level outcome of one scenario (or the fault-free baseline).
+struct FaultCampaignEntry {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t successes = 0;
+  std::vector<ota::UpdateReport> per_node;
+
+  Seconds mean_time{0.0};         ///< successful nodes only
+  Seconds mean_airtime{0.0};
+  Millijoules mean_energy{0.0};
+  /// Cost of the faults relative to the fault-free baseline (successful
+  /// nodes only; zero for the baseline entry itself).
+  Seconds added_airtime{0.0};
+  Millijoules added_energy{0.0};
+
+  std::size_t total_reboots = 0;
+  std::size_t total_resumes = 0;
+  std::size_t total_rollbacks = 0;
+  std::size_t total_retransmissions = 0;
+
+  [[nodiscard]] double success_rate() const {
+    return nodes == 0 ? 0.0
+                      : static_cast<double>(successes) /
+                            static_cast<double>(nodes);
+  }
+};
+
+struct FaultCampaignResult {
+  FaultCampaignEntry baseline;             ///< fault-free reference run
+  std::vector<FaultCampaignEntry> scenarios;
+};
+
+/// Run the update across the fleet once fault-free, then once per fault
+/// scenario, with per-node derived seeds so any node's run can be replayed
+/// from its reported `transfer.link_seed`. Reports update success rate and
+/// the airtime/energy cost of each fault regime vs the baseline.
+[[nodiscard]] FaultCampaignResult run_fault_campaign(
+    const Deployment& deployment, const fpga::FirmwareImage& image,
+    ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
+    Rng& rng);
+
 }  // namespace tinysdr::testbed

@@ -1,0 +1,61 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tinysdr::channel {
+namespace {
+
+TEST(GilbertElliott, SteadyStateMatchesTransitionRates) {
+  GilbertElliottParams p{0.1, 0.4, 0.0, 1.0};
+  EXPECT_NEAR(p.steady_bad(), 0.2, 1e-12);
+  EXPECT_NEAR(p.mean_loss(), 0.2, 1e-12);
+  EXPECT_NEAR(p.mean_burst_length(), 2.5, 1e-12);
+}
+
+TEST(GilbertElliott, BernoulliDegenerateHasNoBurstStructure) {
+  auto p = GilbertElliottParams::bernoulli(0.3);
+  EXPECT_NEAR(p.mean_loss(), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(p.loss_good, p.loss_bad);
+}
+
+TEST(GilbertElliott, ObservedLossConvergesToMeanLoss) {
+  GilbertElliottParams p{0.05, 0.30, 0.0, 0.9};
+  GilbertElliottChannel chain{p, Rng{42, 1}};
+  for (int i = 0; i < 200000; ++i) (void)chain.lose_packet();
+  EXPECT_NEAR(chain.observed_loss(), p.mean_loss(), 0.01);
+  EXPECT_GT(chain.bad_entries(), 0u);
+}
+
+TEST(GilbertElliott, LossesClusterIntoBursts) {
+  // With slow transitions and deterministic per-state loss, losses come in
+  // runs whose mean length matches 1/p_exit_bad — unlike i.i.d. loss.
+  GilbertElliottParams p{0.02, 0.10, 0.0, 1.0};
+  GilbertElliottChannel chain{p, Rng{7, 2}};
+  std::vector<int> run_lengths;
+  int run = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (chain.lose_packet()) {
+      ++run;
+    } else if (run > 0) {
+      run_lengths.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_FALSE(run_lengths.empty());
+  double mean = 0.0;
+  for (int r : run_lengths) mean += r;
+  mean /= static_cast<double>(run_lengths.size());
+  EXPECT_NEAR(mean, p.mean_burst_length(), 1.0);
+}
+
+TEST(GilbertElliott, SameSeedReplaysExactly) {
+  GilbertElliottParams p{0.05, 0.30, 0.05, 0.9};
+  GilbertElliottChannel a{p, Rng{123, 9}};
+  GilbertElliottChannel b{p, Rng{123, 9}};
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(a.lose_packet(), b.lose_packet());
+}
+
+}  // namespace
+}  // namespace tinysdr::channel

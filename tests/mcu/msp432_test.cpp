@@ -69,5 +69,47 @@ TEST(Msp432, ModeTransitions) {
   EXPECT_EQ(m.mode(), McuMode::kLpm3);
 }
 
+TEST(Msp432, ResetRestoresBootImageAndDropsTransients) {
+  Msp432 m = baseline_firmware();
+  std::uint32_t boot_used = m.sram_used();
+  m.allocate_sram("ota_block", 30 * 1024);
+  EXPECT_GT(m.sram_used(), boot_used);
+  m.set_mode(McuMode::kLpm3);
+  m.reset(ResetCause::kBrownout);
+  EXPECT_EQ(m.sram_used(), boot_used);
+  EXPECT_FALSE(m.sram_map().contains("ota_block"));
+  EXPECT_EQ(m.mode(), McuMode::kActive);
+  EXPECT_EQ(m.reset_count(), 1u);
+  EXPECT_EQ(m.last_reset_cause(), ResetCause::kBrownout);
+}
+
+TEST(Msp432, WatchdogFiresWithoutKicks) {
+  Msp432 m;
+  m.capture_boot_image();
+  m.arm_watchdog(Seconds{1.0});
+  EXPECT_FALSE(m.advance_time(Seconds{0.5}));
+  m.kick_watchdog();
+  EXPECT_FALSE(m.advance_time(Seconds{0.9}));  // kick restarted the clock
+  EXPECT_TRUE(m.advance_time(Seconds{0.2}));   // no kick: expires
+  EXPECT_EQ(m.last_reset_cause(), ResetCause::kWatchdog);
+  // Reset disarms the watchdog until firmware re-arms it.
+  EXPECT_FALSE(m.watchdog_armed());
+  EXPECT_FALSE(m.advance_time(Seconds{10.0}));
+}
+
+TEST(Msp432, ResetHookRuns) {
+  Msp432 m;
+  m.capture_boot_image();
+  ResetCause seen = ResetCause::kPowerOn;
+  int calls = 0;
+  m.set_reset_hook([&](ResetCause cause) {
+    seen = cause;
+    ++calls;
+  });
+  m.reset(ResetCause::kBrownout);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, ResetCause::kBrownout);
+}
+
 }  // namespace
 }  // namespace tinysdr::mcu

@@ -1,0 +1,155 @@
+// OTA transfer edge cases (satellite of the fault-injection PR):
+// degenerate image sizes, operation right at the PER waterfall, and
+// budget-exhaustion failure reporting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ota/protocol.hpp"
+#include "sim/faults.hpp"
+
+namespace tinysdr::ota {
+namespace {
+
+TEST(OtaEdge, ZeroByteImageSucceedsWithNoDataPackets) {
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{1}};
+  AccessPoint ap;
+  auto outcome = ap.transfer({}, 7, link);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.failure, UpdateFailure::kNone);
+  EXPECT_EQ(outcome.data_packets, 0u);
+  EXPECT_EQ(outcome.retransmissions, 0u);
+  EXPECT_TRUE(outcome.sends_per_chunk.empty());
+  // The control plane (request/ready + end handshake) still costs airtime.
+  EXPECT_GT(outcome.airtime.value(), 0.0);
+}
+
+TEST(OtaEdge, ImageExactlyFillingLastPacket) {
+  // 50 * 60 bytes: the final DATA packet carries a full 60 B payload.
+  std::vector<std::uint8_t> image(50 * kDataPayload);
+  std::iota(image.begin(), image.end(), 0);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{2}};
+  FlashModel flash;
+  NodeAgent node{9, flash};
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 9, link, TransferPolicy{}, &node);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.data_packets, 50u);
+  // Node staged exactly the stream, byte for byte.
+  EXPECT_EQ(flash.read(NodeAgent::kStagingBase, image.size()), image);
+}
+
+TEST(OtaEdge, OneBytePastPacketBoundary) {
+  std::vector<std::uint8_t> image(kDataPayload + 1, 0x5A);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{3}};
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 9, link);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.data_packets, 2u);
+  ASSERT_EQ(outcome.sends_per_chunk.size(), 2u);
+  EXPECT_GE(outcome.sends_per_chunk[1], 1u);
+}
+
+TEST(OtaEdge, CompletesAtSensitivityWaterfall) {
+  // RSSI right at the sensitivity threshold: PER ~ 0.5 per packet. The
+  // selective-ACK engine must still converge (every chunk independently
+  // survives eventually; only the budget is consumed faster).
+  Dbm rssi = lora::sx1276_sensitivity(8, Hertz::from_kilohertz(500.0));
+  OtaLink link{ota_link_params(), rssi, std::uint64_t{4}};
+  double per = link.packet_error_rate(kDataPayload + 7);
+  EXPECT_GT(per, 0.3);
+  EXPECT_LT(per, 0.8);
+
+  std::vector<std::uint8_t> image(3000, 0xC3);
+  TransferPolicy policy;
+  policy.max_retries = 200;
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 5, link, policy);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_GT(outcome.retransmissions, 0u);
+  EXPECT_EQ(outcome.data_packets, (image.size() + 59) / 60);
+}
+
+TEST(OtaEdge, RetryBudgetExhaustionReportsCauseAndCounters) {
+  // A clean link but every DATA payload arrives corrupted: SACK polls
+  // succeed yet never show progress, so the engine burns its retry and
+  // re-association budgets and gives up with the right cause.
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{5}};
+  sim::FaultPlan plan;
+  plan.seed = 77;
+  plan.corrupt_rate = 1.0;
+  sim::FaultInjector faults{plan};
+  FlashModel flash;
+  NodeAgent node{3, flash, &faults};
+  TransferPolicy policy;
+  policy.max_retries = 4;
+  policy.max_reassociations = 1;
+  std::vector<std::uint8_t> image(600, 0xEE);
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 3, link, policy, &node, &faults);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, UpdateFailure::kRetryBudget);
+  EXPECT_EQ(outcome.data_packets, 0u);       // nothing ever stored
+  EXPECT_GT(outcome.corrupted_dropped, 0u);  // the reason why
+  EXPECT_GT(outcome.backoff_events, 0u);
+  EXPECT_EQ(outcome.reassociations, 1u);
+  EXPECT_EQ(outcome.link_seed, 5u);
+}
+
+TEST(OtaEdge, AssociationFailureOnDeadLink) {
+  OtaLink link{ota_link_params(), Dbm{-140.0}, std::uint64_t{6}};
+  TransferPolicy policy;
+  policy.max_retries = 5;
+  AccessPoint ap;
+  auto outcome = ap.transfer(std::vector<std::uint8_t>(500, 1), 2, link,
+                             policy);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, UpdateFailure::kAssociation);
+  EXPECT_EQ(outcome.data_packets, 0u);
+}
+
+TEST(OtaEdge, DeadlineBudgetAborts) {
+  // Moderate loss plus a deadline far smaller than the transfer needs.
+  Dbm rssi = lora::sx1276_sensitivity(8, Hertz::from_kilohertz(500.0)) + 2.0;
+  OtaLink link{ota_link_params(), rssi, std::uint64_t{7}};
+  TransferPolicy policy;
+  policy.deadline = Seconds::from_milliseconds(40.0);
+  AccessPoint ap;
+  auto outcome =
+      ap.transfer(std::vector<std::uint8_t>(60000, 0x77), 2, link, policy);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, UpdateFailure::kDeadline);
+  EXPECT_LE(outcome.total_time.value(), 1.0);  // gave up promptly
+}
+
+TEST(OtaEdge, SeededRunsReplayExactly) {
+  std::vector<std::uint8_t> image(5000, 0x42);
+  Dbm rssi = lora::sx1276_sensitivity(8, Hertz::from_kilohertz(500.0)) + 2.5;
+  AccessPoint ap;
+  OtaLink a{ota_link_params(), rssi, std::uint64_t{0xABCD}};
+  OtaLink b{ota_link_params(), rssi, std::uint64_t{0xABCD}};
+  auto first = ap.transfer(image, 4, a);
+  auto second = ap.transfer(image, 4, b);
+  EXPECT_EQ(first.success, second.success);
+  EXPECT_EQ(first.retransmissions, second.retransmissions);
+  EXPECT_EQ(first.backoff_events, second.backoff_events);
+  EXPECT_DOUBLE_EQ(first.airtime.value(), second.airtime.value());
+  EXPECT_EQ(first.sends_per_chunk, second.sends_per_chunk);
+}
+
+TEST(OtaEdge, StopAndWaitModeStillWorks) {
+  std::vector<std::uint8_t> image(3000, 0x99);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{8}};
+  TransferPolicy policy;
+  policy.mode = AckMode::kStopAndWait;
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 6, link, policy);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.data_packets, (image.size() + 59) / 60);
+  // Per-packet ACKs: one per chunk on a clean link.
+  EXPECT_GE(outcome.ack_packets, outcome.data_packets);
+}
+
+}  // namespace
+}  // namespace tinysdr::ota

@@ -1,0 +1,110 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinysdr::sim {
+namespace {
+
+TEST(FaultPlan, NoneIsInert) {
+  auto plan = FaultPlan::none();
+  EXPECT_FALSE(plan.any());
+  FaultInjector inj{plan};
+  EXPECT_FALSE(inj.corrupt_packet());
+  EXPECT_FALSE(inj.duplicate_packet());
+  EXPECT_FALSE(inj.reorder_packet());
+  EXPECT_FALSE(inj.brownout_due(1 << 20));
+  EXPECT_FALSE(inj.page_program_fault(0, 256).has_value());
+  EXPECT_FALSE(inj.sector_erase_fault(0));
+  EXPECT_EQ(inj.jitter(Seconds{1.0}).value(), 1.0);
+}
+
+TEST(FaultPlan, AnyDetectsEachDimension) {
+  FaultPlan p;
+  p.corrupt_rate = 0.1;
+  EXPECT_TRUE(p.any());
+  p = FaultPlan::none();
+  p.burst = channel::GilbertElliottParams{};
+  EXPECT_TRUE(p.any());
+  p = FaultPlan::none();
+  p.brownout_at_byte = 100;
+  EXPECT_TRUE(p.any());
+  p = FaultPlan::none();
+  p.page_program_failure_rate = 0.5;
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultInjector, RatesConvergeAndCount) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.corrupt_rate = 0.25;
+  FaultInjector inj{plan};
+  int fired = 0;
+  for (int i = 0; i < 20000; ++i) fired += inj.corrupt_packet() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(fired) / 20000.0, 0.25, 0.02);
+  EXPECT_EQ(inj.counters().corrupted, static_cast<std::size_t>(fired));
+}
+
+TEST(FaultInjector, BrownoutFiresExactlyOnceAtCrossing) {
+  FaultPlan plan;
+  plan.brownout_at_byte = 1000;
+  FaultInjector inj{plan};
+  EXPECT_FALSE(inj.brownout_due(999));
+  EXPECT_TRUE(inj.brownout_due(1000));
+  EXPECT_FALSE(inj.brownout_due(2000));  // one-shot
+  EXPECT_EQ(inj.counters().brownouts, 1u);
+}
+
+TEST(FaultInjector, FlashFaultsRespectRegion) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.page_program_failure_rate = 1.0;
+  plan.sector_erase_failure_rate = 1.0;
+  plan.flash_fault_region = FlashRegion{0x1000, 0x1000};
+  FaultInjector inj{plan};
+  EXPECT_FALSE(inj.page_program_fault(0x0FFF, 256).has_value());
+  EXPECT_TRUE(inj.page_program_fault(0x1000, 256).has_value());
+  EXPECT_FALSE(inj.page_program_fault(0x2000, 256).has_value());
+  EXPECT_TRUE(inj.sector_erase_fault(0x1800));
+  EXPECT_FALSE(inj.sector_erase_fault(0x3000));
+}
+
+TEST(FaultInjector, PageFaultCommitsAPrefixWithTornByte) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.page_program_failure_rate = 1.0;
+  FaultInjector inj{plan};
+  auto fault = inj.page_program_fault(0, 256);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_LT(fault->committed, 256u);
+  EXPECT_NE(fault->torn_keep_mask, 0);  // a torn byte keeps some bits stuck
+}
+
+TEST(FaultInjector, JitterStaysWithinBand) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.timeout_jitter = 0.5;
+  FaultInjector inj{plan};
+  for (int i = 0; i < 1000; ++i) {
+    double v = inj.jitter(Seconds{1.0}).value();
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 1.5);
+  }
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 0xDEAD;
+  plan.corrupt_rate = 0.3;
+  plan.duplicate_rate = 0.2;
+  plan.reorder_rate = 0.1;
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_EQ(a.corrupt_packet(), b.corrupt_packet());
+    EXPECT_EQ(a.duplicate_packet(), b.duplicate_packet());
+    EXPECT_EQ(a.reorder_packet(), b.reorder_packet());
+  }
+}
+
+}  // namespace
+}  // namespace tinysdr::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace tinysdr::testbed {
 namespace {
 
@@ -73,6 +75,82 @@ TEST(Campaign, MeanStatsPositive) {
                              campaign_rng);
   EXPECT_GT(result.mean_time().value(), 0.0);
   EXPECT_GT(result.mean_energy().value(), 0.0);
+}
+
+TEST(FaultCampaign, BurstLossCostsAirtimeButFleetStillUpdates) {
+  Rng rng{11};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(10, "fw");
+
+  FaultScenario bursty;
+  bursty.name = "burst-loss";
+  bursty.plan.burst = channel::GilbertElliottParams{0.05, 0.30, 0.0, 0.9};
+  bursty.policy.max_retries = 200;
+
+  Rng campaign_rng{12};
+  auto result =
+      run_fault_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                         {bursty}, campaign_rng);
+
+  EXPECT_EQ(result.baseline.nodes, 20u);
+  EXPECT_EQ(result.baseline.success_rate(), 1.0);
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  const auto& s = result.scenarios[0];
+  EXPECT_EQ(s.name, "burst-loss");
+  EXPECT_EQ(s.nodes, 20u);
+  // The burst regime is survivable with selective-ACK, but not free.
+  EXPECT_GE(s.success_rate(), 0.9);
+  EXPECT_GT(s.total_retransmissions,
+            result.baseline.total_retransmissions);
+  EXPECT_GT(s.added_airtime.value(), 0.0);
+  EXPECT_GT(s.added_energy.value(), 0.0);
+}
+
+TEST(FaultCampaign, BrownoutFleetRebootsAndResumes) {
+  Rng rng{13};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(10, "fw");
+
+  FaultScenario brownouts;
+  brownouts.name = "mid-transfer-brownout";
+  // Well inside the compressed stream (a 10 kB MCU program compresses to
+  // roughly 3 kB), so every node's brownout actually fires mid-transfer.
+  brownouts.plan.brownout_at_byte = 1024;
+
+  Rng campaign_rng{14};
+  auto result =
+      run_fault_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                         {brownouts}, campaign_rng);
+
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  const auto& s = result.scenarios[0];
+  // Every node browned out once and resumed from its flash checkpoint.
+  EXPECT_EQ(s.total_reboots, 20u);
+  EXPECT_GE(s.total_resumes, 20u);
+  EXPECT_GE(s.success_rate(), 0.9);
+  EXPECT_EQ(result.baseline.total_reboots, 0u);
+}
+
+TEST(FaultCampaign, PerNodeRunsReplayFromReportedSeed) {
+  Rng rng{15};
+  auto deployment = Deployment::campus(rng);
+  auto image = small_image(10, "fw");
+
+  FaultScenario scenario;
+  scenario.name = "burst";
+  scenario.plan.burst = channel::GilbertElliottParams{};
+
+  Rng campaign_rng{16};
+  auto result =
+      run_fault_campaign(deployment, image, ota::UpdateTarget::kMcu,
+                         {scenario}, campaign_rng);
+  // Every node's outcome carries a distinct, nonzero replay seed.
+  std::set<std::uint64_t> seeds;
+  for (const auto& r : result.scenarios[0].per_node) {
+    EXPECT_NE(r.transfer.link_seed, 0u);
+    seeds.insert(r.transfer.link_seed);
+  }
+  EXPECT_EQ(seeds.size(), result.scenarios[0].per_node.size());
 }
 
 }  // namespace
