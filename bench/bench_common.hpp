@@ -3,11 +3,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/json.hpp"
 
 namespace tinysdr::bench {
 
@@ -52,5 +58,120 @@ inline void print_series(const std::string& x_label,
   }
   table.print(std::cout);
 }
+
+/// One bench invocation with optional machine-readable output.
+///
+/// Construction prints the usual header; `series()` prints the table the
+/// way `print_series` always has AND records it; `scalar()` records a
+/// named headline number. If a JSON path was requested — `--json <path>`
+/// on the command line, or the `TINYSDR_BENCH_JSON` environment variable
+/// (the flag wins) — the destructor writes everything as a
+/// `tinysdr-bench-v1` document:
+///
+///   {"schema":"tinysdr-bench-v1","experiment":...,"paper_ref":...,
+///    "description":...,"scalars":{name:number,...},
+///    "series":{name:{"x_label":...,"y_labels":[...],"rows":[[...],...]}}}
+///
+/// Unknown arguments are ignored, so benches stay runnable bare.
+class BenchRun {
+ public:
+  BenchRun(int argc, char* const argv[], std::string experiment,
+           std::string paper_ref, std::string description)
+      : experiment_(std::move(experiment)),
+        paper_ref_(std::move(paper_ref)),
+        description_(std::move(description)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view{argv[i]} == "--json") json_path_ = argv[i + 1];
+    }
+    if (json_path_.empty()) {
+      if (const char* env = std::getenv("TINYSDR_BENCH_JSON");
+          env != nullptr && *env != '\0')
+        json_path_ = env;
+    }
+    print_header(experiment_, paper_ref_, description_);
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (json_path_.empty()) return;
+    std::ofstream out{json_path_};
+    if (!out) {
+      std::cerr << "bench: cannot open " << json_path_ << " for writing\n";
+      return;
+    }
+    write_json(out);
+    out << "\n";
+  }
+
+  void scalar(const std::string& name, double value) {
+    scalars_[name] = value;
+  }
+
+  /// Print and record an (x, y...) series.
+  void series(const std::string& name, const std::string& x_label,
+              const std::vector<std::string>& y_labels,
+              const std::vector<std::vector<double>>& rows,
+              int precision = 3) {
+    print_series(x_label, y_labels, rows, precision);
+    series_.emplace_back(name, Series{x_label, y_labels, rows});
+  }
+
+  void write_json(std::ostream& out) const {
+    using obs::json_number;
+    using obs::json_quote;
+    out << "{\"schema\":\"tinysdr-bench-v1\",\"experiment\":"
+        << json_quote(experiment_)
+        << ",\"paper_ref\":" << json_quote(paper_ref_)
+        << ",\"description\":" << json_quote(description_) << ",\"scalars\":{";
+    bool first = true;
+    for (const auto& [name, value] : scalars_) {
+      if (!first) out << ",";
+      first = false;
+      out << json_quote(name) << ":" << json_number(value);
+    }
+    out << "},\"series\":{";
+    first = true;
+    for (const auto& [name, s] : series_) {
+      if (!first) out << ",";
+      first = false;
+      out << json_quote(name) << ":{\"x_label\":" << json_quote(s.x_label)
+          << ",\"y_labels\":[";
+      for (std::size_t i = 0; i < s.y_labels.size(); ++i) {
+        if (i > 0) out << ",";
+        out << json_quote(s.y_labels[i]);
+      }
+      out << "],\"rows\":[";
+      for (std::size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out << ",";
+        out << "[";
+        for (std::size_t c = 0; c < s.rows[r].size(); ++c) {
+          if (c > 0) out << ",";
+          out << json_number(s.rows[r][c]);
+        }
+        out << "]";
+      }
+      out << "]}";
+    }
+    out << "}}";
+  }
+
+  [[nodiscard]] const std::string& json_path() const { return json_path_; }
+
+ private:
+  struct Series {
+    std::string x_label;
+    std::vector<std::string> y_labels;
+    std::vector<std::vector<double>> rows;
+  };
+
+  std::string experiment_;
+  std::string paper_ref_;
+  std::string description_;
+  std::string json_path_;
+  std::map<std::string, double> scalars_;
+  std::vector<std::pair<std::string, Series>> series_;
+};
 
 }  // namespace tinysdr::bench

@@ -11,6 +11,21 @@ using namespace tinysdr;
 
 namespace {
 
+/// Record a scenario's headline numbers under "<scenario>.<stat>" keys.
+void record_entry(tinysdr::bench::BenchRun& run,
+                  const testbed::FaultCampaignEntry& e) {
+  const std::string p = e.name + ".";
+  run.scalar(p + "success_rate", e.success_rate());
+  run.scalar(p + "mean_time_s", e.mean_time.value());
+  run.scalar(p + "mean_airtime_s", e.mean_airtime.value());
+  run.scalar(p + "mean_energy_mj", e.mean_energy.value());
+  run.scalar(p + "reboots", static_cast<double>(e.total_reboots));
+  run.scalar(p + "resumes", static_cast<double>(e.total_resumes));
+  run.scalar(p + "rollbacks", static_cast<double>(e.total_rollbacks));
+  run.scalar(p + "retransmissions",
+             static_cast<double>(e.total_retransmissions));
+}
+
 void print_entry(TextTable& table, const testbed::FaultCampaignEntry& e) {
   table.add_row({e.name, TextTable::num(100.0 * e.success_rate(), 0),
                  TextTable::num(e.mean_time.value(), 1),
@@ -26,10 +41,10 @@ void print_entry(TextTable& table, const testbed::FaultCampaignEntry& e) {
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Fault campaign", "robustness extension",
-      "Fleet OTA update success under injected faults (20-node campus)");
+int main(int argc, char** argv) {
+  bench::BenchRun run{
+      argc, argv, "Fault campaign", "robustness extension",
+      "Fleet OTA update success under injected faults (20-node campus)"};
 
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);
@@ -87,7 +102,11 @@ int main() {
                    "+airtime s", "energy J", "reboots", "resumes",
                    "rollbacks", "retx"}};
   print_entry(table, result.baseline);
-  for (const auto& s : result.scenarios) print_entry(table, s);
+  record_entry(run, result.baseline);
+  for (const auto& s : result.scenarios) {
+    print_entry(table, s);
+    record_entry(run, s);
+  }
   table.print(std::cout);
 
   std::cout << "\nSelective-ACK vs stop-and-wait under identical burst loss"
@@ -104,6 +123,13 @@ int main() {
     policy.mode = mode;
     policy.max_retries = 200;
     auto outcome = ap.transfer(stream, 1, link, policy);
+    const std::string key = mode == ota::AckMode::kSelectiveAck
+                                ? "ablation.selective_ack"
+                                : "ablation.stop_and_wait";
+    run.scalar(key + ".airtime_s", outcome.airtime.value());
+    run.scalar(key + ".time_s", outcome.total_time.value());
+    run.scalar(key + ".retransmissions",
+               static_cast<double>(outcome.retransmissions));
     ablation.add_row(
         {mode == ota::AckMode::kSelectiveAck ? "selective-ack"
                                              : "stop-and-wait",

@@ -9,10 +9,10 @@
 using namespace tinysdr;
 using namespace tinysdr::lora;
 
-int main() {
-  bench::print_header("Fig. 11", "paper Fig. 11",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 11", "paper Fig. 11",
                       "LoRa demodulator chirp symbol error rate vs RSSI, "
-                      "SF8, BW 250/125 kHz");
+                      "SF8, BW 250/125 kHz"};
 
   LoraParams p125{8, Hertz::from_kilohertz(125.0)};
   LoraParams p250{8, Hertz::from_kilohertz(250.0)};
@@ -29,8 +29,14 @@ int main() {
                                            bench::kLoraSystemNf) * 100.0;
     rows.push_back({rssi, ser250, ser125});
   }
-  bench::print_series("RSSI (dBm)",
-                      {"SF8/BW250 SER (%)", "SF8/BW125 SER (%)"}, rows, 2);
+  run.series("ser_vs_rssi", "RSSI (dBm)",
+             {"SF8/BW250 SER (%)", "SF8/BW125 SER (%)"}, rows, 2);
+  run.scalar(
+      "sensitivity_bw125_dbm",
+      sx1276_sensitivity(8, Hertz::from_kilohertz(125.0)).value());
+  run.scalar(
+      "sensitivity_bw250_dbm",
+      sx1276_sensitivity(8, Hertz::from_kilohertz(250.0)).value());
 
   std::cout
       << "\nReference lines (paper): SF8/BW125 sensitivity "

@@ -7,9 +7,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Fig. 14", "paper Fig. 14",
-                      "OTA programming time CDF over the 20-node testbed");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 14", "paper Fig. 14",
+                      "OTA programming time CDF over the 20-node testbed"};
 
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);
@@ -27,13 +27,15 @@ int main() {
 
   struct Job {
     const char* label;
+    const char* key;
     const fpga::FirmwareImage* image;
     ota::UpdateTarget target;
     double paper_mean_s;
   } jobs[] = {
-      {"FPGA: LoRa", &lora_fpga, ota::UpdateTarget::kFpga, 150.0},
-      {"FPGA: BLE", &ble_fpga, ota::UpdateTarget::kFpga, 59.0},
-      {"MCU: LoRa/BLE", &mcu_prog, ota::UpdateTarget::kMcu, 39.0},
+      {"FPGA: LoRa", "fpga_lora", &lora_fpga, ota::UpdateTarget::kFpga,
+       150.0},
+      {"FPGA: BLE", "fpga_ble", &ble_fpga, ota::UpdateTarget::kFpga, 59.0},
+      {"MCU: LoRa/BLE", "mcu", &mcu_prog, ota::UpdateTarget::kMcu, 39.0},
   };
 
   std::vector<testbed::CampaignResult> results;
@@ -59,6 +61,11 @@ int main() {
               << TextTable::num(
                      r.per_node[0].decompress_time.milliseconds(), 0)
               << " ms (paper: <= 450 ms)\n";
+    std::string key{job.key};
+    run.scalar(key + ".successes", static_cast<double>(r.successes()));
+    run.scalar(key + ".mean_time_s", r.mean_time().value());
+    run.scalar(key + ".compressed_kb",
+               static_cast<double>(r.per_node[0].compressed_bytes) / 1024.0);
   }
 
   // Print the three CDFs on a common grid of minutes.
@@ -74,8 +81,8 @@ int main() {
     }
     rows.push_back(row);
   }
-  bench::print_series("Duration (min)",
-                      {"CDF FPGA:LoRa", "CDF FPGA:BLE", "CDF MCU"}, rows, 2);
+  run.series("time_cdf", "Duration (min)",
+             {"CDF FPGA:LoRa", "CDF FPGA:BLE", "CDF MCU"}, rows, 2);
 
   std::cout << "\nShape: MCU < BLE FPGA < LoRa FPGA at every quantile "
                "(ordering by compressed size), with tails from far-node "

@@ -6,6 +6,11 @@
 //     (§5.3) at the modeled MCU throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
@@ -120,4 +125,36 @@ static void BM_LzoDecompress(benchmark::State& state) {
 }
 BENCHMARK(BM_LzoDecompress)->Arg(30 * 1024)->Arg(579 * 1024);
 
-BENCHMARK_MAIN();
+// Same machine-readable interface as the table/figure benches: `--json
+// <path>` (or TINYSDR_BENCH_JSON) maps onto google-benchmark's native
+// JSON reporter.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (json_path.empty()) {
+    if (const char* env = std::getenv("TINYSDR_BENCH_JSON");
+        env != nullptr && *env != '\0')
+      json_path = env;
+  }
+  std::string out_flag;
+  std::string format_flag{"--benchmark_out_format=json"};
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,22 @@ cmake --preset default
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
+echo "== telemetry smoke: instrumented fault campaign =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/bench/bench_trace_campaign \
+  --trace "$smoke_dir/trace.json" \
+  --metrics "$smoke_dir/metrics.json" \
+  --json "$smoke_dir/bench.json"
+if command -v python3 > /dev/null; then
+  for f in trace metrics bench; do
+    python3 -m json.tool "$smoke_dir/$f.json" > /dev/null
+    echo "smoke: $f.json parses"
+  done
+else
+  echo "smoke: python3 not found, skipping JSON validation"
+fi
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== tier-1: ASan+UBSan build =="
   cmake --preset asan-ubsan

@@ -5,6 +5,7 @@
 
 #include "dsp/gaussian.hpp"
 #include "dsp/nco.hpp"
+#include "obs/profile.hpp"
 
 namespace tinysdr::ble {
 
@@ -52,6 +53,7 @@ GfskDemodulator::GfskDemodulator(GfskConfig config) : config_(config) {}
 
 std::vector<bool> GfskDemodulator::demodulate(const dsp::Samples& iq,
                                               std::size_t sample_offset) const {
+  obs::ProfileScope prof{"gfsk_demod"};
   const std::uint32_t sps = config_.samples_per_bit;
   std::vector<bool> bits;
   if (iq.size() <= sample_offset + 1) return bits;

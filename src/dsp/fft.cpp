@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace tinysdr::dsp {
 
 FftPlan::FftPlan(std::size_t size) : size_(size) {
@@ -32,6 +34,7 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
 }
 
 void FftPlan::transform(std::span<Complex> data, bool invert) const {
+  obs::ProfileScope prof{"fft"};
   if (data.size() != size_)
     throw std::invalid_argument("FftPlan::transform: size mismatch");
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace tinysdr::dsp {
 
 std::vector<float> design_lowpass(std::size_t taps, double cutoff_ratio,
@@ -46,6 +48,7 @@ Complex FirFilter::process(Complex in) {
 }
 
 Samples FirFilter::filter(std::span<const Complex> in) {
+  obs::ProfileScope prof{"fir"};
   Samples out;
   out.reserve(in.size());
   for (Complex s : in) out.push_back(process(s));

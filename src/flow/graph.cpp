@@ -1,5 +1,8 @@
 #include "flow/graph.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::flow {
 
 std::size_t Ring::push(std::span<const dsp::Complex> in) {
@@ -23,7 +26,12 @@ std::size_t Ring::pop(std::size_t max, dsp::Samples& out) {
 
 bool FlowGraph::run(std::size_t max_iterations) {
   if (blocks_.empty()) return true;
+  obs::TraceSpan span{"flow", "graph-run"};
+  span.arg("blocks", static_cast<double>(blocks_.size()));
+  std::size_t iterations = 0;
+  bool result = false;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    ++iterations;
     bool progress = false;
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
       Ring* in = i == 0 ? nullptr : rings_[i - 1].get();
@@ -35,9 +43,17 @@ bool FlowGraph::run(std::size_t max_iterations) {
     bool drained = blocks_.front()->finished();
     for (const auto& ring : rings_)
       if (!ring->empty()) drained = false;
-    return drained;
+    result = drained;
+    break;
   }
-  return false;
+  span.arg("iterations", static_cast<double>(iterations));
+  span.arg("drained", result ? 1.0 : 0.0);
+  if (auto* m = obs::metrics()) {
+    m->counter("flow.graph_runs").add();
+    m->counter("flow.block_iterations")
+        .add(static_cast<double>(iterations * blocks_.size()));
+  }
+  return result;
 }
 
 }  // namespace tinysdr::flow

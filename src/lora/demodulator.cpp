@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace tinysdr::lora {
 
 namespace {
@@ -70,6 +72,7 @@ dsp::Samples Demodulator::condition(std::span<const dsp::Complex> rf) const {
 
 std::pair<std::size_t, double> Demodulator::dechirp_peak(
     std::span<const dsp::Complex> window, const dsp::Samples& base) const {
+  obs::ProfileScope prof{"lora_dechirp"};
   const std::size_t n = params_.chips();
   if (window.size() < n)
     throw std::invalid_argument("dechirp_peak: window too small");

@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace tinysdr::obs {
+
+namespace {
+Registry* g_metrics = nullptr;
+}  // namespace
+
+Registry* metrics() { return g_metrics; }
+
+MetricsSession::MetricsSession(Registry& r) : previous_(g_metrics) {
+  g_metrics = &r;
+}
+
+MetricsSession::~MetricsSession() { g_metrics = previous_; }
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(HistogramSpec spec) : spec_(spec) {
+  if (spec_.buckets == 0) spec_.buckets = 1;
+  if (!(spec_.hi > spec_.lo)) spec_.hi = spec_.lo + 1.0;
+  if (spec_.geometric && spec_.lo <= 0.0) spec_.geometric = false;
+  counts_.assign(spec_.buckets, 0);
+}
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+
+  if (value < spec_.lo) {
+    ++underflow_;
+    return;
+  }
+  if (value >= spec_.hi) {
+    ++overflow_;
+    return;
+  }
+  std::size_t idx;
+  if (spec_.geometric) {
+    double ratio = std::log(spec_.hi / spec_.lo);
+    idx = static_cast<std::size_t>(std::log(value / spec_.lo) / ratio *
+                                   static_cast<double>(spec_.buckets));
+  } else {
+    idx = static_cast<std::size_t>((value - spec_.lo) / (spec_.hi - spec_.lo) *
+                                   static_cast<double>(spec_.buckets));
+  }
+  if (idx >= spec_.buckets) idx = spec_.buckets - 1;  // float edge safety
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  double f = static_cast<double>(i) / static_cast<double>(spec_.buckets);
+  if (spec_.geometric)
+    return spec_.lo * std::pow(spec_.hi / spec_.lo, f);
+  return spec_.lo + (spec_.hi - spec_.lo) * f;
+}
+
+double Histogram::bucket_upper(std::size_t i) const { return bucket_lower(i + 1); }
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (rank <= cum) return min_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (rank <= next && counts_[i] > 0) {
+      double frac = (rank - cum) / static_cast<double>(counts_[i]);
+      return bucket_lower(i) + frac * (bucket_upper(i) - bucket_lower(i));
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Histogram& Registry::histogram(const std::string& name, HistogramSpec spec) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram{spec}).first;
+  return it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData d;
+    d.spec = h.spec();
+    d.counts = h.counts();
+    d.underflow = h.underflow();
+    d.overflow = h.overflow();
+    d.count = h.count();
+    d.sum = h.sum();
+    d.min = h.min();
+    d.max = h.max();
+    snap.histograms[name] = std::move(d);
+  }
+  return snap;
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  out << "kind,name,value,count,sum,min,max,p50,p90,p99\n";
+  for (const auto& [name, c] : counters_)
+    out << "counter," << name << "," << json_number(c.value())
+        << ",,,,,,,\n";
+  for (const auto& [name, g] : gauges_)
+    out << "gauge," << name << "," << json_number(g.value()) << ",,,,,,,\n";
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram," << name << ",," << h.count() << ","
+        << json_number(h.sum()) << "," << json_number(h.min()) << ","
+        << json_number(h.max()) << "," << json_number(h.quantile(0.5)) << ","
+        << json_number(h.quantile(0.9)) << "," << json_number(h.quantile(0.99))
+        << "\n";
+  }
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---------------------------------------------------------- MetricsSnapshot
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"tinysdr-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(name) << ":" << json_number(v);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(name) << ":" << json_number(v);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(name) << ":{\"lo\":" << json_number(h.spec.lo)
+        << ",\"hi\":" << json_number(h.spec.hi)
+        << ",\"buckets\":" << h.spec.buckets
+        << ",\"geometric\":" << (h.spec.geometric ? "true" : "false")
+        << ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << h.counts[i];
+    }
+    out << "],\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
+        << ",\"count\":" << h.count << ",\"sum\":" << json_number(h.sum)
+        << ",\"min\":" << json_number(h.min)
+        << ",\"max\":" << json_number(h.max) << "}";
+  }
+  out << "}}";
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream oss;
+  write_json(oss);
+  return oss.str();
+}
+
+std::optional<MetricsSnapshot> MetricsSnapshot::from_json(
+    std::string_view src) {
+  auto doc = JsonValue::parse(src);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  MetricsSnapshot snap;
+
+  auto read_scalar_map = [](const JsonValue* obj,
+                            std::map<std::string, double>& out) {
+    if (obj == nullptr || !obj->is_object()) return false;
+    for (const auto& [name, v] : obj->members) {
+      if (!v.is_number()) return false;
+      out[name] = v.number;
+    }
+    return true;
+  };
+  if (!read_scalar_map(doc->find("counters"), snap.counters))
+    return std::nullopt;
+  if (!read_scalar_map(doc->find("gauges"), snap.gauges)) return std::nullopt;
+
+  const JsonValue* hists = doc->find("histograms");
+  if (hists == nullptr || !hists->is_object()) return std::nullopt;
+  for (const auto& [name, h] : hists->members) {
+    if (!h.is_object()) return std::nullopt;
+    HistogramData d;
+    d.spec.lo = h.number_or("lo", 0.0);
+    d.spec.hi = h.number_or("hi", 1.0);
+    d.spec.buckets = static_cast<std::size_t>(h.number_or("buckets", 0.0));
+    const JsonValue* geometric = h.find("geometric");
+    d.spec.geometric = geometric != nullptr && geometric->boolean;
+    const JsonValue* counts = h.find("counts");
+    if (counts == nullptr || !counts->is_array()) return std::nullopt;
+    for (const auto& c : counts->items) {
+      if (!c.is_number()) return std::nullopt;
+      d.counts.push_back(static_cast<std::uint64_t>(c.number));
+    }
+    d.underflow = static_cast<std::uint64_t>(h.number_or("underflow", 0.0));
+    d.overflow = static_cast<std::uint64_t>(h.number_or("overflow", 0.0));
+    d.count = static_cast<std::uint64_t>(h.number_or("count", 0.0));
+    d.sum = h.number_or("sum", 0.0);
+    d.min = h.number_or("min", 0.0);
+    d.max = h.number_or("max", 0.0);
+    snap.histograms[name] = std::move(d);
+  }
+  return snap;
+}
+
+}  // namespace tinysdr::obs

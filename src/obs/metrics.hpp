@@ -1,0 +1,179 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// (PER, retransmissions-per-chunk, backoff delay, SNR, demod SER,
+// per-activity energy, wall-clock profile samples) with JSON/CSV export
+// and a deterministic snapshot API.
+//
+// Same null-sink contract as the tracer: `metrics()` is nullptr until a
+// MetricsSession installs a Registry, so uninstrumented runs pay one
+// branch per site and produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tinysdr::obs {
+
+class Counter {
+ public:
+  void add(double n = 1.0) { value_ += n; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket layout: `buckets` intervals spanning [lo, hi), either
+/// equal-width (linear) or equal-ratio (geometric; requires lo > 0).
+/// Samples outside the range land in dedicated under/overflow buckets.
+struct HistogramSpec {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t buckets = 20;
+  bool geometric = false;
+
+  [[nodiscard]] static HistogramSpec linear(double lo, double hi,
+                                            std::size_t buckets) {
+    return HistogramSpec{lo, hi, buckets, false};
+  }
+  [[nodiscard]] static HistogramSpec log_scale(double lo, double hi,
+                                               std::size_t buckets) {
+    return HistogramSpec{lo, hi, buckets, true};
+  }
+
+  [[nodiscard]] bool operator==(const HistogramSpec&) const = default;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec = {});
+
+  void observe(double value);
+
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  /// Bucket edges: bucket i covers [lower(i), upper(i)).
+  [[nodiscard]] double bucket_lower(std::size_t i) const;
+  [[nodiscard]] double bucket_upper(std::size_t i) const;
+
+  /// q-quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// containing bucket; ranks in the under/overflow buckets clamp to the
+  /// observed min/max.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  HistogramSpec spec_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Deterministic, comparable point-in-time copy of a Registry. Snapshots
+/// round-trip exactly through their JSON form (shortest-round-trip number
+/// formatting on both sides).
+struct MetricsSnapshot {
+  struct HistogramData {
+    HistogramSpec spec;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    [[nodiscard]] bool operator==(const HistogramData&) const = default;
+  };
+
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  [[nodiscard]] bool operator==(const MetricsSnapshot&) const = default;
+
+  [[nodiscard]] std::string json() const;
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] static std::optional<MetricsSnapshot> from_json(
+      std::string_view src);
+};
+
+class Registry {
+ public:
+  /// Find-or-create by name. For histograms, the spec applies only on
+  /// first creation; later lookups return the existing instrument.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name, HistogramSpec spec = {});
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string json() const { return snapshot().json(); }
+  void write_json(std::ostream& out) const { snapshot().write_json(out); }
+  /// CSV: one line per instrument; histograms report count/sum/min/max
+  /// and the p50/p90/p99 estimates.
+  void write_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Currently installed registry, or nullptr (the null sink).
+[[nodiscard]] Registry* metrics();
+
+/// RAII installation of a Registry as the process-wide metrics sink.
+class MetricsSession {
+ public:
+  explicit MetricsSession(Registry& r);
+  ~MetricsSession();
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+}  // namespace tinysdr::obs

@@ -1,0 +1,46 @@
+// Wall-clock profiling scopes for the hot DSP paths (dechirp/FFT, FIR,
+// GFSK demod), feeding the metrics registry.
+//
+// Unlike the tracer (which runs on deterministic sim time), profile
+// samples are real elapsed wall time on the host, so they belong in the
+// registry — never in the trace — to keep trace output byte-identical
+// across runs. With no registry installed the constructor is a single
+// pointer test and no clock is read.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tinysdr::obs {
+
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : registry_(metrics()), name_(name) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (registry_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    // Geometric buckets from 10 ns to 10 s: hot-path calls span orders of
+    // magnitude (a 64-point FFT vs a full packet demod).
+    registry_
+        ->histogram(std::string("prof.") + name_ + ".us",
+                    HistogramSpec::log_scale(0.01, 1e7, 72))
+        .observe(us);
+  }
+
+ private:
+  Registry* registry_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace tinysdr::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/crc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/platform_power.hpp"
 
 namespace tinysdr::ota {
@@ -77,7 +79,20 @@ bool OtaLink::deliver(std::size_t payload_bytes) {
   // retransmissions redraw and runs replay from the seed.
   bool rssi_lost = rng_.next_bool(packet_error_rate(payload_bytes));
   bool burst_lost = burst_ && burst_->lose_packet();
-  return !rssi_lost && !burst_lost;
+  bool delivered = !rssi_lost && !burst_lost;
+  if (auto* m = obs::metrics()) {
+    m->counter("radio.link_attempts").add();
+    if (!delivered) m->counter("radio.link_drops").add();
+  }
+  if (!delivered) {
+    if (auto* t = obs::tracer()) {
+      t->instant("radio", "packet-loss",
+                 {obs::TraceArg::str("cause", rssi_lost ? "rssi" : "burst"),
+                  obs::TraceArg::num("bytes",
+                                     static_cast<double>(payload_bytes))});
+    }
+  }
+  return delivered;
 }
 
 // ---------------------------------------------------------------- NodeAgent
@@ -174,6 +189,12 @@ bool NodeAgent::begin_session(std::uint32_t session_id,
       }
       session_active_ = true;
       ++resumes_;
+      if (auto* t = obs::tracer()) {
+        t->instant("ota", "session-resume",
+                   {obs::TraceArg::num("chunks_held",
+                                       static_cast<double>(received_))});
+      }
+      if (auto* m = obs::metrics()) m->counter("ota.session_resumes").add();
       if (mcu_) mcu_->arm_watchdog(watchdog_timeout_);
       return true;
     }
@@ -219,6 +240,11 @@ NodeAgent::RxStatus NodeAgent::receive_chunk(
   auto back = flash_->read(address, payload.size());
   if (!std::equal(back.begin(), back.end(), payload.begin())) {
     ++flash_write_errors_;
+    if (auto* t = obs::tracer()) {
+      t->instant("ota", "flash-write-error",
+                 {obs::TraceArg::num("seq", static_cast<double>(seq))});
+    }
+    if (auto* m = obs::metrics()) m->counter("ota.flash_write_errors").add();
     return RxStatus::kFlashError;
   }
   mark_chunk(seq);
@@ -278,6 +304,12 @@ void NodeAgent::clear_session() {
 void NodeAgent::reboot() {
   // Brownout: every RAM structure is gone; flash (staged chunks + the
   // session checkpoint) survives.
+  if (auto* t = obs::tracer()) {
+    t->instant("power", "brownout-reboot",
+               {obs::TraceArg::num("bytes_received",
+                                   static_cast<double>(bytes_received_))});
+  }
+  if (auto* m = obs::metrics()) m->counter("power.node_reboots").add();
   online_ = false;
   session_active_ = false;
   bitmap_.clear();
@@ -290,6 +322,7 @@ void NodeAgent::reboot() {
 bool NodeAgent::poll_boot() {
   if (online_) return true;
   online_ = true;
+  if (auto* t = obs::tracer()) t->instant("power", "node-boot");
   // Boot firmware scans the session sector; a valid checkpoint re-enters
   // the transfer where the last persisted bitmap left off.
   auto header = flash_->read(kSessionSector, kSessionHeader);
@@ -311,6 +344,8 @@ void NodeAgent::advance_time(Seconds elapsed) {
   if (mcu_->advance_time(elapsed)) {
     // Watchdog fired: same RAM loss as a brownout, but the MCU reset has
     // already happened inside advance_time.
+    if (auto* t = obs::tracer()) t->instant("power", "watchdog-reset");
+    if (auto* m = obs::metrics()) m->counter("power.watchdog_resets").add();
     online_ = false;
     session_active_ = false;
     bitmap_.clear();
@@ -358,6 +393,20 @@ class TransferEngine {
   }
 
   void run() {
+    // Each transfer owns the tracer's engine-relative clock; campaigns
+    // lay consecutive transfers end to end with shift_base between runs.
+    if (auto* t = obs::tracer()) t->set_time(outcome_.total_time);
+    obs::TraceSpan span{"ota", "transfer"};
+    span.arg("bytes", static_cast<double>(stream_.size()));
+    span.arg("chunks", static_cast<double>(chunks_));
+    run_phases();
+    if (auto* t = obs::tracer()) {
+      t->instant("ota", outcome_.success ? "update-ok" : "update-failed",
+                 {obs::TraceArg::str("failure", to_string(outcome_.failure))});
+    }
+  }
+
+  void run_phases() {
     if (!associate(/*initial=*/true)) {
       fail(UpdateFailure::kAssociation);
       return finish();
@@ -402,6 +451,10 @@ class TransferEngine {
     outcome_.airtime += t;
     outcome_.total_time += t;
     outcome_.node_energy += rx_draw_ * t;
+    if (auto* tr = obs::tracer()) {
+      tr->set_time(outcome_.total_time);
+      tr->counter("power", "node_energy_mj", outcome_.node_energy.value());
+    }
     node_.advance_time(t);
   }
 
@@ -410,6 +463,7 @@ class TransferEngine {
   void wait(Seconds t) {
     if (faults_) t = faults_->jitter(t);
     outcome_.total_time += t;
+    if (auto* tr = obs::tracer()) tr->set_time(outcome_.total_time);
     node_.advance_time(t);
     node_.poll_boot();
   }
@@ -422,7 +476,21 @@ class TransferEngine {
     Seconds t{std::min(policy_.ack_timeout.value() * factor,
                        policy_.max_backoff.value())};
     ++outcome_.backoff_events;
+    Seconds start{0.0};
+    auto* tr = obs::tracer();
+    if (tr != nullptr) start = tr->now();
     wait(t);
+    if (tr != nullptr) {
+      tr->complete("ota", "backoff", start, tr->now() - start,
+                   {obs::TraceArg::num("failures", static_cast<double>(
+                                                       consecutive_failures))});
+    }
+    if (auto* m = obs::metrics()) {
+      m->counter("ota.backoff_events").add();
+      m->histogram("ota.backoff_s",
+                   obs::HistogramSpec::log_scale(1e-3, 1e3, 30))
+          .observe(t.value());
+    }
   }
 
   [[nodiscard]] bool deadline_exceeded() const {
@@ -441,11 +509,28 @@ class TransferEngine {
     outcome_.node_reboots = node_.reboot_count();
     outcome_.session_resumes = node_.resume_count();
     outcome_.flash_write_errors = node_.flash_write_errors();
+    if (auto* m = obs::metrics()) {
+      m->counter("ota.transfers").add();
+      m->counter(outcome_.success ? "ota.success" : "ota.failures").add();
+      m->counter("ota.retransmissions")
+          .add(static_cast<double>(outcome_.retransmissions));
+      m->counter("ota.duplicates_dropped")
+          .add(static_cast<double>(outcome_.duplicates_dropped));
+      m->counter("ota.corrupted_dropped")
+          .add(static_cast<double>(outcome_.corrupted_dropped));
+      m->histogram("ota.transfer_time_s",
+                   obs::HistogramSpec::log_scale(0.1, 1e5, 50))
+          .observe(outcome_.total_time.value());
+      m->histogram("ota.node_energy_mj",
+                   obs::HistogramSpec::log_scale(0.1, 1e6, 50))
+          .observe(outcome_.node_energy.value());
+    }
   }
 
   // ------------------------------------------------------ control plane
 
   bool associate(bool initial) {
+    obs::TraceSpan span{"ota", initial ? "associate" : "re-associate"};
     OtaPacket request{OtaPacketType::kProgrammingRequest, device_id_, 0, 0,
                       {}};
     OtaPacket ready{OtaPacketType::kReady, device_id_, 0, 0,
@@ -497,7 +582,16 @@ class TransferEngine {
         stream_.begin() + static_cast<std::ptrdiff_t>(seq * kDataPayload),
         stream_.begin() +
             static_cast<std::ptrdiff_t>(seq * kDataPayload + chunk_len(seq)));
-    account_air(link_.airtime(data.wire_size()));
+    Seconds air = link_.airtime(data.wire_size());
+    Seconds start{0.0};
+    auto* tr = obs::tracer();
+    if (tr != nullptr) start = tr->now();
+    account_air(air);
+    if (tr != nullptr) {
+      tr->complete("ota", "data", start, air,
+                   {obs::TraceArg::num("seq", static_cast<double>(seq))});
+    }
+    if (auto* m = obs::metrics()) m->counter("ota.data_packets_sent").add();
     if (++outcome_.sends_per_chunk[seq] > 1) ++outcome_.retransmissions;
     if (!link_.deliver(data.wire_size()) || !node_.online()) return false;
 
@@ -530,6 +624,8 @@ class TransferEngine {
   /// nullopt if either side of the exchange was lost.
   std::optional<std::vector<std::uint8_t>> poll_bitmap(std::size_t base,
                                                        std::size_t count) {
+    obs::TraceSpan span{"ota", "sack-poll"};
+    span.arg("base", static_cast<double>(base));
     OtaPacket query{OtaPacketType::kSackQuery, device_id_,
                     static_cast<std::uint16_t>(base), 0,
                     std::vector<std::uint8_t>(2, 0)};
@@ -672,6 +768,7 @@ class TransferEngine {
   }
 
   EndResult end_handshake() {
+    obs::TraceSpan span{"ota", "end-handshake"};
     OtaPacket end{OtaPacketType::kEnd, device_id_,
                   static_cast<std::uint16_t>(chunks_), session_id_, {}};
     OtaPacket end_ack{OtaPacketType::kEndAck, device_id_, 0, 0,

@@ -1,5 +1,8 @@
 #include "power/ledger.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::power {
 
 Millijoules EnergyLedger::record(Activity activity, Seconds duration,
@@ -14,6 +17,18 @@ Millijoules EnergyLedger::record_draw(Activity activity, Seconds duration,
   entries_.push_back(Entry{activity, duration, draw, energy, std::move(note)});
   total_ += energy;
   time_ += duration;
+  const char* label = to_string(activity);
+  if (auto* t = obs::tracer()) {
+    t->instant("power", label,
+               {obs::TraceArg::num("duration_s", duration.value()),
+                obs::TraceArg::num("draw_mw", draw.value()),
+                obs::TraceArg::num("energy_mj", energy.value())});
+    t->counter("power", "ledger_total_mj", total_.value());
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter(std::string("power.energy_mj.") + label).add(energy.value());
+    m->counter("power.energy_mj.total").add(energy.value());
+  }
   return energy;
 }
 

@@ -4,6 +4,30 @@
 
 namespace tinysdr::power {
 
+const char* to_string(Activity activity) {
+  switch (activity) {
+    case Activity::kSleep:
+      return "sleep";
+    case Activity::kSingleTone900:
+      return "single-tone-900";
+    case Activity::kSingleTone2400:
+      return "single-tone-2400";
+    case Activity::kLoraTransmit:
+      return "lora-tx";
+    case Activity::kLoraReceive:
+      return "lora-rx";
+    case Activity::kConcurrentReceive:
+      return "concurrent-rx";
+    case Activity::kBleTransmit:
+      return "ble-tx";
+    case Activity::kOtaReceive:
+      return "ota-rx";
+    case Activity::kDecompress:
+      return "decompress";
+  }
+  return "?";
+}
+
 namespace {
 /// Single-tone generator design: NCO (phase integrator + sin/cos LUT) and
 /// the LVDS serializer.

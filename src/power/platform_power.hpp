@@ -64,6 +64,9 @@ enum class Activity {
   kDecompress,   ///< MCU active, radios off
 };
 
+/// Stable kebab-case label (telemetry metric keys, logs).
+[[nodiscard]] const char* to_string(Activity activity);
+
 class PlatformPowerModel {
  public:
   PlatformPowerModel();

@@ -2,7 +2,25 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::radio {
+
+namespace {
+
+/// Every radio state transition records an instant (with its settle cost)
+/// and bumps a per-transition counter.
+void note_transition(const char* name, Seconds cost) {
+  if (auto* t = obs::tracer()) {
+    t->instant("radio", name,
+               {obs::TraceArg::num("cost_us", cost.microseconds())});
+  }
+  if (auto* m = obs::metrics())
+    m->counter(std::string("radio.transitions.") + name).add();
+}
+
+}  // namespace
 
 std::optional<Band> band_of(Hertz frequency) {
   double mhz = frequency.megahertz();
@@ -44,11 +62,13 @@ Seconds At86rf215::wake() {
   if (state_ != RadioState::kSleep) return Seconds{0.0};
   state_ = RadioState::kTrxOff;
   transition_time_ += timing_.radio_setup;
+  note_transition("wake", timing_.radio_setup);
   return timing_.radio_setup;
 }
 
 Seconds At86rf215::sleep() {
   state_ = RadioState::kSleep;
+  note_transition("sleep", Seconds{0.0});
   return Seconds{0.0};
 }
 
@@ -69,6 +89,7 @@ Seconds At86rf215::enter_tx() {
   }
   state_ = RadioState::kTx;
   transition_time_ += cost;
+  note_transition("enter-tx", cost);
   return cost;
 }
 
@@ -89,6 +110,7 @@ Seconds At86rf215::enter_rx() {
   }
   state_ = RadioState::kRx;
   transition_time_ += cost;
+  note_transition("enter-rx", cost);
   return cost;
 }
 
@@ -97,6 +119,7 @@ Seconds At86rf215::retune(Hertz f) {
     throw std::logic_error("At86rf215: retune from sleep");
   set_frequency(f);
   transition_time_ += timing_.frequency_switch;
+  note_transition("retune", timing_.frequency_switch);
   return timing_.frequency_switch;
 }
 

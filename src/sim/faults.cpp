@@ -2,26 +2,51 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::sim {
+
+namespace {
+
+/// Shared tail of every fired hook: an instant on the "faults" track plus
+/// a fired-count metric. Pointer-guarded, so the untraced path pays only
+/// the call when a fault actually fires.
+void note_fired(const char* kind) {
+  if (auto* t = obs::tracer()) t->instant("faults", kind);
+  if (auto* m = obs::metrics())
+    m->counter(std::string("faults.") + kind).add();
+}
+
+}  // namespace
 
 bool FaultInjector::corrupt_packet() {
   if (plan_.corrupt_rate <= 0.0) return false;
   bool fired = rng_.next_bool(plan_.corrupt_rate);
-  if (fired) ++counters_.corrupted;
+  if (fired) {
+    ++counters_.corrupted;
+    note_fired("corrupt");
+  }
   return fired;
 }
 
 bool FaultInjector::duplicate_packet() {
   if (plan_.duplicate_rate <= 0.0) return false;
   bool fired = rng_.next_bool(plan_.duplicate_rate);
-  if (fired) ++counters_.duplicated;
+  if (fired) {
+    ++counters_.duplicated;
+    note_fired("duplicate");
+  }
   return fired;
 }
 
 bool FaultInjector::reorder_packet() {
   if (plan_.reorder_rate <= 0.0) return false;
   bool fired = rng_.next_bool(plan_.reorder_rate);
-  if (fired) ++counters_.reordered;
+  if (fired) {
+    ++counters_.reordered;
+    note_fired("reorder");
+  }
   return fired;
 }
 
@@ -30,6 +55,7 @@ bool FaultInjector::brownout_due(std::size_t bytes_received) {
   if (bytes_received < *plan_.brownout_at_byte) return false;
   brownout_fired_ = true;
   ++counters_.brownouts;
+  note_fired("brownout");
   return true;
 }
 
@@ -39,6 +65,7 @@ std::optional<PageFault> FaultInjector::page_program_fault(
     return std::nullopt;
   if (!rng_.next_bool(plan_.page_program_failure_rate)) return std::nullopt;
   ++counters_.page_program_failures;
+  note_fired("page-program");
   PageFault fault;
   // Power dies partway through the page: a prefix commits, the byte at the
   // boundary is half-programmed (some bits that should clear stay 1).
@@ -53,7 +80,10 @@ bool FaultInjector::sector_erase_fault(std::size_t address) {
   if (plan_.sector_erase_failure_rate <= 0.0 || !in_fault_region(address))
     return false;
   bool fired = rng_.next_bool(plan_.sector_erase_failure_rate);
-  if (fired) ++counters_.sector_erase_failures;
+  if (fired) {
+    ++counters_.sector_erase_failures;
+    note_fired("sector-erase");
+  }
   return fired;
 }
 

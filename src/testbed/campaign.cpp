@@ -1,6 +1,32 @@
 #include "testbed/campaign.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::testbed {
+
+namespace {
+
+/// Route the coming transfer's events onto the node's own Perfetto track
+/// (tid = node id), named for the node.
+void enter_node_track(std::uint16_t node_id) {
+  if (auto* t = obs::tracer()) {
+    t->set_track(node_id);
+    t->name_track(node_id, "node-" + std::to_string(node_id));
+  }
+}
+
+/// Campaign updates run sequentially over the shared backbone: lay this
+/// node's timeline end to end after the previous one and drop back to the
+/// campaign track.
+void exit_node_track(Seconds node_time) {
+  if (auto* t = obs::tracer()) {
+    t->shift_base(node_time);
+    t->set_track(0);
+  }
+}
+
+}  // namespace
 
 std::size_t CampaignResult::successes() const {
   std::size_t n = 0;
@@ -54,14 +80,27 @@ CampaignResult run_campaign(const Deployment& deployment,
                             ota::UpdateTarget target, Rng& rng) {
   CampaignResult result;
   result.image_name = image.name;
+  if (auto* t = obs::tracer()) t->name_track(0, "campaign");
+  obs::TraceSpan campaign_span{"testbed", "campaign:" + image.name};
   ota::UpdatePlanner planner;
   for (const auto& node : deployment.nodes()) {
     ota::OtaLink link{ota::ota_link_params(), node.rssi,
                       derive_seed(rng, node.id)};
     ota::FlashModel flash;
     mcu::Msp432 mcu = mcu::baseline_firmware();
-    result.per_node.push_back(
-        planner.run(image, target, node.id, link, flash, mcu));
+    enter_node_track(node.id);
+    auto report = planner.run(image, target, node.id, link, flash, mcu);
+    exit_node_track(report.total_time);
+    if (auto* m = obs::metrics()) {
+      m->counter("testbed.nodes_attempted").add();
+      if (report.success) {
+        m->counter("testbed.nodes_updated").add();
+        m->histogram("testbed.node_time_min",
+                     obs::HistogramSpec::linear(0.0, 240.0, 48))
+            .observe(report.total_time.value() / 60.0);
+      }
+    }
+    result.per_node.push_back(std::move(report));
   }
   return result;
 }
@@ -100,6 +139,18 @@ FaultCampaignEntry summarize(std::string name,
                                      baseline->mean_energy.value()};
   }
   entry.per_node = std::move(reports);
+  if (auto* m = obs::metrics()) {
+    m->counter("testbed.nodes_attempted")
+        .add(static_cast<double>(entry.nodes));
+    m->counter("testbed.nodes_updated")
+        .add(static_cast<double>(entry.successes));
+    for (const auto& r : entry.per_node) {
+      if (!r.success) continue;
+      m->histogram("testbed.node_time_min",
+                   obs::HistogramSpec::linear(0.0, 240.0, 48))
+          .observe(r.total_time.value() / 60.0);
+    }
+  }
   return entry;
 }
 
@@ -112,9 +163,12 @@ FaultCampaignResult run_fault_campaign(
   FaultCampaignResult result;
   ota::UpdatePlanner planner;
 
+  if (auto* t = obs::tracer()) t->name_track(0, "campaign");
+
   // Fault-free reference pass (same per-node seed derivation, so the
   // RSSI-driven loss component is comparable across scenarios).
   {
+    obs::TraceSpan scenario_span{"testbed", "scenario:baseline"};
     std::vector<ota::UpdateReport> reports;
     Rng pass_rng{rng.next_u32(), 0xBA5E};
     for (const auto& node : deployment.nodes()) {
@@ -122,12 +176,16 @@ FaultCampaignResult run_fault_campaign(
                         derive_seed(pass_rng, node.id)};
       ota::FlashModel flash;
       mcu::Msp432 mcu = mcu::baseline_firmware();
-      reports.push_back(planner.run(image, target, node.id, link, flash, mcu));
+      enter_node_track(node.id);
+      auto report = planner.run(image, target, node.id, link, flash, mcu);
+      exit_node_track(report.total_time);
+      reports.push_back(std::move(report));
     }
     result.baseline = summarize("baseline", std::move(reports), nullptr);
   }
 
   for (const auto& scenario : scenarios) {
+    obs::TraceSpan scenario_span{"testbed", "scenario:" + scenario.name};
     std::vector<ota::UpdateReport> reports;
     Rng pass_rng{rng.next_u32(), 0xFA17};
     for (const auto& node : deployment.nodes()) {
@@ -151,8 +209,11 @@ FaultCampaignResult run_fault_campaign(
       options.policy = scenario.policy;
       options.faults = &faults;
       options.store = &store;
-      reports.push_back(
-          planner.run(image, target, node.id, link, flash, mcu, options));
+      enter_node_track(node.id);
+      auto report =
+          planner.run(image, target, node.id, link, flash, mcu, options);
+      exit_node_track(report.total_time);
+      reports.push_back(std::move(report));
     }
     result.scenarios.push_back(
         summarize(scenario.name, std::move(reports), &result.baseline));

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "lora/params.hpp"
+#include "obs/metrics.hpp"
 
 namespace tinysdr::testbed {
 
@@ -57,7 +58,21 @@ Dbm Deployment::strongest_rssi() const {
   return strongest;
 }
 
-std::vector<CdfPoint> empirical_cdf(std::vector<double> values) {
+void Deployment::export_metrics(obs::Registry& registry) const {
+  registry.gauge("testbed.nodes").set(static_cast<double>(nodes_.size()));
+  registry.gauge("testbed.ap_tx_dbm").set(ap_tx_power_.value());
+  auto& rssi = registry.histogram(
+      "testbed.node_rssi_dbm", obs::HistogramSpec::linear(-140.0, -40.0, 25));
+  auto& distance = registry.histogram(
+      "testbed.node_distance_m",
+      obs::HistogramSpec::log_scale(10.0, 10000.0, 30));
+  for_each_node([&](const Node& node) {
+    rssi.observe(node.rssi.value());
+    distance.observe(node.distance_m);
+  });
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double>&& values) {
   std::sort(values.begin(), values.end());
   std::vector<CdfPoint> out;
   out.reserve(values.size());
@@ -66,6 +81,10 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> values) {
                                           static_cast<double>(values.size())});
   }
   return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(const std::vector<double>& values) {
+  return empirical_cdf(std::vector<double>{values});
 }
 
 }  // namespace tinysdr::testbed

@@ -11,6 +11,10 @@
 #include "channel/link_budget.hpp"
 #include "common/rng.hpp"
 
+namespace tinysdr::obs {
+class Registry;
+}
+
 namespace tinysdr::testbed {
 
 struct Node {
@@ -38,6 +42,17 @@ class Deployment {
   [[nodiscard]] Dbm weakest_rssi() const;
   [[nodiscard]] Dbm strongest_rssi() const;
 
+  /// Visit every node in id order (telemetry exporters, per-node sweeps)
+  /// without exposing the container.
+  template <typename Fn>
+  void for_each_node(Fn&& fn) const {
+    for (const auto& node : nodes_) fn(node);
+  }
+
+  /// Record the deployment's shape into a metrics registry: node count,
+  /// AP power, distance extremes, and an RSSI histogram.
+  void export_metrics(obs::Registry& registry) const;
+
  private:
   Deployment(channel::PathLossModel model, Dbm tx)
       : model_(model), ap_tx_power_(tx) {}
@@ -52,6 +67,10 @@ struct CdfPoint {
   double value;
   double probability;
 };
-[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+/// Sorts in place (callers hand over the vector with std::move).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double>&& values);
+/// Copying overload for callers that keep their samples.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(
+    const std::vector<double>& values);
 
 }  // namespace tinysdr::testbed

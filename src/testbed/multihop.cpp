@@ -5,6 +5,9 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinysdr::testbed {
 
 Dbm MeshNetwork::link_rssi(double from_m, double to_m) const {
@@ -85,6 +88,19 @@ std::optional<Route> MeshNetwork::route_to(std::uint16_t dest_id,
     hop.airtime = lora::time_on_air(*params, payload_bytes);
     route.hops.push_back(hop);
     prev = v;
+  }
+  if (auto* t = obs::tracer()) {
+    t->instant("testbed", "route",
+               {obs::TraceArg::num("dest", static_cast<double>(dest_id)),
+                obs::TraceArg::num("hops",
+                                   static_cast<double>(route.hops.size())),
+                obs::TraceArg::num("airtime_s", route.total_airtime().value())});
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("testbed.routes_computed").add();
+    m->histogram("testbed.route_hops",
+                 obs::HistogramSpec::linear(0.0, 10.0, 10))
+        .observe(static_cast<double>(route.hops.size()));
   }
   return route;
 }
