@@ -13,9 +13,24 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "exec/policy.hpp"
 #include "obs/json.hpp"
 
 namespace tinysdr::bench {
+
+/// Execution policy for campaign benches: `--threads N` on the command
+/// line, else exec's defaults (TINYSDR_THREADS env var, then hardware
+/// concurrency). Campaign output is byte-identical either way; threads
+/// only change wall-clock time.
+inline exec::ExecPolicy thread_policy(int argc, char* const argv[]) {
+  exec::ExecPolicy policy;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view{argv[i]} == "--threads")
+      policy.threads = static_cast<std::size_t>(
+          std::strtoul(argv[i + 1], nullptr, 10));
+  }
+  return policy;
+}
 
 /// Calibrated system noise figures used by the evaluation benches.
 ///

@@ -46,6 +46,13 @@ int main(int argc, char** argv) {
       argc, argv, "Fault campaign", "robustness extension",
       "Fleet OTA update success under injected faults (20-node campus)"};
 
+  const exec::ExecPolicy policy = bench::thread_policy(argc, argv);
+  std::cout << "Sharding passes over "
+            << exec::resolved_threads(policy.threads)
+            << " thread(s); results are thread-count independent.\n";
+  run.scalar("threads",
+             static_cast<double>(exec::resolved_threads(policy.threads)));
+
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);
   Rng img_rng{7};
@@ -95,8 +102,9 @@ int main(int argc, char** argv) {
   }
 
   Rng campaign_rng{99};
-  auto result = testbed::run_fault_campaign(
-      deployment, image, ota::UpdateTarget::kMcu, scenarios, campaign_rng);
+  auto result = testbed::run_fault_campaign(deployment, image,
+                                            ota::UpdateTarget::kMcu,
+                                            scenarios, campaign_rng, policy);
 
   TextTable table{{"scenario", "success %", "mean time s", "airtime s",
                    "+airtime s", "energy J", "reboots", "resumes",

@@ -3,6 +3,7 @@
 // compressed), the BLE FPGA image (-> ~40 kB) and the MCU programs
 // (78 kB -> ~24 kB), over the SF8/BW500/CR4:6 backbone at 14 dBm.
 #include "bench_common.hpp"
+#include "exec/policy.hpp"
 #include "testbed/campaign.hpp"
 
 using namespace tinysdr;
@@ -10,6 +11,14 @@ using namespace tinysdr;
 int main(int argc, char** argv) {
   bench::BenchRun run{argc, argv, "Fig. 14", "paper Fig. 14",
                       "OTA programming time CDF over the 20-node testbed"};
+
+  // Campaigns shard across the exec worker pool; output is byte-identical
+  // for any thread count (override with --threads N or TINYSDR_THREADS).
+  const exec::ExecPolicy policy = bench::thread_policy(argc, argv);
+  std::cout << "Sharding campaigns over "
+            << exec::resolved_threads(policy.threads) << " thread(s).\n";
+  run.scalar("threads",
+             static_cast<double>(exec::resolved_threads(policy.threads)));
 
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);
@@ -42,7 +51,8 @@ int main(int argc, char** argv) {
   for (const auto& job : jobs) {
     Rng rng{99};
     results.push_back(
-        testbed::run_campaign(deployment, *job.image, job.target, rng));
+        testbed::run_campaign(deployment, *job.image, job.target, rng,
+                              policy));
     const auto& r = results.back();
     // Compressed size from the first node's report (same image for all).
     std::cout << "\n" << job.label << ": "

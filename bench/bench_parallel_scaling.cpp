@@ -1,0 +1,115 @@
+// Parallel campaign scaling: wall-clock speedup of the exec worker pool
+// over the serial path for fleet OTA campaigns, across a nodes x threads
+// grid, plus a byte-identity check of the sharded telemetry against the
+// serial run at every point. Speedup tops out near the machine's core
+// count; determinism must hold everywhere.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/policy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "testbed/campaign.hpp"
+
+using namespace tinysdr;
+
+namespace {
+
+struct Sample {
+  double seconds = 0.0;
+  std::string metrics_json;
+  std::string trace_json;
+  std::size_t successes = 0;
+};
+
+Sample run_once(const testbed::Deployment& deployment,
+                const fpga::FirmwareImage& image, std::size_t threads) {
+  Sample sample;
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::TraceSession trace_session{tracer};
+  obs::MetricsSession metrics_session{registry};
+
+  testbed::FaultScenario bursty;
+  bursty.name = "burst-loss";
+  bursty.plan.burst = channel::GilbertElliottParams{0.05, 0.30, 0.0, 0.9};
+  bursty.policy.max_retries = 200;
+
+  Rng rng{424242};
+  auto start = std::chrono::steady_clock::now();
+  auto result = testbed::run_fault_campaign(
+      deployment, image, ota::UpdateTarget::kMcu, {bursty}, rng,
+      exec::ExecPolicy::with_threads(threads));
+  auto stop = std::chrono::steady_clock::now();
+
+  sample.seconds = std::chrono::duration<double>(stop - start).count();
+  sample.metrics_json = registry.json();
+  sample.trace_json = tracer.chrome_json();
+  sample.successes = result.baseline.successes;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Parallel scaling", "exec engine",
+                      "Campaign wall-clock speedup vs serial, by fleet size "
+                      "and thread count, with byte-identity checks"};
+
+  const std::size_t hw = exec::resolved_threads(0);
+  std::cout << "Resolved default thread count: " << hw << "\n";
+  run.scalar("resolved_default_threads", static_cast<double>(hw));
+
+  Rng img_rng{7};
+  auto image = fpga::generate_mcu_program("mcu_fw", 10 * 1024, img_rng);
+
+  const std::vector<std::size_t> fleet_sizes{64, 256};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  std::vector<std::vector<double>> rows;
+  bool all_identical = true;
+  double best_speedup = 0.0;
+
+  for (std::size_t nodes : fleet_sizes) {
+    Rng deploy_rng{2024};
+    auto deployment =
+        testbed::Deployment::campus(deploy_rng, Dbm{14.0}, nodes);
+
+    Sample serial = run_once(deployment, image, 1);
+    std::cout << "\n" << nodes << " nodes serial: "
+              << TextTable::num(serial.seconds, 3) << " s ("
+              << serial.successes << "/" << nodes << " updated)\n";
+
+    for (std::size_t threads : thread_counts) {
+      Sample s = threads == 1 ? serial : run_once(deployment, image, threads);
+      const bool identical = s.metrics_json == serial.metrics_json &&
+                             s.trace_json == serial.trace_json;
+      all_identical = all_identical && identical;
+      const double speedup = s.seconds > 0.0 ? serial.seconds / s.seconds
+                                             : 0.0;
+      best_speedup = std::max(best_speedup, speedup);
+      rows.push_back({static_cast<double>(threads),
+                      static_cast<double>(nodes), s.seconds, speedup,
+                      identical ? 1.0 : 0.0});
+      const std::string key = "nodes" + std::to_string(nodes) + ".threads" +
+                              std::to_string(threads);
+      run.scalar(key + ".seconds", s.seconds);
+      run.scalar(key + ".speedup", speedup);
+      run.scalar(key + ".byte_identical", identical ? 1.0 : 0.0);
+    }
+  }
+
+  run.series("scaling", "threads",
+             {"nodes", "seconds", "speedup", "byte_identical"}, rows, 3);
+  run.scalar("best_speedup", best_speedup);
+  run.scalar("all_byte_identical", all_identical ? 1.0 : 0.0);
+
+  std::cout << "\nBest speedup over serial: "
+            << TextTable::num(best_speedup, 2) << "x; telemetry "
+            << (all_identical ? "byte-identical at every grid point."
+                              : "DIVERGED — determinism bug!")
+            << "\n";
+  return all_identical ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite in the default configuration,
-# then a second pass under AddressSanitizer + UndefinedBehaviorSanitizer.
-# Usage: scripts/verify.sh [--fast]   (--fast skips the sanitizer pass)
+# then a second pass under AddressSanitizer + UndefinedBehaviorSanitizer and
+# a ThreadSanitizer pass over the exec engine / parallel campaign suites.
+# Usage: scripts/verify.sh [--fast]   (--fast skips the sanitizer passes)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +32,12 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan -j"$(nproc)"
+
+  echo "== tier-1: TSan build (exec + campaign suites) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j"$(nproc)"
+  ctest --preset tsan -j"$(nproc)" \
+    -R "SeedStreams|ParallelFor|TaskGroup|WorkerPool|ParallelCampaign|Campaign|FaultCampaign"
 fi
 
 echo "verify: OK"

@@ -1,0 +1,51 @@
+// Cooperative cancellation for parallel regions.
+//
+// A CancellationSource owns the flag; any number of CancellationTokens
+// observe it. Workers poll the token between chunks, so cancellation
+// stops new work from starting but never interrupts an item mid-flight —
+// every item either ran to completion or never started, which keeps
+// partially-cancelled campaign results well defined.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace tinysdr::exec {
+
+class CancellationToken {
+ public:
+  /// Default token: never cancelled (the common, zero-cost case).
+  CancellationToken() = default;
+
+  [[nodiscard]] bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+  /// True when this token is wired to a source at all.
+  [[nodiscard]] bool can_cancel() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancellationToken token() const {
+    return CancellationToken{flag_};
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace tinysdr::exec

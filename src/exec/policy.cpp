@@ -1,0 +1,32 @@
+#include "exec/policy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace tinysdr::exec {
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kCancelled: return "cancelled";
+    case RunOutcome::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+std::size_t resolved_threads(std::size_t requested) {
+  std::size_t n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("TINYSDR_THREADS");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') n = parsed;
+    }
+  }
+  if (n == 0) n = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(n, 1, kMaxThreads);
+}
+
+}  // namespace tinysdr::exec

@@ -1,0 +1,57 @@
+// Execution policy for parallel regions: how many workers, how work is
+// chunked, and the cancellation / deadline budget the region runs under.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/units.hpp"
+#include "exec/cancel.hpp"
+
+namespace tinysdr::exec {
+
+/// Why a parallel region stopped.
+enum class RunOutcome {
+  kCompleted,         ///< every item ran
+  kCancelled,         ///< the region's CancellationToken fired
+  kDeadlineExceeded,  ///< the wall-clock budget ran out
+};
+
+struct RunStatus {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::size_t items_completed = 0;
+
+  [[nodiscard]] bool complete() const {
+    return outcome == RunOutcome::kCompleted;
+  }
+};
+
+[[nodiscard]] const char* to_string(RunOutcome outcome);
+
+struct ExecPolicy {
+  /// Worker count for the region, including the calling thread.
+  /// 0 = resolve from the TINYSDR_THREADS environment variable, falling
+  /// back to std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Items a worker claims per grab; 0 = auto (max(1, n / (8 * threads))).
+  /// Heavy, irregular items (one OTA update per index) want grain 1.
+  std::size_t grain = 0;
+  /// Checked between chunks; cancelling stops new items from starting.
+  CancellationToken cancel{};
+  /// Wall-clock budget for the whole region, checked between chunks.
+  std::optional<Seconds> deadline{};
+
+  [[nodiscard]] static ExecPolicy serial() { return ExecPolicy{.threads = 1}; }
+  [[nodiscard]] static ExecPolicy with_threads(std::size_t n) {
+    return ExecPolicy{.threads = n};
+  }
+};
+
+/// Resolve a requested thread count: `requested` if nonzero, else the
+/// TINYSDR_THREADS environment variable, else hardware concurrency.
+/// Always at least 1, clamped to kMaxThreads.
+[[nodiscard]] std::size_t resolved_threads(std::size_t requested);
+
+inline constexpr std::size_t kMaxThreads = 512;
+
+}  // namespace tinysdr::exec

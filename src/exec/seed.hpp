@@ -1,0 +1,47 @@
+// Deterministic seed streams for parallel work.
+//
+// A campaign draws ONE base seed, and every task's RNG stream is derived
+// up front from (base, task index) with splitmix64 — a pure function, so
+// per-task randomness is independent of execution order, thread count and
+// work-stealing decisions. This is what lets a sharded campaign produce
+// byte-identical results to a serial one.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::exec {
+
+/// SplitMix64 finalizer (Steele, Lea & Flood, "Fast splittable
+/// pseudorandom number generators"). Bijective on 64-bit values; a single
+/// application is enough to decorrelate consecutive inputs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for stream `index` of a campaign rooted at `base`. Pure in both
+/// arguments: stream i's seed never depends on how many other streams
+/// were derived before it, or in what order.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t base,
+                                                  std::uint64_t index) {
+  return splitmix64(base + 0x9E3779B97F4A7C15ULL * index);
+}
+
+/// Draw a 64-bit campaign base seed from a caller-provided RNG (the only
+/// sequential draw a campaign makes; everything downstream is derived).
+[[nodiscard]] inline std::uint64_t draw_base_seed(Rng& rng) {
+  std::uint64_t hi = rng.next_u32();
+  std::uint64_t lo = rng.next_u32();
+  return (hi << 32) | lo;
+}
+
+/// Ready-to-use PCG32 stream for task `index`.
+[[nodiscard]] inline Rng stream_rng(std::uint64_t base, std::uint64_t index) {
+  return Rng{stream_seed(base, index), splitmix64(index)};
+}
+
+}  // namespace tinysdr::exec

@@ -1,0 +1,43 @@
+// TaskGroup: a bag of heterogeneous closures executed as one parallel
+// region (each task is one index of a ParallelFor). Used for fleet work
+// that is not a clean index space — e.g. one task per fault scenario, or
+// mixed maintenance jobs across a testbed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/parallel_for.hpp"
+#include "exec/policy.hpp"
+
+namespace tinysdr::exec {
+
+class TaskGroup {
+ public:
+  using Task = std::function<void()>;
+
+  void add(Task task) { tasks_.push_back(std::move(task)); }
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+
+  /// Run every task on the shared pool (grain forced to 1: tasks are
+  /// heavy and unrelated). Blocks; rethrows the first task exception.
+  /// Tasks added after run() returns belong to the next run().
+  RunStatus run(const ExecPolicy& policy = {}) {
+    ExecPolicy p = policy;
+    if (p.grain == 0) p.grain = 1;
+    auto status = parallel_for(
+        tasks_.size(), p,
+        [this](std::size_t i, std::size_t) { tasks_[i](); });
+    tasks_.clear();
+    return status;
+  }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace tinysdr::exec

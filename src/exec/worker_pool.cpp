@@ -1,0 +1,279 @@
+#include "exec/worker_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+namespace tinysdr::exec {
+
+namespace {
+
+/// Pack a half-open index range into one atomic word: begin in the high
+/// 32 bits, end in the low 32. A single CAS claims from either side.
+constexpr std::uint64_t pack_range(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+constexpr std::uint32_t range_begin(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t packed) {
+  return static_cast<std::uint32_t>(packed);
+}
+
+struct alignas(64) WorkerSlice {
+  std::atomic<std::uint64_t> range{0};
+};
+
+/// True while the calling thread is executing a region body; nested
+/// parallel regions fall back to inline serial execution.
+thread_local bool t_in_region = false;
+
+}  // namespace
+
+struct WorkerPool::Job {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t participants = 1;
+  const Body* body = nullptr;
+  std::vector<WorkerSlice> slices;  ///< one per participant
+
+  CancellationToken cancel;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  std::atomic<bool> aborted{false};
+  std::atomic<int> outcome{static_cast<int>(RunOutcome::kCompleted)};
+  std::atomic<std::size_t> completed{0};
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  /// Record why the region is stopping; first cause wins.
+  void abort(RunOutcome why) {
+    int expected = static_cast<int>(RunOutcome::kCompleted);
+    outcome.compare_exchange_strong(expected, static_cast<int>(why),
+                                    std::memory_order_relaxed);
+    aborted.store(true, std::memory_order_relaxed);
+  }
+
+  void record_error(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::move(e);
+    }
+    // Cancelled from the engine's point of view: stop starting items.
+    abort(RunOutcome::kCancelled);
+  }
+
+  std::atomic<std::size_t> pending{0};  ///< spawned participants still working
+};
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) w.request_stop();
+  job_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+std::size_t WorkerPool::spawned_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool;
+  return pool;
+}
+
+void WorkerPool::ensure_workers(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < count) {
+    std::size_t index = workers_.size();
+    workers_.emplace_back(
+        [this, index](std::stop_token stop) { worker_main(stop, index); });
+  }
+}
+
+bool WorkerPool::should_stop(Job& job) {
+  if (job.aborted.load(std::memory_order_relaxed)) return true;
+  if (job.cancel.cancelled()) {
+    job.abort(RunOutcome::kCancelled);
+    return true;
+  }
+  if (job.has_deadline &&
+      std::chrono::steady_clock::now() >= job.deadline) {
+    job.abort(RunOutcome::kDeadlineExceeded);
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::work(Job& job, std::size_t participant) {
+  const std::size_t p_count = job.participants;
+  auto& own = job.slices[participant].range;
+
+  auto claim_front = [&](std::atomic<std::uint64_t>& slot,
+                         std::uint32_t take_at_most,
+                         std::uint32_t& out_begin,
+                         std::uint32_t& out_end) -> bool {
+    std::uint64_t cur = slot.load(std::memory_order_acquire);
+    while (true) {
+      std::uint32_t b = range_begin(cur), e = range_end(cur);
+      if (b >= e) return false;
+      std::uint32_t take = std::min<std::uint32_t>(take_at_most, e - b);
+      if (slot.compare_exchange_weak(cur, pack_range(b + take, e),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        out_begin = b;
+        out_end = b + take;
+        return true;
+      }
+    }
+  };
+
+  try {
+    while (!should_stop(job)) {
+      std::uint32_t b = 0, e = 0;
+      bool got =
+          claim_front(own, static_cast<std::uint32_t>(job.grain), b, e);
+      if (!got) {
+        // Own slice dry: steal the back half of some victim's remainder.
+        for (std::size_t off = 1; off < p_count && !got; ++off) {
+          auto& victim = job.slices[(participant + off) % p_count].range;
+          std::uint64_t cur = victim.load(std::memory_order_acquire);
+          while (true) {
+            std::uint32_t vb = range_begin(cur), ve = range_end(cur);
+            if (vb >= ve) break;
+            std::uint32_t keep = (ve - vb) / 2;  // victim keeps the front
+            std::uint32_t sb = vb + keep;
+            if (victim.compare_exchange_weak(cur, pack_range(vb, sb),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+              std::uint32_t take = std::min<std::uint32_t>(
+                  static_cast<std::uint32_t>(job.grain), ve - sb);
+              b = sb;
+              e = sb + take;
+              // Park any leftover in our own (empty) slice so other
+              // thieves can keep load-balancing it.
+              if (sb + take < ve)
+                own.store(pack_range(sb + take, ve),
+                          std::memory_order_release);
+              got = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!got) return;  // no work anywhere
+      std::size_t ran = 0;
+      for (std::uint32_t i = b; i < e; ++i) {
+        (*job.body)(i, participant);
+        ++ran;
+      }
+      job.completed.fetch_add(ran, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    job.record_error(std::current_exception());
+  }
+}
+
+void WorkerPool::worker_main(std::stop_token stop, std::size_t index) {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    job_cv_.wait(lock, stop, [&] {
+      return job_ != nullptr && epoch_ != seen_epoch;
+    });
+    if (stop.stop_requested()) return;
+    seen_epoch = epoch_;
+    Job* job = job_;
+    // Spawned worker `index` is participant index + 1 (caller is 0).
+    if (job != nullptr && index + 1 < job->participants) {
+      lock.unlock();
+      t_in_region = true;
+      work(*job, index + 1);
+      t_in_region = false;
+      lock.lock();
+      if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        done_cv_.notify_all();
+    }
+  }
+}
+
+RunStatus WorkerPool::run(std::size_t n, const ExecPolicy& policy,
+                          const Body& body) {
+  if (n > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("WorkerPool::run: index space > 2^32");
+
+  Job job;
+  job.n = n;
+  job.body = &body;
+  job.cancel = policy.cancel;
+  if (policy.deadline) {
+    job.has_deadline = true;
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           policy.deadline->value()));
+  }
+
+  std::size_t threads = resolved_threads(policy.threads);
+  // Nested regions and trivial spans run inline on the caller.
+  if (t_in_region || n <= 1) threads = 1;
+  job.participants = std::min(threads, std::max<std::size_t>(n, 1));
+  job.grain = policy.grain != 0
+                  ? policy.grain
+                  : std::max<std::size_t>(1, n / (8 * job.participants));
+
+  // One contiguous slice per participant; participant p gets
+  // [p*n/P, (p+1)*n/P) so slices differ in size by at most one item.
+  job.slices = std::vector<WorkerSlice>(job.participants);
+  for (std::size_t p = 0; p < job.participants; ++p) {
+    std::uint32_t begin =
+        static_cast<std::uint32_t>(n * p / job.participants);
+    std::uint32_t end =
+        static_cast<std::uint32_t>(n * (p + 1) / job.participants);
+    job.slices[p].range.store(pack_range(begin, end),
+                              std::memory_order_relaxed);
+  }
+
+  const bool was_in_region = t_in_region;
+  if (job.participants == 1) {
+    // Inline fast path: no pool involvement, same chunking semantics.
+    t_in_region = true;
+    work(job, 0);
+    t_in_region = was_in_region;
+  } else {
+    ensure_workers(job.participants - 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.pending.store(job.participants - 1, std::memory_order_relaxed);
+      job_ = &job;
+      ++epoch_;
+    }
+    job_cv_.notify_all();
+    t_in_region = true;
+    work(job, 0);
+    t_in_region = was_in_region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return job.pending.load(std::memory_order_acquire) == 0;
+      });
+      job_ = nullptr;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job.error_mu);
+    if (job.error) std::rethrow_exception(job.error);
+  }
+  RunStatus status;
+  status.outcome =
+      static_cast<RunOutcome>(job.outcome.load(std::memory_order_relaxed));
+  status.items_completed = job.completed.load(std::memory_order_relaxed);
+  return status;
+}
+
+}  // namespace tinysdr::exec

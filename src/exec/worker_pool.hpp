@@ -1,0 +1,75 @@
+// Fixed-size worker pool with chunked work-stealing over an index space.
+//
+// One pool of std::jthread workers serves every parallel region in the
+// process (campaign passes, benches, tests), growing lazily to the
+// largest thread count ever requested and parking between regions. A
+// region (`run`) splits [0, n) into one contiguous slice per participant;
+// each participant pops grain-sized chunks off the front of its own
+// slice, and when its slice runs dry it steals the back half of a
+// victim's remaining slice. Items are claimed by CAS on a packed
+// (begin, end) word, so every index runs exactly once no matter how the
+// stealing interleaves.
+//
+// Determinism contract: the pool guarantees each index runs exactly once
+// and that all body side effects are visible to the caller when run()
+// returns. It deliberately guarantees NOTHING about execution order —
+// callers that need deterministic output must make per-index work
+// self-contained (exec::stream_seed per index, per-index result slots)
+// and do any order-sensitive reduction themselves afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/policy.hpp"
+
+namespace tinysdr::exec {
+
+class WorkerPool {
+ public:
+  /// Body of a parallel region: body(index, participant). `participant`
+  /// is in [0, participants) and is stable for the duration of one chunk
+  /// (use it to index per-worker scratch shards).
+  using Body = std::function<void(std::size_t, std::size_t)>;
+
+  WorkerPool() = default;
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run body over [0, n) under the given policy. Blocks until every
+  /// participant has drained; rethrows the first body exception. The
+  /// calling thread is participant 0. Reentrant calls (from inside a
+  /// body) degrade to inline serial execution on the calling thread.
+  RunStatus run(std::size_t n, const ExecPolicy& policy, const Body& body);
+
+  /// Spawned worker threads so far (grows on demand, never shrinks).
+  [[nodiscard]] std::size_t spawned_workers() const;
+
+  /// Process-wide pool shared by parallel_for / TaskGroup / campaigns.
+  [[nodiscard]] static WorkerPool& shared();
+
+ private:
+  struct Job;
+
+  void ensure_workers(std::size_t count);
+  void worker_main(std::stop_token stop, std::size_t index);
+  static void work(Job& job, std::size_t participant);
+  static bool should_stop(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable_any job_cv_;   ///< workers park here
+  std::condition_variable done_cv_;      ///< run() waits here
+  std::vector<std::jthread> workers_;
+  Job* job_ = nullptr;                   ///< region being executed, if any
+  std::uint64_t epoch_ = 0;              ///< bumps once per region
+};
+
+}  // namespace tinysdr::exec

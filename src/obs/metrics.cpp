@@ -10,7 +10,7 @@
 namespace tinysdr::obs {
 
 namespace {
-Registry* g_metrics = nullptr;
+thread_local Registry* g_metrics = nullptr;
 }  // namespace
 
 Registry* metrics() { return g_metrics; }
@@ -31,6 +31,7 @@ Histogram::Histogram(HistogramSpec spec) : spec_(spec) {
 }
 
 void Histogram::observe(double value) {
+  if (journaled_) journal_.push_back(value);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -94,7 +95,44 @@ Histogram& Registry::histogram(const std::string& name, HistogramSpec spec) {
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(name, Histogram{spec}).first;
+  if (journal_) it->second.journaled_ = true;
   return it->second;
+}
+
+void Registry::merge_from(const Registry& shard) {
+  for (const auto& [name, c] : shard.counters_) {
+    Counter& dst = counter(name);
+    if (c.journaled_) {
+      for (double v : c.journal_) dst.add(v);
+    } else {
+      dst.add(c.value_);
+    }
+  }
+  for (const auto& [name, g] : shard.gauges_)
+    if (g.touched_) gauge(name).set(g.value_);
+  for (const auto& [name, h] : shard.histograms_) {
+    Histogram& dst = histogram(name, h.spec_);
+    if (h.journaled_) {
+      for (double v : h.journal_) dst.observe(v);
+    } else {
+      // Aggregate fallback: bucket-exact, sum grouped per shard.
+      if (h.count_ == 0) continue;
+      if (dst.count_ == 0) {
+        dst.min_ = h.min_;
+        dst.max_ = h.max_;
+      } else {
+        dst.min_ = std::min(dst.min_, h.min_);
+        dst.max_ = std::max(dst.max_, h.max_);
+      }
+      dst.count_ += h.count_;
+      dst.sum_ += h.sum_;
+      dst.underflow_ += h.underflow_;
+      dst.overflow_ += h.overflow_;
+      for (std::size_t i = 0;
+           i < dst.counts_.size() && i < h.counts_.size(); ++i)
+        dst.counts_[i] += h.counts_[i];
+    }
+  }
 }
 
 MetricsSnapshot Registry::snapshot() const {

@@ -5,7 +5,12 @@
 //
 // Same null-sink contract as the tracer: `metrics()` is nullptr until a
 // MetricsSession installs a Registry, so uninstrumented runs pay one
-// branch per site and produce bit-identical results.
+// branch per site and produce bit-identical results. The sink pointer is
+// thread_local: parallel campaigns install a journaled shard Registry per
+// unit of work and merge_from() the shards in deterministic index order.
+// The journal replays every raw add/observe in its original order, so the
+// merged floating-point state is bit-identical to a serial run's — no
+// reliance on (non-existent) float associativity.
 #pragma once
 
 #include <cstdint>
@@ -20,20 +25,31 @@ namespace tinysdr::obs {
 
 class Counter {
  public:
-  void add(double n = 1.0) { value_ += n; }
+  void add(double n = 1.0) {
+    value_ += n;
+    if (journaled_) journal_.push_back(n);
+  }
   [[nodiscard]] double value() const { return value_; }
 
  private:
+  friend class Registry;
   double value_ = 0.0;
+  bool journaled_ = false;        ///< shard mode (Registry::enable_journal)
+  std::vector<double> journal_;   ///< every add, in order, for exact replay
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
+  void set(double v) {
+    value_ = v;
+    touched_ = true;
+  }
   [[nodiscard]] double value() const { return value_; }
 
  private:
+  friend class Registry;
   double value_ = 0.0;
+  bool touched_ = false;  ///< distinguishes "set to 0" from "never set"
 };
 
 /// Fixed-bucket layout: `buckets` intervals spanning [lo, hi), either
@@ -89,7 +105,10 @@ class Histogram {
   [[nodiscard]] double quantile(double q) const;
 
  private:
+  friend class Registry;
   HistogramSpec spec_;
+  bool journaled_ = false;
+  std::vector<double> journal_;  ///< every observed value, in order
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
@@ -132,9 +151,23 @@ class Registry {
  public:
   /// Find-or-create by name. For histograms, the spec applies only on
   /// first creation; later lookups return the existing instrument.
-  Counter& counter(const std::string& name) { return counters_[name]; }
+  Counter& counter(const std::string& name) {
+    Counter& c = counters_[name];
+    if (journal_) c.journaled_ = true;
+    return c;
+  }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name, HistogramSpec spec = {});
+
+  /// Shard mode: every instrument additionally records its raw operations
+  /// so merge_from() can replay them in order with exact float semantics.
+  void enable_journal() { journal_ = true; }
+  [[nodiscard]] bool journal_enabled() const { return journal_; }
+
+  /// Fold a shard registry into this one. Journaled shard instruments are
+  /// replayed operation by operation (bit-exact vs. having run the same
+  /// ops here directly); non-journaled ones are merged by aggregate.
+  void merge_from(const Registry& shard);
 
   [[nodiscard]] const std::map<std::string, Counter>& counters() const {
     return counters_;
@@ -156,15 +189,16 @@ class Registry {
   void clear();
 
  private:
+  bool journal_ = false;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
 
-/// Currently installed registry, or nullptr (the null sink).
+/// The calling thread's installed registry, or nullptr (the null sink).
 [[nodiscard]] Registry* metrics();
 
-/// RAII installation of a Registry as the process-wide metrics sink.
+/// RAII installation of a Registry as the calling thread's metrics sink.
 class MetricsSession {
  public:
   explicit MetricsSession(Registry& r);

@@ -8,7 +8,7 @@
 namespace tinysdr::obs {
 
 namespace {
-Tracer* g_tracer = nullptr;
+thread_local Tracer* g_tracer = nullptr;
 }  // namespace
 
 Tracer* tracer() { return g_tracer; }
@@ -18,6 +18,28 @@ TraceSession::TraceSession(Tracer& t) : previous_(g_tracer) { g_tracer = &t; }
 TraceSession::~TraceSession() { g_tracer = previous_; }
 
 Tracer::Tracer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+Tracer Tracer::unbounded() {
+  Tracer t{1};
+  t.ring_.clear();
+  t.unbounded_ = true;
+  return t;
+}
+
+void Tracer::absorb(const Tracer& shard) {
+  for (const auto& [track, name] : shard.track_names_)
+    track_names_[track] = name;
+  if (shard.count_ > 0) {
+    std::size_t start = (shard.next_ + shard.ring_.size() - shard.count_) %
+                        shard.ring_.size();
+    for (std::size_t i = 0; i < shard.count_; ++i) {
+      TraceEvent e = shard.ring_[(start + i) % shard.ring_.size()];
+      e.ts_us += base_us_;
+      push(std::move(e));
+    }
+  }
+  dropped_ += shard.dropped_;
+}
 
 Seconds Tracer::now() const {
   return Seconds::from_microseconds(base_us_ + now_us_);
@@ -40,6 +62,12 @@ void Tracer::name_track(std::uint32_t track, std::string name) {
 }
 
 void Tracer::push(TraceEvent event) {
+  if (unbounded_) {
+    ring_.push_back(std::move(event));
+    ++count_;
+    next_ = 0;  // keeps the oldest-first recovery arithmetic valid
+    return;
+  }
   if (count_ == ring_.size()) ++dropped_;
   else ++count_;
   ring_[next_] = std::move(event);
@@ -84,6 +112,7 @@ void Tracer::counter(const char* category, std::string name, double value) {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
+  if (count_ == 0) return out;
   out.reserve(count_);
   std::size_t start = (next_ + ring_.size() - count_) % ring_.size();
   for (std::size_t i = 0; i < count_; ++i)
@@ -92,6 +121,7 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 std::size_t Tracer::count_category(std::string_view category) const {
+  if (count_ == 0) return 0;
   std::size_t n = 0;
   std::size_t start = (next_ + ring_.size() - count_) % ring_.size();
   for (std::size_t i = 0; i < count_; ++i)
@@ -100,6 +130,7 @@ std::size_t Tracer::count_category(std::string_view category) const {
 }
 
 void Tracer::clear() {
+  if (unbounded_) ring_.clear();
   next_ = 0;
   count_ = 0;
   dropped_ = 0;
@@ -135,7 +166,8 @@ void Tracer::write_chrome_json(std::ostream& out) const {
         << ",\"name\":\"thread_name\",\"args\":{\"name\":"
         << json_quote(name) << "}}";
   }
-  std::size_t start = (next_ + ring_.size() - count_) % ring_.size();
+  std::size_t start =
+      count_ == 0 ? 0 : (next_ + ring_.size() - count_) % ring_.size();
   for (std::size_t i = 0; i < count_; ++i) {
     const TraceEvent& e = ring_[(start + i) % ring_.size()];
     if (!first) out << ",";

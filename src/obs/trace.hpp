@@ -15,8 +15,12 @@
 //     that clock, so traces are deterministic for a fixed seed.
 //   - Bounded memory. Events live in a fixed-capacity ring; overflow
 //     drops the oldest events and counts them (`dropped()`).
-//   - Single-threaded, like the simulation itself. The current-tracer
-//     pointer is a plain global.
+//   - Thread-sharded, not thread-shared. The current-tracer pointer is
+//     thread_local: each thread traces into its own sink (a Tracer is
+//     still single-threaded). Parallel campaigns give every unit of work
+//     an unbounded() shard tracer and merge the shards into the bounded
+//     campaign tracer in deterministic index order with absorb(), so the
+//     exported JSON is byte-identical regardless of thread count.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +75,19 @@ class Tracer {
 
   explicit Tracer(std::size_t capacity = kDefaultCapacity);
 
+  /// Shard tracer for one unit of parallel work: grows on demand and
+  /// never drops, records against base 0, and is later absorb()ed into a
+  /// bounded campaign tracer — which then applies the exact drop-oldest
+  /// semantics a serial run would have.
+  [[nodiscard]] static Tracer unbounded();
+  [[nodiscard]] bool is_unbounded() const { return unbounded_; }
+
+  /// Append a shard's events (oldest first) with their timestamps offset
+  /// by this tracer's current base, merge its track names, and fold its
+  /// dropped count in. The shard is left untouched; this tracer's clock
+  /// and current track do not move (campaigns follow up with shift_base).
+  void absorb(const Tracer& shard);
+
   // ------------------------------------------------------------ sim clock
   /// Current absolute sim time (base + engine-relative time).
   [[nodiscard]] Seconds now() const;
@@ -116,6 +133,7 @@ class Tracer {
   void push(TraceEvent event);
 
   std::vector<TraceEvent> ring_;
+  bool unbounded_ = false;   ///< shard mode: append-only, never drops
   std::size_t next_ = 0;     ///< ring slot the next event lands in
   std::size_t count_ = 0;    ///< live events (<= capacity)
   std::size_t dropped_ = 0;  ///< events overwritten after overflow
@@ -125,12 +143,14 @@ class Tracer {
   std::map<std::uint32_t, std::string> track_names_;
 };
 
-/// Currently installed tracer, or nullptr (the null sink). Instrumented
-/// code must guard on this before building any event arguments.
+/// The calling thread's installed tracer, or nullptr (the null sink).
+/// Instrumented code must guard on this before building any event
+/// arguments.
 [[nodiscard]] Tracer* tracer();
 
-/// RAII installation of a tracer as the process-wide sink. Nests; the
-/// destructor restores the previously installed tracer.
+/// RAII installation of a tracer as the calling thread's sink. Nests;
+/// the destructor restores the previously installed tracer. Worker
+/// threads install per-shard sessions without disturbing the caller's.
 class TraceSession {
  public:
   explicit TraceSession(Tracer& t);

@@ -1,32 +1,15 @@
 #include "testbed/campaign.hpp"
 
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "exec/parallel_for.hpp"
+#include "exec/seed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace tinysdr::testbed {
-
-namespace {
-
-/// Route the coming transfer's events onto the node's own Perfetto track
-/// (tid = node id), named for the node.
-void enter_node_track(std::uint16_t node_id) {
-  if (auto* t = obs::tracer()) {
-    t->set_track(node_id);
-    t->name_track(node_id, "node-" + std::to_string(node_id));
-  }
-}
-
-/// Campaign updates run sequentially over the shared backbone: lay this
-/// node's timeline end to end after the previous one and drop back to the
-/// campaign track.
-void exit_node_track(Seconds node_time) {
-  if (auto* t = obs::tracer()) {
-    t->shift_base(node_time);
-    t->set_track(0);
-  }
-}
-
-}  // namespace
 
 std::size_t CampaignResult::successes() const {
   std::size_t n = 0;
@@ -65,44 +48,126 @@ std::vector<CdfPoint> CampaignResult::time_cdf_minutes() const {
   return empirical_cdf(std::move(minutes));
 }
 
+std::uint64_t node_link_seed(std::uint64_t pass_base,
+                             std::uint16_t node_id) {
+  return (exec::stream_seed(pass_base, node_id) << 16) | node_id;
+}
+
 namespace {
 
-/// Per-node link seed: campaign draw in the high bits, node id in the low
-/// ones, so a node's run replays from its reported `link_seed` alone.
-std::uint64_t derive_seed(Rng& rng, std::uint16_t node_id) {
-  return (static_cast<std::uint64_t>(rng.next_u32()) << 16) | node_id;
+/// One node's unit of parallel work: its report plus the telemetry it
+/// recorded, kept aside until the deterministic in-order merge.
+struct NodeShard {
+  std::optional<ota::UpdateReport> report;
+  std::unique_ptr<obs::Tracer> trace;
+  std::unique_ptr<obs::Registry> metrics;
+};
+
+/// Run `run_node(node, index)` for every node of the deployment on the
+/// exec worker pool, each with its own telemetry shard, then merge the
+/// shards in node-index order: each node's timeline is laid end to end
+/// after the previous one (shift_base), and its metric operations are
+/// replayed in order — byte-identical output no matter the thread count.
+template <typename RunNode>
+exec::RunStatus run_fleet(const Deployment& deployment,
+                          const exec::ExecPolicy& policy,
+                          std::vector<NodeShard>& shards,
+                          RunNode&& run_node) {
+  const auto& nodes = deployment.nodes();
+  shards.clear();
+  shards.resize(nodes.size());
+  obs::Tracer* campaign_tracer = obs::tracer();
+  obs::Registry* campaign_metrics = obs::metrics();
+
+  exec::ExecPolicy p = policy;
+  if (p.grain == 0) p.grain = 1;  // one OTA update is a heavy item
+
+  auto status = exec::parallel_for(
+      nodes.size(), p, [&](std::size_t i, std::size_t) {
+        NodeShard& shard = shards[i];
+        std::optional<obs::TraceSession> trace_session;
+        std::optional<obs::MetricsSession> metrics_session;
+        if (campaign_tracer != nullptr) {
+          shard.trace =
+              std::make_unique<obs::Tracer>(obs::Tracer::unbounded());
+          trace_session.emplace(*shard.trace);
+          shard.trace->set_track(nodes[i].id);
+          shard.trace->name_track(nodes[i].id,
+                                  "node-" + std::to_string(nodes[i].id));
+        }
+        if (campaign_metrics != nullptr) {
+          shard.metrics = std::make_unique<obs::Registry>();
+          shard.metrics->enable_journal();
+          metrics_session.emplace(*shard.metrics);
+        }
+        shard.report = run_node(nodes[i], i);
+      });
+
+  for (auto& shard : shards) {
+    if (!shard.report) continue;  // node never started (cancelled)
+    if (campaign_tracer != nullptr && shard.trace != nullptr) {
+      campaign_tracer->absorb(*shard.trace);
+      campaign_tracer->shift_base(shard.report->total_time);
+      campaign_tracer->set_track(0);
+    }
+    if (campaign_metrics != nullptr && shard.metrics != nullptr)
+      campaign_metrics->merge_from(*shard.metrics);
+    shard.trace.reset();
+    shard.metrics.reset();
+  }
+  return status;
 }
 
 }  // namespace
 
 CampaignResult run_campaign(const Deployment& deployment,
                             const fpga::FirmwareImage& image,
-                            ota::UpdateTarget target, Rng& rng) {
+                            ota::UpdateTarget target, Rng& rng,
+                            const exec::ExecPolicy& policy) {
   CampaignResult result;
   result.image_name = image.name;
   if (auto* t = obs::tracer()) t->name_track(0, "campaign");
   obs::TraceSpan campaign_span{"testbed", "campaign:" + image.name};
   ota::UpdatePlanner planner;
-  for (const auto& node : deployment.nodes()) {
-    ota::OtaLink link{ota::ota_link_params(), node.rssi,
-                      derive_seed(rng, node.id)};
-    ota::FlashModel flash;
-    mcu::Msp432 mcu = mcu::baseline_firmware();
-    enter_node_track(node.id);
-    auto report = planner.run(image, target, node.id, link, flash, mcu);
-    exit_node_track(report.total_time);
+
+  // One sequential draw for the whole campaign; every per-node seed is a
+  // pure function of (base, node id), precomputed before dispatch.
+  const std::uint64_t pass_base = exec::draw_base_seed(rng);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(deployment.nodes().size());
+  for (const auto& node : deployment.nodes())
+    seeds.push_back(node_link_seed(pass_base, node.id));
+
+  std::vector<NodeShard> shards;
+  result.exec_status = run_fleet(
+      deployment, policy, shards,
+      [&](const Node& node, std::size_t i) {
+        ota::OtaLink link{ota::ota_link_params(), node.rssi, seeds[i]};
+        ota::FlashModel flash;
+        mcu::Msp432 mcu = mcu::baseline_firmware();
+        return planner.run(image, target, node.id, link, flash, mcu);
+      });
+
+  for (auto& shard : shards) {
+    if (!shard.report) continue;
     if (auto* m = obs::metrics()) {
       m->counter("testbed.nodes_attempted").add();
-      if (report.success) {
+      if (shard.report->success) {
         m->counter("testbed.nodes_updated").add();
         m->histogram("testbed.node_time_min",
                      obs::HistogramSpec::linear(0.0, 240.0, 48))
-            .observe(report.total_time.value() / 60.0);
+            .observe(shard.report->total_time.value() / 60.0);
       }
     }
-    result.per_node.push_back(std::move(report));
+    result.per_node.push_back(std::move(*shard.report));
   }
   return result;
+}
+
+CampaignResult run_campaign(const Deployment& deployment,
+                            const fpga::FirmwareImage& image,
+                            ota::UpdateTarget target, Rng& rng) {
+  return run_campaign(deployment, image, target, rng, exec::ExecPolicy{});
 }
 
 namespace {
@@ -154,71 +219,94 @@ FaultCampaignEntry summarize(std::string name,
   return entry;
 }
 
+std::vector<ota::UpdateReport> collect_reports(
+    std::vector<NodeShard>& shards) {
+  std::vector<ota::UpdateReport> reports;
+  reports.reserve(shards.size());
+  for (auto& s : shards)
+    if (s.report) reports.push_back(std::move(*s.report));
+  return reports;
+}
+
 }  // namespace
 
 FaultCampaignResult run_fault_campaign(
     const Deployment& deployment, const fpga::FirmwareImage& image,
     ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
-    Rng& rng) {
+    Rng& rng, const exec::ExecPolicy& policy) {
   FaultCampaignResult result;
   ota::UpdatePlanner planner;
 
   if (auto* t = obs::tracer()) t->name_track(0, "campaign");
 
-  // Fault-free reference pass (same per-node seed derivation, so the
-  // RSSI-driven loss component is comparable across scenarios).
+  // One draw roots the whole campaign; pass k's base is stream k of it,
+  // and node seeds are derived per (pass base, node id) — comparable
+  // RSSI-driven loss across scenarios, independent of iteration order.
+  const std::uint64_t campaign_base = exec::draw_base_seed(rng);
+
+  // Fault-free reference pass.
   {
     obs::TraceSpan scenario_span{"testbed", "scenario:baseline"};
-    std::vector<ota::UpdateReport> reports;
-    Rng pass_rng{rng.next_u32(), 0xBA5E};
-    for (const auto& node : deployment.nodes()) {
-      ota::OtaLink link{ota::ota_link_params(), node.rssi,
-                        derive_seed(pass_rng, node.id)};
-      ota::FlashModel flash;
-      mcu::Msp432 mcu = mcu::baseline_firmware();
-      enter_node_track(node.id);
-      auto report = planner.run(image, target, node.id, link, flash, mcu);
-      exit_node_track(report.total_time);
-      reports.push_back(std::move(report));
-    }
-    result.baseline = summarize("baseline", std::move(reports), nullptr);
+    const std::uint64_t pass_base = exec::stream_seed(campaign_base, 0);
+    std::vector<NodeShard> shards;
+    result.exec_status = run_fleet(
+        deployment, policy, shards,
+        [&](const Node& node, std::size_t) {
+          ota::OtaLink link{ota::ota_link_params(), node.rssi,
+                            node_link_seed(pass_base, node.id)};
+          ota::FlashModel flash;
+          mcu::Msp432 mcu = mcu::baseline_firmware();
+          return planner.run(image, target, node.id, link, flash, mcu);
+        });
+    result.baseline =
+        summarize("baseline", collect_reports(shards), nullptr);
   }
 
-  for (const auto& scenario : scenarios) {
+  for (std::size_t k = 0; k < scenarios.size(); ++k) {
+    if (!result.exec_status.complete()) break;  // cancelled mid-campaign
+    const FaultScenario& scenario = scenarios[k];
     obs::TraceSpan scenario_span{"testbed", "scenario:" + scenario.name};
-    std::vector<ota::UpdateReport> reports;
-    Rng pass_rng{rng.next_u32(), 0xFA17};
-    for (const auto& node : deployment.nodes()) {
-      std::uint64_t seed = derive_seed(pass_rng, node.id);
-      ota::OtaLink link{ota::ota_link_params(), node.rssi, seed};
-      if (scenario.plan.burst) link.set_burst(*scenario.plan.burst);
+    const std::uint64_t pass_base =
+        exec::stream_seed(campaign_base, k + 1);
+    std::vector<NodeShard> shards;
+    result.exec_status = run_fleet(
+        deployment, policy, shards,
+        [&](const Node& node, std::size_t) {
+          std::uint64_t seed = node_link_seed(pass_base, node.id);
+          ota::OtaLink link{ota::ota_link_params(), node.rssi, seed};
+          if (scenario.plan.burst) link.set_burst(*scenario.plan.burst);
 
-      sim::FaultPlan plan = scenario.plan;
-      plan.seed = seed ^ plan.seed;  // distinct fault stream per node
-      sim::FaultInjector faults{plan};
+          sim::FaultPlan plan = scenario.plan;
+          plan.seed = seed ^ plan.seed;  // distinct fault stream per node
+          sim::FaultInjector faults{plan};
 
-      ota::FlashModel flash;
-      mcu::Msp432 mcu = mcu::baseline_firmware();
-      ota::FirmwareStore store{flash};
-      // The fleet ships with a factory golden image to fall back on.
-      std::vector<std::uint8_t> golden(16 * 1024,
-                                       static_cast<std::uint8_t>(node.id));
-      store.install_golden(golden);
+          ota::FlashModel flash;
+          mcu::Msp432 mcu = mcu::baseline_firmware();
+          ota::FirmwareStore store{flash};
+          // The fleet ships with a factory golden image to fall back on.
+          std::vector<std::uint8_t> golden(
+              16 * 1024, static_cast<std::uint8_t>(node.id));
+          store.install_golden(golden);
 
-      ota::UpdateOptions options;
-      options.policy = scenario.policy;
-      options.faults = &faults;
-      options.store = &store;
-      enter_node_track(node.id);
-      auto report =
-          planner.run(image, target, node.id, link, flash, mcu, options);
-      exit_node_track(report.total_time);
-      reports.push_back(std::move(report));
-    }
-    result.scenarios.push_back(
-        summarize(scenario.name, std::move(reports), &result.baseline));
+          ota::UpdateOptions options;
+          options.policy = scenario.policy;
+          options.faults = &faults;
+          options.store = &store;
+          return planner.run(image, target, node.id, link, flash, mcu,
+                             options);
+        });
+    result.scenarios.push_back(summarize(
+        scenario.name, collect_reports(shards), &result.baseline));
   }
   return result;
+}
+
+FaultCampaignResult run_fault_campaign(
+    const Deployment& deployment, const fpga::FirmwareImage& image,
+    ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
+    Rng& rng) {
+  return run_fault_campaign(deployment, image, target, scenarios, rng,
+                            exec::ExecPolicy{});
 }
 
 }  // namespace tinysdr::testbed

@@ -4,11 +4,20 @@
 // collects per-node programming times, reproducing the Fig. 14 CDFs for
 // the LoRa FPGA image (579 kB -> ~99 kB), BLE FPGA image (-> ~40 kB) and
 // the MCU programs (78 kB -> ~24 kB).
+//
+// Campaigns shard across the exec worker pool: every node runs as one
+// independent unit with a seed derived up front from the campaign seed +
+// node id (exec::stream_seed) and its own telemetry shard, and shards are
+// merged in node-index order afterwards. Metrics, trace and report output
+// are therefore byte-identical for a fixed seed regardless of thread
+// count — pass exec::ExecPolicy::serial() or ::with_threads(8), the
+// bytes match.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "exec/policy.hpp"
 #include "ota/update.hpp"
 #include "testbed/deployment.hpp"
 
@@ -17,6 +26,9 @@ namespace tinysdr::testbed {
 struct CampaignResult {
   std::string image_name;
   std::vector<ota::UpdateReport> per_node;
+  /// How the parallel region ended. When cancelled (or past deadline),
+  /// `per_node` holds only the nodes that actually ran, in node order.
+  exec::RunStatus exec_status{};
 
   [[nodiscard]] std::size_t successes() const;
   [[nodiscard]] Seconds mean_time() const;
@@ -25,7 +37,16 @@ struct CampaignResult {
   [[nodiscard]] std::vector<CdfPoint> time_cdf_minutes() const;
 };
 
-/// Update every node in the deployment with the given image.
+/// Update every node in the deployment with the given image, sharded
+/// across the exec worker pool under `policy`. The RNG supplies one
+/// campaign base seed; every per-node seed is derived from it up front,
+/// independent of execution order.
+[[nodiscard]] CampaignResult run_campaign(const Deployment& deployment,
+                                          const fpga::FirmwareImage& image,
+                                          ota::UpdateTarget target, Rng& rng,
+                                          const exec::ExecPolicy& policy);
+
+/// Auto policy: thread count from TINYSDR_THREADS / hardware concurrency.
 [[nodiscard]] CampaignResult run_campaign(const Deployment& deployment,
                                           const fpga::FirmwareImage& image,
                                           ota::UpdateTarget target, Rng& rng);
@@ -69,15 +90,33 @@ struct FaultCampaignEntry {
 struct FaultCampaignResult {
   FaultCampaignEntry baseline;             ///< fault-free reference run
   std::vector<FaultCampaignEntry> scenarios;
+  /// Status of the last pass that ran. On cancellation the remaining
+  /// scenarios are skipped and the partially-run pass reports only the
+  /// nodes that completed.
+  exec::RunStatus exec_status{};
 };
 
 /// Run the update across the fleet once fault-free, then once per fault
 /// scenario, with per-node derived seeds so any node's run can be replayed
 /// from its reported `transfer.link_seed`. Reports update success rate and
-/// the airtime/energy cost of each fault regime vs the baseline.
+/// the airtime/energy cost of each fault regime vs the baseline. Nodes
+/// within a pass shard across the exec worker pool under `policy`.
+[[nodiscard]] FaultCampaignResult run_fault_campaign(
+    const Deployment& deployment, const fpga::FirmwareImage& image,
+    ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
+    Rng& rng, const exec::ExecPolicy& policy);
+
+/// Auto policy: thread count from TINYSDR_THREADS / hardware concurrency.
 [[nodiscard]] FaultCampaignResult run_fault_campaign(
     const Deployment& deployment, const fpga::FirmwareImage& image,
     ota::UpdateTarget target, const std::vector<FaultScenario>& scenarios,
     Rng& rng);
+
+/// Per-node link seed derivation used by both campaign runners: high bits
+/// from exec::stream_seed(pass_base, node id), node id packed in the low
+/// 16 bits, so a node's run replays from its reported `link_seed` alone
+/// and no node's seed depends on fleet iteration order.
+[[nodiscard]] std::uint64_t node_link_seed(std::uint64_t pass_base,
+                                           std::uint16_t node_id);
 
 }  // namespace tinysdr::testbed
