@@ -4,31 +4,33 @@
 // listen-before-talk MAC on tinySDR would use (§7 / DeepSense [41]).
 #include "bench_common.hpp"
 #include "channel/noise.hpp"
+#include "exec/seed.hpp"
 #include "lora/demodulator.hpp"
 #include "lora/modulator.hpp"
 
 using namespace tinysdr;
 using namespace tinysdr::lora;
 
-int main() {
-  bench::print_header("Ablation: CAD threshold", "carrier-sense primitive",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Ablation: CAD threshold",
+                      "carrier-sense primitive",
                       "False alarm vs missed detection, SF8/BW125, signal "
-                      "at -120 dBm");
+                      "at -120 dBm"};
 
   LoraParams p{8, Hertz::from_kilohertz(125.0)};
   Modulator mod{p, p.bandwidth};
   Demodulator demod{p, p.bandwidth};
   auto preamble = mod.preamble_waveform();
   const int trials = 400;
+  const std::uint64_t base_seed = 2026;
 
   std::vector<std::vector<double>> rows;
   for (double threshold : {7.0, 9.0, 11.0, 13.0, 15.0}) {
     int false_alarms = 0, missed = 0;
-    Rng rng{2026};
     for (int t = 0; t < trials; ++t) {
-      channel::AwgnChannel chan{p.bandwidth, 6.0,
-                                Rng{rng.next_u32(),
-                                    static_cast<std::uint64_t>(t)}};
+      channel::AwgnChannel chan{
+          p.bandwidth, 6.0,
+          Rng{exec::stream_seed(base_seed, static_cast<std::uint64_t>(t))}};
       // Noise-only window.
       auto noise = chan.noise_only(p.chips() * 2, chan.floor());
       if (demod.channel_activity(noise, threshold)) ++false_alarms;
@@ -41,8 +43,8 @@ int main() {
                     100.0 * false_alarms / static_cast<double>(trials),
                     100.0 * missed / static_cast<double>(trials)});
   }
-  bench::print_series("Threshold (dB)",
-                      {"False alarm (%)", "Missed detection (%)"}, rows, 2);
+  run.series("cad_threshold", "Threshold (dB)",
+             {"False alarm (%)", "Missed detection (%)"}, rows, 2);
 
   std::cout << "\nReading: below ~10 dB the noise peak-to-mean tail fires "
                "constantly (max over 256 bins concentrates near 7.4 dB); "

@@ -3,62 +3,46 @@
 // diminishing returns (plus LUT cost) of longer ones, at an oversampled
 // front end where the filter actually has noise to remove.
 #include "bench_common.hpp"
-#include "common/rng.hpp"
-#include "lora/chirp.hpp"
-#include "channel/noise.hpp"
-#include "lora/demodulator.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/lora_phy.hpp"
 
 using namespace tinysdr;
-using namespace tinysdr::lora;
 
-namespace {
-
-double ser_with_taps(std::size_t taps, Dbm rssi, std::uint64_t seed) {
-  LoraParams p{8, Hertz::from_kilohertz(125.0)};
-  Hertz fs = Hertz::from_kilohertz(500.0);  // 4x oversampled front end
-  ChirpGenerator gen{p, fs};
-  Demodulator demod{p, fs, taps};
-  Rng rng{seed};
-
-  const std::size_t count = 300;
-  std::vector<std::uint32_t> tx;
-  dsp::Samples wave;
-  for (std::size_t i = 0; i < count; ++i) {
-    std::uint32_t v = rng.next_below(p.chips());
-    tx.push_back(v);
-    auto sym = gen.symbol(v, ChirpDirection::kUp);
-    wave.insert(wave.end(), sym.begin(), sym.end());
-  }
-  tinysdr::channel::AwgnChannel chan{fs, bench::kLoraSystemNf, rng};
-  auto noisy = chan.apply(wave, rssi);
-  auto cond = demod.condition(noisy);
-  auto rx = demod.demodulate_aligned(cond, 0, count);
-  std::size_t errors = 0;
-  std::size_t n = std::min(tx.size(), rx.size());
-  for (std::size_t i = 0; i < n; ++i)
-    if (tx[i] != rx[i]) ++errors;
-  return 100.0 * static_cast<double>(errors) / static_cast<double>(n);
-}
-
-}  // namespace
-
-int main() {
-  bench::print_header("Ablation: FIR taps", "design choice, §3.2.2/§4.1",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Ablation: FIR taps",
+                      "design choice, §3.2.2/§4.1",
                       "Demodulator SER vs front-end FIR length "
-                      "(SF8/BW125 at a 4x oversampled front end)");
+                      "(SF8/BW125 at a 4x oversampled front end)"};
+  auto policy = bench::thread_policy(argc, argv);
 
-  std::vector<std::vector<double>> rows;
-  for (double rssi : {-126.0, -123.0, -120.0}) {
-    std::vector<double> row{rssi};
-    for (std::size_t taps : {2ul, 6ul, 14ul, 30ul}) {
-      row.push_back(ser_with_taps(taps, Dbm{rssi}, 42));
-    }
-    rows.push_back(row);
+  phy::LoraPhyConfig base{.params = {8, Hertz::from_kilohertz(125.0)},
+                          .sample_rate = Hertz::from_kilohertz(500.0)};
+  phy::LoraSymbolTx tx{base};
+
+  // 2 trials x 150 payload bytes = 300 chirp symbols per sweep point. Same
+  // base seed everywhere, so every filter length sees the identical
+  // symbols and noise and only the front end differs.
+  phy::TrialPlan plan;
+  plan.trials = 2;
+  plan.payload_bytes = 150;
+  plan.noise_figure_db = phy::kLoraSystemNf;
+  plan.base_seed = 42;
+
+  const std::vector<double> grid{-126.0, -123.0, -120.0};
+  const std::vector<std::size_t> tap_counts{2, 6, 14, 30};
+
+  std::vector<std::vector<double>> rows{{-126.0}, {-123.0}, {-120.0}};
+  for (std::size_t taps : tap_counts) {
+    phy::LoraPhyConfig cfg = base;
+    cfg.fir_taps = taps;
+    phy::LoraSymbolRx rx{cfg};
+    auto results = phy::LinkSimulator{tx, rx, plan}.sweep_rssi(grid, policy);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      rows[i].push_back(results[i].ser() * 100.0);
   }
-  bench::print_series("RSSI (dBm)",
-                      {"SER% 2 taps", "SER% 6 taps", "SER% 14 taps",
-                       "SER% 30 taps"},
-                      rows, 2);
+  run.series("ser_vs_taps", "RSSI (dBm)",
+             {"SER% 2 taps", "SER% 6 taps", "SER% 14 taps", "SER% 30 taps"},
+             rows, 2);
 
   std::cout << "\nReading: very short filters leak adjacent-band noise into "
                "the decimated stream; beyond ~14 taps the gain is "

@@ -15,9 +15,9 @@
 using namespace tinysdr;
 using namespace tinysdr::ota;
 
-int main() {
-  bench::print_header("Ablation: OTA parameters", "design choices §3.4/§5.3",
-                      "Block size, packet size and compression trade-offs");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Ablation: OTA parameters", "design choices §3.4/§5.3",
+                      "Block size, packet size and compression trade-offs"};
 
   Rng img_rng{42};
   auto image = fpga::generate_bitstream(fpga::lora_rx_design(8),
@@ -36,7 +36,7 @@ int main() {
     rows.push_back({static_cast<double>(kb), ratio * 100.0,
                     fits ? 1.0 : 0.0});
   }
-  bench::print_series("Block (kB)", {"Compressed (% of orig)",
+  run.series("block_kb", "Block (kB)", {"Compressed (% of orig)",
                                      "Fits MCU SRAM (1=yes)"},
                       rows, 2);
   std::cout << "Reading: larger blocks compress marginally better, but "
@@ -78,7 +78,7 @@ int main() {
     }
     rows.push_back(row);
   }
-  bench::print_series("Packet (B)",
+  run.series("packet_b", "Packet (B)",
                       {"Time @ -95 dBm (s)", "Time @ -117.5 dBm (s)"}, rows,
                       1);
   std::cout << "Reading: big packets win on a clean link (less preamble/ACK "

@@ -32,22 +32,6 @@ inline exec::ExecPolicy thread_policy(int argc, char* const argv[]) {
   return policy;
 }
 
-/// Calibrated system noise figures used by the evaluation benches.
-///
-/// The CSS demodulator in this repo is near-ideal (perfect symbol
-/// alignment in the SER path, float math); real chips lose several dB to
-/// CFO, quantization, AGC settle and sync jitter. We therefore fold those
-/// impairments into an effective receiver noise figure calibrated once so
-/// the headline sensitivity knees land where the paper measured them:
-///   - LoRa: 11.5 dB (4 dB front-end NF + 7.5 dB implementation margin)
-///     -> SF8/BW125 chirp SER knee at about -126 dBm (Fig. 11).
-///   - BLE: 4.0 dB -> BER 1e-3 at about -94 dBm into the CC2650 model
-///     (Fig. 12).
-/// The calibration constants and the measured knees are recorded in
-/// EXPERIMENTS.md.
-inline constexpr double kLoraSystemNf = 11.5;
-inline constexpr double kBleSystemNf = 4.0;
-
 inline void print_header(const std::string& experiment,
                          const std::string& paper_ref,
                          const std::string& description) {

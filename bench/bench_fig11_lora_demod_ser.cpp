@@ -4,7 +4,9 @@
 // LoRa transceiver does not give access to symbol error rate but since we
 // have access to I/Q samples, we can compute it on our platform").
 #include "bench_common.hpp"
-#include "core/concurrent.hpp"
+#include "lora/sx1276.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/lora_phy.hpp"
 
 using namespace tinysdr;
 using namespace tinysdr::lora;
@@ -13,22 +15,34 @@ int main(int argc, char** argv) {
   bench::BenchRun run{argc, argv, "Fig. 11", "paper Fig. 11",
                       "LoRa demodulator chirp symbol error rate vs RSSI, "
                       "SF8, BW 250/125 kHz"};
+  auto policy = bench::thread_policy(argc, argv);
 
-  LoraParams p125{8, Hertz::from_kilohertz(125.0)};
-  LoraParams p250{8, Hertz::from_kilohertz(250.0)};
-  const std::size_t symbols = 600;
+  phy::LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)}};
+  phy::LoraPhyConfig cfg250{.params = {8, Hertz::from_kilohertz(250.0)}};
+
+  // 4 trials x 150 payload bytes = 600 chirp symbols per sweep point.
+  phy::TrialPlan plan;
+  plan.trials = 4;
+  plan.payload_bytes = 150;
+  plan.noise_figure_db = phy::kLoraSystemNf;
+
+  std::vector<double> grid;
+  for (double rssi = -134.0; rssi <= -114.0; rssi += 2.0)
+    grid.push_back(rssi);
+
+  auto sweep = [&](const phy::LoraPhyConfig& cfg, std::uint64_t seed) {
+    phy::LoraSymbolTx tx{cfg};
+    phy::LoraSymbolRx rx{cfg};
+    phy::TrialPlan p = plan;
+    p.base_seed = seed;
+    return phy::LinkSimulator{tx, rx, p}.sweep_rssi(grid, policy);
+  };
+  auto r125 = sweep(cfg125, 101);
+  auto r250 = sweep(cfg250, 202);
 
   std::vector<std::vector<double>> rows;
-  for (double rssi = -134.0; rssi <= -114.0; rssi += 2.0) {
-    Rng rng125{101}, rng250{202};
-    double ser125 = core::run_single_trial(p125, Dbm{rssi}, symbols,
-                                           p125.bandwidth, rng125,
-                                           bench::kLoraSystemNf) * 100.0;
-    double ser250 = core::run_single_trial(p250, Dbm{rssi}, symbols,
-                                           p250.bandwidth, rng250,
-                                           bench::kLoraSystemNf) * 100.0;
-    rows.push_back({rssi, ser250, ser125});
-  }
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    rows.push_back({grid[i], r250[i].ser() * 100.0, r125[i].ser() * 100.0});
   run.series("ser_vs_rssi", "RSSI (dBm)",
              {"SF8/BW250 SER (%)", "SF8/BW125 SER (%)"}, rows, 2);
   run.scalar(

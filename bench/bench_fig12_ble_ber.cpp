@@ -2,51 +2,49 @@
 // (full baseband generation: PDU, CRC24, whitening, GFSK) and the CC2650
 // receiver model reports BER, as in the paper's 100-packet measurement.
 #include "bench_common.hpp"
-#include "ble/advertiser.hpp"
 #include "ble/cc2650.hpp"
+#include "phy/ble_phy.hpp"
+#include "phy/link_sim.hpp"
 
 using namespace tinysdr;
 using namespace tinysdr::ble;
 
-int main() {
-  bench::print_header("Fig. 12", "paper Fig. 12",
-                      "BLE beacon BER vs RSSI into a CC2650-class receiver");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 12", "paper Fig. 12",
+                      "BLE beacon BER vs RSSI into a CC2650-class receiver"};
+  auto policy = bench::thread_policy(argc, argv);
 
-  AdvPacket beacon;
-  beacon.adv_address = {0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC};
-  beacon.adv_data = {0x02, 0x01, 0x06, 0x0B, 0xFF,
-                     0x4C, 0x00, 0x02, 0x15, 0xAA, 0xBB};
-  Advertiser adv{beacon};
-  GfskConfig cfg;
-  auto wave = adv.waveform(37);
-  auto reference = assemble_air_bits(beacon, 37);
-  GfskDemodulator demod{cfg};
+  phy::BleBeaconTx tx;
+  phy::BleBeaconRx rx;
 
-  const int packets = 150;
+  phy::TrialPlan plan;
+  plan.trials = 150;
+  // An iBeacon-style AdvData payload; the adapter wraps it in the full
+  // ADV_NONCONN_IND air frame (preamble, AA, whitened PDU + CRC24).
+  plan.fixed_payload = std::vector<std::uint8_t>{
+      0x02, 0x01, 0x06, 0x0B, 0xFF, 0x4C, 0x00, 0x02, 0x15, 0xAA, 0xBB};
+  plan.noise_figure_db = phy::kBleSystemNf;
+
+  std::vector<double> grid;
+  for (double rssi = -100.0; rssi <= -55.0; rssi += 3.0)
+    grid.push_back(rssi);
+
+  auto results = phy::LinkSimulator{tx, rx, plan}.sweep_rssi(grid, policy);
+
   std::vector<std::vector<double>> rows;
   double sensitivity_rssi = 0.0;
   bool found_knee = false;
-  for (double rssi = -100.0; rssi <= -55.0; rssi += 3.0) {
-    Rng rng{static_cast<std::uint64_t>(-rssi)};
-    double errors = 0.0, bits_total = 0.0;
-    for (int k = 0; k < packets; ++k) {
-      channel::AwgnChannel chan{cfg.sample_rate(), bench::kBleSystemNf,
-                                Rng{rng.next_u32(),
-                                    static_cast<std::uint64_t>(k)}};
-      auto noisy = chan.apply(wave, Dbm{rssi});
-      auto bits = demod.demodulate(noisy, demod.estimate_timing(noisy));
-      errors += aligned_ber(reference, bits) *
-                static_cast<double>(reference.size());
-      bits_total += static_cast<double>(reference.size());
-    }
-    double ber = errors / bits_total;
-    rows.push_back({rssi, ber});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    double ber = results[i].ber();
+    rows.push_back({grid[i], ber});
     if (!found_knee && ber <= 1e-3) {
-      sensitivity_rssi = rssi;
+      sensitivity_rssi = grid[i];
       found_knee = true;
     }
   }
-  bench::print_series("RSSI (dBm)", {"BER"}, rows, 5);
+  run.series("ber_vs_rssi", "RSSI (dBm)", {"BER"}, rows, 5);
+  run.scalar("sensitivity_dbm", sensitivity_rssi);
+  run.scalar("cc2650_sensitivity_dbm", Cc2650Model::kSensitivityDbm);
 
   std::cout << "\nMeasured sensitivity (BER <= 1e-3): "
             << TextTable::num(sensitivity_rssi, 0)

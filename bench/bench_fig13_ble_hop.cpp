@@ -7,10 +7,10 @@
 using namespace tinysdr;
 using namespace tinysdr::ble;
 
-int main() {
-  bench::print_header("Fig. 13", "paper Fig. 13",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 13", "paper Fig. 13",
                       "BLE beacon burst envelope across the three "
-                      "advertising channels");
+                      "advertising channels"};
 
   AdvPacket beacon;
   beacon.adv_address = {0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC};

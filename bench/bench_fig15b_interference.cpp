@@ -4,34 +4,51 @@
 // while noise dominates, then climbs once the quasi-orthogonal interferer
 // dominates the noise (the paper's argument for power control).
 #include "bench_common.hpp"
-#include "core/concurrent.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/lora_phy.hpp"
 
 using namespace tinysdr;
 using namespace tinysdr::lora;
 
-int main() {
-  bench::print_header(
-      "Fig. 15b", "paper Fig. 15b",
-      "Concurrent LoRa, interferer power sweep (BW125 fixed near "
-      "sensitivity)");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 15b", "paper Fig. 15b",
+                      "Concurrent LoRa, interferer power sweep (BW125 fixed "
+                      "near sensitivity)"};
+  auto policy = bench::thread_policy(argc, argv);
 
-  LoraParams p125{8, Hertz::from_kilohertz(125.0)};
-  LoraParams p250{8, Hertz::from_kilohertz(250.0)};
   Hertz fs = Hertz::from_kilohertz(500.0);
-  const std::size_t symbols = 250;
+  phy::LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)},
+                            .sample_rate = fs};
+  phy::LoraPhyConfig cfg250{.params = {8, Hertz::from_kilohertz(250.0)},
+                            .sample_rate = fs};
+  phy::LoraSymbolTx tx125{cfg125}, tx250{cfg250};
+  phy::LoraSymbolRx rx125{cfg125};
+
+  // 2 trials x 125 payload bytes = 250 chirp symbols per sweep point. The
+  // signal RSSI is fixed, so every point reuses the same symbols and noise
+  // realization — a controlled sweep where only the interferer level moves.
+  phy::TrialPlan plan;
+  plan.trials = 2;
+  plan.payload_bytes = 125;
+  plan.noise_figure_db = phy::kLoraSystemNf;
+  plan.base_seed = 77;
+
   // Paper: the BW125 signal is fixed at -123 dBm, near its sensitivity.
   const Dbm fixed_a{-123.0};
+  std::vector<phy::SweepPoint> points;
+  for (double interferer = -130.0; interferer <= -104.0; interferer += 2.0)
+    points.push_back({fixed_a, Dbm{interferer}});
+
+  phy::LinkSimulator sim{tx125, rx125, plan};
+  sim.set_interferer(tx250);
+  auto results = sim.sweep(points, policy);
 
   std::vector<std::vector<double>> rows;
-  for (double interferer = -130.0; interferer <= -104.0; interferer += 2.0) {
-    Rng rng{77};
-    auto r = core::run_concurrent_trial(p125, p250, fixed_a, Dbm{interferer},
-                                        symbols, fs, rng,
-                                        bench::kLoraSystemNf);
-    rows.push_back({interferer, r.ser_a * 100.0});
-  }
-  bench::print_series("Interferer power (dBm)", {"SF8/BW125 SER (%)"}, rows,
-                      2);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    rows.push_back(
+        {points[i].interferer_rssi->value(), results[i].ser() * 100.0});
+  run.series("ser_vs_interferer", "Interferer power (dBm)",
+             {"SF8/BW125 SER (%)"}, rows, 2);
 
   std::cout
       << "\nShape (paper): flat noise-dominated region, ~3 dB degradation "

@@ -7,9 +7,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Fig. 2", "paper Fig. 2",
-                      "Radio module power consumption for each platform");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Fig. 2", "paper Fig. 2",
+                      "Radio module power consumption for each platform"};
 
   power::PlatformPowerModel model;
   TextTable table{{"Platform", "TX power (mW)", "TX output (dBm)",

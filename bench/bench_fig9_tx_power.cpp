@@ -5,10 +5,10 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header(
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, 
       "Fig. 9", "paper Fig. 9",
-      "Single-tone transmitter power consumption vs RF output power");
+      "Single-tone transmitter power consumption vs RF output power"};
 
   power::PlatformPowerModel model;
   std::vector<std::vector<double>> rows;
@@ -19,7 +19,7 @@ int main() {
         model.draw(power::Activity::kSingleTone2400, Dbm{double(dbm)}).value();
     rows.push_back({double(dbm), p900, p2400});
   }
-  bench::print_series("RF output (dBm)",
+  run.series("rf_output_dbm", "RF output (dBm)",
                       {"tinySDR 900 MHz (mW)", "tinySDR 2.4 GHz (mW)"}, rows,
                       1);
 

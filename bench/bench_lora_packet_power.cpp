@@ -9,9 +9,9 @@
 using namespace tinysdr;
 using namespace tinysdr::power;
 
-int main() {
-  bench::print_header("LoRa packet power", "paper §5.2",
-                      "Packet TX/RX power decomposition, SF9/BW500");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "LoRa packet power", "paper §5.2",
+                      "Packet TX/RX power decomposition, SF9/BW500"};
 
   PlatformPowerModel model;
   fpga::Design tx_design = fpga::lora_tx_design();

@@ -1,0 +1,62 @@
+// Multi-PHY testbed campaign: the paper's programmability argument made
+// concrete. The 20-node campus deployment is split round-robin across all
+// five registered PHYs (LoRa, BLE, Zigbee, Sigfox, NB-IoT) and every node
+// runs a LinkSimulator trial batch at its deployed RSSI — the fleet-wide
+// link health a testbed operator would check after reprogramming nodes to
+// a new protocol mix.
+#include "bench_common.hpp"
+#include "phy/registry.hpp"
+#include "testbed/phy_campaign.hpp"
+
+using namespace tinysdr;
+
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Multi-PHY campaign", "paper §5/§7",
+                      "All five PHYs across the 20-node campus testbed, "
+                      "one LinkSimulator trial batch per node"};
+  auto policy = bench::thread_policy(argc, argv);
+
+  Rng rng{7};
+  auto deployment = testbed::Deployment::campus(rng);
+  const auto& registry = phy::Registry::builtin();
+
+  testbed::PhyCampaignConfig config;
+  config.trials_per_node = 20;
+  config.base_seed = 2026;
+
+  auto result =
+      testbed::run_phy_campaign(deployment, registry, config, policy);
+
+  std::vector<std::vector<double>> node_rows;
+  for (const auto& node : result.per_node)
+    node_rows.push_back({static_cast<double>(node.node_id), node.rssi_dbm,
+                         static_cast<double>(
+                             static_cast<int>(node.protocol)),
+                         node.link.per() * 100.0});
+  run.series("per_node", "Node id",
+             {"RSSI (dBm)", "Protocol id", "PER (%)"}, node_rows, 1);
+
+  TextTable table{{"Protocol", "Nodes", "Frames", "Errors", "PER (%)"}};
+  for (const auto& s : result.by_protocol(registry)) {
+    table.add_row({std::string(phy::protocol_name(s.protocol)),
+                   std::to_string(s.nodes), std::to_string(s.frames),
+                   std::to_string(s.frame_errors),
+                   TextTable::num(s.per() * 100.0, 1)});
+    run.scalar("per_" + std::string(phy::protocol_name(s.protocol)) + "_pct",
+               s.per() * 100.0);
+  }
+  std::cout << "\nPer-protocol fleet summary:\n";
+  table.print(std::cout);
+
+  auto cdf = result.delivery_cdf();
+  std::vector<std::vector<double>> cdf_rows;
+  for (const auto& point : cdf)
+    cdf_rows.push_back({point.value, point.probability});
+  run.series("delivery_cdf", "Delivery rate", {"P(X <= x)"}, cdf_rows, 3);
+
+  std::cout << "\nReading: strong courtyard links deliver everything on "
+               "any PHY; the far-corner nodes are where protocol choice "
+               "matters — exactly the experiment an over-the-air "
+               "programmable testbed exists to run.\n";
+  return 0;
+}

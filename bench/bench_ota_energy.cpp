@@ -22,10 +22,10 @@ UpdateReport run_update(const fpga::FirmwareImage& image, UpdateTarget target,
 
 }  // namespace
 
-int main() {
-  bench::print_header("OTA energy", "paper §5.3",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "OTA energy", "paper §5.3",
                       "Per-update compressed sizes, node energy, battery "
-                      "budget, amortized power");
+                      "budget, amortized power"};
 
   Rng img_rng{42};
   auto lora_fpga = fpga::generate_bitstream(fpga::lora_rx_design(8),

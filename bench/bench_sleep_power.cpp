@@ -7,9 +7,9 @@
 using namespace tinysdr;
 using namespace tinysdr::power;
 
-int main() {
-  bench::print_header("Sleep power", "paper §5.1 + Table 1 context",
-                      "Sleep-mode power budget and duty-cycling payoff");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Sleep power", "paper §5.1 + Table 1 context",
+                      "Sleep-mode power budget and duty-cycling payoff"};
 
   PlatformPowerModel model;
   const auto& sleep = model.sleep_budget();
@@ -38,7 +38,7 @@ int main() {
     double days = battery.lifetime_at(avg).value() / 86400.0;
     rows.push_back({duty * 100.0, avg.value(), days});
   }
-  bench::print_series("TX duty cycle (%)",
+  run.series("tx_duty_cycle", "TX duty cycle (%)",
                       {"Average power (mW)", "1000 mAh battery life (days)"},
                       rows, 3);
 

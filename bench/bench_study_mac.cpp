@@ -11,6 +11,7 @@
 #include "lora/modulator.hpp"
 #include "ota/protocol.hpp"
 #include "ota/scheduler.hpp"
+#include "phy/lora_phy.hpp"
 #include "radio/at86rf215.hpp"
 #include "testbed/multihop.hpp"
 
@@ -31,10 +32,11 @@ double goodput(const lora::LoraParams& params, std::size_t payload, Dbm rssi,
 
 }  // namespace
 
-int main() {
-  bench::print_header("MAC studies", "paper §7 research questions",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "MAC studies",
+                      "paper §7 research questions",
                       "Packet length, multi-hop, rendezvous and impairment "
-                      "budgets");
+                      "budgets"};
 
   // ------------------------------------------- [1] packet length tradeoff
   std::cout << "\n[1] Packet length vs goodput (SF8/BW125, stop-and-wait):\n";
@@ -49,9 +51,9 @@ int main() {
     }
     rows.push_back(row);
   }
-  bench::print_series("Payload (B)",
-                      {"Goodput @+10dB (bps)", "@+2.5dB (bps)", "@+1dB (bps)"},
-                      rows, 0);
+  run.series("goodput_vs_payload", "Payload (B)",
+             {"Goodput @+10dB (bps)", "@+2.5dB (bps)", "@+1dB (bps)"}, rows,
+             0);
   std::cout << "  Reading: with margin, longer packets amortize the "
                "preamble and keep winning; near sensitivity the PER "
                "length-penalty flattens the curve (128 B -> 255 B buys "
@@ -80,8 +82,8 @@ int main() {
                       : 0.0;
     rows.push_back({dist, direct_ms, relay_ms, hops});
   }
-  bench::print_series(
-      "Distance (m)",
+  run.series(
+      "multihop", "Distance (m)",
       {"Direct airtime (ms, -1=unreachable)", "Routed airtime (ms)", "Hops"},
       rows, 1);
   std::cout << "  Reading: once the direct link needs SF11/12, two SF7-9 "
@@ -100,9 +102,8 @@ int main() {
                     ota::idle_listen_power(s).microwatts(),
                     ota::average_rendezvous(s).value()});
   }
-  bench::print_series("Interval (s)",
-                      {"Idle power (uW)", "Mean update latency (s)"}, rows,
-                      1);
+  run.series("rendezvous", "Interval (s)",
+             {"Idle power (uW)", "Mean update latency (s)"}, rows, 1);
   std::cout << "  Reading: the paper's periodic-timer design spans a clean "
                "Pareto front; at 10-minute intervals the standing cost is "
                "microwatts while updates start within minutes.\n";
@@ -130,7 +131,7 @@ int main() {
       auto sym = gen.symbol(v, lora::ChirpDirection::kUp);
       wave.insert(wave.end(), sym.begin(), sym.end());
     }
-    channel::AwgnChannel chan{cfg.bandwidth, bench::kLoraSystemNf, rng};
+    channel::AwgnChannel chan{cfg.bandwidth, phy::kLoraSystemNf, rng};
     auto noisy = chan.apply(wave, Dbm{-122.0});
     auto through = rx_radio.receive(noisy);
     lora::Demodulator demod{cfg, cfg.bandwidth};
@@ -143,23 +144,30 @@ int main() {
   };
 
   TextTable table{{"Impairment", "SER (%)"}};
-  table.add_row({"none", TextTable::num(ser_with({}), 2)});
+  auto impairment_row = [&](const std::string& label,
+                            const std::string& scalar_name,
+                            radio::RxImpairments imp) {
+    double ser = ser_with(imp);
+    table.add_row({label, TextTable::num(ser, 2)});
+    run.scalar(scalar_name, ser);
+  };
+  impairment_row("none", "ser_clean_pct", {});
   radio::RxImpairments dc;
   dc.dc_offset = 0.1;
-  table.add_row({"DC offset -20 dB", TextTable::num(ser_with(dc), 2)});
+  impairment_row("DC offset -20 dB", "ser_dc_offset_pct", dc);
   radio::RxImpairments iq;
   iq.iq_gain_imbalance_db = 1.0;
   iq.iq_phase_skew_deg = 5.0;
-  table.add_row({"IQ 1 dB / 5 deg", TextTable::num(ser_with(iq), 2)});
+  impairment_row("IQ 1 dB / 5 deg", "ser_iq_imbalance_pct", iq);
   radio::RxImpairments cfo;
   cfo.cfo_hz = 200.0;
-  table.add_row({"CFO 200 Hz", TextTable::num(ser_with(cfo), 2)});
+  impairment_row("CFO 200 Hz", "ser_cfo_pct", cfo);
   radio::RxImpairments all;
   all.dc_offset = 0.1;
   all.iq_gain_imbalance_db = 1.0;
   all.iq_phase_skew_deg = 5.0;
   all.cfo_hz = 200.0;
-  table.add_row({"all of the above", TextTable::num(ser_with(all), 2)});
+  impairment_row("all of the above", "ser_all_pct", all);
   table.print(std::cout);
   std::cout << "  Reading: DC offset and IQ imbalance are immaterial to "
                "CSS (part of why a $5.5 radio chip reaches LoRa-chipset "

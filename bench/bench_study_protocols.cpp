@@ -17,9 +17,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Protocol coverage", "paper Table 1 / §1",
-                      "One payload through every implemented IoT PHY");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Protocol coverage", "paper Table 1 / §1",
+                      "One payload through every implemented IoT PHY"};
 
   const std::vector<std::uint8_t> payload{0x54, 0x69, 0x6E, 0x79};  // "Tiny"
   TextTable table{{"Protocol", "Band", "Bandwidth", "Bit rate",

@@ -9,16 +9,16 @@
 using namespace tinysdr;
 using namespace tinysdr::fpga;
 
-int main() {
-  bench::print_header("Sample recorder", "paper §3.2.2",
-                      "microSD real-time I/Q recording budget");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Sample recorder", "paper §3.2.2",
+                      "microSD real-time I/Q recording budget"};
 
   std::vector<std::vector<double>> rows;
   for (double msps : {0.5, 1.0, 2.0, 4.0}) {
     double rate = recording_rate_bps(msps * 1e6);
     rows.push_back({msps, rate / 1e6, rate <= 104e6 ? 1.0 : 0.0});
   }
-  bench::print_series("Sample rate (Msps)",
+  run.series("sample_rate_msps", "Sample rate (Msps)",
                       {"Required rate (Mbps)", "Fits SPI 104 Mbps (1=yes)"},
                       rows, 2);
   std::cout << "At the radio's full 4 Msps the packed 13+13-bit stream is "

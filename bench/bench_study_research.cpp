@@ -16,10 +16,10 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Research studies", "paper §7",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Research studies", "paper §7",
                       "Quantifying the research directions the paper's "
-                      "conclusion proposes");
+                      "conclusion proposes"};
 
   // ---------------------------------------------------- [1] rate adaptation
   std::cout << "\n[1] Rate adaptation (ADR ladder SF7..SF12, 20-byte "
@@ -66,7 +66,7 @@ int main() {
     rows.push_back({static_cast<double>(nodes), sequential.value(),
                     b.total_time.value(), b.speedup_vs(sequential)});
   }
-  bench::print_series("Nodes",
+  run.series("nodes", "Nodes",
                       {"Sequential (s)", "Broadcast (s)", "Speedup"}, rows,
                       1);
   std::cout << "  Reading: sequential time grows linearly with fleet size; "
@@ -110,7 +110,7 @@ int main() {
     }
     rows.push_back({noise_deg, err_sum / trials});
   }
-  bench::print_series("Phase noise (deg)", {"Mean ranging error (m)"}, rows,
+  run.series("phase_noise_deg", "Phase noise (deg)", {"Mean ranging error (m)"}, rows,
                       3);
 
   // -------------------------------------------------------- [5] backscatter
@@ -122,7 +122,7 @@ int main() {
     core::BackscatterConfig cfg;
     rows.push_back({snr, core::backscatter_ber(cfg, 400, snr, br)});
   }
-  bench::print_series("Carrier SNR (dB)", {"Tag BER"}, rows, 4);
+  run.series("carrier_snr_db", "Carrier SNR (dB)", {"Tag BER"}, rows, 4);
   std::cout << "  Reading: the per-bit integrator's ~26 dB of processing "
                "gain buys back most of the -20 dB tag reflection; the "
                "reader needs roughly 15 dB of carrier SNR, i.e. it works "

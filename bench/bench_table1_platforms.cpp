@@ -7,10 +7,10 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Table 1", "paper Table 1",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 1", "paper Table 1",
                       "SDR platform comparison (sleep power, standalone, "
-                      "OTA, cost, bandwidth, ADC, spectrum, size)");
+                      "OTA, cost, bandwidth, ADC, spectrum, size)"};
 
   TextTable table{{"Platform", "Sleep (mW)", "Standalone", "OTA", "Cost ($)",
                    "Max BW (MHz)", "ADC (bits)", "Spectrum", "Size (cm^2)"}};

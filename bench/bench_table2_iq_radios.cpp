@@ -5,9 +5,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Table 2", "paper Table 2",
-                      "Existing off-the-shelf I/Q radio modules");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 2", "paper Table 2",
+                      "Existing off-the-shelf I/Q radio modules"};
 
   TextTable table{{"I/Q Radio", "Frequency", "RX power (mW)", "Cost ($)",
                    "900 MHz", "2.4 GHz", "<$10"}};

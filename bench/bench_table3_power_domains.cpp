@@ -6,9 +6,9 @@
 using namespace tinysdr;
 using namespace tinysdr::power;
 
-int main() {
-  bench::print_header("Table 3", "paper Table 3",
-                      "Power domains in tinySDR");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 3", "paper Table 3",
+                      "Power domains in tinySDR"};
 
   PowerManagementUnit pmu;
   TextTable table{{"Component", "Domain", "Voltage (V)", "Regulator"}};

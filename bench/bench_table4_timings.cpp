@@ -7,9 +7,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Table 4", "paper Table 4",
-                      "Operation timings for tinySDR");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 4", "paper Table 4",
+                      "Operation timings for tinySDR"};
 
   // Measure through the device/radio models.
   core::TinySdrDevice dev{1};

@@ -4,9 +4,9 @@
 
 using namespace tinysdr;
 
-int main() {
-  bench::print_header("Table 5", "paper Table 5",
-                      "TinySDR cost breakdown for 1000 units");
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 5", "paper Table 5",
+                      "TinySDR cost breakdown for 1000 units"};
 
   TextTable table{{"Category", "Component", "Price ($)"}};
   std::string last_category;

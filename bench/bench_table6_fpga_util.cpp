@@ -7,10 +7,10 @@
 using namespace tinysdr;
 using namespace tinysdr::fpga;
 
-int main() {
-  bench::print_header("Table 6", "paper Table 6",
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Table 6", "paper Table 6",
                       "FPGA utilization for the LoRa protocol (LFE5U-25F, "
-                      "24k LUTs)");
+                      "24k LUTs)"};
 
   DeviceSpec dev;
   TextTable table{{"SF", "LoRa TX (LUT)", "TX util", "LoRa RX (LUT)",

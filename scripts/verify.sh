@@ -27,6 +27,23 @@ else
   echo "smoke: python3 not found, skipping JSON validation"
 fi
 
+echo "== phy smoke: LinkSimulator-backed figure bench =="
+./build/bench/bench_fig11_lora_demod_ser --threads 2 \
+  --json "$smoke_dir/phy_bench.json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "$smoke_dir/phy_bench.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tinysdr-bench-v1", doc.get("schema")
+series = doc["series"]["ser_vs_rssi"]
+assert series["rows"], "empty sweep"
+assert all(len(r) == 1 + len(series["y_labels"]) for r in series["rows"])
+print(f"smoke: phy_bench.json validates ({len(series['rows'])} sweep points)")
+PY
+else
+  echo "smoke: python3 not found, skipping JSON validation"
+fi
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== tier-1: ASan+UBSan build =="
   cmake --preset asan-ubsan

@@ -51,7 +51,7 @@ dsp::Samples GfskModulator::modulate(const std::vector<bool>& bits) const {
 
 GfskDemodulator::GfskDemodulator(GfskConfig config) : config_(config) {}
 
-std::vector<bool> GfskDemodulator::demodulate(const dsp::Samples& iq,
+std::vector<bool> GfskDemodulator::demodulate(std::span<const dsp::Complex> iq,
                                               std::size_t sample_offset) const {
   obs::ProfileScope prof{"gfsk_demod"};
   const std::uint32_t sps = config_.samples_per_bit;
@@ -75,7 +75,7 @@ std::vector<bool> GfskDemodulator::demodulate(const dsp::Samples& iq,
   return bits;
 }
 
-std::size_t GfskDemodulator::estimate_timing(const dsp::Samples& iq) const {
+std::size_t GfskDemodulator::estimate_timing(std::span<const dsp::Complex> iq) const {
   const std::uint32_t sps = config_.samples_per_bit;
   if (iq.size() < sps * 16) return 0;
 

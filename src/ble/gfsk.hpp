@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -53,12 +54,12 @@ class GfskDemodulator {
 
   /// Recover bits from baseband I/Q. `bit_offset_hint` skips leading
   /// samples (e.g. after coarse packet detection).
-  [[nodiscard]] std::vector<bool> demodulate(const dsp::Samples& iq,
+  [[nodiscard]] std::vector<bool> demodulate(std::span<const dsp::Complex> iq,
                                              std::size_t sample_offset = 0) const;
 
   /// Timing recovery: find the sample offset (0..samples_per_bit-1) that
   /// maximises the eye opening over the preamble region.
-  [[nodiscard]] std::size_t estimate_timing(const dsp::Samples& iq) const;
+  [[nodiscard]] std::size_t estimate_timing(std::span<const dsp::Complex> iq) const;
 
  private:
   GfskConfig config_;

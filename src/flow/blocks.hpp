@@ -8,6 +8,7 @@
 #include "dsp/fir.hpp"
 #include "dsp/nco.hpp"
 #include "flow/graph.hpp"
+#include "phy/phy.hpp"
 #include "radio/quantizer.hpp"
 
 namespace tinysdr::flow {
@@ -145,6 +146,62 @@ class MapBlock : public Block {
 
  private:
   Fn fn_;
+};
+
+/// Source transmitting one frame through a unified-PHY transmitter: the
+/// payload is modulated up front and the waveform streamed out in chunks,
+/// so any PhyTx drops into a flowgraph as its head end.
+class PhyTxSource : public Block {
+ public:
+  PhyTxSource(const phy::PhyTx& tx, std::span<const std::uint8_t> payload,
+              std::size_t pad_samples = 0)
+      : Block("phy_tx:" + std::string(phy::protocol_name(tx.protocol()))) {
+    data_.assign(pad_samples, dsp::Complex{0.0f, 0.0f});
+    tx.modulate(payload, data_);
+    data_.insert(data_.end(), pad_samples, dsp::Complex{0.0f, 0.0f});
+  }
+
+  bool work(Ring*, Ring* out) override {
+    if (pos_ >= data_.size() || out == nullptr) return false;
+    std::span<const dsp::Complex> remaining{data_.data() + pos_,
+                                            data_.size() - pos_};
+    std::size_t pushed = out->push(remaining.subspan(
+        0, std::min<std::size_t>(remaining.size(), kChunk)));
+    pos_ += pushed;
+    return pushed > 0;
+  }
+  [[nodiscard]] bool finished() const override { return pos_ >= data_.size(); }
+
+ private:
+  dsp::Samples data_;
+  std::size_t pos_ = 0;
+};
+
+/// Terminal sink feeding a unified-PHY receiver: samples accumulate until
+/// the graph drains, then `result()` demodulates the whole capture and
+/// scores it against the reference payload.
+class PhyRxSink : public Block {
+ public:
+  PhyRxSink(const phy::PhyRx& rx, std::vector<std::uint8_t> reference)
+      : Block("phy_rx:" + std::string(phy::protocol_name(rx.protocol()))),
+        rx_(&rx),
+        reference_(std::move(reference)) {}
+
+  bool work(Ring* in, Ring*) override {
+    if (in == nullptr || in->empty()) return false;
+    in->pop(in->size(), data_);
+    return true;
+  }
+
+  [[nodiscard]] const dsp::Samples& data() const { return data_; }
+  [[nodiscard]] phy::FrameResult result() const {
+    return rx_->demodulate(data_, reference_);
+  }
+
+ private:
+  const phy::PhyRx* rx_;
+  std::vector<std::uint8_t> reference_;
+  dsp::Samples data_;
 };
 
 /// Terminal sink collecting everything.

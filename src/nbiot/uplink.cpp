@@ -62,7 +62,7 @@ dsp::Samples SingleToneModem::modulate(
 }
 
 std::optional<std::vector<std::uint8_t>> SingleToneModem::demodulate(
-    const dsp::Samples& iq) const {
+    std::span<const dsp::Complex> iq) const {
   const std::uint32_t sps = config_.samples_per_symbol;
   const auto& pilots = pilot_bits();
   if (iq.size() < sps * (kPilotSymbols + 10)) return std::nullopt;

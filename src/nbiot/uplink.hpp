@@ -55,7 +55,7 @@ class SingleToneModem {
   /// Coherent receiver: pilot correlation for timing + phase, derotate,
   /// integrate per symbol, CRC check.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> demodulate(
-      const dsp::Samples& iq) const;
+      std::span<const dsp::Complex> iq) const;
 
   [[nodiscard]] Seconds airtime(std::size_t payload_bytes) const;
 

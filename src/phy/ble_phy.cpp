@@ -1,0 +1,48 @@
+#include "phy/ble_phy.hpp"
+
+#include <cmath>
+
+namespace tinysdr::phy {
+
+namespace {
+
+ble::AdvPacket packet_for(const BlePhyConfig& config,
+                          std::span<const std::uint8_t> payload) {
+  ble::AdvPacket packet;
+  packet.adv_address = config.adv_address;
+  packet.adv_data.assign(payload.begin(), payload.end());
+  return packet;
+}
+
+}  // namespace
+
+BleBeaconTx::BleBeaconTx(BlePhyConfig config)
+    : config_(config), modulator_(config.gfsk) {}
+
+void BleBeaconTx::modulate(std::span<const std::uint8_t> payload,
+                           dsp::Samples& out) const {
+  auto bits = ble::assemble_air_bits(packet_for(config_, payload),
+                                     config_.channel_index);
+  auto wave = modulator_.modulate(bits);
+  out.insert(out.end(), wave.begin(), wave.end());
+}
+
+BleBeaconRx::BleBeaconRx(BlePhyConfig config)
+    : config_(config), demod_(config.gfsk) {}
+
+FrameResult BleBeaconRx::demodulate(
+    std::span<const dsp::Complex> iq,
+    std::span<const std::uint8_t> reference) const {
+  auto reference_bits = ble::assemble_air_bits(
+      packet_for(config_, reference), config_.channel_index);
+  auto bits = demod_.demodulate(iq, demod_.estimate_timing(iq));
+  double ber = ble::aligned_ber(reference_bits, bits);
+  FrameResult r;
+  r.bits = reference_bits.size();
+  r.bit_errors = static_cast<std::uint64_t>(
+      std::llround(ber * static_cast<double>(reference_bits.size())));
+  r.frame_ok = r.bit_errors == 0;
+  return r;
+}
+
+}  // namespace tinysdr::phy

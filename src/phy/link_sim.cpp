@@ -1,0 +1,161 @@
+#include "phy/link_sim.hpp"
+
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "exec/parallel_for.hpp"
+#include "exec/seed.hpp"
+#include "obs/metrics.hpp"
+
+namespace tinysdr::phy {
+
+namespace {
+
+// PCG stream selectors for the independent randomness a trial consumes.
+// Distinct streams of one trial seed, so adding a consumer (e.g. a fading
+// draw) never perturbs the others.
+constexpr std::uint64_t kPayloadStream = 1;
+constexpr std::uint64_t kInterfererStream = 2;
+constexpr std::uint64_t kChannelStream = 3;
+
+void fill_random(std::vector<std::uint8_t>& payload, std::size_t count,
+                 Rng& rng) {
+  payload.resize(count);
+  for (auto& b : payload) b = rng.next_byte();
+}
+
+}  // namespace
+
+LinkSimulator::LinkSimulator(const PhyTx& tx, const PhyRx& rx, TrialPlan plan)
+    : tx_(&tx), rx_(&rx), plan_(std::move(plan)) {}
+
+std::uint64_t LinkSimulator::point_seed(std::uint64_t base, double rssi_dbm) {
+  return exec::stream_seed(
+      base, exec::splitmix64(std::bit_cast<std::uint64_t>(rssi_dbm)));
+}
+
+PointResult LinkSimulator::run_point(const SweepPoint& point) const {
+  PointResult acc;
+  acc.rssi_dbm = point.rssi.value();
+
+  obs::Registry* registry = obs::metrics();
+  const std::string prefix = "phy." + std::string(protocol_name(
+                                          rx_->protocol()));
+
+  const Hertz rate = plan_.channel_rate.value_or(rx_->sample_rate());
+  const std::uint64_t pseed = point_seed(plan_.base_seed, acc.rssi_dbm);
+
+  // Buffers live across the trial loop; modulate() appends, so the only
+  // steady-state cost is the waveform writes themselves.
+  dsp::Samples wave, interferer_wave;
+  std::vector<std::uint8_t> payload, interferer_payload;
+
+  for (std::size_t t = 0; t < plan_.trials; ++t) {
+    const std::uint64_t tseed = exec::stream_seed(pseed, t);
+
+    if (plan_.fixed_payload) {
+      payload = *plan_.fixed_payload;
+    } else {
+      Rng payload_rng{tseed, kPayloadStream};
+      fill_random(payload,
+                  std::min(plan_.payload_bytes, tx_->max_payload()),
+                  payload_rng);
+    }
+
+    wave.clear();
+    wave.insert(wave.end(), plan_.pad_samples, dsp::Complex{0.0f, 0.0f});
+    tx_->modulate(payload, wave);
+    wave.insert(wave.end(), plan_.pad_samples, dsp::Complex{0.0f, 0.0f});
+
+    const dsp::Samples* signal = &wave;
+    dsp::Samples combined;
+    if (interferer_ != nullptr && point.interferer_rssi) {
+      Rng interferer_rng{tseed, kInterfererStream};
+      fill_random(
+          interferer_payload,
+          std::min(plan_.payload_bytes, interferer_->max_payload()),
+          interferer_rng);
+      interferer_wave.clear();
+      interferer_->modulate(interferer_payload, interferer_wave);
+      combined = channel::superpose(
+          wave, interferer_wave,
+          point.interferer_rssi->value() - point.rssi.value());
+      signal = &combined;
+    }
+
+    channel::AwgnChannel channel{rate, plan_.noise_figure_db,
+                                 Rng{tseed, kChannelStream}};
+    auto noisy = channel.apply(*signal, point.rssi);
+
+    FrameResult r;
+    if (registry != nullptr) {
+      auto start = std::chrono::steady_clock::now();
+      r = rx_->demodulate(noisy, payload);
+      auto end = std::chrono::steady_clock::now();
+      registry
+          ->histogram(prefix + ".demod_us",
+                      obs::HistogramSpec::log_scale(0.01, 1e7, 72))
+          .observe(
+              std::chrono::duration<double, std::micro>(end - start).count());
+    } else {
+      r = rx_->demodulate(noisy, payload);
+    }
+
+    acc.frames += 1;
+    acc.frame_errors += r.frame_ok ? 0 : 1;
+    acc.bits += r.bits;
+    acc.bit_errors += r.bit_errors;
+    acc.symbols += r.symbols;
+    acc.symbol_errors += r.symbol_errors;
+  }
+
+  if (registry != nullptr) {
+    registry->counter(prefix + ".trials")
+        .add(static_cast<double>(acc.frames));
+    registry->counter(prefix + ".frame_errors")
+        .add(static_cast<double>(acc.frame_errors));
+    registry->counter(prefix + ".bit_errors")
+        .add(static_cast<double>(acc.bit_errors));
+    registry->counter(prefix + ".symbol_errors")
+        .add(static_cast<double>(acc.symbol_errors));
+  }
+  return acc;
+}
+
+std::vector<PointResult> LinkSimulator::sweep(
+    std::span<const SweepPoint> points,
+    const exec::ExecPolicy& policy) const {
+  std::vector<PointResult> results(points.size());
+  obs::Registry* parent = obs::metrics();
+  std::vector<std::unique_ptr<obs::Registry>> shards(points.size());
+
+  exec::ExecPolicy p = policy;
+  if (p.grain == 0) p.grain = 1;  // a point's trial loop is a heavy item
+
+  exec::parallel_for(points.size(), p, [&](std::size_t i, std::size_t) {
+    std::optional<obs::MetricsSession> session;
+    if (parent != nullptr) {
+      shards[i] = std::make_unique<obs::Registry>();
+      shards[i]->enable_journal();
+      session.emplace(*shards[i]);
+    }
+    results[i] = run_point(points[i]);
+  });
+
+  if (parent != nullptr)
+    for (const auto& shard : shards)
+      if (shard != nullptr) parent->merge_from(*shard);
+  return results;
+}
+
+std::vector<PointResult> LinkSimulator::sweep_rssi(
+    std::span<const double> rssi_dbm, const exec::ExecPolicy& policy) const {
+  std::vector<SweepPoint> points;
+  points.reserve(rssi_dbm.size());
+  for (double rssi : rssi_dbm) points.push_back({Dbm{rssi}, std::nullopt});
+  return sweep(points, policy);
+}
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,122 @@
+// LinkSimulator: the one trial engine behind every PER/BER/SER curve.
+//
+// One seeded pipeline — random (or fixed) payload -> PhyTx waveform ->
+// optional quasi-orthogonal interferer superposition -> AwgnChannel at the
+// sweep RSSI -> PhyRx -> FrameResult — aggregated per sweep point. The
+// figure benches (Fig. 10/11/12/15a/15b) and the testbed multi-PHY
+// campaigns all run on it instead of hand-rolling their own loops.
+//
+// Determinism contract (PR 3's rules): one base seed roots a sweep; a
+// point's seed is a pure function of (base, rssi value) — independent of
+// the sweep grid, so adding or reordering points never changes another
+// point's trials — and each trial's RNGs derive from (point seed, trial
+// index) via exec::stream_seed. Points shard across exec::parallel_for
+// with per-point metrics shards merged in point order, so results and
+// telemetry are byte-identical for any --threads value.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "channel/noise.hpp"
+#include "exec/policy.hpp"
+#include "phy/phy.hpp"
+
+namespace tinysdr::phy {
+
+/// Per-sweep configuration of the trial loop.
+struct TrialPlan {
+  std::size_t trials = 50;
+  /// Random-payload size per trial (clamped to the TX's max_payload()).
+  std::size_t payload_bytes = 16;
+  /// Transmit this exact payload every trial instead of random bytes
+  /// (Fig. 10's fixed 3-byte payload, Fig. 12's fixed beacon).
+  std::optional<std::vector<std::uint8_t>> fixed_payload;
+  /// Zero samples padded before and after the waveform so synchronising
+  /// receivers hunt for the packet the way they would on air.
+  std::size_t pad_samples = 0;
+  /// Receiver noise figure; defaults to the generic front end — benches
+  /// pass the per-PHY calibrated value from the phy:: config defaults.
+  double noise_figure_db = channel::kDefaultNoiseFigureDb;
+  /// Noise bandwidth; unset means the RX sample rate.
+  std::optional<Hertz> channel_rate;
+  /// Root of the sweep's seed derivation.
+  std::uint64_t base_seed = 1;
+};
+
+/// One sweep point: the signal RSSI, plus the interferer's RSSI when the
+/// simulator has an interferer attached (Fig. 15's second transmitter).
+struct SweepPoint {
+  Dbm rssi{0.0};
+  std::optional<Dbm> interferer_rssi;
+};
+
+/// Aggregated trial outcomes at one point.
+struct PointResult {
+  double rssi_dbm = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t bit_errors = 0;
+  std::uint64_t symbols = 0;
+  std::uint64_t symbol_errors = 0;
+
+  [[nodiscard]] double per() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) /
+                             static_cast<double>(frames);
+  }
+  [[nodiscard]] double ber() const {
+    return bits == 0 ? 0.0
+                     : static_cast<double>(bit_errors) /
+                           static_cast<double>(bits);
+  }
+  [[nodiscard]] double ser() const {
+    return symbols == 0 ? 0.0
+                        : static_cast<double>(symbol_errors) /
+                              static_cast<double>(symbols);
+  }
+
+  [[nodiscard]] bool operator==(const PointResult&) const = default;
+};
+
+class LinkSimulator {
+ public:
+  /// Borrows the TX/RX (and optional interferer); they must outlive the
+  /// simulator and be safe for concurrent const use (all adapters are).
+  LinkSimulator(const PhyTx& tx, const PhyRx& rx, TrialPlan plan);
+
+  /// Attach a second, concurrently transmitting PHY whose waveform is
+  /// superposed onto the signal at each point's interferer RSSI.
+  void set_interferer(const PhyTx& tx) { interferer_ = &tx; }
+
+  [[nodiscard]] const TrialPlan& plan() const { return plan_; }
+
+  /// Seed for a point: pure in (base, rssi value), independent of where —
+  /// or whether — the point sits in any particular sweep grid.
+  [[nodiscard]] static std::uint64_t point_seed(std::uint64_t base,
+                                                double rssi_dbm);
+
+  /// Run the full trial loop at one point.
+  [[nodiscard]] PointResult run_point(const SweepPoint& point) const;
+
+  /// Run every point, sharded across the exec worker pool. Results and
+  /// merged metrics are byte-identical regardless of thread count.
+  [[nodiscard]] std::vector<PointResult> sweep(
+      std::span<const SweepPoint> points,
+      const exec::ExecPolicy& policy = {}) const;
+
+  /// Convenience: a plain RSSI grid with no interferer sweep.
+  [[nodiscard]] std::vector<PointResult> sweep_rssi(
+      std::span<const double> rssi_dbm,
+      const exec::ExecPolicy& policy = {}) const;
+
+ private:
+  const PhyTx* tx_;
+  const PhyRx* rx_;
+  const PhyTx* interferer_ = nullptr;
+  TrialPlan plan_;
+};
+
+}  // namespace tinysdr::phy

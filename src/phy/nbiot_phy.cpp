@@ -1,0 +1,25 @@
+#include "phy/nbiot_phy.hpp"
+
+namespace tinysdr::phy {
+
+NbiotTx::NbiotTx(NbiotPhyConfig config)
+    : config_(config), modem_(config.tone) {}
+
+void NbiotTx::modulate(std::span<const std::uint8_t> payload,
+                       dsp::Samples& out) const {
+  auto wave = modem_.modulate(payload);
+  out.insert(out.end(), wave.begin(), wave.end());
+}
+
+NbiotRx::NbiotRx(NbiotPhyConfig config)
+    : config_(config), modem_(config.tone) {}
+
+FrameResult NbiotRx::demodulate(
+    std::span<const dsp::Complex> iq,
+    std::span<const std::uint8_t> reference) const {
+  auto decoded = modem_.demodulate(iq);
+  if (!decoded) return score_lost_packet(reference);
+  return score_packet(reference, *decoded, true);
+}
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,59 @@
+// NB-IoT single-tone pi/2-BPSK adapter for the unified PHY layer:
+// payloads framed with the DMRS-like pilot, length byte and CRC-16 on one
+// 3.75 kHz subcarrier.
+#pragma once
+
+#include "nbiot/uplink.hpp"
+#include "phy/phy.hpp"
+
+namespace tinysdr::phy {
+
+/// NB-IoT uses the default receiver NF; no extra calibrated margin.
+inline constexpr double kNbiotSystemNf = 6.0;
+
+struct NbiotPhyConfig {
+  nbiot::SingleToneConfig tone{};
+  double system_noise_figure_db = kNbiotSystemNf;
+};
+
+class NbiotTx final : public PhyTx {
+ public:
+  explicit NbiotTx(NbiotPhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kNbiot;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.tone.sample_rate();
+  }
+  [[nodiscard]] std::size_t max_payload() const override {
+    return nbiot::kMaxPayload;
+  }
+  void modulate(std::span<const std::uint8_t> payload,
+                dsp::Samples& out) const override;
+
+ private:
+  NbiotPhyConfig config_;
+  nbiot::SingleToneModem modem_;
+};
+
+class NbiotRx final : public PhyRx {
+ public:
+  explicit NbiotRx(NbiotPhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kNbiot;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.tone.sample_rate();
+  }
+  [[nodiscard]] FrameResult demodulate(
+      std::span<const dsp::Complex> iq,
+      std::span<const std::uint8_t> reference) const override;
+
+ private:
+  NbiotPhyConfig config_;
+  nbiot::SingleToneModem modem_;
+};
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,62 @@
+#include "phy/registry.hpp"
+
+#include <stdexcept>
+
+#include "phy/ble_phy.hpp"
+#include "phy/lora_phy.hpp"
+#include "phy/nbiot_phy.hpp"
+#include "phy/sigfox_phy.hpp"
+#include "phy/zigbee_phy.hpp"
+
+namespace tinysdr::phy {
+
+void Registry::add(RegisteredPhy entry) {
+  if (find(entry.id) != nullptr)
+    throw std::invalid_argument("Registry: duplicate protocol id: " +
+                                entry.name);
+  entries_.push_back(std::move(entry));
+}
+
+const RegisteredPhy* Registry::find(Protocol id) const {
+  for (const auto& e : entries_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+const RegisteredPhy& Registry::at(Protocol id) const {
+  const RegisteredPhy* e = find(id);
+  if (e == nullptr)
+    throw std::out_of_range("Registry: protocol not registered: " +
+                            std::string(protocol_name(id)));
+  return *e;
+}
+
+const Registry& Registry::builtin() {
+  static const Registry registry = [] {
+    Registry r;
+    r.add({Protocol::kLora, std::string(protocol_name(Protocol::kLora)),
+           kLoraSystemNf, lora::kMaxPayload, 300,
+           [] { return std::make_unique<LoraPacketTx>(); },
+           [] { return std::make_unique<LoraPacketRx>(); }});
+    r.add({Protocol::kBle, std::string(protocol_name(Protocol::kBle)),
+           kBleSystemNf, 31, 0,
+           [] { return std::make_unique<BleBeaconTx>(); },
+           [] { return std::make_unique<BleBeaconRx>(); }});
+    r.add({Protocol::kZigbee, std::string(protocol_name(Protocol::kZigbee)),
+           kZigbeeSystemNf, zigbee::kMaxPsdu - 2, 0,
+           [] { return std::make_unique<ZigbeeTx>(); },
+           [] { return std::make_unique<ZigbeeRx>(); }});
+    r.add({Protocol::kSigfox, std::string(protocol_name(Protocol::kSigfox)),
+           kSigfoxSystemNf, sigfox::kMaxPayload, 0,
+           [] { return std::make_unique<SigfoxTx>(); },
+           [] { return std::make_unique<SigfoxRx>(); }});
+    r.add({Protocol::kNbiot, std::string(protocol_name(Protocol::kNbiot)),
+           kNbiotSystemNf, nbiot::kMaxPayload, 0,
+           [] { return std::make_unique<NbiotTx>(); },
+           [] { return std::make_unique<NbiotRx>(); }});
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace tinysdr::phy

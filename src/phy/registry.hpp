@@ -1,0 +1,58 @@
+// Protocol registry: every PHY the platform hosts, keyed by protocol id.
+//
+// The registry is how harness code (LinkSimulator benches, testbed
+// campaigns, the flow blocks) reaches a PHY without naming its concrete
+// classes: look up the entry, build a PhyTx/PhyRx pair from its factories,
+// and run. `Registry::builtin()` carries all five reproduced PHYs at their
+// paper-default configurations; adding a sixth protocol is one add() call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phy/phy.hpp"
+
+namespace tinysdr::phy {
+
+struct RegisteredPhy {
+  Protocol id{};
+  std::string name;
+  /// Calibrated system noise figure the evaluation benches use for this
+  /// PHY (one source of truth — bench code reads it from here).
+  double system_noise_figure_db = 0.0;
+  /// Largest payload the TX accepts (mirrors PhyTx::max_payload()).
+  std::size_t max_payload = 0;
+  /// Zero-padding the RX wants around the waveform. Non-zero only for
+  /// synchronising receivers (LoRa packet sync hunts for the preamble);
+  /// aligned demodulators expect the frame at sample zero and must get 0.
+  std::size_t pad_samples = 0;
+  std::function<std::unique_ptr<PhyTx>()> make_tx;
+  std::function<std::unique_ptr<PhyRx>()> make_rx;
+};
+
+class Registry {
+ public:
+  /// Register a PHY. @throws std::invalid_argument on a duplicate id.
+  void add(RegisteredPhy entry);
+
+  [[nodiscard]] const RegisteredPhy* find(Protocol id) const;
+  /// find() that throws std::out_of_range instead of returning nullptr.
+  [[nodiscard]] const RegisteredPhy& at(Protocol id) const;
+
+  [[nodiscard]] const std::vector<RegisteredPhy>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// The built-in registry: all five reproduced PHYs (LoRa SF8/BW125
+  /// packets, BLE 1 Mbps beacons, Zigbee 250 kb/s, Sigfox 100 bps,
+  /// NB-IoT single-tone) at their default configurations.
+  [[nodiscard]] static const Registry& builtin();
+
+ private:
+  std::vector<RegisteredPhy> entries_;
+};
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,25 @@
+#include "phy/sigfox_phy.hpp"
+
+namespace tinysdr::phy {
+
+SigfoxTx::SigfoxTx(SigfoxPhyConfig config)
+    : config_(config), modem_(config.unb) {}
+
+void SigfoxTx::modulate(std::span<const std::uint8_t> payload,
+                        dsp::Samples& out) const {
+  auto wave = modem_.modulate(payload);
+  out.insert(out.end(), wave.begin(), wave.end());
+}
+
+SigfoxRx::SigfoxRx(SigfoxPhyConfig config)
+    : config_(config), modem_(config.unb) {}
+
+FrameResult SigfoxRx::demodulate(
+    std::span<const dsp::Complex> iq,
+    std::span<const std::uint8_t> reference) const {
+  auto decoded = modem_.demodulate(iq);
+  if (!decoded) return score_lost_packet(reference);
+  return score_packet(reference, *decoded, true);
+}
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,59 @@
+// Sigfox ultra-narrowband DBPSK adapter for the unified PHY layer:
+// payloads (up to the 12-byte Sigfox uplink limit) framed with preamble,
+// sync word and CRC-16 through the differential modem.
+#pragma once
+
+#include "phy/phy.hpp"
+#include "sigfox/unb.hpp"
+
+namespace tinysdr::phy {
+
+/// Sigfox uses the default receiver NF; no extra calibrated margin.
+inline constexpr double kSigfoxSystemNf = 6.0;
+
+struct SigfoxPhyConfig {
+  sigfox::UnbConfig unb{};
+  double system_noise_figure_db = kSigfoxSystemNf;
+};
+
+class SigfoxTx final : public PhyTx {
+ public:
+  explicit SigfoxTx(SigfoxPhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kSigfox;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.unb.sample_rate();
+  }
+  [[nodiscard]] std::size_t max_payload() const override {
+    return sigfox::kMaxPayload;
+  }
+  void modulate(std::span<const std::uint8_t> payload,
+                dsp::Samples& out) const override;
+
+ private:
+  SigfoxPhyConfig config_;
+  sigfox::UnbModem modem_;
+};
+
+class SigfoxRx final : public PhyRx {
+ public:
+  explicit SigfoxRx(SigfoxPhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kSigfox;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.unb.sample_rate();
+  }
+  [[nodiscard]] FrameResult demodulate(
+      std::span<const dsp::Complex> iq,
+      std::span<const std::uint8_t> reference) const override;
+
+ private:
+  SigfoxPhyConfig config_;
+  sigfox::UnbModem modem_;
+};
+
+}  // namespace tinysdr::phy

@@ -1,0 +1,61 @@
+// 802.15.4 O-QPSK ("Zigbee") adapter for the unified PHY layer: payloads
+// are PSDUs carried in a full PPDU (preamble, SFD, PHR, FCS) through the
+// DSSS modem at the AT86RF215's 4 MHz I/Q rate.
+#pragma once
+
+#include "phy/phy.hpp"
+#include "zigbee/oqpsk.hpp"
+
+namespace tinysdr::phy {
+
+/// Zigbee runs over the same front end with no extra implementation margin
+/// calibrated in: the default receiver NF (front-end + margin).
+inline constexpr double kZigbeeSystemNf = 6.0;
+
+struct ZigbeePhyConfig {
+  zigbee::OqpskConfig oqpsk{};
+  double system_noise_figure_db = kZigbeeSystemNf;
+};
+
+class ZigbeeTx final : public PhyTx {
+ public:
+  explicit ZigbeeTx(ZigbeePhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kZigbee;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.oqpsk.sample_rate();
+  }
+  /// PHR length field covers PSDU + FCS, capping the payload at 125 B.
+  [[nodiscard]] std::size_t max_payload() const override {
+    return zigbee::kMaxPsdu - 2;
+  }
+  void modulate(std::span<const std::uint8_t> payload,
+                dsp::Samples& out) const override;
+
+ private:
+  ZigbeePhyConfig config_;
+  zigbee::OqpskModem modem_;
+};
+
+class ZigbeeRx final : public PhyRx {
+ public:
+  explicit ZigbeeRx(ZigbeePhyConfig config = {});
+
+  [[nodiscard]] Protocol protocol() const override {
+    return Protocol::kZigbee;
+  }
+  [[nodiscard]] Hertz sample_rate() const override {
+    return config_.oqpsk.sample_rate();
+  }
+  [[nodiscard]] FrameResult demodulate(
+      std::span<const dsp::Complex> iq,
+      std::span<const std::uint8_t> reference) const override;
+
+ private:
+  ZigbeePhyConfig config_;
+  zigbee::OqpskModem modem_;
+};
+
+}  // namespace tinysdr::phy

@@ -67,7 +67,7 @@ dsp::Samples UnbModem::modulate(std::span<const std::uint8_t> payload) const {
 }
 
 std::optional<std::vector<std::uint8_t>> UnbModem::demodulate(
-    const dsp::Samples& iq) const {
+    std::span<const dsp::Complex> iq) const {
   const std::uint32_t spb = config_.samples_per_bit;
   if (iq.size() < spb * 40) return std::nullopt;
 

@@ -58,7 +58,7 @@ class UnbModem {
   /// Differential receiver: per-bit correlation with the previous bit;
   /// preamble/sync hunt; CRC check.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> demodulate(
-      const dsp::Samples& iq) const;
+      std::span<const dsp::Complex> iq) const;
 
   /// Airtime: Sigfox frames take seconds (the price of 100 bps).
   [[nodiscard]] Seconds airtime(std::size_t payload_bytes) const;

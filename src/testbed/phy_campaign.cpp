@@ -1,0 +1,92 @@
+#include "testbed/phy_campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "exec/parallel_for.hpp"
+#include "obs/metrics.hpp"
+#include "testbed/campaign.hpp"
+
+namespace tinysdr::testbed {
+
+std::vector<PhyProtocolSummary> PhyCampaignResult::by_protocol(
+    const phy::Registry& registry) const {
+  std::vector<PhyProtocolSummary> out;
+  for (const auto& entry : registry.entries()) {
+    PhyProtocolSummary s;
+    s.protocol = entry.id;
+    for (const auto& node : per_node) {
+      if (node.protocol != entry.id) continue;
+      ++s.nodes;
+      s.frames += node.link.frames;
+      s.frame_errors += node.link.frame_errors;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<CdfPoint> PhyCampaignResult::delivery_cdf() const {
+  std::vector<double> delivery;
+  delivery.reserve(per_node.size());
+  for (const auto& node : per_node)
+    delivery.push_back(1.0 - node.link.per());
+  return empirical_cdf(std::move(delivery));
+}
+
+PhyCampaignResult run_phy_campaign(const Deployment& deployment,
+                                   const phy::Registry& registry,
+                                   const PhyCampaignConfig& config,
+                                   const exec::ExecPolicy& policy) {
+  if (registry.size() == 0)
+    throw std::invalid_argument("run_phy_campaign: empty registry");
+
+  const auto& nodes = deployment.nodes();
+  PhyCampaignResult result;
+  result.per_node.resize(nodes.size());
+
+  obs::Registry* campaign_metrics = obs::metrics();
+  std::vector<std::unique_ptr<obs::Registry>> shards(nodes.size());
+
+  exec::ExecPolicy p = policy;
+  if (p.grain == 0) p.grain = 1;  // one node's trial batch is a heavy item
+
+  result.exec_status = exec::parallel_for(
+      nodes.size(), p, [&](std::size_t i, std::size_t) {
+        std::optional<obs::MetricsSession> session;
+        if (campaign_metrics != nullptr) {
+          shards[i] = std::make_unique<obs::Registry>();
+          shards[i]->enable_journal();
+          session.emplace(*shards[i]);
+        }
+
+        const Node& node = nodes[i];
+        const auto& entry = registry.entries()[i % registry.size()];
+        auto tx = entry.make_tx();
+        auto rx = entry.make_rx();
+
+        phy::TrialPlan plan;
+        plan.trials = config.trials_per_node;
+        plan.payload_bytes =
+            std::min(config.payload_bytes, entry.max_payload);
+        plan.pad_samples = entry.pad_samples;
+        plan.noise_figure_db = entry.system_noise_figure_db;
+        plan.base_seed = node_link_seed(config.base_seed, node.id);
+
+        phy::LinkSimulator sim{*tx, *rx, plan};
+        PhyNodeResult& out = result.per_node[i];
+        out.node_id = node.id;
+        out.protocol = entry.id;
+        out.rssi_dbm = node.rssi.value();
+        out.link = sim.run_point({node.rssi, std::nullopt});
+      });
+
+  if (campaign_metrics != nullptr)
+    for (const auto& shard : shards)
+      if (shard != nullptr) campaign_metrics->merge_from(*shard);
+  return result;
+}
+
+}  // namespace tinysdr::testbed

@@ -1,0 +1,71 @@
+// Multi-PHY link campaign across the testbed.
+//
+// The paper's testbed argument is that every node is *programmable*: the
+// same 20-node campus deployment can run LoRa today and BLE tomorrow.
+// This campaign models that — each node is assigned a protocol from a
+// phy::Registry (round-robin by node index) and runs a LinkSimulator
+// trial batch at its deployed RSSI, reporting per-node and per-protocol
+// link health.
+//
+// Determinism follows the campaign rules: each node's seed derives from
+// the campaign seed and its node id (node_link_seed), nodes shard across
+// the exec worker pool with per-node metrics shards merged in node-index
+// order, so output is byte-identical for any thread count.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/registry.hpp"
+#include "testbed/deployment.hpp"
+
+namespace tinysdr::testbed {
+
+struct PhyCampaignConfig {
+  std::size_t trials_per_node = 20;
+  /// Random payload per trial, clamped to each PHY's max (12 B fits all
+  /// five built-in protocols, including Sigfox).
+  std::size_t payload_bytes = 12;
+  std::uint64_t base_seed = 1;
+};
+
+struct PhyNodeResult {
+  std::uint16_t node_id = 0;
+  phy::Protocol protocol{};
+  double rssi_dbm = 0.0;
+  phy::PointResult link;
+};
+
+struct PhyProtocolSummary {
+  phy::Protocol protocol{};
+  std::size_t nodes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t frame_errors = 0;
+
+  [[nodiscard]] double per() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(frame_errors) /
+                             static_cast<double>(frames);
+  }
+};
+
+struct PhyCampaignResult {
+  std::vector<PhyNodeResult> per_node;
+  exec::RunStatus exec_status{};
+
+  /// Aggregate per protocol, in registry order.
+  [[nodiscard]] std::vector<PhyProtocolSummary> by_protocol(
+      const phy::Registry& registry) const;
+  /// CDF of per-node frame delivery rate (1 - PER).
+  [[nodiscard]] std::vector<CdfPoint> delivery_cdf() const;
+};
+
+/// Run every node's trial batch, protocols assigned round-robin from the
+/// registry, sharded across the exec worker pool under `policy`.
+[[nodiscard]] PhyCampaignResult run_phy_campaign(
+    const Deployment& deployment, const phy::Registry& registry,
+    const PhyCampaignConfig& config, const exec::ExecPolicy& policy = {});
+
+}  // namespace tinysdr::testbed

@@ -145,7 +145,7 @@ dsp::Samples OqpskModem::modulate(std::span<const std::uint8_t> psdu) const {
   return out;
 }
 
-std::vector<std::uint8_t> OqpskModem::slice_chips(const dsp::Samples& iq,
+std::vector<std::uint8_t> OqpskModem::slice_chips(std::span<const dsp::Complex> iq,
                                                   std::size_t offset) const {
   const std::uint32_t spc = config_.samples_per_chip;
   const std::size_t pulse_len = 2 * spc;
@@ -161,7 +161,7 @@ std::vector<std::uint8_t> OqpskModem::slice_chips(const dsp::Samples& iq,
 }
 
 std::optional<std::vector<std::uint8_t>> OqpskModem::demodulate(
-    const dsp::Samples& iq) const {
+    std::span<const dsp::Complex> iq) const {
   const std::uint32_t spc = config_.samples_per_chip;
   const std::size_t pulse_len = 2 * spc;
   // Need at least the 6-symbol probe window plus slack.

@@ -69,14 +69,14 @@ class OqpskModem {
 
   /// Receive: chip-rate sampling, preamble/SFD sync, despread, FCS check.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> demodulate(
-      const dsp::Samples& iq) const;
+      std::span<const dsp::Complex> iq) const;
 
   /// PPDU airtime at 250 kb/s (62.5 ksym/s).
   [[nodiscard]] Seconds airtime(std::size_t psdu_bytes) const;
 
  private:
   /// Hard chip decisions (0/1) from a waveform, starting at `offset`.
-  [[nodiscard]] std::vector<std::uint8_t> slice_chips(const dsp::Samples& iq,
+  [[nodiscard]] std::vector<std::uint8_t> slice_chips(std::span<const dsp::Complex> iq,
                                                       std::size_t offset) const;
 
   OqpskConfig config_;

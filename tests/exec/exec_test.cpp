@@ -147,7 +147,9 @@ TEST(ParallelFor, ParticipantIdsStayInRange) {
   EXPECT_TRUE(status.complete());
   EXPECT_FALSE(seen.empty());
   EXPECT_LT(*seen.rbegin(), threads);
-  EXPECT_TRUE(seen.count(0));  // the caller always participates
+  // The caller (participant 0) usually joins in, but on a loaded machine
+  // the workers may drain the whole index space first — participation is
+  // not part of the contract, so only the id range is asserted.
 }
 
 TEST(ParallelFor, NestedRegionsDegradeToInlineSerial) {

@@ -1,0 +1,64 @@
+// The protocol registry: all five reproduced PHYs are reachable through
+// it, each entry's factories build a matching TX/RX pair, and the
+// registration rules hold.
+#include "phy/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tinysdr::phy {
+namespace {
+
+TEST(Registry, BuiltinCarriesAllFiveProtocols) {
+  const Registry& r = Registry::builtin();
+  ASSERT_EQ(r.size(), kProtocolCount);
+  for (Protocol p : {Protocol::kLora, Protocol::kBle, Protocol::kZigbee,
+                     Protocol::kSigfox, Protocol::kNbiot}) {
+    const RegisteredPhy* e = r.find(p);
+    ASSERT_NE(e, nullptr) << protocol_name(p);
+    EXPECT_EQ(e->name, protocol_name(p));
+    EXPECT_GT(e->max_payload, 0u);
+    EXPECT_GT(e->system_noise_figure_db, 0.0);
+  }
+}
+
+TEST(Registry, FactoriesBuildMatchingPairs) {
+  for (const auto& entry : Registry::builtin().entries()) {
+    auto tx = entry.make_tx();
+    auto rx = entry.make_rx();
+    ASSERT_NE(tx, nullptr);
+    ASSERT_NE(rx, nullptr);
+    EXPECT_EQ(tx->protocol(), entry.id);
+    EXPECT_EQ(rx->protocol(), entry.id);
+    EXPECT_EQ(tx->max_payload(), entry.max_payload);
+    EXPECT_EQ(tx->sample_rate().value(), rx->sample_rate().value());
+    EXPECT_GT(tx->sample_rate().value(), 0.0);
+  }
+}
+
+TEST(Registry, NoiselessLoopbackDeliversEveryProtocol) {
+  const std::vector<std::uint8_t> payload{0x54, 0x69, 0x6E, 0x79};
+  for (const auto& entry : Registry::builtin().entries()) {
+    auto tx = entry.make_tx();
+    auto rx = entry.make_rx();
+    dsp::Samples wave(entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+    tx->modulate(payload, wave);
+    wave.insert(wave.end(), entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+    FrameResult r = rx->demodulate(wave, payload);
+    EXPECT_TRUE(r.frame_ok) << entry.name;
+    EXPECT_EQ(r.bit_errors, 0u) << entry.name;
+  }
+}
+
+TEST(Registry, DuplicateIdThrows) {
+  Registry r;
+  const auto& lora = Registry::builtin().at(Protocol::kLora);
+  r.add(lora);
+  EXPECT_THROW(r.add(lora), std::invalid_argument);
+  EXPECT_THROW(r.at(Protocol::kBle), std::out_of_range);
+  EXPECT_EQ(r.find(Protocol::kBle), nullptr);
+}
+
+}  // namespace
+}  // namespace tinysdr::phy
