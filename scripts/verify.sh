@@ -44,6 +44,9 @@ else
   echo "smoke: python3 not found, skipping JSON validation"
 fi
 
+echo "== fuzz smoke: every harness over its seed corpus =="
+./build/tests/tinysdr_fuzz --iterations 500 --artifacts "$smoke_dir/fuzz-artifacts"
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "== tier-1: ASan+UBSan build =="
   cmake --preset asan-ubsan

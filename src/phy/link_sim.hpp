@@ -107,6 +107,18 @@ class LinkSimulator {
       std::span<const SweepPoint> points,
       const exec::ExecPolicy& policy = {}) const;
 
+  /// Like sweep(), but surfaces how the region ended: the policy's
+  /// cancellation token or deadline can stop the sweep early, and the
+  /// returned RunStatus says so plus how many points completed. `results`
+  /// is resized to points.size(); a point that never ran is left
+  /// value-initialised (frames == 0 — a well-formed "no trials" result).
+  /// Metric shards of completed points are still merged in point-index
+  /// order, so partial telemetry is deterministic and no shard is leaked
+  /// or double-counted.
+  [[nodiscard]] exec::RunStatus sweep(std::span<const SweepPoint> points,
+                                      std::vector<PointResult>& results,
+                                      const exec::ExecPolicy& policy = {}) const;
+
   /// Convenience: a plain RSSI grid with no interferer sweep.
   [[nodiscard]] std::vector<PointResult> sweep_rssi(
       std::span<const double> rssi_dbm,

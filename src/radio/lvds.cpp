@@ -21,16 +21,32 @@ std::int32_t decode_sample13(std::uint16_t raw) {
   return v;
 }
 
+std::uint32_t pack_word(const IqWord& word) {
+  std::uint32_t image = 0;
+  image |= std::uint32_t{kISync} << 30;
+  image |= std::uint32_t{encode_sample13(word.i)} << 17;
+  image |= std::uint32_t{word.i_ctrl ? 1u : 0u} << 16;
+  image |= std::uint32_t{kQSync} << 14;
+  image |= std::uint32_t{encode_sample13(word.q)} << 1;
+  image |= std::uint32_t{word.q_ctrl ? 1u : 0u};
+  return image;
+}
+
+std::optional<IqWord> unpack_word(std::uint32_t image) {
+  if (((image >> 30) & 0x3u) != kISync) return std::nullopt;
+  if (((image >> 14) & 0x3u) != kQSync) return std::nullopt;
+  IqWord w;
+  w.i = decode_sample13(static_cast<std::uint16_t>((image >> 17) & 0x1FFFu));
+  w.i_ctrl = ((image >> 16) & 1u) != 0;
+  w.q = decode_sample13(static_cast<std::uint16_t>((image >> 1) & 0x1FFFu));
+  w.q_ctrl = (image & 1u) != 0;
+  return w;
+}
+
 void LvdsSerializer::push(const IqWord& word) {
-  auto push_field = [this](std::uint32_t value, int bits) {
-    for (int b = bits - 1; b >= 0; --b) bits_.push_back((value >> b) & 1u);
-  };
-  push_field(kISync, 2);
-  push_field(encode_sample13(word.i), kSampleBits);
-  bits_.push_back(word.i_ctrl);
-  push_field(kQSync, 2);
-  push_field(encode_sample13(word.q), kSampleBits);
-  bits_.push_back(word.q_ctrl);
+  const std::uint32_t image = pack_word(word);
+  for (int b = kWordBits - 1; b >= 0; --b)
+    bits_.push_back(((image >> b) & 1u) != 0);
 }
 
 void LvdsSerializer::push_samples(
@@ -39,22 +55,15 @@ void LvdsSerializer::push_samples(
 }
 
 std::optional<IqWord> LvdsDeserializer::parse_at(std::size_t start) const {
-  // Parse 32 bits of window_ starting at `start` (MSB-first fields).
-  auto field = [this, start](std::size_t offset, int bits) {
-    std::uint32_t v = 0;
-    for (int b = 0; b < bits; ++b)
-      v = (v << 1) |
-          (window_[start + offset + static_cast<std::size_t>(b)] ? 1u : 0u);
-    return v;
-  };
-  if (field(0, 2) != kISync) return std::nullopt;
-  if (field(16, 2) != kQSync) return std::nullopt;
-  IqWord w;
-  w.i = decode_sample13(static_cast<std::uint16_t>(field(2, kSampleBits)));
-  w.i_ctrl = window_[start + 15];
-  w.q = decode_sample13(static_cast<std::uint16_t>(field(18, kSampleBits)));
-  w.q_ctrl = window_[start + 31];
-  return w;
+  // A truncated window is a parse failure, not a precondition violation:
+  // fuzzed/short streams must never read past the buffer.
+  if (start > window_.size() ||
+      window_.size() - start < static_cast<std::size_t>(kWordBits))
+    return std::nullopt;
+  std::uint32_t image = 0;
+  for (std::size_t b = 0; b < static_cast<std::size_t>(kWordBits); ++b)
+    image = (image << 1) | (window_[start + b] ? 1u : 0u);
+  return unpack_word(image);
 }
 
 void LvdsDeserializer::feed(bool bit) {

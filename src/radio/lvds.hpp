@@ -41,6 +41,16 @@ struct IqWord {
 /// Decode 13-bit two's complement to a signed sample.
 [[nodiscard]] std::int32_t decode_sample13(std::uint16_t raw);
 
+/// Pack one I/Q word into its 32-bit wire image (MSB = first bit on the
+/// wire). @throws std::out_of_range if a sample is outside 13-bit range.
+[[nodiscard]] std::uint32_t pack_word(const IqWord& word);
+
+/// Parse a 32-bit wire image. Returns nullopt — never UB, never a
+/// half-decoded word — when either sync field is invalid: I_SYNC must be
+/// exactly 0b10 and Q_SYNC exactly 0b01, so images with both sync bits
+/// set (0b11), swapped fields, or idle zeros are all rejected.
+[[nodiscard]] std::optional<IqWord> unpack_word(std::uint32_t image);
+
 /// Serialize I/Q words to a flat bit stream (MSB of the word first, which
 /// is the order the DDR interface shifts).
 class LvdsSerializer {
@@ -80,11 +90,19 @@ class LvdsDeserializer {
   /// Number of bits discarded while hunting for sync.
   [[nodiscard]] std::size_t slipped_bits() const { return slipped_; }
 
+  /// Bits buffered but not yet decoded or discarded — nonzero after a
+  /// stream that ends mid-word. A truncated final word is *rejected*
+  /// (held here, never emitted as a garbage word); every fed bit is
+  /// accounted for as 32 * decoded words + slipped_bits() + pending_bits().
+  [[nodiscard]] std::size_t pending_bits() const { return window_.size(); }
+
   [[nodiscard]] bool in_sync() const { return in_sync_; }
 
  private:
-  /// Try to parse 32 bits of `window_` starting at `start`; nullopt if the
-  /// sync fields don't match.
+  /// Try to parse 32 bits of `window_` starting at `start`. nullopt if the
+  /// window holds fewer than 32 bits past `start` (truncated word) or the
+  /// sync fields don't match — defensive on both counts, so no caller can
+  /// turn a short window into out-of-bounds reads.
   [[nodiscard]] std::optional<IqWord> parse_at(std::size_t start) const;
 
   std::vector<bool> window_;
@@ -97,5 +115,9 @@ class LvdsDeserializer {
 /// stream back to samples.
 [[nodiscard]] std::vector<IqWord> lvds_roundtrip(
     const std::vector<IqQuantizer::CodePair>& codes);
+
+/// Paper-facing names for the two halves of the Fig. 4 word codec.
+using Framer = LvdsSerializer;
+using Deframer = LvdsDeserializer;
 
 }  // namespace tinysdr::radio

@@ -1,0 +1,80 @@
+// ByteSource: structured decoding of a raw fuzz input.
+//
+// A fuzz harness is a total function of an arbitrary byte string (the
+// libFuzzer contract). ByteSource turns that string into bounded integers,
+// reals and byte blocks the way FuzzedDataProvider does: every draw
+// consumes from the front, and an exhausted source keeps answering with
+// zeros, so the harness is defined on *every* input — short, empty or
+// adversarial. Because the mapping is pure, an input regenerated from a
+// recorded (seed, index) pair replays the exact same harness behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tinysdr::testkit {
+
+class ByteSource {
+ public:
+  explicit ByteSource(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8() {
+    return pos_ < data_.size() ? data_[pos_++] : 0;
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (std::uint16_t{u8()} << 8));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    return u16() | (std::uint32_t{u16()} << 16);
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    return u32() | (std::uint64_t{u32()} << 32);
+  }
+
+  [[nodiscard]] bool boolean() { return (u8() & 1u) != 0; }
+
+  /// Uniform-ish in [0, bound); bound 0 yields 0. Modulo bias is fine
+  /// here — fuzz inputs are not statistics, they are coverage.
+  [[nodiscard]] std::uint32_t uint_below(std::uint32_t bound) {
+    return bound == 0 ? 0 : u32() % bound;
+  }
+
+  /// Inclusive integer range; lo > hi collapses to lo.
+  [[nodiscard]] std::int64_t int_in(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(u64() % span);
+  }
+
+  /// Real in [0, 1).
+  [[nodiscard]] double unit() {
+    return static_cast<double>(u32()) * (1.0 / 4294967296.0);
+  }
+  [[nodiscard]] double real_in(double lo, double hi) {
+    return hi <= lo ? lo : lo + unit() * (hi - lo);
+  }
+
+  /// Up to `n` bytes (fewer if the input runs out; never padded — block
+  /// sizes shrink with the input, which is what byte-level shrinking
+  /// wants).
+  [[nodiscard]] std::vector<std::uint8_t> take(std::size_t n) {
+    std::size_t count = std::min(n, remaining());
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return out;
+  }
+
+  /// Everything left.
+  [[nodiscard]] std::vector<std::uint8_t> rest() { return take(remaining()); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tinysdr::testkit

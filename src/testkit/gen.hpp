@@ -1,0 +1,297 @@
+// Typed generators for property-based tests.
+//
+// A Gen<T> draws a value from an Rng under a size bound (the property
+// runner ramps size up across cases, so early cases are small and late
+// cases stress the upper range) and optionally knows how to shrink a
+// failing value toward a minimal counterexample. Shrink candidates are
+// produced by the generator itself so they always respect the generator's
+// own constraints (an int_in(3, 9) never shrinks below 3, a vector_of with
+// min_len 2 never drops under 2 elements).
+//
+// Generators are pure in (rng state, size): the property runner derives
+// one Rng per case from (base seed, case index) via exec::stream_seed, so
+// every failure replays from that pair alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::testkit {
+
+template <typename T>
+class Gen {
+ public:
+  using value_type = T;
+  using GenFn = std::function<T(Rng&, std::size_t)>;
+  using ShrinkFn = std::function<std::vector<T>(const T&)>;
+
+  explicit Gen(GenFn fn, ShrinkFn shrink = nullptr)
+      : fn_(std::move(fn)), shrink_(std::move(shrink)) {}
+
+  [[nodiscard]] T operator()(Rng& rng, std::size_t size) const {
+    return fn_(rng, size);
+  }
+
+  /// Shrink candidates for `value`, smaller/simpler first. Empty when the
+  /// generator has no shrinker (shrinking then stops at the raw value).
+  [[nodiscard]] std::vector<T> shrink(const T& value) const {
+    return shrink_ ? shrink_(value) : std::vector<T>{};
+  }
+
+  /// Replace the shrinker (e.g. after map(), which cannot invert the
+  /// mapping to reuse the source shrinker).
+  [[nodiscard]] Gen<T> with_shrink(ShrinkFn shrink) const {
+    return Gen<T>{fn_, std::move(shrink)};
+  }
+
+  template <typename F>
+  [[nodiscard]] auto map(F f) const -> Gen<std::invoke_result_t<F, T>> {
+    using U = std::invoke_result_t<F, T>;
+    auto fn = fn_;
+    return Gen<U>{[fn, f](Rng& rng, std::size_t size) { return f(fn(rng, size)); }};
+  }
+
+  /// Retry until `pred` holds (up to `max_tries` draws, then the last
+  /// draw is returned as-is — properties should treat the predicate as a
+  /// soft bias, not a hard precondition). Shrink candidates are filtered
+  /// through the predicate, so shrinking never escapes it.
+  template <typename P>
+  [[nodiscard]] Gen<T> filter(P pred, std::size_t max_tries = 100) const {
+    auto fn = fn_;
+    auto shrink = shrink_;
+    return Gen<T>{
+        [fn, pred, max_tries](Rng& rng, std::size_t size) {
+          T v = fn(rng, size);
+          for (std::size_t i = 1; i < max_tries && !pred(v); ++i)
+            v = fn(rng, size);
+          return v;
+        },
+        shrink == nullptr
+            ? ShrinkFn{}
+            : ShrinkFn{[shrink, pred](const T& v) {
+                std::vector<T> all = shrink(v);
+                std::vector<T> kept;
+                for (auto& c : all)
+                  if (pred(c)) kept.push_back(std::move(c));
+                return kept;
+              }}};
+  }
+
+ private:
+  GenFn fn_;
+  ShrinkFn shrink_;
+};
+
+namespace gen {
+
+namespace detail {
+
+/// Integer shrink candidates within [lo, hi]: the in-range value closest
+/// to zero first, then bisection steps from it toward the failing value.
+template <typename T>
+std::vector<T> shrink_int_toward(T value, T lo, T hi) {
+  T target = 0;
+  if (lo > 0) target = lo;
+  if (hi < 0) target = hi;
+  std::vector<T> out;
+  if (value == target) return out;
+  out.push_back(target);
+  // Halve the distance until it degenerates to +/-1.
+  T delta = value - target;
+  while (true) {
+    delta = static_cast<T>(delta / 2);
+    if (delta == 0) break;
+    T candidate = static_cast<T>(value - delta);
+    if (candidate != target && candidate != value) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline Gen<bool> boolean() {
+  return Gen<bool>{[](Rng& rng, std::size_t) { return (rng.next_u32() & 1u) != 0; },
+                   [](const bool& v) {
+                     return v ? std::vector<bool>{false} : std::vector<bool>{};
+                   }};
+}
+
+[[nodiscard]] inline Gen<std::uint8_t> byte() {
+  return Gen<std::uint8_t>{
+      [](Rng& rng, std::size_t) { return rng.next_byte(); },
+      [](const std::uint8_t& v) {
+        return detail::shrink_int_toward<std::uint8_t>(v, 0, 255);
+      }};
+}
+
+/// Uniform in [lo, hi] (inclusive). Shrinks toward the in-range value
+/// closest to zero.
+[[nodiscard]] inline Gen<std::int64_t> int_in(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) hi = lo;
+  auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return Gen<std::int64_t>{
+      [lo, span](Rng& rng, std::size_t) {
+        std::uint64_t raw =
+            (std::uint64_t{rng.next_u32()} << 32) | rng.next_u32();
+        return lo + static_cast<std::int64_t>(span == 0 ? raw : raw % span);
+      },
+      [lo, hi](const std::int64_t& v) {
+        return detail::shrink_int_toward<std::int64_t>(v, lo, hi);
+      }};
+}
+
+/// Uniform in [0, bound). bound must be > 0.
+[[nodiscard]] inline Gen<std::uint32_t> uint_below(std::uint32_t bound) {
+  return Gen<std::uint32_t>{
+      [bound](Rng& rng, std::size_t) { return rng.next_below(bound); },
+      [bound](const std::uint32_t& v) {
+        return detail::shrink_int_toward<std::uint32_t>(
+            v, 0, bound == 0 ? 0 : bound - 1);
+      }};
+}
+
+/// Uniform real in [lo, hi). Shrinks toward lo through 0/midpoints.
+[[nodiscard]] inline Gen<double> real_in(double lo, double hi) {
+  return Gen<double>{
+      [lo, hi](Rng& rng, std::size_t) {
+        return lo + rng.next_double() * (hi - lo);
+      },
+      [lo](const double& v) {
+        std::vector<double> out;
+        if (v != lo) {
+          out.push_back(lo);
+          double mid = lo + (v - lo) / 2.0;
+          if (mid != lo && mid != v) out.push_back(mid);
+        }
+        return out;
+      }};
+}
+
+/// Pick one of the given values (uniform). Shrinks toward earlier
+/// choices, so order the list simplest-first.
+template <typename T>
+[[nodiscard]] Gen<T> element_of(std::vector<T> choices) {
+  return Gen<T>{
+      [choices](Rng& rng, std::size_t) {
+        return choices[rng.next_below(
+            static_cast<std::uint32_t>(choices.size()))];
+      },
+      [choices](const T& v) {
+        std::vector<T> out;
+        for (const T& c : choices) {
+          if (c == v) break;
+          out.push_back(c);
+        }
+        return out;
+      }};
+}
+
+/// Vector of `elem` draws. Length is uniform in [min_len, max_len]; a
+/// max_len of 0 means "size-driven": the bound follows the runner's size
+/// ramp. Shrinks by dropping chunks/elements (respecting min_len), then by
+/// shrinking individual elements.
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vector_of(Gen<T> elem,
+                                            std::size_t min_len = 0,
+                                            std::size_t max_len = 0) {
+  return Gen<std::vector<T>>{
+      [elem, min_len, max_len](Rng& rng, std::size_t size) {
+        std::size_t hi = max_len != 0 ? max_len : std::max(min_len, size);
+        std::size_t lo = std::min(min_len, hi);
+        std::size_t len =
+            lo + rng.next_below(static_cast<std::uint32_t>(hi - lo + 1));
+        std::vector<T> out;
+        out.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) out.push_back(elem(rng, size));
+        return out;
+      },
+      [elem, min_len](const std::vector<T>& v) {
+        std::vector<std::vector<T>> out;
+        // Structural shrinks: empty-ish, halves, drop one element.
+        if (v.size() > min_len) {
+          out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(min_len));
+          std::size_t half = std::max(min_len, v.size() / 2);
+          if (half != min_len && half != v.size())
+            out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+          for (std::size_t i = 0; i < v.size() && out.size() < 24; ++i) {
+            std::vector<T> copy = v;
+            copy.erase(copy.begin() + static_cast<std::ptrdiff_t>(i));
+            out.push_back(std::move(copy));
+          }
+        }
+        // Element shrinks: first shrink candidate of each position.
+        for (std::size_t i = 0; i < v.size() && out.size() < 48; ++i) {
+          auto cands = elem.shrink(v[i]);
+          if (!cands.empty()) {
+            std::vector<T> copy = v;
+            copy[i] = cands.front();
+            out.push_back(std::move(copy));
+          }
+        }
+        return out;
+      }};
+}
+
+/// Random payload bytes, the workhorse of codec properties.
+[[nodiscard]] inline Gen<std::vector<std::uint8_t>> bytes(
+    std::size_t min_len = 0, std::size_t max_len = 0) {
+  return vector_of(byte(), min_len, max_len);
+}
+
+/// Zip two generators. Shrinks one component at a time.
+template <typename A, typename B>
+[[nodiscard]] Gen<std::pair<A, B>> pair_of(Gen<A> a, Gen<B> b) {
+  return Gen<std::pair<A, B>>{
+      [a, b](Rng& rng, std::size_t size) {
+        A first = a(rng, size);
+        B second = b(rng, size);
+        return std::pair<A, B>{std::move(first), std::move(second)};
+      },
+      [a, b](const std::pair<A, B>& v) {
+        std::vector<std::pair<A, B>> out;
+        for (auto&& c : a.shrink(v.first))
+          out.emplace_back(std::move(c), v.second);
+        for (auto&& c : b.shrink(v.second))
+          out.emplace_back(v.first, std::move(c));
+        return out;
+      }};
+}
+
+/// Zip N generators into a tuple. Shrinks one component at a time.
+template <typename... Ts>
+[[nodiscard]] Gen<std::tuple<Ts...>> tuple_of(Gen<Ts>... gens) {
+  auto pack = std::make_tuple(gens...);
+  return Gen<std::tuple<Ts...>>{
+      [pack](Rng& rng, std::size_t size) {
+        return std::apply(
+            [&](const auto&... g) {
+              // Force left-to-right draw order (brace-init sequencing).
+              return std::tuple<Ts...>{g(rng, size)...};
+            },
+            pack);
+      },
+      [pack](const std::tuple<Ts...>& v) {
+        std::vector<std::tuple<Ts...>> out;
+        auto shrink_component = [&](auto index_constant) {
+          constexpr std::size_t kIdx = decltype(index_constant)::value;
+          for (auto&& c : std::get<kIdx>(pack).shrink(std::get<kIdx>(v))) {
+            std::tuple<Ts...> copy = v;
+            std::get<kIdx>(copy) = std::move(c);
+            out.push_back(std::move(copy));
+          }
+        };
+        [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+          (shrink_component(std::integral_constant<std::size_t, Is>{}), ...);
+        }(std::index_sequence_for<Ts...>{});
+        return out;
+      }};
+}
+
+}  // namespace gen
+}  // namespace tinysdr::testkit

@@ -1,0 +1,302 @@
+#include "testkit/harness.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "exec/seed.hpp"
+
+namespace tinysdr::testkit {
+
+namespace fs = std::filesystem;
+
+HarnessRegistry& HarnessRegistry::instance() {
+  static HarnessRegistry registry;
+  return registry;
+}
+
+void HarnessRegistry::add(Harness h) {
+  if (find(h.name) != nullptr)
+    throw std::invalid_argument("HarnessRegistry: duplicate harness: " +
+                                h.name);
+  harnesses_.push_back(std::move(h));
+}
+
+const Harness* HarnessRegistry::find(std::string_view name) const {
+  for (const auto& h : harnesses_)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+namespace {
+
+/// Run the harness on one input; failure text or nullopt.
+std::optional<std::string> fails(const Harness& harness,
+                                 std::span<const std::uint8_t> input) {
+  try {
+    harness.run(input);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return std::string(e.what());
+  } catch (...) {
+    return std::string("non-standard exception");
+  }
+}
+
+std::string sanitize(std::string_view name) {
+  std::string out{name};
+  for (char& c : out)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '_'))
+      c = '_';
+  return out;
+}
+
+std::string write_artifact(const FuzzRunConfig& cfg, const Harness& harness,
+                           const FuzzFailure& failure) {
+  if (cfg.artifact_dir.empty()) return {};
+  std::error_code ec;
+  fs::create_directories(cfg.artifact_dir, ec);
+  if (ec) return {};
+
+  std::ostringstream stem;
+  stem << sanitize(harness.name) << "-";
+  if (failure.index)
+    stem << "seed" << failure.seed << "-index" << *failure.index;
+  else
+    stem << "corpus-" << sanitize(failure.corpus_file);
+
+  fs::path bin = fs::path(cfg.artifact_dir) / (stem.str() + ".bin");
+  std::ofstream out(bin, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(failure.shrunk.data()),
+            static_cast<std::streamsize>(failure.shrunk.size()));
+  out.close();
+
+  fs::path txt = fs::path(cfg.artifact_dir) / (stem.str() + ".txt");
+  std::ofstream meta(txt);
+  meta << "harness: " << harness.name << "\n"
+       << "error: " << failure.error << "\n";
+  if (failure.index) {
+    meta << "replay: tinysdr_fuzz --harness " << harness.name << " --seed "
+         << failure.seed << " --replay-index " << *failure.index << "\n";
+  } else {
+    meta << "source corpus file: " << failure.corpus_file << "\n";
+  }
+  meta << "replay (shrunk input): tinysdr_fuzz --harness " << harness.name
+       << " --replay " << bin.string() << "\n";
+  return bin.string();
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> load_corpus(const std::string& dir) {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  if (dir.empty()) return corpus;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return corpus;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec))
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>()};
+    corpus.push_back(std::move(bytes));
+  }
+  return corpus;
+}
+
+std::vector<std::uint8_t> fuzz_input(
+    const Harness& harness, std::uint64_t seed, std::uint64_t index,
+    std::span<const std::vector<std::uint8_t>> corpus) {
+  Rng rng = exec::stream_rng(seed, index);
+
+  // A quarter of generated inputs mutate a corpus entry instead of being
+  // drawn fresh — structured prefixes reach deeper states. The draw order
+  // below is part of the replay contract: never reorder it.
+  if (!corpus.empty() && rng.next_below(4) == 0) {
+    std::vector<std::uint8_t> input =
+        corpus[rng.next_below(static_cast<std::uint32_t>(corpus.size()))];
+    std::size_t ops = 1 + rng.next_below(8);
+    for (std::size_t op = 0; op < ops; ++op) {
+      switch (rng.next_below(4)) {
+        case 0:  // flip one bit
+          if (!input.empty())
+            input[rng.next_below(static_cast<std::uint32_t>(input.size()))] ^=
+                static_cast<std::uint8_t>(1u << rng.next_below(8));
+          break;
+        case 1:  // overwrite one byte
+          if (!input.empty())
+            input[rng.next_below(static_cast<std::uint32_t>(input.size()))] =
+                rng.next_byte();
+          break;
+        case 2:  // truncate
+          if (!input.empty())
+            input.resize(rng.next_below(
+                static_cast<std::uint32_t>(input.size()) + 1));
+          break;
+        default:  // append a short random tail
+          for (std::uint32_t n = rng.next_below(16); n > 0; --n)
+            input.push_back(rng.next_byte());
+          break;
+      }
+    }
+    if (input.size() > harness.max_len) input.resize(harness.max_len);
+    return input;
+  }
+
+  std::size_t len =
+      rng.next_below(static_cast<std::uint32_t>(harness.max_len) + 1);
+  std::vector<std::uint8_t> input(len);
+  for (auto& b : input) b = rng.next_byte();
+  return input;
+}
+
+std::pair<std::vector<std::uint8_t>, std::size_t> shrink_bytes(
+    const Harness& harness, std::vector<std::uint8_t> input,
+    std::size_t max_candidates) {
+  std::size_t budget = max_candidates;
+  std::size_t steps = 0;
+
+  auto try_candidate = [&](std::vector<std::uint8_t> candidate) {
+    if (budget == 0 || candidate.size() >= input.size() + 1) return false;
+    --budget;
+    if (fails(harness, candidate)) {
+      input = std::move(candidate);
+      ++steps;
+      return true;
+    }
+    return false;
+  };
+
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+
+    // Structural: empty, halves, quarter-chunk drops.
+    if (!input.empty() && try_candidate({})) {
+      improved = true;
+      continue;
+    }
+    if (input.size() > 1) {
+      std::size_t half = input.size() / 2;
+      if (try_candidate({input.begin(),
+                         input.begin() + static_cast<std::ptrdiff_t>(half)}) ||
+          try_candidate({input.begin() + static_cast<std::ptrdiff_t>(half),
+                         input.end()})) {
+        improved = true;
+        continue;
+      }
+      std::size_t chunk = std::max<std::size_t>(1, input.size() / 4);
+      for (std::size_t at = 0; at + chunk <= input.size(); at += chunk) {
+        std::vector<std::uint8_t> candidate = input;
+        candidate.erase(
+            candidate.begin() + static_cast<std::ptrdiff_t>(at),
+            candidate.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+        if (try_candidate(std::move(candidate))) {
+          improved = true;
+          break;
+        }
+      }
+      if (improved) continue;
+    }
+
+    // Simplify: zero out bytes left to right (bounded per pass).
+    std::size_t zeroed = 0;
+    for (std::size_t i = 0; i < input.size() && zeroed < 64; ++i) {
+      if (input[i] == 0) continue;
+      std::vector<std::uint8_t> candidate = input;
+      candidate[i] = 0;
+      // Same length — bypass the "must not grow" guard in try_candidate.
+      if (budget == 0) break;
+      --budget;
+      if (fails(harness, candidate)) {
+        input = std::move(candidate);
+        ++steps;
+        ++zeroed;
+        improved = true;
+      }
+    }
+  }
+  return {std::move(input), steps};
+}
+
+FuzzReport run_fuzz(const Harness& harness, const FuzzRunConfig& cfg) {
+  FuzzReport report;
+  report.harness = harness.name;
+
+  auto fail_with = [&](std::vector<std::uint8_t> input, std::string error,
+                       std::optional<std::uint64_t> index,
+                       std::string corpus_file) {
+    FuzzFailure failure;
+    failure.seed = cfg.seed;
+    failure.index = index;
+    failure.corpus_file = std::move(corpus_file);
+    failure.error = std::move(error);
+    failure.input = input;
+    auto [shrunk, steps] = shrink_bytes(harness, std::move(input),
+                                        cfg.max_shrinks);
+    // Keep the error text of the *shrunk* input when it still fails (it
+    // does by construction of shrink_bytes).
+    if (auto e = fails(harness, shrunk)) failure.error = *e;
+    failure.shrunk = std::move(shrunk);
+    failure.shrink_steps = steps;
+    failure.artifact = write_artifact(cfg, harness, failure);
+    report.failure = std::move(failure);
+  };
+
+  auto corpus = load_corpus(cfg.corpus_dir);
+  report.corpus_inputs = corpus.size();
+  std::size_t file_index = 0;
+  for (const auto& entry : corpus) {
+    std::ostringstream name;
+    name << "entry-" << file_index++;
+    if (auto error = fails(harness, entry)) {
+      fail_with(entry, std::move(*error), std::nullopt, name.str());
+      return report;
+    }
+  }
+
+  for (std::uint64_t i = 0; i < cfg.iterations; ++i) {
+    auto input = fuzz_input(harness, cfg.seed, i, corpus);
+    ++report.iterations_run;
+    if (auto error = fails(harness, input)) {
+      fail_with(std::move(input), std::move(*error), i, {});
+      return report;
+    }
+  }
+  return report;
+}
+
+std::string FuzzReport::message() const {
+  std::ostringstream oss;
+  if (ok()) {
+    oss << harness << ": ok (" << iterations_run << " generated inputs, "
+        << corpus_inputs << " corpus inputs)";
+    return oss.str();
+  }
+  const FuzzFailure& f = *failure;
+  oss << harness << ": FAILED";
+  if (f.index)
+    oss << " at (seed=" << f.seed << ", index=" << *f.index << ")";
+  else
+    oss << " on corpus input " << f.corpus_file;
+  oss << "\n  error: " << f.error;
+  oss << "\n  input: " << f.input.size() << " bytes, shrunk to "
+      << f.shrunk.size() << " bytes in " << f.shrink_steps << " steps";
+  if (!f.artifact.empty()) oss << "\n  artifact: " << f.artifact;
+  if (f.index)
+    oss << "\n  replay: tinysdr_fuzz --harness " << harness << " --seed "
+        << f.seed << " --replay-index " << *f.index;
+  return oss.str();
+}
+
+}  // namespace tinysdr::testkit

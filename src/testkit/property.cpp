@@ -1,0 +1,44 @@
+#include "testkit/property.hpp"
+
+#include <cstdlib>
+
+namespace tinysdr::testkit {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 0);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+PropertyConfig PropertyConfig::from_env() { return from_env(PropertyConfig{}); }
+
+PropertyConfig PropertyConfig::from_env(PropertyConfig base) {
+  if (auto seed = env_u64("TINYSDR_PROP_SEED")) base.seed = *seed;
+  if (auto index = env_u64("TINYSDR_PROP_INDEX")) base.only_index = *index;
+  if (auto cases = env_u64("TINYSDR_PROP_CASES"))
+    base.cases = static_cast<std::size_t>(*cases);
+  return base;
+}
+
+std::string PropertyResult::message() const {
+  if (ok) return {};
+  std::ostringstream oss;
+  oss << "property";
+  if (!name.empty()) oss << " '" << name << "'";
+  oss << " failed at (seed=" << seed << ", index=" << index << ")";
+  if (shrink_steps > 0) oss << " after " << shrink_steps << " shrinks";
+  oss << "\n  counterexample: " << counterexample;
+  oss << "\n  failure: " << error;
+  oss << "\n  replay: TINYSDR_PROP_SEED=" << seed
+      << " TINYSDR_PROP_INDEX=" << index << " ctest -R <this test>";
+  return oss.str();
+}
+
+}  // namespace tinysdr::testkit

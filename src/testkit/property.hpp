@@ -1,0 +1,231 @@
+// Property runner: N generated cases, replayable failures, shrinking.
+//
+// Every case draws its value from Rng(exec::stream_seed(seed, index)) — a
+// pure function of the (seed, index) pair — so a failure report carries
+// everything needed to reproduce it:
+//
+//   TINYSDR_PROP_SEED=<seed> TINYSDR_PROP_INDEX=<index> ctest -R <test>
+//
+// re-runs exactly the failing case (check() reads those variables and
+// pins the run to that one case), regenerates the same value, re-shrinks
+// deterministically, and lands on the same minimal counterexample.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "exec/seed.hpp"
+#include "testkit/gen.hpp"
+
+namespace tinysdr::testkit {
+
+struct PropertyConfig {
+  /// Base seed of the case stream. Fixed by default: properties are
+  /// regression tests first, explorers second — bump the seed (or run the
+  /// fuzz driver) to explore.
+  std::uint64_t seed = 0x7E57C0DE;
+  std::size_t cases = 200;
+  /// Upper bound of the size ramp (vector lengths etc. grow toward this).
+  std::size_t max_size = 64;
+  /// Budget of candidate evaluations during shrinking.
+  std::size_t max_shrinks = 2000;
+  /// Replay pin (normally set via TINYSDR_PROP_INDEX): run only this case.
+  std::optional<std::uint64_t> only_index;
+
+  /// Overlay TINYSDR_PROP_SEED / TINYSDR_PROP_INDEX / TINYSDR_PROP_CASES
+  /// from the environment onto `base` (defaults when omitted).
+  [[nodiscard]] static PropertyConfig from_env(PropertyConfig base);
+  [[nodiscard]] static PropertyConfig from_env();
+};
+
+struct PropertyResult {
+  bool ok = true;
+  std::string name;             ///< optional label for the report
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;      ///< failing case index
+  std::size_t cases_run = 0;
+  std::size_t shrink_steps = 0; ///< accepted shrinks (not candidates tried)
+  std::string counterexample;   ///< printed shrunk value
+  std::string error;            ///< exception text or "property returned false"
+
+  /// Human-readable failure report with the replay recipe; empty on ok.
+  [[nodiscard]] std::string message() const;
+};
+
+namespace detail {
+
+// ----------------------------------------------------------- value printing
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& v) { os << v; };
+
+inline void show_value(std::ostream& os, const std::vector<std::uint8_t>& v) {
+  os << v.size() << " bytes [";
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i == 64) {
+      os << "...";
+      break;
+    }
+    os << kHex[v[i] >> 4] << kHex[v[i] & 0xF];
+  }
+  os << "]";
+}
+
+template <typename T>
+void show_value(std::ostream& os, const T& v);
+
+template <typename A, typename B>
+void show_value(std::ostream& os, const std::pair<A, B>& v) {
+  os << "(";
+  show_value(os, v.first);
+  os << ", ";
+  show_value(os, v.second);
+  os << ")";
+}
+
+template <typename... Ts>
+void show_value(std::ostream& os, const std::tuple<Ts...>& v) {
+  os << "(";
+  bool first = true;
+  std::apply(
+      [&](const auto&... elem) {
+        ((os << (first ? "" : ", "), first = false, show_value(os, elem)), ...);
+      },
+      v);
+  os << ")";
+}
+
+template <typename T>
+void show_value(std::ostream& os, const std::vector<T>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    if (i == 32) {
+      os << "... (" << v.size() << " total)";
+      break;
+    }
+    show_value(os, v[i]);
+  }
+  os << "]";
+}
+
+template <typename T>
+void show_value(std::ostream& os, const T& v) {
+  if constexpr (Streamable<T>) {
+    if constexpr (std::is_same_v<T, std::uint8_t> ||
+                  std::is_same_v<T, std::int8_t>) {
+      os << static_cast<int>(v);
+    } else {
+      os << v;
+    }
+  } else {
+    os << "<unprintable " << sizeof(T) << "-byte value>";
+  }
+}
+
+template <typename T>
+std::string show(const T& v) {
+  std::ostringstream oss;
+  show_value(oss, v);
+  return oss.str();
+}
+
+// -------------------------------------------------------- property adapters
+/// Evaluate the property on one value. Returns the failure text, or
+/// nullopt on success. Properties either return bool (false = fail) or
+/// return void and throw to fail.
+template <typename Prop, typename T>
+std::optional<std::string> eval_property(Prop& prop, const T& value) {
+  try {
+    if constexpr (std::is_void_v<std::invoke_result_t<Prop&, const T&>>) {
+      prop(value);
+      return std::nullopt;
+    } else {
+      if (prop(value)) return std::nullopt;
+      return "property returned false";
+    }
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+}  // namespace detail
+
+/// Greedy deterministic shrink: repeatedly take the first failing shrink
+/// candidate until none fails (or the budget runs out). Returns the
+/// minimal value found, its failure text, and the number of accepted
+/// steps.
+template <typename T, typename Prop>
+std::tuple<T, std::string, std::size_t> shrink_failure(
+    const Gen<T>& g, Prop& prop, T value, std::string error,
+    std::size_t max_candidates) {
+  std::size_t budget = max_candidates;
+  std::size_t steps = 0;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    for (auto& candidate : g.shrink(value)) {
+      if (budget == 0) break;
+      --budget;
+      if (auto fail = detail::eval_property(prop, candidate)) {
+        value = std::move(candidate);
+        error = std::move(*fail);
+        ++steps;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return {std::move(value), std::move(error), steps};
+}
+
+/// Run `prop` over `cases` generated values. Stops at the first failure,
+/// shrinks it, and reports the replayable (seed, index).
+template <typename T, typename Prop>
+PropertyResult check(const Gen<T>& g, Prop prop,
+                     PropertyConfig cfg = PropertyConfig::from_env(),
+                     std::string name = {}) {
+  PropertyResult result;
+  result.name = std::move(name);
+  result.seed = cfg.seed;
+
+  std::uint64_t begin = 0;
+  std::uint64_t end = cfg.cases;
+  if (cfg.only_index) {
+    begin = *cfg.only_index;
+    end = begin + 1;
+  }
+
+  for (std::uint64_t i = begin; i < end; ++i) {
+    // Size ramp: early cases small, late cases at max_size. Pure in the
+    // index, so a replayed case sees the same size.
+    std::size_t size =
+        cfg.cases <= 1
+            ? cfg.max_size
+            : 1 + (cfg.max_size - 1) * (i % cfg.cases) / (cfg.cases - 1);
+    Rng rng = exec::stream_rng(cfg.seed, i);
+    T value = g(rng, size);
+    ++result.cases_run;
+
+    if (auto fail = detail::eval_property(prop, value)) {
+      auto [shrunk, error, steps] = shrink_failure(
+          g, prop, std::move(value), std::move(*fail), cfg.max_shrinks);
+      result.ok = false;
+      result.index = i;
+      result.shrink_steps = steps;
+      result.error = std::move(error);
+      result.counterexample = detail::show(shrunk);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace tinysdr::testkit

@@ -1,0 +1,16 @@
+#include "harnesses.hpp"
+
+namespace tinysdr::fuzz {
+
+void register_builtin_harnesses() {
+  static const bool once = [] {
+    register_lvds_harnesses();
+    register_ota_harnesses();
+    register_phy_harnesses();
+    register_obs_harnesses();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace tinysdr::fuzz

@@ -1,0 +1,146 @@
+// obs::Registry merge harness: any op sequence, partitioned into any
+// contiguous set of journaled shards and merged back in order — flat or
+// through journaled intermediates — must be bit-identical to having run
+// the ops serially. This is the exact mechanism the parallel campaign
+// and sweep engines rely on for threads-invariant telemetry.
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harnesses.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/bytes.hpp"
+#include "testkit/harness.hpp"
+
+namespace tinysdr::fuzz {
+namespace {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+struct Op {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind;
+  std::uint32_t name;
+  double value;
+};
+
+// Histogram spec keyed by name index — the spec only applies on first
+// creation, so every registry must derive it the same way.
+obs::HistogramSpec spec_for(std::uint32_t name) {
+  switch (name % 3) {
+    case 0:
+      return obs::HistogramSpec::linear(-5.0, 5.0, 8);
+    case 1:
+      return obs::HistogramSpec::log_scale(0.01, 1e4, 12);
+    default:
+      // Degenerate range: everything lands in under/overflow.
+      return obs::HistogramSpec::linear(1.0, 1.0, 1);
+  }
+}
+
+void apply(obs::Registry& r, const Op& op) {
+  const std::string name = "m" + std::to_string(op.name);
+  switch (op.kind) {
+    case Op::Kind::kCounter:
+      r.counter("c." + name).add(op.value);
+      break;
+    case Op::Kind::kGauge:
+      r.gauge("g." + name).set(op.value);
+      break;
+    case Op::Kind::kHistogram:
+      r.histogram("h." + name, spec_for(op.name)).observe(op.value);
+      break;
+  }
+}
+
+void metrics_merge(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  // Decode an op sequence with values deliberately hitting the edges:
+  // zero and negative samples on log-scale histograms, huge magnitudes,
+  // non-finite-adjacent tiny values.
+  const std::size_t nops = src.uint_below(64);
+  std::vector<Op> ops;
+  ops.reserve(nops);
+  for (std::size_t i = 0; i < nops; ++i) {
+    Op op;
+    switch (src.uint_below(3)) {
+      case 0: op.kind = Op::Kind::kCounter; break;
+      case 1: op.kind = Op::Kind::kGauge; break;
+      default: op.kind = Op::Kind::kHistogram; break;
+    }
+    op.name = src.uint_below(4);
+    switch (src.uint_below(6)) {
+      case 0: op.value = 0.0; break;
+      case 1: op.value = -1.5; break;
+      case 2: op.value = 1e-12; break;
+      case 3: op.value = 1e15; break;
+      case 4: op.value = -static_cast<double>(src.uint_below(1000)); break;
+      default: op.value = src.real_in(-10.0, 1e6); break;
+    }
+    ops.push_back(op);
+  }
+
+  // Serial reference.
+  obs::Registry serial;
+  for (const auto& op : ops) apply(serial, op);
+
+  // Contiguous partition into 1..5 journaled shards, merged in order.
+  const std::size_t nshards = 1 + src.uint_below(5);
+  std::vector<std::unique_ptr<obs::Registry>> shards;
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    auto shard = std::make_unique<obs::Registry>();
+    shard->enable_journal();
+    std::size_t take = s + 1 == nshards
+                           ? ops.size() - at
+                           : src.uint_below(static_cast<std::uint32_t>(
+                                 ops.size() - at + 1));
+    for (std::size_t i = 0; i < take; ++i) apply(*shard, ops[at + i]);
+    at += take;
+    shards.push_back(std::move(shard));
+  }
+
+  obs::Registry flat;
+  for (const auto& shard : shards) flat.merge_from(*shard);
+  require(flat.snapshot() == serial.snapshot(),
+          "flat shard merge diverged from the serial registry");
+  require(flat.json() == serial.json(),
+          "flat merge JSON not byte-identical to serial");
+
+  // Associativity: group the shards into two journaled intermediates,
+  // then merge those — same result again.
+  obs::Registry left, right;
+  left.enable_journal();
+  right.enable_journal();
+  const std::size_t split = src.uint_below(static_cast<std::uint32_t>(
+      shards.size() + 1));
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    (s < split ? left : right).merge_from(*shards[s]);
+  obs::Registry grouped;
+  grouped.merge_from(left);
+  grouped.merge_from(right);
+  require(grouped.snapshot() == serial.snapshot(),
+          "two-level merge is not associative with the flat merge");
+
+  // CSV export stays total (including on the empty registry).
+  std::ostringstream csv;
+  serial.write_csv(csv);
+  obs::Registry empty;
+  std::ostringstream empty_csv;
+  empty.write_csv(empty_csv);
+}
+
+}  // namespace
+
+void register_obs_harnesses() {
+  testkit::HarnessRegistry::instance().add(
+      {"obs.metrics_merge", metrics_merge, /*max_len=*/512});
+}
+
+}  // namespace tinysdr::fuzz

@@ -1,0 +1,234 @@
+// OTA harnesses: the node-side chunk store against a reference in-memory
+// model, and the full AP->node transfer engine under adversarial fault
+// schedules (drops, dups, reorders, corruption, brownouts, flash faults).
+#include <cstdint>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harnesses.hpp"
+#include "ota/flash.hpp"
+#include "ota/protocol.hpp"
+#include "sim/faults.hpp"
+#include "testkit/bytes.hpp"
+#include "testkit/harness.hpp"
+
+namespace tinysdr::fuzz {
+namespace {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+// Differential oracle: NodeAgent::receive_chunk vs a trivial in-memory
+// model of "a set of stored chunks". The adversarial sequence includes
+// out-of-range seqs, truncated and oversized payloads, CRC-corrupt
+// packets, duplicates, checkpoints and brownout/reboot cycles; after
+// every op the agent must agree with the model on status, bitmap,
+// counters and finally the staged flash contents.
+void node_agent_model(std::span<const std::uint8_t> data) {
+  using RxStatus = ota::NodeAgent::RxStatus;
+  testkit::ByteSource src{data};
+
+  ota::FlashModel flash;
+  ota::NodeAgent node{1, flash};
+  const std::size_t stream_bytes = 1 + src.uint_below(481);
+  const std::size_t total =
+      (stream_bytes + ota::kDataPayload - 1) / ota::kDataPayload;
+  node.begin_session(0xC0FFEE01u, stream_bytes);
+
+  // The stream image is fixed up front: like the real AP, every valid
+  // delivery of chunk `seq` carries the same bytes. (Re-programming a
+  // chunk with different bytes after a bitmap rollback would trip the
+  // flash write verify — NOR programming only clears bits.)
+  std::vector<std::uint8_t> image(stream_bytes);
+  for (std::size_t i = 0; i < image.size(); ++i)
+    image[i] = static_cast<std::uint8_t>(src.u8() ^ (i * 37));
+
+  auto chunk_bytes = [&](std::size_t seq) {
+    return std::min(ota::kDataPayload, stream_bytes - seq * ota::kDataPayload);
+  };
+  auto chunk_of = [&](std::size_t seq) {
+    const std::size_t off = seq * ota::kDataPayload;
+    return std::vector<std::uint8_t>(
+        image.begin() + static_cast<std::ptrdiff_t>(off),
+        image.begin() + static_cast<std::ptrdiff_t>(off + chunk_bytes(seq)));
+  };
+
+  std::set<std::size_t> ever_stored;        // ever programmed to staging
+  std::set<std::size_t> marked;             // current RAM bitmap
+  std::set<std::size_t> checkpointed;       // bitmap in the flash checkpoint
+  // begin_session persists the (empty) fresh bitmap.
+
+  const std::size_t ops = src.uint_below(48);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint32_t kind = src.uint_below(16);
+    if (kind == 0) {
+      node.persist_session();
+      checkpointed = marked;
+      continue;
+    }
+    if (kind == 1) {
+      node.reboot();
+      require(!node.online(), "reboot must take the node offline");
+      std::vector<std::uint8_t> probe(1, 0);
+      require(node.receive_chunk(0, probe) == RxStatus::kNoSession,
+              "offline node must answer kNoSession");
+      require(node.poll_boot(), "poll_boot must bring the node back");
+      // RAM state restores from the last checkpoint; staged data (flash)
+      // survives untouched.
+      marked = checkpointed;
+      require(node.resume_count() > 0, "reboot with checkpoint must resume");
+      continue;
+    }
+
+    const auto seq = static_cast<std::uint16_t>(
+        src.uint_below(static_cast<std::uint32_t>(total) + 3));
+    const bool in_range = seq < total;
+    const std::size_t correct = in_range ? chunk_bytes(seq) : 0;
+    std::size_t len =
+        src.boolean() ? correct : src.uint_below(ota::kDataPayload + 4);
+    std::vector<std::uint8_t> payload;
+    if (in_range && len == correct) {
+      payload = chunk_of(seq);
+    } else {
+      payload = src.take(len);
+      payload.resize(len, static_cast<std::uint8_t>(0xA5u + seq));
+    }
+    const bool corrupted = src.uint_below(8) == 0;
+
+    RxStatus status = node.receive_chunk(seq, payload, corrupted);
+    RxStatus expected;
+    if (corrupted || !in_range || len != correct) {
+      expected = RxStatus::kCorrupt;
+    } else if (marked.count(seq) != 0) {
+      expected = RxStatus::kDuplicate;
+    } else {
+      expected = RxStatus::kStored;
+    }
+    require(status == expected,
+            "receive_chunk status diverged from the model at seq " +
+                std::to_string(seq));
+    if (status == RxStatus::kStored) {
+      marked.insert(seq);
+      ever_stored.insert(seq);
+    }
+  }
+
+  require(node.chunks_received() == marked.size(),
+          "chunks_received diverged from the model");
+  std::size_t bytes = 0;
+  for (std::size_t seq : marked) bytes += chunk_bytes(seq);
+  require(node.bytes_received() == bytes,
+          "bytes_received diverged from the model");
+  require(node.complete() == (marked.size() == total),
+          "complete() diverged from the model");
+
+  // kSack bitmap payloads agree with the model bit for bit.
+  auto bitmap = node.window_bitmap(0, total);
+  for (std::size_t seq = 0; seq < total; ++seq) {
+    bool bit = (bitmap[seq / 8] >> (seq % 8)) & 1u;
+    require(bit == (marked.count(seq) != 0),
+            "window_bitmap diverged at seq " + std::to_string(seq));
+  }
+
+  // Every chunk ever stored is byte-identical in the staging region —
+  // brownouts may drop bitmap marks, never staged flash data.
+  auto staged = node.staged_stream();
+  require(staged.size() == stream_bytes, "staged_stream length wrong");
+  for (std::size_t seq : ever_stored) {
+    const std::size_t off = seq * ota::kDataPayload;
+    const auto expect = chunk_of(seq);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      require(staged[off + i] == expect[i],
+              "staged flash diverged at chunk " + std::to_string(seq));
+  }
+}
+
+// End-to-end transfer under an adversarial fault plan. The reference
+// model is the image itself: whatever the link/fault schedule does, the
+// engine either reports success with the staging region byte-identical
+// to the image, or reports a classified failure — never a success with
+// corrupt staged bytes, never an unclassified outcome.
+void transfer_adversarial(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  const std::size_t image_len = 1 + src.uint_below(300);
+  std::vector<std::uint8_t> image = src.take(image_len);
+  image.resize(image_len);
+  for (std::size_t i = image.size(); i-- > 0;)
+    image[i] = static_cast<std::uint8_t>(image[i] ^ (0x5Au + i));
+
+  sim::FaultPlan plan;
+  plan.seed = src.u64();
+  plan.corrupt_rate = src.unit() * 0.3;
+  plan.duplicate_rate = src.unit() * 0.3;
+  plan.reorder_rate = src.unit() * 0.3;
+  plan.timeout_jitter = src.unit() * 0.2;
+  if (src.boolean()) plan.brownout_at_byte = src.uint_below(
+      static_cast<std::uint32_t>(image_len) + 1);
+  if (src.boolean()) {
+    channel::GilbertElliottParams burst;
+    burst.p_enter_bad = src.real_in(0.0, 0.3);
+    burst.p_exit_bad = src.real_in(0.05, 0.9);
+    burst.loss_bad = src.real_in(0.3, 1.0);
+    plan.burst = burst;
+  }
+  plan.page_program_failure_rate = src.boolean() ? src.unit() * 0.05 : 0.0;
+  sim::FaultInjector faults{plan};
+
+  ota::FlashModel flash;
+  ota::NodeAgent node{7, flash, &faults};
+
+  ota::TransferPolicy policy;
+  policy.mode =
+      src.boolean() ? ota::AckMode::kSelectiveAck : ota::AckMode::kStopAndWait;
+  policy.window = 1 + src.uint_below(24);
+  policy.max_retries = 4 + src.uint_below(16);
+  if (src.boolean())
+    policy.deadline = Seconds{src.real_in(0.05, 5.0)};
+
+  const std::uint64_t link_seed = src.u64();
+  ota::OtaLink link{ota::ota_link_params(), Dbm{src.real_in(-131.0, -100.0)},
+                    link_seed};
+  if (plan.burst) link.set_burst(*plan.burst);
+
+  ota::AccessPoint ap;
+  ota::UpdateOutcome out =
+      ap.transfer(image, 7, link, policy, &node, &faults);
+
+  require(out.success == (out.failure == ota::UpdateFailure::kNone),
+          "success flag and failure cause disagree");
+  require(out.link_seed == link_seed, "outcome must record the link seed");
+  require(out.total_time.value() >= out.airtime.value(),
+          "wall-clock cannot be below airtime");
+  require(out.airtime.value() >= 0.0, "negative airtime");
+  require(out.node_energy.value() >= 0.0, "negative node energy");
+
+  const std::size_t chunks =
+      (image_len + ota::kDataPayload - 1) / ota::kDataPayload;
+  if (out.success) {
+    require(out.sends_per_chunk.size() == chunks,
+            "sends_per_chunk must cover every chunk");
+    for (std::size_t seq = 0; seq < chunks; ++seq)
+      require(out.sends_per_chunk[seq] >= 1,
+              "successful transfer with an unsent chunk");
+    // Re-delivery after a brownout can re-store chunks, never fewer.
+    require(out.data_packets >= chunks,
+            "successful transfer stored fewer chunks than the image has");
+    auto staged = flash.read(ota::NodeAgent::kStagingBase, image.size());
+    require(staged == image, "staged stream differs from the image");
+  }
+}
+
+}  // namespace
+
+void register_ota_harnesses() {
+  auto& reg = testkit::HarnessRegistry::instance();
+  reg.add({"ota.node_agent", node_agent_model, /*max_len=*/512});
+  reg.add({"ota.transfer", transfer_adversarial, /*max_len=*/256});
+}
+
+}  // namespace tinysdr::fuzz

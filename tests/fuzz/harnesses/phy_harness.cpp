@@ -1,0 +1,82 @@
+// Per-PHY harnesses, one per Registry::builtin() entry: a fuzzed payload
+// must round-trip bit-exactly through the clean TX->RX chain, and a
+// noisy pass through AwgnChannel must never crash or report impossible
+// error counts — for all five reproduced PHYs through the same table the
+// benches use.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "channel/noise.hpp"
+#include "common/rng.hpp"
+#include "dsp/types.hpp"
+#include "harnesses.hpp"
+#include "phy/registry.hpp"
+#include "testkit/bytes.hpp"
+#include "testkit/harness.hpp"
+
+namespace tinysdr::fuzz {
+namespace {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+// Shared body: the entry outlives the registry (builtin() is a static).
+void phy_roundtrip(const phy::RegisteredPhy& entry,
+                   std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  const std::size_t cap = std::min<std::size_t>(12, entry.max_payload);
+  const std::size_t len = 1 + src.uint_below(static_cast<std::uint32_t>(cap));
+  std::vector<std::uint8_t> payload = src.take(len);
+  payload.resize(len, 0xA5);
+
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  dsp::Samples wave(entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+  tx->modulate(payload, wave);
+  wave.insert(wave.end(), entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+
+  if (!src.boolean()) {
+    // Clean loopback: exact recovery, no exceptions tolerated.
+    phy::FrameResult r = rx->demodulate(wave, payload);
+    require(r.frame_ok, entry.name + std::string(": clean round trip failed"));
+    require(r.bit_errors == 0,
+            entry.name + std::string(": clean round trip has bit errors"));
+  } else {
+    // Noisy pass: any RSSI, including below sensitivity. The receiver
+    // may fail the frame but must stay total and self-consistent.
+    const double rssi = src.real_in(-140.0, -70.0);
+    channel::AwgnChannel channel{rx->sample_rate(),
+                                 entry.system_noise_figure_db,
+                                 Rng{src.u64(), 3}};
+    auto noisy = channel.apply(wave, Dbm{rssi});
+    phy::FrameResult r = rx->demodulate(noisy, payload);
+    require(r.bit_errors <= r.bits,
+            entry.name + std::string(": more bit errors than bits"));
+    require(r.symbol_errors <= r.symbols,
+            entry.name + std::string(": more symbol errors than symbols"));
+    if (r.frame_ok)
+      require(r.bit_errors == 0,
+              entry.name + std::string(": frame_ok with residual bit errors"));
+  }
+}
+
+}  // namespace
+
+void register_phy_harnesses() {
+  auto& reg = testkit::HarnessRegistry::instance();
+  for (const auto& entry : phy::Registry::builtin().entries()) {
+    reg.add({"phy." + entry.name + ".roundtrip",
+             [&entry](std::span<const std::uint8_t> data) {
+               phy_roundtrip(entry, data);
+             },
+             /*max_len=*/64});
+  }
+}
+
+}  // namespace tinysdr::fuzz

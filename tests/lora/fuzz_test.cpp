@@ -1,15 +1,29 @@
-// Property/fuzz tests over the LoRa stack: the full encode->modulate->
-// demodulate->decode chain must round-trip for every legal configuration,
-// payload and capture offset, and the codec must never crash or silently
-// accept corrupted data as valid.
+// Property tests over the LoRa stack on the testkit runner: the full
+// encode->modulate->demodulate->decode chain round-trips for every legal
+// configuration, payload and capture offset; the codec never crashes or
+// silently validates garbage. Every failure reports a replayable
+// (TINYSDR_PROP_SEED, TINYSDR_PROP_INDEX) pair and a shrunk
+// counterexample. The cross-PHY generalisation of these properties runs
+// through phy::Registry in tests/phy/phy_property_test.cpp and the
+// tests/fuzz harnesses.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "lora/demodulator.hpp"
 #include "lora/modulator.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/property.hpp"
 
 namespace tinysdr::lora {
 namespace {
+
+using testkit::check;
+using testkit::PropertyConfig;
+namespace gen = testkit::gen;
 
 struct FuzzCase {
   int sf;
@@ -25,26 +39,28 @@ TEST_P(ChainFuzz, CleanRoundTripRandomPayloadsAndOffsets) {
   if (sf == 6) p.explicit_header = false;
   Modulator mod{p, p.bandwidth};
   Demodulator demod{p, p.bandwidth};
-  Rng rng{static_cast<std::uint64_t>(sf * 1000 + static_cast<int>(bw_khz))};
 
-  for (int trial = 0; trial < 4; ++trial) {
-    std::size_t len = 1 + rng.next_below(48);
-    std::vector<std::uint8_t> payload(len);
-    for (auto& b : payload) b = rng.next_byte();
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 4;  // the suite spans 9 configs; keep per-config cost flat
+  cfg.seed ^= static_cast<std::uint64_t>(sf * 1000 + static_cast<int>(bw_khz));
 
-    auto wave = mod.modulate(payload);
-    std::size_t offset = rng.next_below(700);
-    dsp::Samples padded(offset, dsp::Complex{0, 0});
-    padded.insert(padded.end(), wave.begin(), wave.end());
-    padded.insert(padded.end(), 400, dsp::Complex{0, 0});
+  auto g = gen::pair_of(gen::bytes(1, 48), gen::uint_below(700));
+  auto result = check(
+      g,
+      [&](const std::pair<std::vector<std::uint8_t>, std::uint32_t>& c) {
+        const auto& [payload, offset] = c;
+        auto wave = mod.modulate(payload);
+        dsp::Samples padded(offset, dsp::Complex{0, 0});
+        padded.insert(padded.end(), wave.begin(), wave.end());
+        padded.insert(padded.end(), 400, dsp::Complex{0, 0});
 
-    auto result = sf == 6 ? demod.receive(padded, len)
-                          : demod.receive(padded);
-    ASSERT_TRUE(result.has_value())
-        << "SF" << sf << " BW" << bw_khz << " trial " << trial;
-    EXPECT_TRUE(result->packet.crc_valid);
-    EXPECT_EQ(result->packet.payload, payload);
-  }
+        auto received = sf == 6 ? demod.receive(padded, payload.size())
+                                : demod.receive(padded);
+        return received.has_value() && received->packet.crc_valid &&
+               received->packet.payload == payload;
+      },
+      cfg, "lora chain round trip");
+  EXPECT_TRUE(result.ok) << result.message();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -60,72 +76,96 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{12, 500.0, CodingRate::kCr45}));
 
 TEST(CodecFuzz, RandomSymbolStreamsNeverValidateAccidentally) {
-  // Feeding garbage symbols must never produce a CRC-valid packet.
+  // Feeding garbage symbols must never produce a CRC-valid packet:
+  // header checksum (8 bits) + CRC16 put false-accept odds ~2^-24/case.
   LoraParams p{8, Hertz::from_kilohertz(125.0)};
   PacketCodec codec{p};
-  Rng rng{99};
-  int false_accepts = 0;
-  for (int trial = 0; trial < 300; ++trial) {
-    std::vector<std::uint32_t> symbols(20 + rng.next_below(60));
-    for (auto& s : symbols) s = rng.next_below(256);
-    auto decoded = codec.decode(symbols);
-    if (decoded.header_valid && decoded.crc_valid &&
-        !decoded.payload.empty())
-      ++false_accepts;
-  }
-  // Header checksum (8 bits) + CRC16: false accept odds ~2^-24 per trial.
-  EXPECT_EQ(false_accepts, 0);
+
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 300;
+  auto symbols =
+      gen::vector_of(gen::uint_below(256).map([](std::uint32_t v) {
+        return v;
+      }), 20, 80);
+  auto result = check(
+      symbols,
+      [&](const std::vector<std::uint32_t>& s) {
+        auto decoded = codec.decode(s);
+        return !(decoded.header_valid && decoded.crc_valid &&
+                 !decoded.payload.empty());
+      },
+      cfg, "no accidental validation");
+  EXPECT_TRUE(result.ok) << result.message();
 }
 
 TEST(CodecFuzz, DecodeNeverThrowsOnGarbage) {
   LoraParams p{9, Hertz::from_kilohertz(125.0)};
   PacketCodec codec{p};
-  Rng rng{7};
-  for (int trial = 0; trial < 200; ++trial) {
-    std::vector<std::uint32_t> symbols(rng.next_below(90));
-    for (auto& s : symbols) s = rng.next_below(512);
-    EXPECT_NO_THROW((void)codec.decode(symbols));
-  }
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 200;
+  auto result = check(
+      gen::vector_of(gen::uint_below(512), 0, 90),
+      [&](const std::vector<std::uint32_t>& s) { (void)codec.decode(s); },
+      cfg, "decode is total");
+  EXPECT_TRUE(result.ok) << result.message();
 }
 
 TEST(DemodFuzz, ReceiveNeverThrowsOnArbitrarySamples) {
   LoraParams p{8, Hertz::from_kilohertz(125.0)};
   Demodulator demod{p, p.bandwidth};
-  Rng rng{13};
-  for (int trial = 0; trial < 10; ++trial) {
-    dsp::Samples junk(2048 + rng.next_below(4096));
-    for (auto& s : junk)
-      s = dsp::Complex{static_cast<float>(rng.next_gaussian() * 10.0),
-                       static_cast<float>(rng.next_gaussian() * 10.0)};
-    EXPECT_NO_THROW((void)demod.receive(junk));
-  }
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 10;
+  auto junk = gen::pair_of(gen::uint_below(4096), gen::uint_below(1u << 30))
+                  .map([](const std::pair<std::uint32_t, std::uint32_t>& c) {
+                    Rng rng{c.second, 5};
+                    dsp::Samples samples(2048 + c.first);
+                    for (auto& s : samples)
+                      s = dsp::Complex{
+                          static_cast<float>(rng.next_gaussian() * 10.0),
+                          static_cast<float>(rng.next_gaussian() * 10.0)};
+                    return samples;
+                  });
+  auto result = check(
+      junk, [&](const dsp::Samples& samples) { (void)demod.receive(samples); },
+      cfg, "receive is total");
+  EXPECT_TRUE(result.ok) << result.message();
 }
 
 TEST(CodingFuzz, WhitenHammingInterleaveChainComposes) {
-  // Random nibble blocks through whiten->encode->interleave and back, with
-  // random single-symbol bin hits at CR4/8 always correcting.
-  Rng rng{21};
-  for (int trial = 0; trial < 100; ++trial) {
-    int rows = 4 + static_cast<int>(rng.next_below(9));
-    std::vector<std::uint8_t> cws;
-    std::vector<std::uint8_t> nibbles;
-    for (int i = 0; i < rows; ++i) {
-      auto nib = static_cast<std::uint8_t>(rng.next_below(16));
-      nibbles.push_back(nib);
-      cws.push_back(hamming_encode(nib, CodingRate::kCr48));
-    }
-    auto symbols = interleave(cws, rows, CodingRate::kCr48);
-    // Flip one random bit in one random symbol.
-    std::size_t victim = rng.next_below(static_cast<std::uint32_t>(symbols.size()));
-    symbols[victim] ^= 1u << rng.next_below(static_cast<std::uint32_t>(rows));
-    auto back = deinterleave(symbols, rows, CodingRate::kCr48);
-    for (int i = 0; i < rows; ++i) {
-      EXPECT_EQ(hamming_decode(back[static_cast<std::size_t>(i)],
-                               CodingRate::kCr48),
-                nibbles[static_cast<std::size_t>(i)])
-          << "trial " << trial << " row " << i;
-    }
-  }
+  // Random nibble rows through encode->interleave with one random
+  // single-bit symbol hit at CR4/8 must always correct back.
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 100;
+  auto g = gen::tuple_of(gen::vector_of(gen::uint_below(16), 4, 12),
+                         gen::uint_below(1u << 30));
+  auto result = check(
+      g,
+      [](const std::tuple<std::vector<std::uint32_t>, std::uint32_t>& c) {
+        const auto& [nibs, hit_seed] = c;
+        const int rows = static_cast<int>(nibs.size());
+        std::vector<std::uint8_t> cws;
+        for (auto nib : nibs)
+          cws.push_back(hamming_encode(static_cast<std::uint8_t>(nib),
+                                       CodingRate::kCr48));
+        auto symbols = interleave(cws, rows, CodingRate::kCr48);
+
+        Rng rng{hit_seed, 9};
+        std::size_t victim =
+            rng.next_below(static_cast<std::uint32_t>(symbols.size()));
+        symbols[victim] ^=
+            1u << rng.next_below(static_cast<std::uint32_t>(rows));
+
+        auto back = deinterleave(symbols, rows, CodingRate::kCr48);
+        for (int i = 0; i < rows; ++i) {
+          if (hamming_decode(back[static_cast<std::size_t>(i)],
+                             CodingRate::kCr48) !=
+              static_cast<std::uint8_t>(nibs[static_cast<std::size_t>(i)]))
+            return false;
+        }
+        return true;
+      },
+      cfg, "coding chain corrects single hits");
+  EXPECT_TRUE(result.ok) << result.message();
 }
 
 }  // namespace

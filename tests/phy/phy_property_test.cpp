@@ -1,0 +1,185 @@
+// Metamorphic properties over every PHY in Registry::builtin():
+// clean-channel payload round-trip, pad-invariance for synchronising
+// receivers, point-seed purity, and serial-vs-threaded byte identity of
+// both sweep results and merged telemetry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "exec/seed.hpp"
+#include "obs/metrics.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/registry.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/property.hpp"
+
+namespace tinysdr::phy {
+namespace {
+
+using testkit::check;
+using testkit::PropertyConfig;
+namespace gen = testkit::gen;
+
+const RegisteredPhy& entry_at(std::uint32_t index) {
+  const auto& entries = Registry::builtin().entries();
+  return entries[index % entries.size()];
+}
+
+// Clamp a generated payload to the entry's limits, never empty.
+std::vector<std::uint8_t> clamp_payload(std::vector<std::uint8_t> payload,
+                                        const RegisteredPhy& entry) {
+  if (payload.empty()) payload.push_back(0x7E);
+  if (payload.size() > entry.max_payload) payload.resize(entry.max_payload);
+  return payload;
+}
+
+TEST(PhyProperty, EveryPhyRoundTripsEveryPayloadOnACleanChannel) {
+  auto g = gen::pair_of(gen::uint_below(kProtocolCount), gen::bytes(1, 16));
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 60;  // each case modulates + demodulates a full frame
+  auto result = check(
+      g,
+      [](const std::pair<std::uint32_t, std::vector<std::uint8_t>>& c) {
+        const RegisteredPhy& entry = entry_at(c.first);
+        auto payload = clamp_payload(c.second, entry);
+        auto tx = entry.make_tx();
+        auto rx = entry.make_rx();
+        dsp::Samples wave(entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+        tx->modulate(payload, wave);
+        wave.insert(wave.end(), entry.pad_samples, dsp::Complex{0.0f, 0.0f});
+        FrameResult r = rx->demodulate(wave, payload);
+        return r.frame_ok && r.bit_errors == 0;
+      },
+      cfg);
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(PhyProperty, SynchronisingReceiversArePadInvariant) {
+  // Extra zero padding around the frame must not change the decode for
+  // any PHY that hunts for its preamble (pad_samples > 0).
+  std::vector<const RegisteredPhy*> hunting;
+  for (const auto& entry : Registry::builtin().entries())
+    if (entry.pad_samples > 0) hunting.push_back(&entry);
+  ASSERT_FALSE(hunting.empty());  // LoRa at minimum
+
+  auto g = gen::tuple_of(gen::uint_below(64), gen::uint_below(200),
+                         gen::bytes(1, 8));
+  PropertyConfig cfg = PropertyConfig::from_env();
+  cfg.cases = 20;
+  for (const RegisteredPhy* entry : hunting) {
+    auto result = check(
+        g,
+        [entry](const std::tuple<std::uint32_t, std::uint32_t,
+                                 std::vector<std::uint8_t>>& c) {
+          const auto& [idx, extra, raw] = c;
+          (void)idx;
+          auto payload = clamp_payload(raw, *entry);
+          auto tx = entry->make_tx();
+          auto rx = entry->make_rx();
+          dsp::Samples wave(entry->pad_samples + extra,
+                            dsp::Complex{0.0f, 0.0f});
+          tx->modulate(payload, wave);
+          wave.insert(wave.end(), entry->pad_samples + extra,
+                      dsp::Complex{0.0f, 0.0f});
+          FrameResult r = rx->demodulate(wave, payload);
+          return r.frame_ok && r.bit_errors == 0;
+        },
+        cfg, entry->name + " pad invariance");
+    EXPECT_TRUE(result.ok) << result.message();
+  }
+}
+
+TEST(PhyProperty, PointSeedIsPureInBaseAndRssiAlone) {
+  auto g = gen::pair_of(gen::uint_below(1u << 30),
+                        gen::int_in(-150, -40));
+  auto result = check(
+      g, [](const std::pair<std::uint32_t, std::int64_t>& c) {
+        const double rssi = static_cast<double>(c.second);
+        auto a = LinkSimulator::point_seed(c.first, rssi);
+        auto b = LinkSimulator::point_seed(c.first, rssi);
+        // Pure, and sensitive to both arguments.
+        return a == b &&
+               a != LinkSimulator::point_seed(c.first + 1, rssi) &&
+               a != LinkSimulator::point_seed(c.first, rssi + 0.5);
+      });
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(PhyProperty, SweepIsByteIdenticalAcrossThreadCountsWithTelemetry) {
+  const RegisteredPhy& entry = Registry::builtin().at(Protocol::kBle);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  TrialPlan plan;
+  plan.trials = 6;
+  plan.payload_bytes = 8;
+  plan.noise_figure_db = entry.system_noise_figure_db;
+  plan.base_seed = 77;
+  LinkSimulator sim{*tx, *rx, plan};
+
+  std::vector<SweepPoint> points;
+  for (double rssi = -104.0; rssi <= -88.0; rssi += 4.0)
+    points.push_back({Dbm{rssi}, std::nullopt});
+
+  auto run = [&](std::size_t threads) {
+    obs::Registry registry;
+    obs::MetricsSession session{registry};
+    auto results = sim.sweep(points, exec::ExecPolicy::with_threads(threads));
+    auto snapshot = registry.snapshot();
+    // Timing histograms ("*.demod_us" from LinkSimulator, "prof.*.us"
+    // from the demodulators) are wall-clock and excluded from the
+    // identity contract.
+    for (auto it = snapshot.histograms.begin();
+         it != snapshot.histograms.end();) {
+      if (it->first.ends_with("_us") || it->first.ends_with(".us"))
+        it = snapshot.histograms.erase(it);
+      else
+        ++it;
+    }
+    return std::make_pair(std::move(results), std::move(snapshot));
+  };
+
+  auto [serial_results, serial_metrics] = run(1);
+  for (std::size_t threads : {2u, 4u}) {
+    auto [threaded_results, threaded_metrics] = run(threads);
+    EXPECT_EQ(threaded_results, serial_results)
+        << "results diverged at --threads " << threads;
+    EXPECT_EQ(threaded_metrics, serial_metrics)
+        << "telemetry diverged at --threads " << threads;
+    EXPECT_EQ(threaded_metrics.json(), serial_metrics.json())
+        << "telemetry JSON not byte-identical at --threads " << threads;
+  }
+}
+
+TEST(PhyProperty, SweepPointResultsAreGridIndependent) {
+  const RegisteredPhy& entry = Registry::builtin().at(Protocol::kZigbee);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  TrialPlan plan;
+  plan.trials = 4;
+  plan.payload_bytes = 6;
+  plan.base_seed = 5;
+  LinkSimulator sim{*tx, *rx, plan};
+
+  std::vector<SweepPoint> grid{{Dbm{-97.0}, std::nullopt},
+                               {Dbm{-94.0}, std::nullopt},
+                               {Dbm{-91.0}, std::nullopt}};
+  auto full = sim.sweep(grid, exec::ExecPolicy::serial());
+
+  // The same point alone, or in a reordered grid, yields identical
+  // results — a point's trials depend on (base seed, rssi) only.
+  std::vector<SweepPoint> reversed{grid.rbegin(), grid.rend()};
+  auto rev = sim.sweep(reversed, exec::ExecPolicy::serial());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_EQ(full[i], rev[grid.size() - 1 - i]) << "point " << i;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<SweepPoint> solo{grid[i]};
+    auto one = sim.sweep(solo, exec::ExecPolicy::serial());
+    EXPECT_EQ(one[0], full[i]) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tinysdr::phy

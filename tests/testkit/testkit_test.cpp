@@ -1,0 +1,242 @@
+// The testkit's own contract: generators respect their bounds, failures
+// report a (seed, index) pair that replays to the identical shrunk
+// counterexample, and the fuzz driver's generated inputs are pure
+// functions of (seed, index).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "testkit/bytes.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/harness.hpp"
+#include "testkit/property.hpp"
+
+namespace tinysdr::testkit {
+namespace {
+
+PropertyConfig quiet_config() {
+  PropertyConfig cfg;  // deliberately NOT from_env: tests must be hermetic
+  cfg.cases = 100;
+  return cfg;
+}
+
+// ------------------------------------------------------------- ByteSource
+
+TEST(ByteSource, ExhaustedSourceAnswersZerosForever) {
+  ByteSource src{{}};
+  EXPECT_TRUE(src.exhausted());
+  EXPECT_EQ(src.u8(), 0u);
+  EXPECT_EQ(src.u64(), 0u);
+  EXPECT_FALSE(src.boolean());
+  EXPECT_EQ(src.uint_below(17), 0u);
+  EXPECT_EQ(src.int_in(-5, 9), -5);
+  EXPECT_EQ(src.unit(), 0.0);
+  EXPECT_TRUE(src.take(8).empty());
+}
+
+TEST(ByteSource, LittleEndianCompositionAndBounds) {
+  const std::vector<std::uint8_t> data{0x01, 0x02, 0x03, 0x04, 0xFF};
+  ByteSource src{data};
+  EXPECT_EQ(src.u32(), 0x04030201u);
+  EXPECT_EQ(src.remaining(), 1u);
+  auto tail = src.take(10);  // truncates, never pads
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], 0xFFu);
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(ByteSource, BoundedDrawsStayInRange) {
+  std::vector<std::uint8_t> data(64);
+  std::iota(data.begin(), data.end(), std::uint8_t{0x39});
+  ByteSource src{data};
+  for (int i = 0; i < 8; ++i) {
+    auto v = src.int_in(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+  EXPECT_LT(src.uint_below(7), 7u);
+  double u = src.unit();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+// ------------------------------------------------------------- generators
+
+TEST(Gen, IntInStaysInRangeAndShrinksTowardZero) {
+  auto g = gen::int_in(-20, 500);
+  Rng rng{1};
+  for (int i = 0; i < 200; ++i) {
+    auto v = g(rng, 16);
+    EXPECT_GE(v, -20);
+    EXPECT_LE(v, 500);
+    for (auto c : g.shrink(v)) {
+      EXPECT_GE(c, -20);
+      EXPECT_LE(c, 500);
+    }
+  }
+  auto cands = g.shrink(400);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 0);  // simplest candidate first
+
+  // A range excluding zero shrinks toward its boundary, never past it.
+  auto positive = gen::int_in(3, 9);
+  auto pc = positive.shrink(9);
+  ASSERT_FALSE(pc.empty());
+  EXPECT_EQ(pc.front(), 3);
+}
+
+TEST(Gen, VectorOfRespectsMinLenUnderGenerationAndShrinking) {
+  auto g = gen::vector_of(gen::byte(), 2, 10);
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    auto v = g(rng, 64);
+    EXPECT_GE(v.size(), 2u);
+    EXPECT_LE(v.size(), 10u);
+    for (const auto& c : g.shrink(v)) EXPECT_GE(c.size(), 2u);
+  }
+}
+
+TEST(Gen, FilterHoldsForDrawsAndShrinkCandidates) {
+  auto even = gen::int_in(0, 1000).filter(
+      [](std::int64_t v) { return v % 2 == 0; });
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    auto v = even(rng, 8);
+    EXPECT_EQ(v % 2, 0);
+    for (auto c : even.shrink(v)) EXPECT_EQ(c % 2, 0);
+  }
+}
+
+// ------------------------------------------------------- property runner
+
+TEST(Property, PassingPropertyRunsEveryCase) {
+  auto result = check(
+      gen::int_in(0, 100), [](std::int64_t v) { return v >= 0; },
+      quiet_config(), "non-negative");
+  EXPECT_TRUE(result.ok) << result.message();
+  EXPECT_EQ(result.cases_run, 100u);
+  EXPECT_TRUE(result.message().empty());
+}
+
+TEST(Property, FailureShrinksToTheBoundaryCounterexample) {
+  // Fails for v >= 50; the minimal counterexample is exactly 50.
+  auto result = check(
+      gen::int_in(0, 1000), [](std::int64_t v) { return v < 50; },
+      quiet_config(), "below-fifty");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.counterexample, "50");
+  EXPECT_NE(result.message().find("TINYSDR_PROP_SEED="), std::string::npos);
+  EXPECT_NE(result.message().find("TINYSDR_PROP_INDEX="), std::string::npos);
+}
+
+TEST(Property, ReportedSeedIndexReplaysTheSameCounterexample) {
+  auto prop = [](std::int64_t v) { return v < 50; };
+  auto first = check(gen::int_in(0, 1000), prop, quiet_config());
+  ASSERT_FALSE(first.ok);
+
+  // Replay exactly as the failure message instructs: same seed, pinned
+  // index. One case runs and it lands on the identical counterexample.
+  PropertyConfig replay = quiet_config();
+  replay.seed = first.seed;
+  replay.only_index = first.index;
+  auto second = check(gen::int_in(0, 1000), prop, replay);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.cases_run, 1u);
+  EXPECT_EQ(second.index, first.index);
+  EXPECT_EQ(second.counterexample, first.counterexample);
+  EXPECT_EQ(second.error, first.error);
+}
+
+TEST(Property, ThrowingPropertiesFailWithTheExceptionText) {
+  auto result = check(
+      gen::int_in(0, 10),
+      [](std::int64_t v) {
+        if (v > 3) throw std::runtime_error("boom at " + std::to_string(v));
+      },
+      quiet_config());
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.counterexample, "4");  // shrunk to the boundary
+  EXPECT_NE(result.error.find("boom"), std::string::npos);
+}
+
+TEST(Property, FromEnvOverlaysReplayVariables) {
+  ::setenv("TINYSDR_PROP_SEED", "12345", 1);
+  ::setenv("TINYSDR_PROP_INDEX", "7", 1);
+  ::setenv("TINYSDR_PROP_CASES", "9", 1);
+  auto cfg = PropertyConfig::from_env();
+  ::unsetenv("TINYSDR_PROP_SEED");
+  ::unsetenv("TINYSDR_PROP_INDEX");
+  ::unsetenv("TINYSDR_PROP_CASES");
+  EXPECT_EQ(cfg.seed, 12345u);
+  ASSERT_TRUE(cfg.only_index.has_value());
+  EXPECT_EQ(*cfg.only_index, 7u);
+  EXPECT_EQ(cfg.cases, 9u);
+}
+
+// ----------------------------------------------------------- fuzz driver
+
+TEST(FuzzDriver, GeneratedInputsArePureInSeedAndIndex) {
+  Harness h{"testkit.pure", [](std::span<const std::uint8_t>) {}, 128};
+  for (std::uint64_t i : {std::uint64_t{0}, std::uint64_t{3},
+                          std::uint64_t{250}}) {
+    EXPECT_EQ(fuzz_input(h, 9, i), fuzz_input(h, 9, i));
+  }
+  EXPECT_NE(fuzz_input(h, 9, 5), fuzz_input(h, 10, 5));
+}
+
+TEST(FuzzDriver, FailureShrinksAndReplaysFromSeedIndex) {
+  // Fails iff the input contains the byte 0x42 — a needle the byte-level
+  // shrinker must preserve while dropping everything else.
+  Harness h{"testkit.needle",
+            [](std::span<const std::uint8_t> data) {
+              for (auto b : data)
+                if (b == 0x42) throw std::runtime_error("needle found");
+            },
+            64};
+  FuzzRunConfig cfg;
+  cfg.iterations = 2000;  // plenty to generate a 0x42 somewhere
+  FuzzReport report = run_fuzz(h, cfg);
+  ASSERT_FALSE(report.ok());
+  const FuzzFailure& f = *report.failure;
+  ASSERT_TRUE(f.index.has_value());
+
+  // Replay: the recorded (seed, index) regenerates the failing input.
+  EXPECT_EQ(fuzz_input(h, f.seed, *f.index), f.input);
+
+  // The shrunk input still fails, is no larger, and kept the needle.
+  EXPECT_LE(f.shrunk.size(), f.input.size());
+  EXPECT_THROW(h.run(f.shrunk), std::runtime_error);
+  bool has_needle = false;
+  for (auto b : f.shrunk) has_needle |= (b == 0x42);
+  EXPECT_TRUE(has_needle);
+  EXPECT_NE(report.message().find("--replay-index"), std::string::npos);
+}
+
+TEST(FuzzDriver, CorpusEntriesRunBeforeGeneratedInputs) {
+  std::size_t calls = 0;
+  Harness h{"testkit.count",
+            [&calls](std::span<const std::uint8_t>) { ++calls; }, 32};
+  FuzzRunConfig cfg;
+  cfg.iterations = 10;
+  FuzzReport report = run_fuzz(h, cfg);  // no corpus dir: generated only
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.iterations_run, 10u);
+  EXPECT_EQ(report.corpus_inputs, 0u);
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(FuzzDriver, RegistryRejectsDuplicateNames) {
+  HarnessRegistry reg;
+  reg.add({"dup", [](std::span<const std::uint8_t>) {}, 16});
+  EXPECT_THROW(reg.add({"dup", [](std::span<const std::uint8_t>) {}, 16}),
+               std::invalid_argument);
+  EXPECT_NE(reg.find("dup"), nullptr);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace tinysdr::testkit
