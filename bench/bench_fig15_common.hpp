@@ -1,0 +1,34 @@
+// Shared rig for the Fig. 15 concurrent-LoRa benches and the adversary
+// jammer sweeps built on the same machinery: the paper's SF8/BW125 and
+// SF8/BW250 pair sampled at a common 500 kHz, plus the common trial plan.
+#pragma once
+
+#include "phy/link_sim.hpp"
+#include "phy/lora_phy.hpp"
+
+namespace tinysdr::bench {
+
+/// The concurrent pair from Fig. 15: both spreading-factor-8 links live in
+/// one 500 kHz capture, decoded by per-bandwidth symbol demodulators.
+struct Fig15Setup {
+  Hertz fs = Hertz::from_kilohertz(500.0);
+  phy::LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)},
+                            .sample_rate = fs};
+  phy::LoraPhyConfig cfg250{.params = {8, Hertz::from_kilohertz(250.0)},
+                            .sample_rate = fs};
+  phy::LoraSymbolTx tx125{cfg125};
+  phy::LoraSymbolTx tx250{cfg250};
+  phy::LoraSymbolRx rx125{cfg125};
+  phy::LoraSymbolRx rx250{cfg250};
+
+  /// 2 trials x 125 payload bytes = 250 chirp symbols per sweep point.
+  [[nodiscard]] phy::TrialPlan plan() const {
+    phy::TrialPlan p;
+    p.trials = 2;
+    p.payload_bytes = 125;
+    p.noise_figure_db = phy::kLoraSystemNf;
+    return p;
+  }
+};
+
+}  // namespace tinysdr::bench

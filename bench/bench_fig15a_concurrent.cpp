@@ -3,12 +3,10 @@
 // SF8/BW250 decoded simultaneously, with the single-transmission curves for
 // the concurrency penalty.
 #include "bench_common.hpp"
+#include "bench_fig15_common.hpp"
 #include "core/concurrent.hpp"
-#include "phy/link_sim.hpp"
-#include "phy/lora_phy.hpp"
 
 using namespace tinysdr;
-using namespace tinysdr::lora;
 
 int main(int argc, char** argv) {
   bench::BenchRun run{argc, argv, "Fig. 15a", "paper Fig. 15a",
@@ -16,20 +14,8 @@ int main(int argc, char** argv) {
                       "SER vs RSSI"};
   auto policy = bench::thread_policy(argc, argv);
 
-  LoraParams p125{8, Hertz::from_kilohertz(125.0)};
-  LoraParams p250{8, Hertz::from_kilohertz(250.0)};
-  Hertz fs = Hertz::from_kilohertz(500.0);
-  phy::LoraPhyConfig cfg125{.params = p125, .sample_rate = fs};
-  phy::LoraPhyConfig cfg250{.params = p250, .sample_rate = fs};
-
-  phy::LoraSymbolTx tx125{cfg125}, tx250{cfg250};
-  phy::LoraSymbolRx rx125{cfg125}, rx250{cfg250};
-
-  // 2 trials x 125 payload bytes = 250 chirp symbols per sweep point.
-  phy::TrialPlan plan;
-  plan.trials = 2;
-  plan.payload_bytes = 125;
-  plan.noise_figure_db = phy::kLoraSystemNf;
+  bench::Fig15Setup rig;
+  phy::TrialPlan plan = rig.plan();
 
   std::vector<double> grid;
   std::vector<phy::SweepPoint> equal_power;
@@ -52,10 +38,10 @@ int main(int argc, char** argv) {
     p.base_seed = seed;
     return phy::LinkSimulator{tx, rx, p}.sweep_rssi(grid, policy);
   };
-  auto conc125 = concurrent(tx125, rx125, tx250, 55);
-  auto conc250 = concurrent(tx250, rx250, tx125, 56);
-  auto single125 = single(tx125, rx125, 57);
-  auto single250 = single(tx250, rx250, 58);
+  auto conc125 = concurrent(rig.tx125, rig.rx125, rig.tx250, 55);
+  auto conc250 = concurrent(rig.tx250, rig.rx250, rig.tx125, 56);
+  auto single125 = single(rig.tx125, rig.rx125, 57);
+  auto single250 = single(rig.tx250, rig.rx250, 58);
 
   std::vector<std::vector<double>> rows;
   for (std::size_t i = 0; i < grid.size(); ++i)
@@ -68,7 +54,8 @@ int main(int argc, char** argv) {
        "single BW250 SER(%)"},
       rows, 2);
 
-  core::ConcurrentReceiver receiver{{p125, p250}, fs};
+  core::ConcurrentReceiver receiver{{rig.cfg125.params, rig.cfg250.params},
+                                    rig.fs};
   run.scalar("receiver_luts", static_cast<double>(receiver.design().total_luts()));
   run.scalar("platform_power_mw", receiver.platform_power().value());
 

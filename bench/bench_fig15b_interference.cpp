@@ -4,11 +4,9 @@
 // while noise dominates, then climbs once the quasi-orthogonal interferer
 // dominates the noise (the paper's argument for power control).
 #include "bench_common.hpp"
-#include "phy/link_sim.hpp"
-#include "phy/lora_phy.hpp"
+#include "bench_fig15_common.hpp"
 
 using namespace tinysdr;
-using namespace tinysdr::lora;
 
 int main(int argc, char** argv) {
   bench::BenchRun run{argc, argv, "Fig. 15b", "paper Fig. 15b",
@@ -16,21 +14,12 @@ int main(int argc, char** argv) {
                       "near sensitivity)"};
   auto policy = bench::thread_policy(argc, argv);
 
-  Hertz fs = Hertz::from_kilohertz(500.0);
-  phy::LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)},
-                            .sample_rate = fs};
-  phy::LoraPhyConfig cfg250{.params = {8, Hertz::from_kilohertz(250.0)},
-                            .sample_rate = fs};
-  phy::LoraSymbolTx tx125{cfg125}, tx250{cfg250};
-  phy::LoraSymbolRx rx125{cfg125};
+  bench::Fig15Setup rig;
 
   // 2 trials x 125 payload bytes = 250 chirp symbols per sweep point. The
   // signal RSSI is fixed, so every point reuses the same symbols and noise
   // realization — a controlled sweep where only the interferer level moves.
-  phy::TrialPlan plan;
-  plan.trials = 2;
-  plan.payload_bytes = 125;
-  plan.noise_figure_db = phy::kLoraSystemNf;
+  phy::TrialPlan plan = rig.plan();
   plan.base_seed = 77;
 
   // Paper: the BW125 signal is fixed at -123 dBm, near its sensitivity.
@@ -39,8 +28,8 @@ int main(int argc, char** argv) {
   for (double interferer = -130.0; interferer <= -104.0; interferer += 2.0)
     points.push_back({fixed_a, Dbm{interferer}});
 
-  phy::LinkSimulator sim{tx125, rx125, plan};
-  sim.set_interferer(tx250);
+  phy::LinkSimulator sim{rig.tx125, rig.rx125, plan};
+  sim.set_interferer(rig.tx250);
   auto results = sim.sweep(points, policy);
 
   std::vector<std::vector<double>> rows;

@@ -44,6 +44,38 @@ else
   echo "smoke: python3 not found, skipping JSON validation"
 fi
 
+echo "== adversary smoke: jammers + coexistence + OTA attack campaign =="
+./build/bench/bench_adversary_campaign --threads 2 \
+  --json "$smoke_dir/adversary_bench.json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "$smoke_dir/adversary_bench.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tinysdr-bench-v1", doc.get("schema")
+jam = doc["series"]["jammer_ser_vs_rssi"]
+assert jam["rows"], "empty jammer sweep"
+assert all(len(r) == 1 + len(jam["y_labels"]) for r in jam["rows"])
+coex = doc["series"]["coexistence_per"]
+assert coex["rows"], "empty coexistence matrix"
+s = doc["scalars"]
+# Survival contract: every attack regime succeeds fleet-wide while being
+# detected, and the rollback push is refused by every node.
+for name in ("jam-10%", "forge-ack-5%", "truncate-5%", "replay-10%",
+             "combined"):
+    assert s[name + ".success_rate"] == 1.0, name
+assert s["jam-10%.jammed_packets"] > 0
+assert s["forge-ack-5%.forged_acks_discarded"] > 0
+assert s["truncate-5%.truncated_dropped"] > 0
+assert s["replay-10%.replays_dropped"] > 0
+assert s["rollback-push.success_rate"] == 0.0
+assert s["rollback-push.rollback_rejections"] > 0
+print("smoke: adversary_bench.json validates (attacks survived, "
+      "rollback refused)")
+PY
+else
+  echo "smoke: python3 not found, skipping JSON validation"
+fi
+
 echo "== fuzz smoke: every harness over its seed corpus =="
 ./build/tests/tinysdr_fuzz --iterations 500 --artifacts "$smoke_dir/fuzz-artifacts"
 

@@ -1,0 +1,71 @@
+// Multi-PHY coexistence matrix: every registry PHY as victim against
+// every registry PHY as co-channel interferer (shared-band coexistence
+// after the 802.15.4 SDR transceiver literature, arXiv:1304.8028).
+//
+// Built on the Fig. 15 interference machinery: each (victim, interferer)
+// cell runs phy::LinkSimulator with a PhyTxInterferer superposed at a
+// configurable power offset, next to a clean reference cell per victim,
+// so the matrix reads as PER penalty attributable to the interferer.
+//
+// Modeling note: the interferer waveform is superposed at the victim's
+// sample rate over the victim frame's extent (channel::superpose
+// truncates to the victim's length) — a co-channel, rate-matched
+// abstraction of two radios keyed up in one band, not a full multi-rate
+// band simulation.
+//
+// Cells shard across exec::parallel_for with per-cell metric shards
+// merged in cell order: results and telemetry are byte-identical for a
+// fixed base seed at any thread count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/registry.hpp"
+
+namespace tinysdr::adversary {
+
+struct CoexistenceConfig {
+  std::size_t trials = 4;
+  std::size_t payload_bytes = 12;
+  /// Victim receive power; strong enough that every registry PHY decodes
+  /// cleanly without interference.
+  Dbm rssi{-85.0};
+  /// Interferer power relative to the victim (0 = equal power).
+  double interferer_offset_db = 0.0;
+  std::uint64_t base_seed = 0xC0E1;
+};
+
+/// One matrix cell: `interferer == nullopt` is the victim's clean
+/// reference run.
+struct CoexistenceCell {
+  phy::Protocol victim{};
+  std::optional<phy::Protocol> interferer;
+  phy::PointResult result;
+};
+
+struct CoexistenceMatrix {
+  CoexistenceConfig config;
+  std::vector<phy::Protocol> protocols;  ///< registry order
+  /// Victim-major: for each victim, its clean cell then one cell per
+  /// interferer in registry order.
+  std::vector<CoexistenceCell> cells;
+
+  [[nodiscard]] const phy::PointResult* find(
+      phy::Protocol victim, std::optional<phy::Protocol> interferer) const;
+
+  /// PER added by the interferer over the victim's clean reference.
+  [[nodiscard]] double per_penalty(phy::Protocol victim,
+                                   phy::Protocol interferer) const;
+};
+
+/// Run the full matrix over `registry` (default: the builtin five-PHY
+/// table): per victim one clean cell plus one cell per interferer.
+[[nodiscard]] CoexistenceMatrix run_coexistence_matrix(
+    const CoexistenceConfig& config = {},
+    const exec::ExecPolicy& policy = {},
+    const phy::Registry& registry = phy::Registry::builtin());
+
+}  // namespace tinysdr::adversary

@@ -1,0 +1,39 @@
+#include "adversary/ota_attacker.hpp"
+
+namespace tinysdr::adversary {
+
+bool ScriptedAttacker::jam_packet(ota::OtaPacketType /*type*/,
+                                  std::size_t /*wire_bytes*/) {
+  if (!rng_.next_bool(plan_.jam_rate)) return false;
+  ++counters_.jams;
+  return true;
+}
+
+bool ScriptedAttacker::forge_ack(ota::OtaPacketType /*type*/) {
+  if (!rng_.next_bool(plan_.forge_ack_rate)) return false;
+  ++counters_.forged_acks;
+  return true;
+}
+
+bool ScriptedAttacker::truncate_chunk(std::uint16_t /*seq*/) {
+  if (!rng_.next_bool(plan_.truncate_rate)) return false;
+  ++counters_.truncations;
+  return true;
+}
+
+bool ScriptedAttacker::replay_chunk(std::uint16_t /*seq*/) {
+  if (!rng_.next_bool(plan_.replay_rate)) return false;
+  ++counters_.replays;
+  return true;
+}
+
+std::function<std::unique_ptr<ota::LinkAttacker>(std::uint64_t)>
+attacker_factory(OtaAttackPlan plan) {
+  return [plan](std::uint64_t node_seed) {
+    OtaAttackPlan node_plan = plan;
+    node_plan.seed = plan.seed ^ node_seed;  // distinct stream per node
+    return std::make_unique<ScriptedAttacker>(node_plan);
+  };
+}
+
+}  // namespace tinysdr::adversary

@@ -1,0 +1,90 @@
+// Seeded OTA-protocol attacker: the protocol-level analogue of
+// sim::FaultPlan / sim::FaultInjector.
+//
+// An OtaAttackPlan is a declarative, seeded schedule of protocol attacks
+// — forged ACKs racing the node's replies, truncated DATA frames,
+// replayed captures, and link jamming — and ScriptedAttacker is the
+// runtime ota::LinkAttacker the transfer engine queries at each hookable
+// exchange. All draws come from one PCG32 stream per attacker, so an
+// attacked campaign run replays bit-for-bit from (plan, seed) alone.
+//
+// Rollback pushes are not a link-level hook: model them by carrying an
+// older image_version through ota::UpdateOptions (or
+// testbed::FaultScenario), and let the FirmwareStore ratchet refuse it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "ota/protocol.hpp"
+
+namespace tinysdr::adversary {
+
+/// Declarative, seeded schedule of OTA-protocol attacks for one node.
+struct OtaAttackPlan {
+  std::uint64_t seed = 0xBADF00D;
+
+  /// Per-delivery probability the attacker jams an arriving packet.
+  double jam_rate = 0.0;
+  /// Per-exchange probability a forged ACK/SACK beats the node's reply.
+  double forge_ack_rate = 0.0;
+  /// Per-DATA probability the frame arrives truncated.
+  double truncate_rate = 0.0;
+  /// Per-stored-DATA probability the attacker replays a captured copy.
+  double replay_rate = 0.0;
+
+  [[nodiscard]] static OtaAttackPlan none() { return {}; }
+
+  /// True if any attack dimension is active.
+  [[nodiscard]] bool any() const {
+    return jam_rate > 0.0 || forge_ack_rate > 0.0 || truncate_rate > 0.0 ||
+           replay_rate > 0.0;
+  }
+};
+
+/// Tally of attacks the attacker actually launched during a run. The
+/// protocol's UpdateOutcome counters tally what the *victim* detected;
+/// comparing the two is what the detection tests assert.
+struct OtaAttackCounters {
+  std::size_t jams = 0;
+  std::size_t forged_acks = 0;
+  std::size_t truncations = 0;
+  std::size_t replays = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return jams + forged_acks + truncations + replays;
+  }
+};
+
+/// Runtime attacker. One per attacked node; all draws funnel through a
+/// single seeded RNG stream so runs replay exactly.
+class ScriptedAttacker final : public ota::LinkAttacker {
+ public:
+  explicit ScriptedAttacker(OtaAttackPlan plan)
+      : plan_(plan), rng_(plan.seed, 0xA77AC2ULL) {}
+
+  [[nodiscard]] const OtaAttackPlan& plan() const { return plan_; }
+  [[nodiscard]] const OtaAttackCounters& counters() const { return counters_; }
+
+  [[nodiscard]] bool jam_packet(ota::OtaPacketType type,
+                                std::size_t wire_bytes) override;
+  [[nodiscard]] bool forge_ack(ota::OtaPacketType type) override;
+  [[nodiscard]] bool truncate_chunk(std::uint16_t seq) override;
+  [[nodiscard]] bool replay_chunk(std::uint16_t seq) override;
+
+ private:
+  OtaAttackPlan plan_;
+  Rng rng_;
+  OtaAttackCounters counters_;
+};
+
+/// testbed::FaultScenario::make_attacker adapter: builds a per-node
+/// ScriptedAttacker whose stream mixes the plan seed with the node's
+/// derived seed, keeping fleet campaigns deterministic and
+/// order-independent.
+[[nodiscard]] std::function<std::unique_ptr<ota::LinkAttacker>(std::uint64_t)>
+attacker_factory(OtaAttackPlan plan);
+
+}  // namespace tinysdr::adversary

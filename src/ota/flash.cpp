@@ -1,5 +1,6 @@
 #include "ota/flash.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/crc.hpp"
@@ -143,7 +144,8 @@ std::size_t FirmwareStore::slot_base(Slot slot) {
   return kGoldenBase;
 }
 
-bool FirmwareStore::write_slot(Slot slot, std::span<const std::uint8_t> image) {
+bool FirmwareStore::write_slot(Slot slot, std::span<const std::uint8_t> image,
+                               std::uint32_t version) {
   if (image.size() > kSlotCapacity)
     throw std::length_error("FirmwareStore::write_slot: image too large");
   std::size_t base = slot_base(slot);
@@ -151,6 +153,7 @@ bool FirmwareStore::write_slot(Slot slot, std::span<const std::uint8_t> image) {
   st.valid = false;
   st.length = image.size();
   st.crc32 = crc32_ieee(image);
+  st.version = version;
   // Erase with verify-and-retry, as real update firmware does (a faulted
   // erase leaves stuck bits that a plain re-program cannot clear).
   for (int attempt = 0; attempt < 3; ++attempt) {
@@ -176,6 +179,15 @@ std::optional<std::vector<std::uint8_t>> FirmwareStore::load_slot(
 
 bool FirmwareStore::activate(Slot slot) {
   if (!load_slot(slot)) return false;
+  // Anti-rollback ratchet: an image older than anything this node already
+  // ran is refused — a downgrade attack, not a benign failure. The golden
+  // image stays reachable through rollback_to_golden(), which is the
+  // recovery path, not an activation.
+  if (state(slot).version < min_version_) {
+    ++rollback_rejections_;
+    return false;
+  }
+  min_version_ = std::max(min_version_, state(slot).version);
   active_ = slot;
   return true;
 }

@@ -169,19 +169,26 @@ class FirmwareStore {
   /// Write an image into a slot (erase, program, read-back verify against
   /// the image fingerprint). Returns false if verification fails — e.g.
   /// under injected flash faults — leaving the slot marked invalid.
-  bool write_slot(Slot slot, std::span<const std::uint8_t> image);
+  /// `version` is the image's monotonic firmware version, checked by the
+  /// anti-rollback ratchet at activation time.
+  bool write_slot(Slot slot, std::span<const std::uint8_t> image,
+                  std::uint32_t version = 0);
 
   /// Read a slot back, verifying its recorded fingerprint.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> load_slot(
       Slot slot) const;
 
   /// Install the factory golden image (write + verify + remember).
-  bool install_golden(std::span<const std::uint8_t> image) {
-    return write_slot(Slot::kGolden, image);
+  bool install_golden(std::span<const std::uint8_t> image,
+                      std::uint32_t version = 0) {
+    return write_slot(Slot::kGolden, image, version);
   }
 
   /// Make `slot` the boot image. Refuses (returns false) if the slot does
-  /// not currently verify.
+  /// not currently verify, or if its version is below the anti-rollback
+  /// floor (every successful activation ratchets the floor up to the
+  /// activated version — a downgrade attack is detected and counted, and
+  /// the node keeps running its current image).
   bool activate(Slot slot);
 
   [[nodiscard]] Slot active_slot() const { return active_; }
@@ -202,10 +209,22 @@ class FirmwareStore {
   [[nodiscard]] std::uint32_t slot_fingerprint(Slot slot) const;
   [[nodiscard]] bool slot_valid(Slot slot) const;
 
+  /// Anti-rollback state: the recorded firmware version of a slot, the
+  /// ratcheted minimum acceptable version, and how many activations were
+  /// refused for carrying an older version.
+  [[nodiscard]] std::uint32_t slot_version(Slot slot) const {
+    return state(slot).version;
+  }
+  [[nodiscard]] std::uint32_t min_version() const { return min_version_; }
+  [[nodiscard]] std::size_t rollback_rejections() const {
+    return rollback_rejections_;
+  }
+
  private:
   struct SlotState {
     std::size_t length = 0;
     std::uint32_t crc32 = 0;
+    std::uint32_t version = 0;
     bool valid = false;
   };
 
@@ -223,6 +242,8 @@ class FirmwareStore {
   SlotState slots_[3];
   Slot active_ = Slot::kGolden;
   std::size_t rollbacks_ = 0;
+  std::uint32_t min_version_ = 0;
+  std::size_t rollback_rejections_ = 0;
 };
 
 }  // namespace tinysdr::ota

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <string>
 
 #include "common/crc.hpp"
 #include "obs/metrics.hpp"
@@ -41,6 +43,8 @@ const char* to_string(UpdateFailure failure) {
       return "decode-failed";
     case UpdateFailure::kImageVerify:
       return "image-verify";
+    case UpdateFailure::kRejectedRollback:
+      return "rejected-rollback";
   }
   return "?";
 }
@@ -375,13 +379,15 @@ class TransferEngine {
   TransferEngine(const std::vector<std::uint8_t>& stream,
                  std::uint16_t device_id, OtaLink& link,
                  const TransferPolicy& policy, NodeAgent& node,
-                 sim::FaultInjector* faults, UpdateOutcome& outcome)
+                 sim::FaultInjector* faults, LinkAttacker* attacker,
+                 UpdateOutcome& outcome)
       : stream_(stream),
         device_id_(device_id),
         link_(link),
         policy_(policy),
         node_(node),
         faults_(faults),
+        attacker_(attacker),
         outcome_(outcome),
         chunks_((stream.size() + kDataPayload - 1) / kDataPayload),
         got_(chunks_, false),
@@ -498,6 +504,43 @@ class TransferEngine {
            outcome_.total_time > policy_.deadline;
   }
 
+  // ----------------------------------------------------------- adversary
+
+  /// Delivery wrapper: a jammer can destroy a packet that would have
+  /// arrived. The link's loss draw still happens first, so attacked and
+  /// clean runs consume the same loss stream and stay comparable.
+  bool deliver_packet(OtaPacketType type, std::size_t wire_bytes) {
+    bool delivered = link_.deliver(wire_bytes);
+    if (delivered && attacker_ != nullptr &&
+        attacker_->jam_packet(type, wire_bytes)) {
+      ++outcome_.jammed_packets;
+      note_attack("jammed_packet");
+      return false;
+    }
+    return delivered;
+  }
+
+  /// Record a detected attack event; opens the time-to-recovery window if
+  /// one is not already running.
+  void note_attack(const char* kind) {
+    if (!attack_since_) attack_since_ = outcome_.total_time;
+    if (auto* m = obs::metrics())
+      m->counter(std::string("adversary.ota.") + kind).add();
+    if (auto* t = obs::tracer()) t->instant("adversary", kind);
+  }
+
+  /// Forward progress after an attack: close the recovery window and
+  /// observe how long the attacker held the transfer back.
+  void note_progress() {
+    if (!attack_since_) return;
+    if (auto* m = obs::metrics()) {
+      m->histogram("adversary.ota.recovery_s",
+                   obs::HistogramSpec::log_scale(1e-3, 1e4, 40))
+          .observe(outcome_.total_time.value() - attack_since_->value());
+    }
+    attack_since_.reset();
+  }
+
   void fail(UpdateFailure cause) {
     outcome_.success = false;
     if (outcome_.failure == UpdateFailure::kNone) outcome_.failure = cause;
@@ -538,12 +581,14 @@ class TransferEngine {
     for (std::size_t attempt = 0; attempt < policy_.max_retries; ++attempt) {
       if (deadline_exceeded()) return false;
       account_air(link_.airtime(request.wire_size()));
-      if (link_.deliver(request.wire_size()) && node_.online()) {
+      if (deliver_packet(OtaPacketType::kProgrammingRequest,
+                         request.wire_size()) &&
+          node_.online()) {
         bool resumed = node_.begin_session(
             session_id_, stream_.size());
         // READY is only on the air if the node heard the request.
         account_air(link_.airtime(ready.wire_size()));
-        if (link_.deliver(ready.wire_size())) {
+        if (deliver_packet(OtaPacketType::kReady, ready.wire_size())) {
           if (!resumed && !initial) {
             // Node lost its session state entirely: our delivery ledger
             // is stale, start over from an empty bitmap.
@@ -593,9 +638,25 @@ class TransferEngine {
     }
     if (auto* m = obs::metrics()) m->counter("ota.data_packets_sent").add();
     if (++outcome_.sends_per_chunk[seq] > 1) ++outcome_.retransmissions;
-    if (!link_.deliver(data.wire_size()) || !node_.online()) return false;
+    if (!deliver_packet(OtaPacketType::kData, data.wire_size()) ||
+        !node_.online())
+      return false;
 
     bool corrupted = faults_ && faults_->corrupt_packet();
+    bool truncated = !corrupted && attacker_ != nullptr &&
+                     attacker_->truncate_chunk(static_cast<std::uint16_t>(seq));
+    if (truncated) {
+      // The radio hears a shortened DATA frame; the node's length check
+      // rejects it exactly like in-flight corruption.
+      auto clipped =
+          std::span(data.payload).first(data.payload.size() - 1);
+      if (node_.receive_chunk(static_cast<std::uint16_t>(seq), clipped,
+                              false) == NodeAgent::RxStatus::kCorrupt) {
+        ++outcome_.truncated_dropped;
+        note_attack("truncated_dropped");
+      }
+      return false;
+    }
     auto status = node_.receive_chunk(static_cast<std::uint16_t>(seq),
                                       data.payload, corrupted);
     switch (status) {
@@ -609,6 +670,7 @@ class TransferEngine {
         ++outcome_.duplicates_dropped;
         break;
       case NodeAgent::RxStatus::kStored:
+        note_progress();
         break;
     }
     // The ether can hand the radio a second copy; the bitmap dedups it.
@@ -616,6 +678,16 @@ class TransferEngine {
       if (node_.receive_chunk(static_cast<std::uint16_t>(seq), data.payload,
                               false) == NodeAgent::RxStatus::kDuplicate)
         ++outcome_.duplicates_dropped;
+    }
+    // A protocol attacker can replay a captured copy too; same dedup.
+    if (attacker_ != nullptr &&
+        attacker_->replay_chunk(static_cast<std::uint16_t>(seq)) &&
+        node_.online()) {
+      if (node_.receive_chunk(static_cast<std::uint16_t>(seq), data.payload,
+                              false) == NodeAgent::RxStatus::kDuplicate) {
+        ++outcome_.replays_dropped;
+        note_attack("replay_dropped");
+      }
     }
     return true;
   }
@@ -630,8 +702,8 @@ class TransferEngine {
                     static_cast<std::uint16_t>(base), 0,
                     std::vector<std::uint8_t>(2, 0)};
     account_air(link_.airtime(query.wire_size()));
-    if (!link_.deliver(query.wire_size()) || !node_.online() ||
-        !node_.has_session())
+    if (!deliver_packet(OtaPacketType::kSackQuery, query.wire_size()) ||
+        !node_.online() || !node_.has_session())
       return std::nullopt;
     // The node checkpoints at every acknowledgement point, so anything it
     // reports as received survives a brownout.
@@ -641,8 +713,18 @@ class TransferEngine {
     auto bits = node_.window_bitmap(base, count);
     OtaPacket sack{OtaPacketType::kSack, device_id_,
                    static_cast<std::uint16_t>(base), 0, bits};
+    // A forged SACK races the node's genuine reply; the AP's session
+    // authentication rejects it, but the poll exchange is spent.
+    bool forged =
+        attacker_ != nullptr && attacker_->forge_ack(OtaPacketType::kSack);
     account_air(link_.airtime(sack.wire_size()));
-    if (!link_.deliver(sack.wire_size())) return std::nullopt;
+    bool arrived = deliver_packet(OtaPacketType::kSack, sack.wire_size());
+    if (forged) {
+      ++outcome_.forged_acks_discarded;
+      note_attack("forged_ack_discarded");
+      return std::nullopt;
+    }
+    if (!arrived) return std::nullopt;
     ++outcome_.ack_packets;
     return bits;
   }
@@ -695,6 +777,7 @@ class TransferEngine {
       }
       if (progress) {
         consecutive_failures = 0;
+        note_progress();
       } else {
         ++consecutive_failures;
         backoff(consecutive_failures);
@@ -732,13 +815,25 @@ class TransferEngine {
           wait(policy_.ack_timeout);
           continue;
         }
+        bool forged = attacker_ != nullptr &&
+                      attacker_->forge_ack(OtaPacketType::kDataAck);
         account_air(t_ack);
-        if (!link_.deliver(ack.wire_size())) {
+        bool acked = deliver_packet(OtaPacketType::kDataAck, ack.wire_size());
+        if (forged) {
+          // Forged ACK beats the node's; authentication discards it and
+          // the AP retransmits (the node dedups the copy).
+          ++outcome_.forged_acks_discarded;
+          note_attack("forged_ack_discarded");
+          wait(policy_.ack_timeout);
+          continue;
+        }
+        if (!acked) {
           wait(policy_.ack_timeout);
           continue;  // duplicate data next attempt; node dedups by seq
         }
         got_[seq] = true;
         ++outcome_.ack_packets;
+        note_progress();
         if (++stored_since_persist >= policy_.window) {
           node_.persist_session();
           wait(FlashModel::sector_erase_time());
@@ -776,12 +871,21 @@ class TransferEngine {
     for (std::size_t attempt = 0; attempt < policy_.max_retries; ++attempt) {
       if (deadline_exceeded()) return EndResult::kTimeout;
       account_air(link_.airtime(end.wire_size()));
-      if (link_.deliver(end.wire_size()) && node_.online() &&
-          node_.has_session()) {
+      if (deliver_packet(OtaPacketType::kEnd, end.wire_size()) &&
+          node_.online() && node_.has_session()) {
         bool verified = node_.verify_stream(session_id_);
+        bool forged = attacker_ != nullptr &&
+                      attacker_->forge_ack(OtaPacketType::kEndAck);
         account_air(link_.airtime(end_ack.wire_size()));
-        if (link_.deliver(end_ack.wire_size()))
+        bool arrived =
+            deliver_packet(OtaPacketType::kEndAck, end_ack.wire_size());
+        if (forged) {
+          ++outcome_.forged_acks_discarded;
+          note_attack("forged_ack_discarded");
+        } else if (arrived) {
+          if (verified) note_progress();
           return verified ? EndResult::kOk : EndResult::kVerifyFailed;
+        }
       }
       backoff(attempt + 1);
     }
@@ -794,12 +898,15 @@ class TransferEngine {
   const TransferPolicy& policy_;
   NodeAgent& node_;
   sim::FaultInjector* faults_;
+  LinkAttacker* attacker_;
   UpdateOutcome& outcome_;
   std::size_t chunks_;
   std::vector<bool> got_;
   std::uint32_t session_id_;
   Milliwatts rx_draw_{0.0};
   std::size_t reassociations_used_ = 0;
+  /// Engine time at the first unrecovered attack event (TTR clock).
+  std::optional<Seconds> attack_since_;
 };
 
 }  // namespace
@@ -807,7 +914,8 @@ class TransferEngine {
 UpdateOutcome AccessPoint::transfer(
     const std::vector<std::uint8_t>& compressed_image,
     std::uint16_t device_id, OtaLink& link, const TransferPolicy& policy,
-    NodeAgent* node, sim::FaultInjector* faults) const {
+    NodeAgent* node, sim::FaultInjector* faults,
+    LinkAttacker* attacker) const {
   UpdateOutcome outcome;
   // Without an explicit node, simulate an ideal one: private flash, no
   // injected faults, no MCU.
@@ -818,9 +926,8 @@ UpdateOutcome AccessPoint::transfer(
     local_node.emplace(device_id, *local_flash, faults);
     node = &*local_node;
   }
-  TransferEngine engine{compressed_image, device_id, link,
-                        policy,           *node,     faults,
-                        outcome};
+  TransferEngine engine{compressed_image, device_id, link,    policy,
+                        *node,            faults,    attacker, outcome};
   engine.run();
   return outcome;
 }

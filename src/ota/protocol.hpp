@@ -129,6 +129,44 @@ struct TransferPolicy {
   std::size_t max_reassociations = 2;
 };
 
+/// Protocol-level adversary hooks, queried by the transfer engine once per
+/// matching protocol event. The default implementation attacks nothing;
+/// concrete seeded attackers live in adversary:: (this interface sits in
+/// ota so the protocol layer carries no dependency on the attack models).
+///
+/// The hardened protocol is expected to *survive* every hook: forged
+/// replies fail session authentication and are discarded, truncated
+/// payloads fail the length/CRC check, replays hit the bitmap dedup, and
+/// rollback images are refused by the FirmwareStore version ratchet. Each
+/// detection increments an UpdateOutcome counter plus an `adversary.ota.*`
+/// metric, so campaigns can tell a survived attack from a benign failure.
+class LinkAttacker {
+ public:
+  virtual ~LinkAttacker() = default;
+  /// Jam this delivery: the packet was transmitted (airtime is spent) but
+  /// never arrives. Queried once per packet that would have arrived.
+  [[nodiscard]] virtual bool jam_packet(OtaPacketType /*type*/,
+                                        std::size_t /*wire_bytes*/) {
+    return false;
+  }
+  /// Race a forged ACK/SACK/END-ACK ahead of the node's reply. The AP
+  /// authenticates replies against the session, so the forgery is
+  /// detected and discarded — but the exchange is spent.
+  [[nodiscard]] virtual bool forge_ack(OtaPacketType /*type*/) {
+    return false;
+  }
+  /// The DATA payload for `seq` arrives truncated (fails the node's
+  /// length check and is dropped).
+  [[nodiscard]] virtual bool truncate_chunk(std::uint16_t /*seq*/) {
+    return false;
+  }
+  /// Replay a captured copy of the DATA packet for `seq` at the node
+  /// (dropped by the received-chunk bitmap dedup).
+  [[nodiscard]] virtual bool replay_chunk(std::uint16_t /*seq*/) {
+    return false;
+  }
+};
+
 /// Why a transfer (or the wider update) failed.
 enum class UpdateFailure : std::uint8_t {
   kNone,
@@ -139,6 +177,7 @@ enum class UpdateFailure : std::uint8_t {
   kStreamCorrupt,  ///< staged stream failed the END fingerprint check
   kDecodeFailed,   ///< block decompression failed
   kImageVerify,    ///< slot write/fingerprint verification failed
+  kRejectedRollback,  ///< node refused a version-rollback image (survived)
 };
 
 [[nodiscard]] const char* to_string(UpdateFailure failure);
@@ -161,6 +200,11 @@ struct UpdateOutcome {
   std::size_t reassociations = 0;
   std::size_t repair_rounds = 0;   ///< END-verify failures repaired by rescan
   std::size_t flash_write_errors = 0;  ///< chunk programs that failed verify
+  // Detected-and-survived attack events (see LinkAttacker).
+  std::size_t jammed_packets = 0;        ///< deliveries destroyed by a jammer
+  std::size_t forged_acks_discarded = 0; ///< forged replies failing auth
+  std::size_t truncated_dropped = 0;     ///< truncated DATA failing length/CRC
+  std::size_t replays_dropped = 0;       ///< replayed DATA deduped by bitmap
   Millijoules node_energy{0.0};    ///< backbone radio + MCU at the node
   /// Per-chunk transmission counts (sim instrumentation; index = seq).
   std::vector<std::uint16_t> sends_per_chunk;
@@ -275,12 +319,14 @@ class AccessPoint {
   /// Transfer `compressed_image` to device `device_id` over `link`.
   /// When `node` is null an internal ideal node (no flash, no faults) is
   /// simulated; pass a NodeAgent to exercise flash writes, brownout
-  /// resume and injected faults.
+  /// resume and injected faults. An optional LinkAttacker subjects the
+  /// exchange to protocol-level attacks the engine must survive.
   [[nodiscard]] UpdateOutcome transfer(
       const std::vector<std::uint8_t>& compressed_image,
       std::uint16_t device_id, OtaLink& link,
       const TransferPolicy& policy = {}, NodeAgent* node = nullptr,
-      sim::FaultInjector* faults = nullptr) const;
+      sim::FaultInjector* faults = nullptr,
+      LinkAttacker* attacker = nullptr) const;
 
   /// Back-compat shim: per-packet retransmission budget only.
   [[nodiscard]] UpdateOutcome transfer(

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/crc.hpp"
+#include "obs/metrics.hpp"
 
 namespace tinysdr::ota {
 
@@ -42,7 +43,7 @@ UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
   NodeAgent node(device_id, flash, options.faults, &mcu);
   report.transfer =
       ap.transfer(stream, device_id, link, options.policy, &node,
-                  options.faults);
+                  options.faults, options.attacker);
   report.failure = report.transfer.failure;
   if (!report.transfer.success) {
     report.total_time = report.transfer.total_time;
@@ -103,13 +104,26 @@ UpdateReport UpdatePlanner::run(const fpga::FirmwareImage& image,
     // A/B layout: the new image goes to the standby slot; the active slot
     // keeps running until the fingerprint checks out.
     Slot slot = options.store->standby_slot();
-    bool written = options.store->write_slot(slot, *decompressed);
-    if (!written) written = options.store->write_slot(slot, *decompressed);
+    bool written =
+        options.store->write_slot(slot, *decompressed, options.image_version);
+    if (!written)
+      written = options.store->write_slot(slot, *decompressed,
+                                          options.image_version);
     std::uint32_t want = crc32_ieee(image.data);
     if (!written || options.store->slot_fingerprint(slot) != want) {
       return fail_with_rollback(UpdateFailure::kImageVerify);
     }
-    options.store->activate(slot);
+    if (!options.store->activate(slot)) {
+      // The image verified but carries an older version than the node has
+      // already run: the anti-rollback ratchet refuses it. No golden
+      // rollback — the node survives on its current boot image.
+      report.failure = UpdateFailure::kRejectedRollback;
+      if (auto* m = obs::metrics())
+        m->counter("adversary.ota.rollback_rejected").add();
+      report.total_time = report.transfer.total_time;
+      report.total_energy = report.transfer.node_energy;
+      return report;
+    }
     report.slot = slot;
     auto sectors = (decompressed->size() + FlashModel::kSectorSize - 1) /
                    FlashModel::kSectorSize;

@@ -60,6 +60,14 @@ struct UpdateOptions {
   /// node back to the golden image. When null, the image is written to
   /// offset 0 the way the original pipeline did.
   FirmwareStore* store = nullptr;
+  /// Protocol-level adversary driven through the transfer engine's
+  /// LinkAttacker hooks (forged ACKs, jamming, truncation, replay).
+  LinkAttacker* attacker = nullptr;
+  /// Monotonic firmware version carried by the pushed image. Checked
+  /// against the store's anti-rollback floor at activation; pushing an
+  /// older version fails with UpdateFailure::kRejectedRollback while the
+  /// node keeps running its current image.
+  std::uint32_t image_version = 0;
 };
 
 /// Runs a complete OTA update of one node over a given link.

@@ -15,10 +15,13 @@ namespace {
 
 // PCG stream selectors for the independent randomness a trial consumes.
 // Distinct streams of one trial seed, so adding a consumer (e.g. a fading
-// draw) never perturbs the others.
+// draw) never perturbs the others. The first interferer slot keeps the
+// historical kInterfererStream; further slots get kExtraInterfererBase + k,
+// clear of any selector the trial already uses.
 constexpr std::uint64_t kPayloadStream = 1;
 constexpr std::uint64_t kInterfererStream = 2;
 constexpr std::uint64_t kChannelStream = 3;
+constexpr std::uint64_t kExtraInterfererBase = 16;
 
 void fill_random(std::vector<std::uint8_t>& payload, std::size_t count,
                  Rng& rng) {
@@ -28,8 +31,26 @@ void fill_random(std::vector<std::uint8_t>& payload, std::size_t count,
 
 }  // namespace
 
+void PhyTxInterferer::emit(std::span<const dsp::Complex> /*signal*/,
+                           dsp::Samples& out, Rng& rng) const {
+  std::vector<std::uint8_t> payload;
+  fill_random(payload, std::min(payload_bytes_, tx_->max_payload()), rng);
+  tx_->modulate(payload, out);
+}
+
 LinkSimulator::LinkSimulator(const PhyTx& tx, const PhyRx& rx, TrialPlan plan)
     : tx_(&tx), rx_(&rx), plan_(std::move(plan)) {}
+
+void LinkSimulator::set_interferer(const PhyTx& tx) {
+  owned_.push_back(
+      std::make_unique<PhyTxInterferer>(tx, plan_.payload_bytes));
+  add_interferer(*owned_.back());
+}
+
+void LinkSimulator::add_interferer(const Interferer& source,
+                                   std::optional<Dbm> power) {
+  interferers_.push_back({&source, power});
+}
 
 std::uint64_t LinkSimulator::point_seed(std::uint64_t base, double rssi_dbm) {
   return exec::stream_seed(
@@ -50,7 +71,7 @@ PointResult LinkSimulator::run_point(const SweepPoint& point) const {
   // Buffers live across the trial loop; modulate() appends, so the only
   // steady-state cost is the waveform writes themselves.
   dsp::Samples wave, interferer_wave;
-  std::vector<std::uint8_t> payload, interferer_payload;
+  std::vector<std::uint8_t> payload;
 
   for (std::size_t t = 0; t < plan_.trials; ++t) {
     const std::uint64_t tseed = exec::stream_seed(pseed, t);
@@ -71,17 +92,18 @@ PointResult LinkSimulator::run_point(const SweepPoint& point) const {
 
     const dsp::Samples* signal = &wave;
     dsp::Samples combined;
-    if (interferer_ != nullptr && point.interferer_rssi) {
-      Rng interferer_rng{tseed, kInterfererStream};
-      fill_random(
-          interferer_payload,
-          std::min(plan_.payload_bytes, interferer_->max_payload()),
-          interferer_rng);
+    for (std::size_t k = 0; k < interferers_.size(); ++k) {
+      const InterfererSlot& slot = interferers_[k];
+      std::optional<Dbm> power =
+          slot.power ? slot.power : point.interferer_rssi;
+      if (!power) continue;
+      Rng interferer_rng{tseed, k == 0 ? kInterfererStream
+                                       : kExtraInterfererBase + k};
       interferer_wave.clear();
-      interferer_->modulate(interferer_payload, interferer_wave);
-      combined = channel::superpose(
-          wave, interferer_wave,
-          point.interferer_rssi->value() - point.rssi.value());
+      slot.source->emit(wave, interferer_wave, interferer_rng);
+      if (interferer_wave.empty()) continue;
+      combined = channel::superpose(*signal, interferer_wave,
+                                    power->value() - point.rssi.value());
       signal = &combined;
     }
 

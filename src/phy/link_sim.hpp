@@ -1,10 +1,11 @@
 // LinkSimulator: the one trial engine behind every PER/BER/SER curve.
 //
 // One seeded pipeline — random (or fixed) payload -> PhyTx waveform ->
-// optional quasi-orthogonal interferer superposition -> AwgnChannel at the
+// superposition of any attached interferers/jammers -> AwgnChannel at the
 // sweep RSSI -> PhyRx -> FrameResult — aggregated per sweep point. The
-// figure benches (Fig. 10/11/12/15a/15b) and the testbed multi-PHY
-// campaigns all run on it instead of hand-rolling their own loops.
+// figure benches (Fig. 10/11/12/15a/15b), the adversary jammer sweeps and
+// the testbed multi-PHY campaigns all run on it instead of hand-rolling
+// their own loops.
 //
 // Determinism contract (PR 3's rules): one base seed roots a sweep; a
 // point's seed is a pure function of (base, rssi value) — independent of
@@ -15,6 +16,7 @@
 // telemetry are byte-identical for any --threads value.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -24,6 +26,41 @@
 #include "phy/phy.hpp"
 
 namespace tinysdr::phy {
+
+/// A concurrent in-band emitter superposed onto the signal before the
+/// AWGN channel: a second PHY, a jammer, any RF attacker model.
+///
+/// emit() appends the emitter's waveform to `out` (unit power where
+/// active; the simulator scales it to the slot's configured receive
+/// power). The clean, padded victim signal is passed in so reactive
+/// models can key off its energy — a shorter (or empty) emission simply
+/// stops superposing early. Implementations must be safe for concurrent
+/// const use; all per-trial randomness comes from `rng`, which the
+/// simulator seeds per (point, trial, slot), keeping sweeps
+/// byte-identical at any thread count.
+class Interferer {
+ public:
+  virtual ~Interferer() = default;
+  virtual void emit(std::span<const dsp::Complex> signal, dsp::Samples& out,
+                    Rng& rng) const = 0;
+};
+
+/// The classic Fig. 15 interferer: a second PHY transmitting a random
+/// payload drawn from the trial's interferer stream. Ignores the victim
+/// signal (quasi-orthogonal concurrent transmitter, not an attacker).
+class PhyTxInterferer final : public Interferer {
+ public:
+  /// Borrows the TX; payload size is clamped to its max_payload().
+  PhyTxInterferer(const PhyTx& tx, std::size_t payload_bytes)
+      : tx_(&tx), payload_bytes_(payload_bytes) {}
+
+  void emit(std::span<const dsp::Complex> signal, dsp::Samples& out,
+            Rng& rng) const override;
+
+ private:
+  const PhyTx* tx_;
+  std::size_t payload_bytes_;
+};
 
 /// Per-sweep configuration of the trial loop.
 struct TrialPlan {
@@ -83,13 +120,27 @@ struct PointResult {
 
 class LinkSimulator {
  public:
-  /// Borrows the TX/RX (and optional interferer); they must outlive the
-  /// simulator and be safe for concurrent const use (all adapters are).
+  /// Borrows the TX/RX (and any attached interferers); they must outlive
+  /// the simulator and be safe for concurrent const use (all adapters are).
   LinkSimulator(const PhyTx& tx, const PhyRx& rx, TrialPlan plan);
 
   /// Attach a second, concurrently transmitting PHY whose waveform is
-  /// superposed onto the signal at each point's interferer RSSI.
-  void set_interferer(const PhyTx& tx) { interferer_ = &tx; }
+  /// superposed onto the signal at each point's interferer RSSI. Kept as
+  /// a wrapper over add_interferer() — the first slot draws from the same
+  /// RNG stream the single-interferer engine always used, so existing
+  /// sweeps stay byte-identical.
+  void set_interferer(const PhyTx& tx);
+
+  /// Attach any interferer/attacker model. `power` fixes its received
+  /// power; nullopt means the sweep point's interferer_rssi drives it
+  /// (and the slot stays silent at points without one). Slots superpose
+  /// in attachment order; each gets its own RNG stream per trial.
+  void add_interferer(const Interferer& source,
+                      std::optional<Dbm> power = std::nullopt);
+
+  [[nodiscard]] std::size_t interferer_count() const {
+    return interferers_.size();
+  }
 
   [[nodiscard]] const TrialPlan& plan() const { return plan_; }
 
@@ -125,10 +176,17 @@ class LinkSimulator {
       const exec::ExecPolicy& policy = {}) const;
 
  private:
+  struct InterfererSlot {
+    const Interferer* source;
+    std::optional<Dbm> power;  ///< nullopt: the point's interferer_rssi
+  };
+
   const PhyTx* tx_;
   const PhyRx* rx_;
-  const PhyTx* interferer_ = nullptr;
   TrialPlan plan_;
+  std::vector<InterfererSlot> interferers_;
+  /// Adapters created by set_interferer(); stable addresses for the slots.
+  std::vector<std::unique_ptr<Interferer>> owned_;
 };
 
 }  // namespace tinysdr::phy

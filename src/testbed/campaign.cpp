@@ -183,6 +183,12 @@ FaultCampaignEntry summarize(std::string name,
     entry.total_reboots += r.transfer.node_reboots;
     entry.total_resumes += r.transfer.session_resumes;
     entry.total_retransmissions += r.transfer.retransmissions;
+    entry.total_jammed_packets += r.transfer.jammed_packets;
+    entry.total_forged_acks += r.transfer.forged_acks_discarded;
+    entry.total_truncated_dropped += r.transfer.truncated_dropped;
+    entry.total_replays_dropped += r.transfer.replays_dropped;
+    if (r.failure == ota::UpdateFailure::kRejectedRollback)
+      ++entry.rollback_rejections;
     if (r.rolled_back) ++entry.total_rollbacks;
     if (!r.success) continue;
     ++entry.successes;
@@ -283,15 +289,23 @@ FaultCampaignResult run_fault_campaign(
           ota::FlashModel flash;
           mcu::Msp432 mcu = mcu::baseline_firmware();
           ota::FirmwareStore store{flash};
-          // The fleet ships with a factory golden image to fall back on.
+          // The fleet ships with a factory golden image to fall back on;
+          // activating it ratchets the anti-rollback floor to the version
+          // the fleet currently runs.
           std::vector<std::uint8_t> golden(
               16 * 1024, static_cast<std::uint8_t>(node.id));
-          store.install_golden(golden);
+          store.install_golden(golden, scenario.fleet_version);
+          store.activate(ota::Slot::kGolden);
+
+          std::unique_ptr<ota::LinkAttacker> attacker;
+          if (scenario.make_attacker) attacker = scenario.make_attacker(seed);
 
           ota::UpdateOptions options;
           options.policy = scenario.policy;
           options.faults = &faults;
           options.store = &store;
+          options.attacker = attacker.get();
+          options.image_version = scenario.image_version;
           return planner.run(image, target, node.id, link, flash, mcu,
                              options);
         });

@@ -14,6 +14,8 @@
 // bytes match.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,17 @@ struct FaultScenario {
   std::string name;
   sim::FaultPlan plan;
   ota::TransferPolicy policy{};
+  /// Optional protocol-level adversary: called once per node with the
+  /// node's derived seed, so attacker draws are deterministic and
+  /// independent of fleet iteration order (adversary::attacker_factory
+  /// builds one from an OtaAttackPlan).
+  std::function<std::unique_ptr<ota::LinkAttacker>(std::uint64_t seed)>
+      make_attacker;
+  /// Monotonic version of the pushed image vs. the version the fleet is
+  /// already running. image_version < fleet_version models a rollback
+  /// attack; the nodes' anti-rollback ratchet must refuse it.
+  std::uint32_t image_version = 1;
+  std::uint32_t fleet_version = 0;
 };
 
 /// Fleet-level outcome of one scenario (or the fault-free baseline).
@@ -79,6 +92,15 @@ struct FaultCampaignEntry {
   std::size_t total_resumes = 0;
   std::size_t total_rollbacks = 0;
   std::size_t total_retransmissions = 0;
+  // Detected-and-survived attack events, summed over the fleet; lets a
+  // report distinguish "survived an attack" from a benign failure.
+  std::size_t total_jammed_packets = 0;
+  std::size_t total_forged_acks = 0;
+  std::size_t total_truncated_dropped = 0;
+  std::size_t total_replays_dropped = 0;
+  /// Nodes that refused a version-rollback image (failure ==
+  /// kRejectedRollback: the update "failed" but the node survived).
+  std::size_t rollback_rejections = 0;
 
   [[nodiscard]] double success_rate() const {
     return nodes == 0 ? 0.0

@@ -1,0 +1,175 @@
+// Adversary harnesses: the OTA transfer engine under fuzz-chosen scripted
+// protocol attacks, and the RF jammer models plugged into the link
+// simulator. Both are differential/metamorphic: the attacked system must
+// either survive (with detection counters agreeing exactly with what the
+// attacker launched) or fail with a classified cause — and every run must
+// replay bit-for-bit from its seeds.
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adversary/jammer.hpp"
+#include "adversary/ota_attacker.hpp"
+#include "harnesses.hpp"
+#include "ota/flash.hpp"
+#include "ota/protocol.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/lora_phy.hpp"
+#include "testkit/bytes.hpp"
+#include "testkit/harness.hpp"
+
+namespace tinysdr::fuzz {
+namespace {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+// The transfer engine against a fuzz-chosen ScriptedAttacker over a
+// fuzz-chosen link. Invariants: success and failure cause stay coherent,
+// the victim's detection counters agree exactly with the attacks the
+// attacker actually launched, and a successful transfer stages the image
+// byte-identically no matter what the attacker did.
+void attacked_transfer(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  const std::size_t image_len = 1 + src.uint_below(280);
+  std::vector<std::uint8_t> image = src.take(image_len);
+  image.resize(image_len);
+  for (std::size_t i = image.size(); i-- > 0;)
+    image[i] = static_cast<std::uint8_t>(image[i] ^ (0xC3u + i));
+
+  adversary::OtaAttackPlan plan;
+  plan.seed = src.u64();
+  plan.jam_rate = src.unit() * 0.3;
+  plan.forge_ack_rate = src.unit() * 0.2;
+  plan.truncate_rate = src.unit() * 0.2;
+  plan.replay_rate = src.unit() * 0.3;
+  adversary::ScriptedAttacker attacker{plan};
+
+  ota::TransferPolicy policy;
+  policy.mode =
+      src.boolean() ? ota::AckMode::kSelectiveAck : ota::AckMode::kStopAndWait;
+  policy.window = 1 + src.uint_below(24);
+  policy.max_retries = 4 + src.uint_below(32);
+
+  const std::uint64_t link_seed = src.u64();
+  ota::OtaLink link{ota::ota_link_params(), Dbm{src.real_in(-125.0, -60.0)},
+                    link_seed};
+  ota::FlashModel flash;
+  ota::NodeAgent node{3, flash};
+  ota::AccessPoint ap;
+  ota::UpdateOutcome out =
+      ap.transfer(image, 3, link, policy, &node, nullptr, &attacker);
+
+  require(out.success == (out.failure == ota::UpdateFailure::kNone),
+          "success flag and failure cause disagree");
+  require(out.link_seed == link_seed, "outcome must record the link seed");
+
+  // Victim-side detections tally exactly the attacks launched.
+  const auto& launched = attacker.counters();
+  require(out.jammed_packets == launched.jams,
+          "jam detections diverged from the attacker's tally");
+  require(out.forged_acks_discarded == launched.forged_acks,
+          "forged-ACK detections diverged from the attacker's tally");
+  require(out.truncated_dropped == launched.truncations,
+          "truncation detections diverged from the attacker's tally");
+  require(out.replays_dropped == launched.replays,
+          "replay detections diverged from the attacker's tally");
+
+  if (out.success) {
+    auto staged = flash.read(ota::NodeAgent::kStagingBase, image.size());
+    require(staged == image,
+            "attacked-but-successful transfer staged corrupt bytes");
+  }
+
+  // Replay: an identical attacker/link pair reproduces the run exactly.
+  adversary::ScriptedAttacker attacker2{plan};
+  ota::OtaLink link2{ota::ota_link_params(), link.rssi(), link_seed};
+  ota::FlashModel flash2;
+  ota::NodeAgent node2{3, flash2};
+  ota::UpdateOutcome out2 =
+      ap.transfer(image, 3, link2, policy, &node2, nullptr, &attacker2);
+  require(out.success == out2.success && out.failure == out2.failure &&
+              out.retransmissions == out2.retransmissions &&
+              out.jammed_packets == out2.jammed_packets &&
+              out.replays_dropped == out2.replays_dropped &&
+              out.airtime.value() == out2.airtime.value(),
+          "attacked transfer did not replay bit-for-bit");
+}
+
+// Jammer models inside the link simulator: fuzz-chosen jammer type,
+// configuration and received power on a tiny LoRa link. Invariants:
+// emissions have the documented shape, and run_point replays exactly.
+void jammed_link(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  phy::LoraPhyConfig cfg{.params = {7, Hertz::from_kilohertz(125.0)},
+                         .sample_rate = Hertz::from_kilohertz(125.0)};
+  phy::LoraSymbolTx tx{cfg};
+  phy::LoraSymbolRx rx{cfg};
+
+  const std::uint32_t kind = src.uint_below(3);
+  adversary::ReactiveJammerConfig rcfg;
+  rcfg.detect_threshold = src.real_in(0.0, 1.5);
+  rcfg.detect_window = 1 + src.uint_below(128);
+  rcfg.reaction_latency = src.uint_below(256);
+  rcfg.burst_samples = src.boolean() ? src.uint_below(512) : 0;
+  adversary::SweepJammerConfig scfg;
+  scfg.period_samples = 1 + src.uint_below(4096);
+  adversary::PulsedJammerConfig pcfg;
+  pcfg.period_samples = 1 + src.uint_below(2048);
+  pcfg.duty = src.unit();
+  adversary::ReactiveJammer reactive{rcfg};
+  adversary::SweepJammer sweeper{scfg};
+  adversary::PulsedJammer pulsed{pcfg};
+  const phy::Interferer* jammer =
+      kind == 0 ? static_cast<const phy::Interferer*>(&reactive)
+      : kind == 1 ? static_cast<const phy::Interferer*>(&sweeper)
+                  : static_cast<const phy::Interferer*>(&pulsed);
+
+  // Direct emission shape: output never outruns the victim frame, and the
+  // same RNG state reproduces the same waveform.
+  const std::size_t frame = 64 + src.uint_below(1024);
+  dsp::Samples signal(frame, dsp::Complex{1.0f, 0.0f});
+  const std::uint64_t eseed = src.u64();
+  dsp::Samples wave_a, wave_b;
+  Rng rng_a{eseed, 9}, rng_b{eseed, 9};
+  jammer->emit(signal, wave_a, rng_a);
+  jammer->emit(signal, wave_b, rng_b);
+  require(wave_a.size() <= signal.size(), "jammer emitted past the frame");
+  require(wave_a.size() == wave_b.size(), "emission length not deterministic");
+  for (std::size_t n = 0; n < wave_a.size(); ++n)
+    require(wave_a[n] == wave_b[n], "emission samples not deterministic");
+
+  // Inside the simulator: sane aggregates, exact replay.
+  phy::TrialPlan plan;
+  plan.trials = 1 + src.uint_below(3);
+  plan.payload_bytes = 1 + src.uint_below(8);
+  plan.base_seed = src.u64();
+  const phy::SweepPoint point{Dbm{src.real_in(-130.0, -100.0)}, std::nullopt};
+  const Dbm jam_power{src.real_in(-130.0, -95.0)};
+
+  auto run = [&] {
+    phy::LinkSimulator sim{tx, rx, plan};
+    sim.add_interferer(*jammer, jam_power);
+    return sim.run_point(point);
+  };
+  phy::PointResult first = run();
+  require(first.frames == plan.trials, "trial count diverged");
+  require(first.frame_errors <= first.frames, "PER above 1");
+  require(first.symbol_errors <= first.symbols, "SER above 1");
+  require(first == run(), "jammed run_point did not replay exactly");
+}
+
+}  // namespace
+
+void register_adversary_harnesses() {
+  auto& reg = testkit::HarnessRegistry::instance();
+  reg.add({"ota.attacker", attacked_transfer, /*max_len=*/256});
+  reg.add({"phy.jammer", jammed_link, /*max_len=*/96});
+}
+
+}  // namespace tinysdr::fuzz

@@ -8,6 +8,7 @@ void register_builtin_harnesses() {
     register_ota_harnesses();
     register_phy_harnesses();
     register_obs_harnesses();
+    register_adversary_harnesses();
     return true;
   }();
   (void)once;

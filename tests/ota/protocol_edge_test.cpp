@@ -138,6 +138,109 @@ TEST(OtaEdge, SeededRunsReplayExactly) {
   EXPECT_EQ(first.sends_per_chunk, second.sends_per_chunk);
 }
 
+// --------------------------------------------------- protocol attacks
+// Deterministic (non-random) LinkAttacker implementations: each test
+// scripts exactly one attack dimension and asserts the protocol detects,
+// counts and survives it. Seeded probabilistic attackers live in
+// adversary:: and are covered by tests/adversary/.
+
+/// Forges the node's reply for the first `n` ACK-bearing exchanges.
+struct ForgeFirstN final : LinkAttacker {
+  explicit ForgeFirstN(std::size_t n) : remaining(n) {}
+  std::size_t remaining;
+  bool forge_ack(OtaPacketType) override {
+    if (remaining == 0) return false;
+    --remaining;
+    return true;
+  }
+};
+
+/// Truncates every DATA frame for one specific chunk, `n` times.
+struct TruncateSeq final : LinkAttacker {
+  TruncateSeq(std::uint16_t seq, std::size_t n) : target(seq), remaining(n) {}
+  std::uint16_t target;
+  std::size_t remaining;
+  bool truncate_chunk(std::uint16_t seq) override {
+    if (seq != target || remaining == 0) return false;
+    --remaining;
+    return true;
+  }
+};
+
+/// Replays a captured copy of every successfully stored chunk.
+struct ReplayEverything final : LinkAttacker {
+  bool replay_chunk(std::uint16_t) override { return true; }
+};
+
+TEST(OtaAttackEdge, ForgedAcksAreDiscardedAndTransferStillCompletes) {
+  std::vector<std::uint8_t> image(1800, 0x3C);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{21}};
+  ForgeFirstN attacker{5};
+  TransferPolicy policy;
+  policy.mode = AckMode::kStopAndWait;  // every chunk has an ACK to forge
+  policy.max_retries = 50;
+  AccessPoint ap;
+  auto outcome =
+      ap.transfer(image, 4, link, policy, nullptr, nullptr, &attacker);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.forged_acks_discarded, 5u);
+  EXPECT_EQ(attacker.remaining, 0u);
+  // Each forged ACK burned an exchange: the data had to be re-sent.
+  EXPECT_GE(outcome.retransmissions, 5u);
+}
+
+TEST(OtaAttackEdge, TruncatedChunksAreDroppedThenRecovered) {
+  std::vector<std::uint8_t> image(1200, 0x7E);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{22}};
+  TruncateSeq attacker{3, 4};  // chunk 3 arrives clipped four times
+  FlashModel flash;
+  NodeAgent node{6, flash};
+  TransferPolicy policy;
+  policy.max_retries = 50;
+  AccessPoint ap;
+  auto outcome =
+      ap.transfer(image, 6, link, policy, &node, nullptr, &attacker);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.truncated_dropped, 4u);
+  // The clipped payload never landed: the staged bytes are exact.
+  EXPECT_EQ(flash.read(NodeAgent::kStagingBase, image.size()), image);
+}
+
+TEST(OtaAttackEdge, ReplayedChunksAreDedupedByTheBitmap) {
+  std::vector<std::uint8_t> image(1500, 0x99);
+  OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{23}};
+  ReplayEverything attacker;
+  FlashModel flash;
+  NodeAgent node{8, flash};
+  AccessPoint ap;
+  auto outcome = ap.transfer(image, 8, link, TransferPolicy{}, &node, nullptr,
+                             &attacker);
+  EXPECT_TRUE(outcome.success);
+  // One replay per stored chunk, every one dropped as a duplicate.
+  EXPECT_EQ(outcome.replays_dropped, outcome.data_packets);
+  EXPECT_EQ(flash.read(NodeAgent::kStagingBase, image.size()), image);
+}
+
+TEST(OtaAttackEdge, NullAttackerHooksChangeNothing) {
+  // The default LinkAttacker attacks nothing: outcomes must match a run
+  // with no attacker at all, bit for bit.
+  std::vector<std::uint8_t> image(2400, 0x42);
+  Dbm rssi = lora::sx1276_sensitivity(8, Hertz::from_kilohertz(500.0)) + 2.5;
+  AccessPoint ap;
+  OtaLink a{ota_link_params(), rssi, std::uint64_t{0xFACE}};
+  OtaLink b{ota_link_params(), rssi, std::uint64_t{0xFACE}};
+  LinkAttacker noop;
+  auto bare = ap.transfer(image, 4, a);
+  auto hooked = ap.transfer(image, 4, b, TransferPolicy{}, nullptr, nullptr,
+                            &noop);
+  EXPECT_EQ(bare.success, hooked.success);
+  EXPECT_EQ(bare.retransmissions, hooked.retransmissions);
+  EXPECT_DOUBLE_EQ(bare.airtime.value(), hooked.airtime.value());
+  EXPECT_EQ(bare.sends_per_chunk, hooked.sends_per_chunk);
+  EXPECT_EQ(hooked.jammed_packets, 0u);
+  EXPECT_EQ(hooked.forged_acks_discarded, 0u);
+}
+
 TEST(OtaEdge, StopAndWaitModeStillWorks) {
   std::vector<std::uint8_t> image(3000, 0x99);
   OtaLink link{ota_link_params(), Dbm{-60.0}, std::uint64_t{8}};
