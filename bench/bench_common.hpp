@@ -71,16 +71,51 @@ inline void print_series(const std::string& x_label,
 ///    "description":...,"scalars":{name:number,...},
 ///    "series":{name:{"x_label":...,"y_labels":[...],"rows":[[...],...]}}}
 ///
-/// Unknown arguments are ignored, so benches stay runnable bare.
+/// The command line is validated strictly: every bench accepts
+/// `--json <path>`, `--threads <n>` and `--help`; a bench with its own
+/// flags declares them via `extra_flags` (each takes one value). Anything
+/// else — unknown flags, positional arguments, a flag missing its value —
+/// prints a usage message to stderr and exits with status 2, so a typo'd
+/// invocation can never masquerade as a clean run in CI.
 class BenchRun {
  public:
   BenchRun(int argc, char* const argv[], std::string experiment,
-           std::string paper_ref, std::string description)
+           std::string paper_ref, std::string description,
+           std::vector<std::string> extra_flags = {})
       : experiment_(std::move(experiment)),
         paper_ref_(std::move(paper_ref)),
         description_(std::move(description)) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string_view{argv[i]} == "--json") json_path_ = argv[i + 1];
+    auto takes_value = [&extra_flags](std::string_view arg) {
+      if (arg == "--json" || arg == "--threads") return true;
+      for (const auto& f : extra_flags)
+        if (arg == f) return true;
+      return false;
+    };
+    auto usage = [&](std::ostream& out) {
+      out << "usage: " << (argc > 0 ? argv[0] : "bench")
+          << " [--json <path>] [--threads <n>]";
+      for (const auto& f : extra_flags) out << " [" << f << " <value>]";
+      out << "\n";
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg{argv[i]};
+      if (arg == "--help" || arg == "-h") {
+        usage(std::cout);
+        std::exit(0);
+      }
+      if (takes_value(arg)) {
+        if (i + 1 >= argc) {
+          std::cerr << "bench: missing value for " << arg << "\n";
+          usage(std::cerr);
+          std::exit(2);
+        }
+        if (arg == "--json") json_path_ = argv[i + 1];
+        ++i;
+        continue;
+      }
+      std::cerr << "bench: unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      std::exit(2);
     }
     if (json_path_.empty()) {
       if (const char* env = std::getenv("TINYSDR_BENCH_JSON");

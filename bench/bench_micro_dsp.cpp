@@ -7,10 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
@@ -125,36 +127,74 @@ static void BM_LzoDecompress(benchmark::State& state) {
 }
 BENCHMARK(BM_LzoDecompress)->Arg(30 * 1024)->Arg(579 * 1024);
 
-// Same machine-readable interface as the table/figure benches: `--json
-// <path>` (or TINYSDR_BENCH_JSON) maps onto google-benchmark's native
-// JSON reporter.
-int main(int argc, char** argv) {
-  std::string json_path;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::string_view{argv[i]} == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-      continue;
+namespace {
+
+/// Console output stays google-benchmark's; this reporter additionally
+/// funnels every per-iteration run into a flat scalar map —
+///   <name>.real_ns_per_iter, <name>.cpu_ns_per_iter, <name>.<counter>
+/// — so the bench emits the same `tinysdr-bench-v1` document as every
+/// table/figure bench and the perf gate can diff it against a baseline.
+/// Aggregate rows (mean/median/stddev under --benchmark_repetitions) are
+/// skipped; repeated runs of one benchmark merge noise-aware: min for
+/// times, max for rates.
+class TinysdrReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const std::string name = r.benchmark_name();
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      record_min(name + ".real_ns_per_iter",
+                 r.real_accumulated_time / iters * 1e9);
+      record_min(name + ".cpu_ns_per_iter",
+                 r.cpu_accumulated_time / iters * 1e9);
+      for (const auto& [counter, value] : r.counters) {
+        // Rate counters (items/bytes per second) are already finalized;
+        // a higher rate is the cleaner measurement.
+        if (counter.find("per_second") != std::string::npos ||
+            counter.find("per_s") != std::string::npos)
+          record_max(name + "." + counter, value);
+        else
+          record_min(name + "." + counter, value);
+      }
     }
-    args.push_back(argv[i]);
+    ConsoleReporter::ReportRuns(runs);
   }
-  if (json_path.empty()) {
-    if (const char* env = std::getenv("TINYSDR_BENCH_JSON");
-        env != nullptr && *env != '\0')
-      json_path = env;
+
+  [[nodiscard]] const std::map<std::string, double>& scalars() const {
+    return scalars_;
   }
-  std::string out_flag;
-  std::string format_flag{"--benchmark_out_format=json"};
-  if (!json_path.empty()) {
-    out_flag = "--benchmark_out=" + json_path;
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
+
+ private:
+  void record_min(const std::string& key, double value) {
+    auto [it, inserted] = scalars_.emplace(key, value);
+    if (!inserted && value < it->second) it->second = value;
   }
-  int bench_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&bench_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  void record_max(const std::string& key, double value) {
+    auto [it, inserted] = scalars_.emplace(key, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+
+  std::map<std::string, double> scalars_;
+};
+
+}  // namespace
+
+// Same machine-readable interface as the table/figure benches: `--json
+// <path>` (or TINYSDR_BENCH_JSON) writes a tinysdr-bench-v1 document.
+// google-benchmark consumes its own --benchmark_* flags first; whatever
+// remains must satisfy the strict shared bench interface, so unknown
+// flags still exit non-zero with a usage message.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bench::BenchRun run{argc, argv, "Micro DSP", "paper §5.2-5.3",
+                      "google-benchmark micro-benchmarks for the hot DSP "
+                      "and codec paths"};
+  TinysdrReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  for (const auto& [name, value] : reporter.scalars())
+    run.scalar(name, value);
   return 0;
 }

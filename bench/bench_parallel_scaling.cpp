@@ -3,12 +3,20 @@
 // grid, plus a byte-identity check of the sharded telemetry against the
 // serial run at every point. Speedup tops out near the machine's core
 // count; determinism must hold everywhere.
+//
+// `--pool-trace <path>` additionally runs one campaign at the default
+// thread count with the worker pool's wall-clock trace sink installed
+// and writes a Perfetto trace of region/chunk spans with flow arrows
+// from each parallel_for region to the workers that ran its chunks.
 #include <chrono>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "exec/policy.hpp"
+#include "exec/pool_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "testbed/campaign.hpp"
@@ -54,9 +62,18 @@ Sample run_once(const testbed::Deployment& deployment,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchRun run{argc, argv, "Parallel scaling", "exec engine",
+  bench::BenchRun run{argc,
+                      argv,
+                      "Parallel scaling",
+                      "exec engine",
                       "Campaign wall-clock speedup vs serial, by fleet size "
-                      "and thread count, with byte-identity checks"};
+                      "and thread count, with byte-identity checks",
+                      {"--pool-trace"}};
+  std::string pool_trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view{argv[i]} == "--pool-trace")
+      pool_trace_path = argv[i + 1];
+  }
 
   const std::size_t hw = exec::resolved_threads(0);
   std::cout << "Resolved default thread count: " << hw << "\n";
@@ -111,5 +128,29 @@ int main(int argc, char** argv) {
             << (all_identical ? "byte-identical at every grid point."
                               : "DIVERGED — determinism bug!")
             << "\n";
+
+  if (!pool_trace_path.empty()) {
+    // One demonstrative run outside the timed grid: the pool sink is
+    // wall-clock and mutex-guarded, so it never touches the numbers or
+    // the byte-identity verdict above.
+    obs::Tracer pool_tracer{std::size_t{1} << 18};
+    {
+      exec::PoolTraceSession pool_session{pool_tracer};
+      Rng deploy_rng{2024};
+      auto deployment =
+          testbed::Deployment::campus(deploy_rng, Dbm{14.0}, 64);
+      run_once(deployment, image, hw);
+    }
+    std::ofstream out{pool_trace_path};
+    if (!out) {
+      std::cerr << "cannot write " << pool_trace_path << "\n";
+      return 1;
+    }
+    pool_tracer.write_chrome_json(out);
+    out << "\n";
+    std::cout << "Wrote pool trace (" << pool_tracer.size()
+              << " events) to " << pool_trace_path
+              << " (open at ui.perfetto.dev)\n";
+  }
   return all_identical ? 0 : 1;
 }

@@ -4,15 +4,21 @@
 //     per node, transfer/associate/sack-poll/backoff spans, packet-loss
 //     and fault instants, and the node-energy counter, plus
 //   - a metrics snapshot (tinysdr-metrics-v1 JSON) of every counter and
-//     histogram the run touched.
+//     histogram the run touched, plus
+//   - a flight-recorder dump (tinysdr-flight-v1 JSON): the structured
+//     post-mortem log of every fault, reboot, resume and failure, dumped
+//     automatically by the campaign engine because the scenarios inject
+//     faults.
 //
 // Flags: --trace <path> (default tinysdr_trace.json), --metrics <path>
-// (default tinysdr_metrics.json), and the standard --json <path> for the
-// bench's own headline numbers.
+// (default tinysdr_metrics.json), --flight <path> (default
+// tinysdr_flight.json), and the standard --json <path> for the bench's
+// own headline numbers.
 #include <fstream>
 #include <string_view>
 
 #include "bench_common.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "testbed/campaign.hpp"
@@ -20,20 +26,29 @@
 using namespace tinysdr;
 
 int main(int argc, char** argv) {
-  bench::BenchRun run{argc, argv, "Trace campaign", "telemetry demo",
-                      "Perfetto trace + metrics snapshot of a 6-node OTA "
-                      "fault campaign"};
+  bench::BenchRun run{argc,
+                      argv,
+                      "Trace campaign",
+                      "telemetry demo",
+                      "Perfetto trace + metrics snapshot + flight recorder "
+                      "of a 6-node OTA fault campaign",
+                      {"--trace", "--metrics", "--flight"}};
   std::string trace_path{"tinysdr_trace.json"};
   std::string metrics_path{"tinysdr_metrics.json"};
+  std::string flight_path{"tinysdr_flight.json"};
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string_view{argv[i]} == "--trace") trace_path = argv[i + 1];
     if (std::string_view{argv[i]} == "--metrics") metrics_path = argv[i + 1];
+    if (std::string_view{argv[i]} == "--flight") flight_path = argv[i + 1];
   }
 
   obs::Tracer tracer{std::size_t{1} << 18};
   obs::Registry registry;
+  obs::FlightRecorder flight;
+  flight.set_dump_path(flight_path);
   obs::TraceSession trace_session{tracer};
   obs::MetricsSession metrics_session{registry};
+  obs::FlightSession flight_session{flight};
 
   // A small fleet and a small image keep the run fast while still crossing
   // every instrumented layer: protocol, link, flash, faults, power.
@@ -100,6 +115,13 @@ int main(int argc, char** argv) {
   run.scalar("trace.events.dropped", static_cast<double>(tracer.dropped()));
   run.scalar("baseline.successes",
              static_cast<double>(result.baseline.successes));
+  run.scalar("flight.records", static_cast<double>(flight.size()));
+  run.scalar("flight.warn_or_worse",
+             static_cast<double>(
+                 flight.count_at_least(obs::FlightLevel::kWarn)));
+  std::cout << "Flight recorder: " << flight.size() << " records ("
+            << flight.count_at_least(obs::FlightLevel::kWarn)
+            << " warn+), dumped to " << flight_path << "\n";
 
   {
     std::ofstream out{trace_path};

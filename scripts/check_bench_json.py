@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate tinysdr-bench-v1 JSON documents.
+
+One validator for every smoke step in scripts/verify.sh and CI, and the
+loader the perf gate (scripts/perf_gate.py) builds on. Checks, in order:
+
+  1. The file parses as JSON.
+  2. `schema` matches (default tinysdr-bench-v1; --schema overrides,
+     --parse-only stops after step 1).
+  3. `scalars` is a name->number map and `series` entries are
+     shape-consistent: every row has 1 + len(y_labels) columns.
+  4. Any requested content assertions:
+       --series NAME        series exists and has at least one row
+       --eq NAME=VALUE      scalar equals VALUE exactly
+       --gt NAME=VALUE      scalar is strictly greater than VALUE
+
+Exits 0 when every file passes every check, 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+class BenchJsonError(Exception):
+    """A bench document failed validation."""
+
+
+def load_bench(path, schema="tinysdr-bench-v1"):
+    """Load and shape-check one bench document; raises BenchJsonError."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise BenchJsonError(f"{path}: {err}") from err
+    if not isinstance(doc, dict):
+        raise BenchJsonError(f"{path}: top level is not an object")
+    if schema is not None:
+        got = doc.get("schema")
+        if got != schema:
+            raise BenchJsonError(f"{path}: schema is {got!r}, want {schema!r}")
+    scalars = doc.get("scalars", {})
+    if not isinstance(scalars, dict):
+        raise BenchJsonError(f"{path}: 'scalars' is not an object")
+    for name, value in scalars.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise BenchJsonError(
+                f"{path}: scalar {name!r} is not a number: {value!r}")
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        raise BenchJsonError(f"{path}: 'series' is not an object")
+    for name, s in series.items():
+        if not isinstance(s, dict):
+            raise BenchJsonError(f"{path}: series {name!r} is not an object")
+        y_labels = s.get("y_labels")
+        rows = s.get("rows")
+        if not isinstance(y_labels, list) or not isinstance(rows, list):
+            raise BenchJsonError(
+                f"{path}: series {name!r} missing y_labels/rows lists")
+        want = 1 + len(y_labels)
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != want:
+                raise BenchJsonError(
+                    f"{path}: series {name!r} row {i} has "
+                    f"{len(row) if isinstance(row, list) else '?'} columns, "
+                    f"want {want}")
+            for v in row:
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    raise BenchJsonError(
+                        f"{path}: series {name!r} row {i} has a "
+                        f"non-number: {v!r}")
+    return doc
+
+
+def _scalar(doc, path, name):
+    scalars = doc.get("scalars", {})
+    if name not in scalars:
+        raise BenchJsonError(f"{path}: no scalar named {name!r}")
+    return scalars[name]
+
+
+def check_file(path, args):
+    """Run every requested check against one file; raises BenchJsonError."""
+    if args.parse_only:
+        try:
+            with open(path, encoding="utf-8") as f:
+                json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            raise BenchJsonError(f"{path}: {err}") from err
+        return
+    doc = load_bench(path, schema=args.schema)
+    for name in args.series:
+        series = doc.get("series", {})
+        if name not in series:
+            raise BenchJsonError(f"{path}: no series named {name!r}")
+        if not series[name]["rows"]:
+            raise BenchJsonError(f"{path}: series {name!r} is empty")
+    for name, want in args.eq:
+        got = _scalar(doc, path, name)
+        if got != want:
+            raise BenchJsonError(f"{path}: scalar {name} == {got}, want {want}")
+    for name, floor in args.gt:
+        got = _scalar(doc, path, name)
+        if not got > floor:
+            raise BenchJsonError(
+                f"{path}: scalar {name} == {got}, want > {floor}")
+
+
+def _name_value(text):
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(f"expected NAME=VALUE, got {text!r}")
+    try:
+        return name, float(value)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(f"bad number in {text!r}") from err
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="bench JSON files to check")
+    parser.add_argument("--schema", default="tinysdr-bench-v1",
+                        help="expected 'schema' value")
+    parser.add_argument("--parse-only", action="store_true",
+                        help="only require the file to parse as JSON")
+    parser.add_argument("--series", action="append", default=[],
+                        metavar="NAME",
+                        help="require a non-empty, shape-consistent series")
+    parser.add_argument("--eq", action="append", default=[], type=_name_value,
+                        metavar="NAME=VALUE", help="require scalar equality")
+    parser.add_argument("--gt", action="append", default=[], type=_name_value,
+                        metavar="NAME=VALUE",
+                        help="require scalar strictly greater than VALUE")
+    args = parser.parse_args(argv)
+
+    for path in args.files:
+        try:
+            check_file(path, args)
+        except BenchJsonError as err:
+            print(f"check_bench_json: FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"check_bench_json: OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

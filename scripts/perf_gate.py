@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over tinysdr-bench-v1 documents.
+
+Compares current bench runs against a checked-in baseline and fails on
+regression. Three modes:
+
+  check (default)
+      perf_gate.py --baseline BENCH_x.json --current run1.json [run2.json...]
+                   [--tolerance 0.10] [--timing-tolerance T]
+                   [--ignore KEY]... [--report report.json]
+      Multiple --current files are noise-merged first (min for
+      lower-is-better metrics, max for higher-is-better), so rerunning a
+      bench a few times filters scheduler noise before the diff.
+
+  record
+      perf_gate.py --write-baseline BENCH_x.json --current run1.json ...
+      Noise-merges the runs and writes the result as the new baseline.
+
+  self-test
+      perf_gate.py --self-test BENCH_x.json ...
+      Proves the gate works on each baseline: baseline-vs-itself must
+      pass; a synthetic +25% timing regression, a perturbed deterministic
+      scalar, and a dropped series row must each fail.
+
+Metrics are classified by key name, because tolerance must differ by
+kind:
+
+  ignored        machine-dependent config echoes (resolved_default_threads)
+  timing         lower is better; `--timing-tolerance` (wall-clock noise,
+                 cross-machine variation — CI passes a loose value)
+  rate           higher is better; also `--timing-tolerance`
+  deterministic  everything else — simulation outputs that must reproduce
+                 per seed; tight `--tolerance` (default 10%), so e.g. a
+                 byte_identical flag dropping 1 -> 0 always fails.
+
+Exit status: 0 pass, 1 regression (or self-test misbehavior), 2 usage.
+The --report JSON (schema tinysdr-perf-gate-v1) lists every comparison
+with its class, values, limit and status, for CI artifact upload.
+"""
+
+import argparse
+import json
+import sys
+
+from check_bench_json import BenchJsonError, load_bench
+
+DEFAULT_IGNORE = ("resolved_default_threads",)
+
+TIMING_MARKERS = ("_ns", "_us", "_ms", "seconds", "time_s", ".real_", ".cpu_")
+RATE_MARKERS = ("per_s", "per_second", "speedup", "throughput")
+
+
+def classify(key, ignore):
+    """Metric class for a scalar key or series column label."""
+    for pattern in ignore:
+        if pattern in key:
+            return "ignored"
+    for marker in RATE_MARKERS:
+        if marker in key:
+            return "rate"
+    for marker in TIMING_MARKERS:
+        if marker in key:
+            return "timing"
+    return "deterministic"
+
+
+def merge_runs(docs, ignore):
+    """Noise-merge repeated runs of one bench into a single document.
+
+    Timing scalars keep the minimum across runs (the least-disturbed
+    measurement), rates keep the maximum, deterministic scalars and all
+    series come from the first run (they must not vary per seed).
+    """
+    merged = json.loads(json.dumps(docs[0]))  # deep copy
+    for doc in docs[1:]:
+        for key, value in doc.get("scalars", {}).items():
+            if key not in merged["scalars"]:
+                merged["scalars"][key] = value
+                continue
+            kind = classify(key, ignore)
+            if kind == "timing":
+                merged["scalars"][key] = min(merged["scalars"][key], value)
+            elif kind == "rate":
+                merged["scalars"][key] = max(merged["scalars"][key], value)
+    return merged
+
+
+def _check_value(key, kind, base, cur, tolerance, timing_tolerance):
+    """One comparison -> (status, limit_text). status: ok|regression."""
+    if kind == "ignored":
+        return "ignored", ""
+    if kind == "timing":
+        limit = base * (1.0 + timing_tolerance)
+        return ("ok" if cur <= limit or cur <= base else "regression",
+                f"<= {limit:.6g}")
+    if kind == "rate":
+        limit = base * (1.0 - timing_tolerance)
+        return ("ok" if cur >= limit or cur >= base else "regression",
+                f">= {limit:.6g}")
+    # Deterministic: symmetric relative error against the baseline scale.
+    scale = max(abs(base), 1e-12)
+    rel = abs(cur - base) / scale
+    return ("ok" if rel <= tolerance else "regression",
+            f"|rel| <= {tolerance:.6g}")
+
+
+def compare(baseline, current, tolerance, timing_tolerance, ignore):
+    """Diff two bench documents; returns (passed, checks list)."""
+    checks = []
+    passed = True
+
+    def add(key, kind, base, cur, status, limit):
+        nonlocal passed
+        if status == "regression":
+            passed = False
+        checks.append({"key": key, "class": kind, "baseline": base,
+                       "current": cur, "limit": limit, "status": status})
+
+    base_scalars = baseline.get("scalars", {})
+    cur_scalars = current.get("scalars", {})
+    for key, base in sorted(base_scalars.items()):
+        kind = classify(key, ignore)
+        if key not in cur_scalars:
+            add(key, kind, base, None, "regression", "present")
+            continue
+        cur = cur_scalars[key]
+        status, limit = _check_value(key, kind, base, cur, tolerance,
+                                     timing_tolerance)
+        add(key, kind, base, cur, status, limit)
+    for key in sorted(set(cur_scalars) - set(base_scalars)):
+        checks.append({"key": key, "class": classify(key, ignore),
+                       "baseline": None, "current": cur_scalars[key],
+                       "limit": "", "status": "new"})
+
+    base_series = baseline.get("series", {})
+    cur_series = current.get("series", {})
+    for name, base_s in sorted(base_series.items()):
+        if name not in cur_series:
+            add(f"series:{name}", "series", None, None, "regression",
+                "present")
+            continue
+        cur_s = cur_series[name]
+        if (base_s.get("x_label") != cur_s.get("x_label")
+                or base_s.get("y_labels") != cur_s.get("y_labels")):
+            add(f"series:{name}", "series", None, None, "regression",
+                "labels match")
+            continue
+        if len(base_s["rows"]) != len(cur_s["rows"]):
+            add(f"series:{name}.rows", "series", len(base_s["rows"]),
+                len(cur_s["rows"]), "regression", "row count matches")
+            continue
+        labels = [base_s.get("x_label", "x")] + list(base_s["y_labels"])
+        ok = True
+        for r, (brow, crow) in enumerate(zip(base_s["rows"], cur_s["rows"])):
+            for c, (bval, cval) in enumerate(zip(brow, crow)):
+                kind = classify(labels[c], ignore)
+                status, limit = _check_value(
+                    f"{name}[{r}].{labels[c]}", kind, bval, cval, tolerance,
+                    timing_tolerance)
+                if status == "regression":
+                    ok = False
+                    add(f"series:{name}[{r}].{labels[c]}", kind, bval, cval,
+                        status, limit)
+        if ok:
+            add(f"series:{name}", "series", len(base_s["rows"]),
+                len(cur_s["rows"]), "ok", "cells within tolerance")
+    return passed, checks
+
+
+def write_report(path, baseline_path, passed, checks):
+    report = {"schema": "tinysdr-perf-gate-v1",
+              "baseline": baseline_path,
+              "result": "pass" if passed else "fail",
+              "checks": checks}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+
+
+def print_summary(passed, checks, baseline_path):
+    regressions = [c for c in checks if c["status"] == "regression"]
+    for c in regressions:
+        print(f"perf_gate: REGRESSION {c['key']} ({c['class']}): "
+              f"baseline={c['baseline']} current={c['current']} "
+              f"want {c['limit']}", file=sys.stderr)
+    counted = [c for c in checks if c["status"] in ("ok", "regression")]
+    verdict = "PASS" if passed else "FAIL"
+    print(f"perf_gate: {verdict} vs {baseline_path}: "
+          f"{len(counted) - len(regressions)}/{len(counted)} checks ok, "
+          f"{len(regressions)} regression(s)")
+
+
+def self_test(paths, tolerance, timing_tolerance, ignore):
+    """Gate sanity proof per baseline; returns True when all behave."""
+    ok = True
+
+    def expect(name, path, want_pass, doc):
+        nonlocal ok
+        base = load_bench(path)
+        passed, _ = compare(base, doc, tolerance, timing_tolerance, ignore)
+        good = passed == want_pass
+        if not good:
+            ok = False
+        verdict = "ok" if good else "MISBEHAVED"
+        print(f"perf_gate self-test [{path}] {name}: "
+              f"{'passed' if passed else 'failed'} as "
+              f"{'expected' if good else 'NOT expected'} ({verdict})")
+
+    for path in paths:
+        doc = load_bench(path)
+        expect("identity", path, True, doc)
+
+        timing_keys = [k for k in doc.get("scalars", {})
+                       if classify(k, ignore) == "timing"]
+        if timing_keys:
+            worse = json.loads(json.dumps(doc))
+            worse["scalars"][timing_keys[0]] *= 1.25
+            expect(f"+25% on {timing_keys[0]}", path, False, worse)
+
+        det_keys = [k for k in doc.get("scalars", {})
+                    if classify(k, ignore) == "deterministic"]
+        if det_keys:
+            perturbed = json.loads(json.dumps(doc))
+            perturbed["scalars"][det_keys[0]] = (
+                perturbed["scalars"][det_keys[0]] * 2.0 + 1.0)
+            expect(f"perturbed {det_keys[0]}", path, False, perturbed)
+
+        full_series = [n for n, s in doc.get("series", {}).items()
+                       if s.get("rows")]
+        if full_series:
+            clipped = json.loads(json.dumps(doc))
+            clipped["series"][full_series[0]]["rows"].pop()
+            expect(f"dropped row of {full_series[0]}", path, False, clipped)
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="checked-in baseline to diff against")
+    parser.add_argument("--current", nargs="+", default=[],
+                        help="current bench JSON run(s); repeats are "
+                             "noise-merged")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="record mode: write merged --current runs here")
+    parser.add_argument("--self-test", nargs="+", metavar="BASELINE",
+                        help="prove the gate passes/fails correctly on "
+                             "these baselines")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance for deterministic metrics "
+                             "(default 0.10)")
+    parser.add_argument("--timing-tolerance", type=float, default=None,
+                        help="relative tolerance for timing/rate metrics "
+                             "(default: same as --tolerance; CI uses a "
+                             "loose value since runners differ from the "
+                             "baseline machine)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="SUBSTRING",
+                        help="additional key substrings to skip")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write a tinysdr-perf-gate-v1 comparison "
+                             "report here")
+    args = parser.parse_args(argv)
+
+    timing_tolerance = (args.timing_tolerance if args.timing_tolerance
+                        is not None else args.tolerance)
+    ignore = tuple(DEFAULT_IGNORE) + tuple(args.ignore)
+
+    try:
+        if args.self_test:
+            return 0 if self_test(args.self_test, args.tolerance,
+                                  timing_tolerance, ignore) else 1
+
+        if not args.current:
+            parser.error("--current is required outside --self-test")
+        docs = [load_bench(p) for p in args.current]
+        merged = merge_runs(docs, ignore)
+
+        if args.write_baseline:
+            with open(args.write_baseline, "w", encoding="utf-8") as f:
+                json.dump(merged, f, indent=1, sort_keys=True)
+                f.write("\n")
+            print(f"perf_gate: wrote baseline {args.write_baseline} "
+                  f"from {len(docs)} run(s)")
+            return 0
+
+        if not args.baseline:
+            parser.error("--baseline or --write-baseline or --self-test "
+                         "is required")
+        baseline = load_bench(args.baseline)
+        passed, checks = compare(baseline, merged, args.tolerance,
+                                 timing_tolerance, ignore)
+        if args.report:
+            write_report(args.report, args.baseline, passed, checks)
+        print_summary(passed, checks, args.baseline)
+        return 0 if passed else 1
+    except BenchJsonError as err:
+        print(f"perf_gate: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/pool_trace.hpp"
+#include "obs/flight.hpp"
+
 namespace tinysdr::exec {
 
 namespace {
@@ -67,6 +70,9 @@ struct WorkerPool::Job {
   }
 
   std::atomic<std::size_t> pending{0};  ///< spawned participants still working
+
+  bool traced = false;          ///< a PoolTraceSession was active at launch
+  std::uint64_t trace_id = 0;   ///< region id for flow linkage
 };
 
 WorkerPool::~WorkerPool() {
@@ -165,12 +171,17 @@ void WorkerPool::work(Job& job, std::size_t participant) {
         }
       }
       if (!got) return;  // no work anywhere
+      const double chunk_start =
+          job.traced ? pool_trace::now_us() : 0.0;
       std::size_t ran = 0;
       for (std::uint32_t i = b; i < e; ++i) {
         (*job.body)(i, participant);
         ++ran;
       }
       job.completed.fetch_add(ran, std::memory_order_relaxed);
+      if (job.traced)
+        pool_trace::chunk(job.trace_id, b, e, participant, chunk_start,
+                          pool_trace::now_us());
     }
   } catch (...) {
     job.record_error(std::current_exception());
@@ -238,6 +249,13 @@ RunStatus WorkerPool::run(std::size_t n, const ExecPolicy& policy,
                               std::memory_order_relaxed);
   }
 
+  double region_start = 0.0;
+  if (pool_trace::active()) {
+    job.traced = true;
+    job.trace_id = pool_trace::next_region_id();
+    region_start = pool_trace::now_us();
+  }
+
   const bool was_in_region = t_in_region;
   if (job.participants == 1) {
     // Inline fast path: no pool involvement, same chunking semantics.
@@ -265,6 +283,10 @@ RunStatus WorkerPool::run(std::size_t n, const ExecPolicy& policy,
     }
   }
 
+  if (job.traced)
+    pool_trace::region(job.trace_id, n, job.participants, region_start,
+                       pool_trace::now_us());
+
   {
     std::lock_guard<std::mutex> lock(job.error_mu);
     if (job.error) std::rethrow_exception(job.error);
@@ -273,6 +295,18 @@ RunStatus WorkerPool::run(std::size_t n, const ExecPolicy& policy,
   status.outcome =
       static_cast<RunOutcome>(job.outcome.load(std::memory_order_relaxed));
   status.items_completed = job.completed.load(std::memory_order_relaxed);
+  // A tripped deadline or cancellation is exactly what a post-mortem
+  // needs to see; completed regions stay silent so the flight log keeps
+  // the byte-identical-across-threads guarantee.
+  if (!status.complete()) {
+    if (auto* f = obs::flight()) {
+      f->record(obs::FlightLevel::kWarn, "exec", to_string(status.outcome),
+                {obs::TraceArg::num(
+                     "items_completed",
+                     static_cast<double>(status.items_completed)),
+                 obs::TraceArg::num("items_total", static_cast<double>(n))});
+    }
+  }
   return status;
 }
 

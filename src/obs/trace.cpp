@@ -99,6 +99,42 @@ void Tracer::complete(const char* category, std::string name, Seconds start,
   push(std::move(e));
 }
 
+void Tracer::flow_begin(const char* category, std::string name,
+                        std::uint64_t id) {
+  TraceEvent e;
+  e.ts_us = base_us_ + now_us_;
+  e.phase = 's';
+  e.track = track_;
+  e.flow_id = id;
+  e.category = category;
+  e.name = std::move(name);
+  push(std::move(e));
+}
+
+void Tracer::flow_step(const char* category, std::string name,
+                       std::uint64_t id) {
+  TraceEvent e;
+  e.ts_us = base_us_ + now_us_;
+  e.phase = 't';
+  e.track = track_;
+  e.flow_id = id;
+  e.category = category;
+  e.name = std::move(name);
+  push(std::move(e));
+}
+
+void Tracer::flow_end(const char* category, std::string name,
+                      std::uint64_t id) {
+  TraceEvent e;
+  e.ts_us = base_us_ + now_us_;
+  e.phase = 'f';
+  e.track = track_;
+  e.flow_id = id;
+  e.category = category;
+  e.name = std::move(name);
+  push(std::move(e));
+}
+
 void Tracer::counter(const char* category, std::string name, double value) {
   TraceEvent e;
   e.ts_us = base_us_ + now_us_;
@@ -141,6 +177,21 @@ void Tracer::clear() {
 
 namespace {
 
+/// Flow ids export as hex strings: uint64 ids are not exactly
+/// representable as JSON numbers past 2^53.
+std::string flow_id_hex(std::uint64_t id) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out{"0x"};
+  bool leading = true;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    unsigned nibble = static_cast<unsigned>((id >> shift) & 0xF);
+    if (leading && nibble == 0 && shift != 0) continue;
+    leading = false;
+    out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
 void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
   out << "{";
   bool first = true;
@@ -177,6 +228,11 @@ void Tracer::write_chrome_json(std::ostream& out) const {
     if (e.phase == 'X') out << ",\"dur\":" << json_number(e.dur_us);
     // Instants render at thread scope so they show on the node's row.
     if (e.phase == 'i') out << ",\"s\":\"t\"";
+    if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      out << ",\"id\":\"" << flow_id_hex(e.flow_id) << "\"";
+      // Bind the flow end to the enclosing slice, not the next one.
+      if (e.phase == 'f') out << ",\"bp\":\"e\"";
+    }
     out << ",\"cat\":" << json_quote(e.category)
         << ",\"name\":" << json_quote(e.name);
     if (!e.args.empty()) {

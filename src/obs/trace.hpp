@@ -57,13 +57,16 @@ struct TraceArg {
 };
 
 /// A recorded event, in Chrome trace_event terms: phase 'X' = complete
-/// span, 'i' = instant, 'C' = counter sample. `track` maps to the tid, so
-/// each simulated node renders as its own row.
+/// span, 'i' = instant, 'C' = counter sample, 's'/'t'/'f' = flow
+/// begin/step/end (causal arrows between spans, possibly on different
+/// tracks). `track` maps to the tid, so each simulated node renders as
+/// its own row; `flow_id` binds the legs of one flow together.
 struct TraceEvent {
   double ts_us = 0.0;
   double dur_us = 0.0;
   char phase = 'i';
   std::uint32_t track = 0;
+  std::uint64_t flow_id = 0;  ///< 's'/'t'/'f' phases only
   const char* category = "";
   std::string name;
   std::vector<TraceArg> args;
@@ -113,6 +116,17 @@ class Tracer {
                 Seconds duration, std::vector<TraceArg> args = {});
   /// Counter sample (renders as a value track in Perfetto).
   void counter(const char* category, std::string name, double value);
+
+  // -------------------------------------------------------- causal flows
+  // Flow events draw arrows between spans — an OTA chunk's first TX, its
+  // retransmissions and the ACK that finally covers it, across node
+  // tracks. All legs of one flow share `id` (derive it deterministically,
+  // e.g. from the link seed + chunk seq, so exports stay byte-identical).
+  // Each leg binds to the enclosing/nearest span on its track at the
+  // current sim time.
+  void flow_begin(const char* category, std::string name, std::uint64_t id);
+  void flow_step(const char* category, std::string name, std::uint64_t id);
+  void flow_end(const char* category, std::string name, std::uint64_t id);
 
   // --------------------------------------------------- inspection / export
   [[nodiscard]] std::size_t size() const { return count_; }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/crc.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/platform_power.hpp"
@@ -198,6 +199,11 @@ bool NodeAgent::begin_session(std::uint32_t session_id,
                    {obs::TraceArg::num("chunks_held",
                                        static_cast<double>(received_))});
       }
+      if (auto* f = obs::flight()) {
+        f->record(obs::FlightLevel::kInfo, "ota", "session-resume",
+                  {obs::TraceArg::num("chunks_held",
+                                      static_cast<double>(received_))});
+      }
       if (auto* m = obs::metrics()) m->counter("ota.session_resumes").add();
       if (mcu_) mcu_->arm_watchdog(watchdog_timeout_);
       return true;
@@ -247,6 +253,10 @@ NodeAgent::RxStatus NodeAgent::receive_chunk(
     if (auto* t = obs::tracer()) {
       t->instant("ota", "flash-write-error",
                  {obs::TraceArg::num("seq", static_cast<double>(seq))});
+    }
+    if (auto* f = obs::flight()) {
+      f->record(obs::FlightLevel::kWarn, "ota", "flash-write-error",
+                {obs::TraceArg::num("seq", static_cast<double>(seq))});
     }
     if (auto* m = obs::metrics()) m->counter("ota.flash_write_errors").add();
     return RxStatus::kFlashError;
@@ -313,6 +323,11 @@ void NodeAgent::reboot() {
                {obs::TraceArg::num("bytes_received",
                                    static_cast<double>(bytes_received_))});
   }
+  if (auto* f = obs::flight()) {
+    f->record(obs::FlightLevel::kWarn, "power", "brownout-reboot",
+              {obs::TraceArg::num("bytes_received",
+                                  static_cast<double>(bytes_received_))});
+  }
   if (auto* m = obs::metrics()) m->counter("power.node_reboots").add();
   online_ = false;
   session_active_ = false;
@@ -349,6 +364,8 @@ void NodeAgent::advance_time(Seconds elapsed) {
     // Watchdog fired: same RAM loss as a brownout, but the MCU reset has
     // already happened inside advance_time.
     if (auto* t = obs::tracer()) t->instant("power", "watchdog-reset");
+    if (auto* f = obs::flight())
+      f->record(obs::FlightLevel::kWarn, "power", "watchdog-reset");
     if (auto* m = obs::metrics()) m->counter("power.watchdog_resets").add();
     online_ = false;
     session_active_ = false;
@@ -402,6 +419,7 @@ class TransferEngine {
     // Each transfer owns the tracer's engine-relative clock; campaigns
     // lay consecutive transfers end to end with shift_base between runs.
     if (auto* t = obs::tracer()) t->set_time(outcome_.total_time);
+    if (auto* f = obs::flight()) f->set_time(outcome_.total_time);
     obs::TraceSpan span{"ota", "transfer"};
     span.arg("bytes", static_cast<double>(stream_.size()));
     span.arg("chunks", static_cast<double>(chunks_));
@@ -409,6 +427,19 @@ class TransferEngine {
     if (auto* t = obs::tracer()) {
       t->instant("ota", outcome_.success ? "update-ok" : "update-failed",
                  {obs::TraceArg::str("failure", to_string(outcome_.failure))});
+    }
+    if (auto* f = obs::flight()) {
+      if (!outcome_.success) {
+        f->record(obs::FlightLevel::kError, "ota",
+                  std::string("update-failed: ") + to_string(outcome_.failure),
+                  {obs::TraceArg::num("retransmissions",
+                                      static_cast<double>(
+                                          outcome_.retransmissions)),
+                   obs::TraceArg::num("time_s", outcome_.total_time.value())});
+      } else {
+        f->record(obs::FlightLevel::kDebug, "ota", "update-ok",
+                  {obs::TraceArg::num("time_s", outcome_.total_time.value())});
+      }
     }
   }
 
@@ -461,6 +492,7 @@ class TransferEngine {
       tr->set_time(outcome_.total_time);
       tr->counter("power", "node_energy_mj", outcome_.node_energy.value());
     }
+    if (auto* fr = obs::flight()) fr->set_time(outcome_.total_time);
     node_.advance_time(t);
   }
 
@@ -470,6 +502,7 @@ class TransferEngine {
     if (faults_) t = faults_->jitter(t);
     outcome_.total_time += t;
     if (auto* tr = obs::tracer()) tr->set_time(outcome_.total_time);
+    if (auto* fr = obs::flight()) fr->set_time(outcome_.total_time);
     node_.advance_time(t);
     node_.poll_boot();
   }
@@ -527,6 +560,8 @@ class TransferEngine {
     if (auto* m = obs::metrics())
       m->counter(std::string("adversary.ota.") + kind).add();
     if (auto* t = obs::tracer()) t->instant("adversary", kind);
+    if (auto* f = obs::flight())
+      f->record(obs::FlightLevel::kWarn, "adversary", kind);
   }
 
   /// Forward progress after an attack: close the recovery window and
@@ -618,6 +653,16 @@ class TransferEngine {
     return std::min(kDataPayload, stream_.size() - seq * kDataPayload);
   }
 
+  /// Flow id binding every TX/retransmission/ACK leg of one chunk's
+  /// journey. Derived from the link seed (golden-ratio product) xor the
+  /// seq, so ids are deterministic per run, unique per chunk, and
+  /// distinct across nodes in a campaign (each node gets its own link
+  /// seed).
+  [[nodiscard]] std::uint64_t chunk_flow(std::size_t seq) const {
+    return (outcome_.link_seed * 0x9E3779B97F4A7C15ULL) ^
+           static_cast<std::uint64_t>(seq);
+  }
+
   /// Transmit one DATA packet; returns true if the node verified+stored
   /// (or already had) the chunk.
   bool send_chunk(std::size_t seq) {
@@ -631,13 +676,24 @@ class TransferEngine {
     Seconds start{0.0};
     auto* tr = obs::tracer();
     if (tr != nullptr) start = tr->now();
+    const std::uint32_t send_count = ++outcome_.sends_per_chunk[seq];
+    if (send_count > 1) ++outcome_.retransmissions;
+    if (tr != nullptr) {
+      // Flow legs land at the DATA slice's start so Perfetto binds the
+      // arrow to it: begin on first TX, step on every retransmission.
+      if (send_count == 1)
+        tr->flow_begin("ota", "chunk", chunk_flow(seq));
+      else
+        tr->flow_step("ota", "chunk", chunk_flow(seq));
+    }
     account_air(air);
     if (tr != nullptr) {
       tr->complete("ota", "data", start, air,
-                   {obs::TraceArg::num("seq", static_cast<double>(seq))});
+                   {obs::TraceArg::num("seq", static_cast<double>(seq)),
+                    obs::TraceArg::num("send",
+                                       static_cast<double>(send_count))});
     }
     if (auto* m = obs::metrics()) m->counter("ota.data_packets_sent").add();
-    if (++outcome_.sends_per_chunk[seq] > 1) ++outcome_.retransmissions;
     if (!deliver_packet(OtaPacketType::kData, data.wire_size()) ||
         !node_.online())
       return false;
@@ -769,9 +825,15 @@ class TransferEngine {
         continue;
       }
       bool progress = false;
+      auto* tr = obs::tracer();
       for (std::size_t i = 0; i < span; ++i) {
         if (((*bits)[i / 8] >> (i % 8)) & 1u) {
-          if (!got_[base + i]) progress = true;
+          if (!got_[base + i]) {
+            progress = true;
+            // This SACK is the first to cover the chunk: close its flow.
+            if (tr != nullptr)
+              tr->flow_end("ota", "chunk", chunk_flow(base + i));
+          }
           got_[base + i] = true;
         }
       }
@@ -832,6 +894,8 @@ class TransferEngine {
           continue;  // duplicate data next attempt; node dedups by seq
         }
         got_[seq] = true;
+        if (auto* tr = obs::tracer())
+          tr->flow_end("ota", "chunk", chunk_flow(seq));
         ++outcome_.ack_packets;
         note_progress();
         if (++stored_since_persist >= policy_.window) {

@@ -6,6 +6,7 @@
 
 #include "exec/parallel_for.hpp"
 #include "exec/seed.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -61,6 +62,7 @@ struct NodeShard {
   std::optional<ota::UpdateReport> report;
   std::unique_ptr<obs::Tracer> trace;
   std::unique_ptr<obs::Registry> metrics;
+  std::unique_ptr<obs::FlightRecorder> flight;
 };
 
 /// Run `run_node(node, index)` for every node of the deployment on the
@@ -78,6 +80,7 @@ exec::RunStatus run_fleet(const Deployment& deployment,
   shards.resize(nodes.size());
   obs::Tracer* campaign_tracer = obs::tracer();
   obs::Registry* campaign_metrics = obs::metrics();
+  obs::FlightRecorder* campaign_flight = obs::flight();
 
   exec::ExecPolicy p = policy;
   if (p.grain == 0) p.grain = 1;  // one OTA update is a heavy item
@@ -87,6 +90,7 @@ exec::RunStatus run_fleet(const Deployment& deployment,
         NodeShard& shard = shards[i];
         std::optional<obs::TraceSession> trace_session;
         std::optional<obs::MetricsSession> metrics_session;
+        std::optional<obs::FlightSession> flight_session;
         if (campaign_tracer != nullptr) {
           shard.trace =
               std::make_unique<obs::Tracer>(obs::Tracer::unbounded());
@@ -94,6 +98,12 @@ exec::RunStatus run_fleet(const Deployment& deployment,
           shard.trace->set_track(nodes[i].id);
           shard.trace->name_track(nodes[i].id,
                                   "node-" + std::to_string(nodes[i].id));
+        }
+        if (campaign_flight != nullptr) {
+          shard.flight = std::make_unique<obs::FlightRecorder>(
+              obs::FlightRecorder::unbounded());
+          flight_session.emplace(*shard.flight);
+          shard.flight->set_node(nodes[i].id);
         }
         if (campaign_metrics != nullptr) {
           shard.metrics = std::make_unique<obs::Registry>();
@@ -110,12 +120,38 @@ exec::RunStatus run_fleet(const Deployment& deployment,
       campaign_tracer->shift_base(shard.report->total_time);
       campaign_tracer->set_track(0);
     }
+    if (campaign_flight != nullptr && shard.flight != nullptr) {
+      campaign_flight->absorb(*shard.flight);
+      campaign_flight->shift_base(shard.report->total_time);
+    }
     if (campaign_metrics != nullptr && shard.metrics != nullptr)
       campaign_metrics->merge_from(*shard.metrics);
     shard.trace.reset();
     shard.metrics.reset();
+    shard.flight.reset();
   }
   return status;
+}
+
+/// Post-mortem trigger shared by both campaign drivers: when a run ended
+/// with node failures, did not complete (deadline/cancellation), or any
+/// warning-or-worse record landed in the flight recorder (a fault
+/// fired), dump the black box. No-op without an installed recorder or a
+/// configured dump path.
+void maybe_dump_flight(const std::string& what, std::size_t failed_nodes,
+                       const exec::RunStatus& status) {
+  auto* f = obs::flight();
+  if (f == nullptr) return;
+  std::string reason;
+  if (failed_nodes > 0) {
+    reason = what + ": " + std::to_string(failed_nodes) + " node(s) failed";
+  } else if (!status.complete()) {
+    reason = what + ": " + exec::to_string(status.outcome);
+  } else if (f->count_at_least(obs::FlightLevel::kWarn) > 0) {
+    reason = what + ": fault records present";
+  }
+  if (reason.empty()) return;
+  obs::dump_flight(reason);
 }
 
 }  // namespace
@@ -161,6 +197,9 @@ CampaignResult run_campaign(const Deployment& deployment,
     }
     result.per_node.push_back(std::move(*shard.report));
   }
+  maybe_dump_flight("campaign:" + image.name,
+                    result.per_node.size() - result.successes(),
+                    result.exec_status);
   return result;
 }
 
@@ -312,6 +351,10 @@ FaultCampaignResult run_fault_campaign(
     result.scenarios.push_back(summarize(
         scenario.name, collect_reports(shards), &result.baseline));
   }
+  std::size_t failed = result.baseline.nodes - result.baseline.successes;
+  for (const auto& s : result.scenarios) failed += s.nodes - s.successes;
+  maybe_dump_flight("fault-campaign:" + image.name, failed,
+                    result.exec_status);
   return result;
 }
 

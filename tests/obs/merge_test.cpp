@@ -1,0 +1,155 @@
+// Shard-merge edge cases: Tracer::absorb event ordering and
+// Registry::merge_from over journaled histogram shards — the two
+// operations the parallel campaign's byte-identity guarantee stands on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tinysdr::obs {
+namespace {
+
+// ------------------------------------------------------- Tracer::absorb
+
+TEST(TracerAbsorb, PreservesShardOrderOldestFirst) {
+  Tracer shard = Tracer::unbounded();
+  for (int i = 0; i < 5; ++i) {
+    shard.set_time(Seconds{static_cast<double>(i)});
+    shard.instant("t", "e" + std::to_string(i));
+  }
+  Tracer campaign;
+  campaign.absorb(shard);
+  auto events = campaign.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "e" + std::to_string(i));
+}
+
+TEST(TracerAbsorb, ShardsLandInAbsorptionOrderWithShiftedBases) {
+  auto shard = [](const char* name, double t) {
+    Tracer s = Tracer::unbounded();
+    s.set_time(Seconds{t});
+    s.instant("t", name);
+    return s;
+  };
+  // Absorb in the campaign's node-index order; each shard's events land
+  // after the previous shard's timeline regardless of recording times.
+  Tracer a = shard("a", 3.0);
+  Tracer b = shard("b", 1.0);
+  Tracer campaign;
+  campaign.absorb(a);
+  campaign.shift_base(Seconds{5.0});
+  campaign.absorb(b);
+  auto events = campaign.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 3e6);
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 6e6);  // 5 s base + 1 s relative
+}
+
+TEST(TracerAbsorb, EmptyShardIsANoop) {
+  Tracer campaign;
+  campaign.instant("t", "before");
+  Tracer empty = Tracer::unbounded();
+  std::string before = campaign.chrome_json();
+  campaign.absorb(empty);
+  EXPECT_EQ(campaign.chrome_json(), before);
+}
+
+TEST(TracerAbsorb, MergesTrackNamesAndDropCounts) {
+  Tracer overflowing{1};
+  overflowing.name_track(7, "node-7");
+  overflowing.instant("t", "kept?");
+  overflowing.instant("t", "kept");
+  EXPECT_EQ(overflowing.dropped(), 1u);
+
+  Tracer campaign;
+  campaign.absorb(overflowing);
+  EXPECT_EQ(campaign.dropped(), 1u);
+  // Track metadata travels with the shard: the merged export names the
+  // shard's track.
+  EXPECT_NE(campaign.chrome_json().find("node-7"), std::string::npos);
+}
+
+// ------------------------------------------- Registry::merge_from (journal)
+
+TEST(RegistryMerge, EmptyJournaledShardIsANoop) {
+  Registry campaign;
+  campaign.counter("c").add(2.0);
+  campaign.histogram("h", HistogramSpec::linear(0.0, 10.0, 5)).observe(3.0);
+  std::string before = campaign.json();
+
+  Registry shard;
+  shard.enable_journal();
+  campaign.merge_from(shard);
+  EXPECT_EQ(campaign.json(), before);
+}
+
+TEST(RegistryMerge, JournaledHistogramShardsReplayBitExact) {
+  // The journal replays float accumulation op by op, so a sharded run
+  // must produce the exact accumulator state of the serial run — not
+  // just the same bucket counts.
+  const HistogramSpec spec = HistogramSpec::log_scale(1e-3, 1e3, 12);
+  const double xs[] = {0.1, 0.7, 1e-4, 5.0, 999.0, 2e3, 0.25};
+
+  Registry serial;
+  for (double x : xs) serial.histogram("h", spec).observe(x);
+
+  Registry merged;
+  Registry shard_a, shard_b;
+  shard_a.enable_journal();
+  shard_b.enable_journal();
+  for (int i = 0; i < 4; ++i) shard_a.histogram("h", spec).observe(xs[i]);
+  for (int i = 4; i < 7; ++i) shard_b.histogram("h", spec).observe(xs[i]);
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+
+  EXPECT_EQ(merged.snapshot(), serial.snapshot());
+  EXPECT_EQ(merged.json(), serial.json());
+}
+
+TEST(RegistryMerge, DuplicateMetricNamesAccumulateAcrossShards) {
+  Registry campaign;
+  Registry shard_a, shard_b;
+  shard_a.enable_journal();
+  shard_b.enable_journal();
+  // Both shards touch the *same* counter and histogram names — the
+  // normal case, since every node runs the same instrumented code.
+  shard_a.counter("ota.transfers").add(3.0);
+  shard_b.counter("ota.transfers").add(4.0);
+  const HistogramSpec spec = HistogramSpec::linear(0.0, 10.0, 10);
+  shard_a.histogram("h", spec).observe(1.0);
+  shard_b.histogram("h", spec).observe(9.0);
+
+  campaign.merge_from(shard_a);
+  campaign.merge_from(shard_b);
+  EXPECT_DOUBLE_EQ(campaign.counters().at("ota.transfers").value(), 7.0);
+  EXPECT_EQ(campaign.histograms().at("h").count(), 2u);
+  EXPECT_DOUBLE_EQ(campaign.histograms().at("h").min(), 1.0);
+  EXPECT_DOUBLE_EQ(campaign.histograms().at("h").max(), 9.0);
+}
+
+TEST(RegistryMerge, MergeThenSnapshotIsDeterministic) {
+  auto build = [] {
+    Registry campaign;
+    for (int shard_idx = 0; shard_idx < 3; ++shard_idx) {
+      Registry shard;
+      shard.enable_journal();
+      shard.counter("n").add(static_cast<double>(shard_idx) + 0.5);
+      shard.histogram("h", HistogramSpec::log_scale(0.1, 100.0, 8))
+          .observe(static_cast<double>(shard_idx) * 1.1 + 0.2);
+      campaign.merge_from(shard);
+    }
+    return campaign.json();
+  };
+  std::string a = build();
+  std::string b = build();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace tinysdr::obs

@@ -6,6 +6,7 @@
 //     category (ota, radio, power, faults, testbed).
 #include <gtest/gtest.h>
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,12 +18,15 @@ namespace tinysdr {
 namespace {
 
 ota::UpdateOutcome run_transfer(bool traced, obs::Tracer* tracer,
-                                obs::Registry* registry) {
+                                obs::Registry* registry,
+                                obs::FlightRecorder* flight = nullptr) {
   std::optional<obs::TraceSession> trace_session;
   std::optional<obs::MetricsSession> metrics_session;
+  std::optional<obs::FlightSession> flight_session;
   if (traced) {
     trace_session.emplace(*tracer);
     metrics_session.emplace(*registry);
+    if (flight != nullptr) flight_session.emplace(*flight);
   }
   std::vector<std::uint8_t> stream(8 * 1024, 0x5A);
   ota::OtaLink link{ota::ota_link_params(), Dbm{-118.0},
@@ -66,13 +70,29 @@ TEST(Telemetry, NullSinkHasZeroObservableEffect) {
   auto baseline = run_transfer(false, nullptr, nullptr);
   obs::Tracer tracer;
   obs::Registry registry;
-  auto traced = run_transfer(true, &tracer, &registry);
+  obs::FlightRecorder flight;
+  auto traced = run_transfer(true, &tracer, &registry, &flight);
   auto again = run_transfer(false, nullptr, nullptr);
   expect_same_outcome(baseline, traced);
   expect_same_outcome(baseline, again);
   // And the traced run actually recorded something.
   EXPECT_GT(tracer.size(), 0u);
   EXPECT_GT(registry.counters().size(), 0u);
+  // The flight recorder saw the injected brownout without perturbing the
+  // outcome either.
+  EXPECT_GT(flight.count_component("power"), 0u);
+  EXPECT_GT(flight.count_at_least(obs::FlightLevel::kWarn), 0u);
+}
+
+TEST(Telemetry, FlightLogIsDeterministicForFixedSeed) {
+  auto run_logged = [] {
+    obs::Tracer tracer;
+    obs::Registry registry;
+    obs::FlightRecorder flight;
+    run_transfer(true, &tracer, &registry, &flight);
+    return flight.json("determinism check");
+  };
+  EXPECT_EQ(run_logged(), run_logged());
 }
 
 TEST(Telemetry, TraceIsDeterministicForFixedSeed) {
