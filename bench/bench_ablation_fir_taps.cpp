@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
                       "Demodulator SER vs front-end FIR length "
                       "(SF8/BW125 at a 4x oversampled front end)"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   phy::LoraPhyConfig base{.params = {8, Hertz::from_kilohertz(125.0)},
                           .sample_rate = Hertz::from_kilohertz(500.0)};

@@ -60,8 +60,7 @@ int main(int argc, char** argv) {
       "Jammers, multi-PHY coexistence and OTA-protocol attacks: "
       "detection and survival metrics"};
   const exec::ExecPolicy policy = bench::thread_policy(argc, argv);
-  run.scalar("threads",
-             static_cast<double>(exec::resolved_threads(policy.threads)));
+  run.config_threads(policy);
 
   // ---- 1. Jammer sweeps on the Fig. 15 LoRa link ----------------------
   bench::Fig15Setup rig;

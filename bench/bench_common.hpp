@@ -68,8 +68,13 @@ inline void print_series(const std::string& x_label,
 /// `tinysdr-bench-v1` document:
 ///
 ///   {"schema":"tinysdr-bench-v1","experiment":...,"paper_ref":...,
-///    "description":...,"scalars":{name:number,...},
+///    "description":...,"config":{name:number,...},
+///    "scalars":{name:number,...},
 ///    "series":{name:{"x_label":...,"y_labels":[...],"rows":[[...],...]}}}
+///
+/// `config` echoes how the bench was invoked (resolved thread count,
+/// trial knobs); `scalars` holds what it measured. The perf gate only
+/// compares scalars, so config entries can vary by machine freely.
 ///
 /// The command line is validated strictly: every bench accepts
 /// `--json <path>`, `--threads <n>` and `--help`; a bench with its own
@@ -143,6 +148,23 @@ class BenchRun {
     scalars_[name] = value;
   }
 
+  /// Record a run-configuration echo (thread count, trial knobs, ...).
+  /// Config entries land in a separate `config` JSON block so they never
+  /// mix with result scalars — the perf gate compares scalars against
+  /// baselines recorded on a different machine, and "how the bench was
+  /// invoked" must not trip "what the bench measured".
+  void config(const std::string& name, double value) {
+    config_[name] = value;
+  }
+
+  /// Record the resolved worker-thread count in the config block. Every
+  /// campaign bench calls this so the JSON states the --threads value
+  /// actually used (hardware concurrency when the flag is absent).
+  void config_threads(const exec::ExecPolicy& policy) {
+    config("threads",
+           static_cast<double>(exec::resolved_threads(policy.threads)));
+  }
+
   /// Print and record an (x, y...) series.
   void series(const std::string& name, const std::string& x_label,
               const std::vector<std::string>& y_labels,
@@ -158,8 +180,15 @@ class BenchRun {
     out << "{\"schema\":\"tinysdr-bench-v1\",\"experiment\":"
         << json_quote(experiment_)
         << ",\"paper_ref\":" << json_quote(paper_ref_)
-        << ",\"description\":" << json_quote(description_) << ",\"scalars\":{";
+        << ",\"description\":" << json_quote(description_) << ",\"config\":{";
     bool first = true;
+    for (const auto& [name, value] : config_) {
+      if (!first) out << ",";
+      first = false;
+      out << json_quote(name) << ":" << json_number(value);
+    }
+    out << "},\"scalars\":{";
+    first = true;
     for (const auto& [name, value] : scalars_) {
       if (!first) out << ",";
       first = false;
@@ -204,6 +233,7 @@ class BenchRun {
   std::string paper_ref_;
   std::string description_;
   std::string json_path_;
+  std::map<std::string, double> config_;
   std::map<std::string, double> scalars_;
   std::vector<std::pair<std::string, Series>> series_;
 };

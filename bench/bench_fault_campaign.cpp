@@ -50,8 +50,7 @@ int main(int argc, char** argv) {
   std::cout << "Sharding passes over "
             << exec::resolved_threads(policy.threads)
             << " thread(s); results are thread-count independent.\n";
-  run.scalar("threads",
-             static_cast<double>(exec::resolved_threads(policy.threads)));
+  run.config_threads(policy);
 
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
                       "LoRa demodulator chirp symbol error rate vs RSSI, "
                       "SF8, BW 250/125 kHz"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   phy::LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)}};
   phy::LoraPhyConfig cfg250{.params = {8, Hertz::from_kilohertz(250.0)}};

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   bench::BenchRun run{argc, argv, "Fig. 12", "paper Fig. 12",
                       "BLE beacon BER vs RSSI into a CC2650-class receiver"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   phy::BleBeaconTx tx;
   phy::BleBeaconRx rx;

@@ -17,8 +17,7 @@ int main(int argc, char** argv) {
   const exec::ExecPolicy policy = bench::thread_policy(argc, argv);
   std::cout << "Sharding campaigns over "
             << exec::resolved_threads(policy.threads) << " thread(s).\n";
-  run.scalar("threads",
-             static_cast<double>(exec::resolved_threads(policy.threads)));
+  run.config_threads(policy);
 
   Rng deploy_rng{2024};
   auto deployment = testbed::Deployment::campus(deploy_rng);

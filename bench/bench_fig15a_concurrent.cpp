@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
                       "Concurrent orthogonal LoRa, equal received power: "
                       "SER vs RSSI"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   bench::Fig15Setup rig;
   phy::TrialPlan plan = rig.plan();

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
                       "Concurrent LoRa, interferer power sweep (BW125 fixed "
                       "near sensitivity)"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   bench::Fig15Setup rig;
 

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
                       "All five PHYs across the 20-node campus testbed, "
                       "one LinkSimulator trial batch per node"};
   auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
 
   Rng rng{7};
   auto deployment = testbed::Deployment::campus(rng);

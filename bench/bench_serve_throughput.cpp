@@ -1,0 +1,122 @@
+// Campaign-server throughput: jobs through serve::Engine, cold vs warm.
+//
+// Submits a batch of multi-PHY sweep campaigns to an in-process engine
+// (the daemon minus the socket — same execution path), then submits the
+// identical batch again so every sweep point is a cache hit. Reports
+// campaigns/hour for both passes, the warm-pass hit rate, and a
+// byte_identical flag proving the cold and warm result documents match —
+// the serve layer's whole contract in one bench.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "phy/registry.hpp"
+#include "serve/engine.hpp"
+
+using namespace tinysdr;
+
+namespace {
+
+serve::JobSpec make_campaign(std::uint64_t seed) {
+  serve::JobSpec job;
+  job.name = "throughput-" + std::to_string(seed);
+  const auto& registry = phy::Registry::builtin();
+  for (const auto& entry : registry.entries()) {
+    serve::SweepSpec sweep;
+    sweep.phy = entry.id;
+    // A short ladder around each PHY's interesting region; exact physics
+    // does not matter here, only that the work is real LinkSimulator
+    // trials spread across every registered PHY.
+    const double base = entry.id == phy::Protocol::kLora ? -124.0 : -96.0;
+    sweep.rssi_dbm = {base, base + 2.0, base + 4.0};
+    sweep.trials = 10;
+    sweep.payload_bytes = 8;
+    sweep.base_seed = seed;
+    sweep.pad_samples = entry.pad_samples;
+    sweep.noise_figure_db = entry.system_noise_figure_db;
+    job.sweeps.push_back(sweep);
+  }
+  return job;
+}
+
+double campaigns_per_hour(std::size_t jobs, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(jobs) * 3600.0 / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run{argc, argv, "Serve throughput", "testbed-as-a-service",
+                      "Campaign jobs/hour through serve::Engine, cold "
+                      "(all points computed) vs warm (all points from the "
+                      "memoization cache)"};
+  auto policy = bench::thread_policy(argc, argv);
+  run.config_threads(policy);
+
+  constexpr std::size_t kJobs = 6;
+  run.config("jobs", static_cast<double>(kJobs));
+
+  serve::EngineConfig config;
+  config.policy = policy;
+  serve::Engine engine{phy::Registry::builtin(), config};
+
+  using clock = std::chrono::steady_clock;
+  std::vector<std::uint64_t> cold_ids;
+  for (std::size_t i = 0; i < kJobs; ++i)
+    cold_ids.push_back(engine.submit(make_campaign(1000 + i)));
+  const auto cold_start = clock::now();
+  engine.run_all();
+  const double cold_s =
+      std::chrono::duration<double>(clock::now() - cold_start).count();
+
+  std::vector<std::uint64_t> warm_ids;
+  for (std::size_t i = 0; i < kJobs; ++i)
+    warm_ids.push_back(engine.submit(make_campaign(1000 + i)));
+  const auto warm_start = clock::now();
+  engine.run_all();
+  const double warm_s =
+      std::chrono::duration<double>(clock::now() - warm_start).count();
+
+  bool byte_identical = true;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_points = 0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    byte_identical = byte_identical &&
+                     engine.result_json(cold_ids[i]) ==
+                         engine.result_json(warm_ids[i]);
+    auto status = engine.status(warm_ids[i]);
+    if (status) {
+      warm_hits += status->cache_hits;
+      warm_points += status->cache_hits + status->cache_misses;
+    }
+  }
+  const double hit_rate =
+      warm_points > 0
+          ? static_cast<double>(warm_hits) / static_cast<double>(warm_points)
+          : 0.0;
+
+  run.scalar("cold_throughput_campaigns_per_hour",
+             campaigns_per_hour(kJobs, cold_s));
+  run.scalar("warm_throughput_campaigns_per_hour",
+             campaigns_per_hour(kJobs, warm_s));
+  run.scalar("warm_cache_hit_rate", hit_rate);
+  run.scalar("byte_identical", byte_identical ? 1.0 : 0.0);
+  run.scalar("points", static_cast<double>(warm_points));
+
+  std::vector<std::vector<double>> rows{
+      {0.0, campaigns_per_hour(kJobs, cold_s)},
+      {1.0, campaigns_per_hour(kJobs, warm_s)},
+  };
+  // Column label must carry the per_hour marker so the gate classes the
+  // series cells as rates (loose cross-machine tolerance), matching the
+  // *_campaigns_per_hour scalars.
+  run.series("throughput", "Pass (0=cold, 1=warm)", {"campaigns_per_hour"},
+             rows, 1);
+
+  std::cout << "\nCold: " << cold_s << " s for " << kJobs
+            << " campaigns; warm resubmission hit rate "
+            << hit_rate * 100.0 << "% and byte-identical = "
+            << (byte_identical ? "yes" : "NO") << ".\n";
+  return byte_identical && hit_rate == 1.0 ? 0 : 1;
+}

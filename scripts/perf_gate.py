@@ -47,7 +47,7 @@ from check_bench_json import BenchJsonError, load_bench
 DEFAULT_IGNORE = ("resolved_default_threads",)
 
 TIMING_MARKERS = ("_ns", "_us", "_ms", "seconds", "time_s", ".real_", ".cpu_")
-RATE_MARKERS = ("per_s", "per_second", "speedup", "throughput")
+RATE_MARKERS = ("per_s", "per_second", "per_hour", "speedup", "throughput")
 
 
 def classify(key, ignore):

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Campaign-server smoke: boot the tinysdr_serve daemon, submit the same
+# multi-PHY campaign twice through tinysdr_submit, and assert the serve
+# layer's headline contract — the second submission is >= 90% cache hits
+# and both result documents are byte-identical. Artifacts (job, results,
+# summaries, server stats, journals) land in the output directory for CI
+# upload.
+#
+# Usage: scripts/serve_smoke.sh [output_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="${1:-$(mktemp -d)}"
+mkdir -p "$out_dir"
+socket="$out_dir/serve.sock"
+
+cat > "$out_dir/job.json" <<'EOF'
+{
+  "schema": "tinysdr-job-v1",
+  "name": "serve-smoke",
+  "sweeps": [
+    {"phy": "lora",   "rssi": [-124, -122, -120], "trials": 8, "payload_bytes": 8, "base_seed": 77},
+    {"phy": "ble",    "rssi": [-96, -93],         "trials": 8, "payload_bytes": 8, "base_seed": 77},
+    {"phy": "zigbee", "rssi": [-95, -92],         "trials": 8, "payload_bytes": 8, "base_seed": 77},
+    {"phy": "sigfox", "rssi": [-132, -129],       "trials": 8, "payload_bytes": 8, "base_seed": 77},
+    {"phy": "nbiot",  "rssi": [-126, -123],       "trials": 8, "payload_bytes": 8, "base_seed": 77}
+  ],
+  "fleets": [
+    {"nodes": 8, "trials_per_node": 4, "payload_bytes": 8, "base_seed": 5, "deployment_seed": 2024}
+  ]
+}
+EOF
+
+echo "== serve smoke: starting daemon =="
+./build/src/serve/tinysdr_serve \
+  --socket "$socket" \
+  --cache-journal "$out_dir/cache.ndjson" \
+  --job-journal "$out_dir/jobs.ndjson" \
+  --threads 2 > "$out_dir/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true' EXIT
+
+# Wait for the socket to appear (daemon startup is fast, but not atomic).
+for _ in $(seq 1 100); do
+  [[ -S "$socket" ]] && break
+  sleep 0.05
+done
+[[ -S "$socket" ]] || { echo "serve_smoke: daemon never bound $socket"; exit 1; }
+
+echo "== serve smoke: submitting the campaign twice =="
+./build/src/serve/tinysdr_submit --socket "$socket" --job "$out_dir/job.json" \
+  --wait --out "$out_dir/result1.json" --summary "$out_dir/summary1.json"
+./build/src/serve/tinysdr_submit --socket "$socket" --job "$out_dir/job.json" \
+  --wait --out "$out_dir/result2.json" --summary "$out_dir/summary2.json"
+./build/src/serve/tinysdr_submit --socket "$socket" --stats \
+  > "$out_dir/stats.json"
+./build/src/serve/tinysdr_submit --socket "$socket" --shutdown
+wait "$serve_pid"
+trap - EXIT
+
+echo "== serve smoke: checking the contract =="
+cmp "$out_dir/result1.json" "$out_dir/result2.json"
+echo "serve_smoke: result documents are byte-identical"
+
+if command -v python3 > /dev/null; then
+  python3 scripts/check_bench_json.py \
+    --schema tinysdr-job-v1 "$out_dir/job.json"
+  python3 scripts/check_bench_json.py \
+    --schema tinysdr-result-v1 "$out_dir/result1.json" "$out_dir/result2.json"
+  # First pass computes everything; the resubmission must be >= 90% hits.
+  python3 scripts/check_bench_json.py "$out_dir/summary1.json" \
+    --eq "cache_hit_rate=0.0" --gt "points=0"
+  python3 scripts/check_bench_json.py "$out_dir/summary2.json" \
+    --gt "cache_hit_rate=0.899" --gt "points=0"
+else
+  echo "serve_smoke: python3 not found, skipping JSON validation"
+fi
+
+echo "serve_smoke: OK"

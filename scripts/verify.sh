@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + full test suite in the default configuration,
-# telemetry/phy/adversary/perf smokes over the bench binaries, then a second
-# pass under AddressSanitizer + UndefinedBehaviorSanitizer and a
+# telemetry/phy/adversary/serve/perf smokes over the bench binaries, then a
+# second pass under AddressSanitizer + UndefinedBehaviorSanitizer and a
 # ThreadSanitizer pass over the exec engine / parallel campaign suites.
 # Usage: scripts/verify.sh [--fast]   (--fast skips the sanitizer passes)
 set -euo pipefail
@@ -60,6 +60,9 @@ check_json "$smoke_dir/adversary_bench.json" \
   --eq "rollback-push.success_rate=0.0" \
   --gt "rollback-push.rollback_rejections=0"
 
+echo "== serve smoke: campaign daemon + memoization cache contract =="
+scripts/serve_smoke.sh "$smoke_dir/serve"
+
 echo "== perf gate: bench runs vs checked-in baselines =="
 if [[ "$have_python" == 1 ]]; then
   # Local machines differ from the baseline machine, so wall-clock and
@@ -82,6 +85,16 @@ if [[ "$have_python" == 1 ]]; then
     --timing-tolerance 3.0 --ignore ".seconds" --ignore ".speedup" \
     --ignore "best_speedup" \
     --report "$smoke_dir/perf_gate_parallel_scaling.json"
+  # warm_throughput is pure cache-lookup time — too noisy to gate; the
+  # deterministic contract scalars (byte_identical, hit rate, points)
+  # still gate tightly.
+  ./build/bench/bench_serve_throughput --threads 2 \
+    --json "$smoke_dir/serve_throughput.json" > /dev/null
+  python3 scripts/perf_gate.py \
+    --baseline bench/baselines/BENCH_serve_throughput.json \
+    --current "$smoke_dir/serve_throughput.json" \
+    --timing-tolerance 3.0 --ignore warm_throughput \
+    --report "$smoke_dir/perf_gate_serve_throughput.json"
 else
   echo "smoke: python3 not found, skipping perf gate"
 fi

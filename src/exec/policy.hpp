@@ -45,6 +45,14 @@ struct ExecPolicy {
   [[nodiscard]] static ExecPolicy with_threads(std::size_t n) {
     return ExecPolicy{.threads = n};
   }
+  /// This policy with a (tighter) wall-clock budget. Used by the serve
+  /// engine to spread one job-level deadline across its parallel regions:
+  /// each region gets the time remaining, never more than it had.
+  [[nodiscard]] ExecPolicy with_budget(Seconds budget) const {
+    ExecPolicy p = *this;
+    if (!p.deadline || budget < *p.deadline) p.deadline = budget;
+    return p;
+  }
 };
 
 /// Resolve a requested thread count: `requested` if nonzero, else the

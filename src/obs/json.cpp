@@ -68,6 +68,18 @@ double JsonValue::number_or(const std::string& key, double fallback) const {
   return (v != nullptr && v->is_number()) ? v->number : fallback;
 }
 
+std::string_view JsonValue::string_or(const std::string& key,
+                                      std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? std::string_view{v->text}
+                                          : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : fallback;
+}
+
 namespace {
 
 /// Recursive-descent parser over a string_view with a cursor.

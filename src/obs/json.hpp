@@ -47,6 +47,13 @@ struct JsonValue {
   [[nodiscard]] double number_or(const std::string& key,
                                  double fallback) const;
 
+  /// Member's string value, or `fallback` when absent / wrong type.
+  [[nodiscard]] std::string_view string_or(const std::string& key,
+                                           std::string_view fallback) const;
+
+  /// Member's boolean value, or `fallback` when absent / wrong type.
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
   /// Parse a complete document. nullopt on any syntax error or trailing
   /// garbage.
   [[nodiscard]] static std::optional<JsonValue> parse(std::string_view src);

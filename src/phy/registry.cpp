@@ -23,6 +23,12 @@ const RegisteredPhy* Registry::find(Protocol id) const {
   return nullptr;
 }
 
+const RegisteredPhy* Registry::find_by_name(std::string_view name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
 const RegisteredPhy& Registry::at(Protocol id) const {
   const RegisteredPhy* e = find(id);
   if (e == nullptr)

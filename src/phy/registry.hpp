@@ -40,6 +40,9 @@ class Registry {
   [[nodiscard]] const RegisteredPhy* find(Protocol id) const;
   /// find() that throws std::out_of_range instead of returning nullptr.
   [[nodiscard]] const RegisteredPhy& at(Protocol id) const;
+  /// Lookup by wire name ("lora", "ble", ...); nullptr when absent. The
+  /// serve job schema names PHYs, so this is its entry point.
+  [[nodiscard]] const RegisteredPhy* find_by_name(std::string_view name) const;
 
   [[nodiscard]] const std::vector<RegisteredPhy>& entries() const {
     return entries_;

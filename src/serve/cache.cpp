@@ -1,0 +1,190 @@
+#include "serve/cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace tinysdr::serve {
+
+namespace {
+
+void bump(const char* name, double n = 1.0) {
+  if (auto* m = obs::metrics()) m->counter(name).add(n);
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// One journal line for an entry. The PointResult rides as a compact
+/// array in the column order of JobResult sweeps: rssi, frames,
+/// frame_errors, bits, bit_errors, symbols, symbol_errors.
+std::string journal_line(const std::string& key,
+                         const phy::PointResult& r) {
+  std::ostringstream out;
+  out << "{\"k\":" << obs::json_quote(key)
+      << ",\"r\":[" << obs::json_number(r.rssi_dbm) << "," << r.frames << ","
+      << r.frame_errors << "," << r.bits << "," << r.bit_errors << ","
+      << r.symbols << "," << r.symbol_errors << "]}";
+  return out.str();
+}
+
+/// Parse one journal line back; false on any structural violation.
+bool parse_journal_line(const std::string& line, std::string* key,
+                        phy::PointResult* result) {
+  auto doc = obs::JsonValue::parse(line);
+  if (!doc || !doc->is_object()) return false;
+  const obs::JsonValue* k = doc->find("k");
+  const obs::JsonValue* r = doc->find("r");
+  if (k == nullptr || !k->is_string() || k->text.empty()) return false;
+  if (r == nullptr || !r->is_array() || r->items.size() != 7) return false;
+  for (const auto& v : r->items)
+    if (!v.is_number()) return false;
+  const auto& a = r->items;
+  // Counts must be exact non-negative integers; a journal written by this
+  // process always satisfies this, so anything else is corruption.
+  for (std::size_t i = 1; i < 7; ++i)
+    if (a[i].number < 0 || a[i].number != std::floor(a[i].number))
+      return false;
+  *key = k->text;
+  result->rssi_dbm = a[0].number;
+  result->frames = static_cast<std::uint64_t>(a[1].number);
+  result->frame_errors = static_cast<std::uint64_t>(a[2].number);
+  result->bits = static_cast<std::uint64_t>(a[3].number);
+  result->bit_errors = static_cast<std::uint64_t>(a[4].number);
+  result->symbols = static_cast<std::uint64_t>(a[5].number);
+  result->symbol_errors = static_cast<std::uint64_t>(a[6].number);
+  return true;
+}
+
+}  // namespace
+
+std::string point_cache_key(std::string_view phy_name,
+                            std::uint64_t point_seed, std::size_t trials,
+                            std::size_t payload_bytes,
+                            std::size_t pad_samples,
+                            double noise_figure_db) {
+  std::string key;
+  key.reserve(96);
+  key += "v";
+  key += std::to_string(kCacheVersion);
+  key += "|";
+  key += phy_name;
+  key += "|s=";
+  key += hex64(point_seed);
+  key += "|t=";
+  key += std::to_string(trials);
+  key += "|p=";
+  key += std::to_string(payload_bytes);
+  key += "|pad=";
+  key += std::to_string(pad_samples);
+  key += "|nf=";
+  key += hex64(std::bit_cast<std::uint64_t>(noise_figure_db));
+  return key;
+}
+
+SweepCache::SweepCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::size_t SweepCache::entry_bytes(const std::string& key) {
+  // Key bytes + the PointResult payload + container bookkeeping. An
+  // estimate, but a stable one: the budget is about bounding memory, not
+  // accounting it to the byte.
+  return key.size() + sizeof(phy::PointResult) + 64;
+}
+
+std::size_t SweepCache::attach_journal(const std::string& path) {
+  std::scoped_lock lock{mu_};
+  std::size_t applied = 0;
+  {
+    std::ifstream in{path};
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string key;
+      phy::PointResult result;
+      if (!parse_journal_line(line, &key, &result)) {
+        ++stats_.corrupt;
+        bump("serve.cache.corrupt");
+        continue;
+      }
+      insert_locked(key, result, /*journal=*/false);
+      ++applied;
+    }
+  }
+  journal_.open(path, std::ios::app);
+  return applied;
+}
+
+std::optional<phy::PointResult> SweepCache::lookup(const std::string& key) {
+  std::scoped_lock lock{mu_};
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    bump("serve.cache.misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  bump("serve.cache.hits");
+  return it->second->result;
+}
+
+void SweepCache::insert(const std::string& key,
+                        const phy::PointResult& result) {
+  std::scoped_lock lock{mu_};
+  insert_locked(key, result, /*journal=*/true);
+}
+
+void SweepCache::insert_locked(const std::string& key,
+                               const phy::PointResult& result, bool journal) {
+  const std::size_t cost = entry_bytes(key);
+  if (cost > max_bytes_) return;  // cache disabled or entry oversized
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic recomputation means a re-insert carries the same
+    // value; just refresh recency (journal replay hits this on dedup).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->result = result;
+    return;
+  }
+
+  if (journal && journal_.is_open()) {
+    journal_ << journal_line(key, result) << "\n";
+    journal_.flush();  // a killed server loses at most a partial line
+  }
+
+  lru_.push_front(Entry{key, result});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  ++stats_.inserts;
+  bump("serve.cache.inserts");
+
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= entry_bytes(victim.key);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    bump("serve.cache.evictions");
+  }
+}
+
+CacheStats SweepCache::stats() const {
+  std::scoped_lock lock{mu_};
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace tinysdr::serve

@@ -1,0 +1,96 @@
+// Content-addressed sweep-point cache with an LRU byte budget and a
+// newline-delimited JSON journal.
+//
+// The unit of memoization is one LinkSimulator sweep point: PR 4's
+// grid-independent point seeds make a point's trials a pure function of
+// (phy, trial-plan parameters, point seed), so a cached PointResult is
+// byte-identical to recomputing it — from any grid, at any thread count,
+// in any process. The key is a canonical string spelling exactly those
+// inputs plus a cache schema version; bump kCacheVersion whenever trial
+// semantics change and every stale entry misses by construction.
+//
+// Persistence is an append-only journal: every insert is one JSON line,
+// so a killed server loses at most the line being written. load_journal()
+// replays the file, skipping corrupt lines (counted, never fatal) and
+// re-applying the LRU budget; this is what lets a restarted server resume
+// a partial campaign with byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "phy/link_sim.hpp"
+
+namespace tinysdr::serve {
+
+/// Bump when PointResult layout or LinkSimulator trial semantics change;
+/// old journal entries then stop matching any lookup key.
+inline constexpr int kCacheVersion = 1;
+
+/// Canonical key for one sweep point. `point_seed` is
+/// LinkSimulator::point_seed(base_seed, rssi) — already grid-independent —
+/// and the doubles are keyed by bit pattern, not formatting.
+[[nodiscard]] std::string point_cache_key(std::string_view phy_name,
+                                          std::uint64_t point_seed,
+                                          std::size_t trials,
+                                          std::size_t payload_bytes,
+                                          std::size_t pad_samples,
+                                          double noise_figure_db);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt = 0;  ///< journal lines skipped on load
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+class SweepCache {
+ public:
+  /// `max_bytes` bounds key + entry storage; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit SweepCache(std::size_t max_bytes = std::size_t{64} << 20);
+
+  /// Replay `path` into the cache (oldest line first, so journal order is
+  /// LRU order) and keep it open for appending subsequent inserts. Corrupt
+  /// or truncated lines bump the corrupt counter — and the thread-local
+  /// obs `serve.cache.corrupt` counter — and are skipped. Returns the
+  /// number of entries applied; a missing file is an empty cache, not an
+  /// error.
+  std::size_t attach_journal(const std::string& path);
+
+  [[nodiscard]] std::optional<phy::PointResult> lookup(const std::string& key);
+  void insert(const std::string& key, const phy::PointResult& result);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    phy::PointResult result;
+  };
+
+  // One journal line: {"k":"...","r":[rssi,frames,...]}. Append under
+  // lock; `journal` false suppresses re-journaling during replay.
+  void insert_locked(const std::string& key, const phy::PointResult& result,
+                     bool journal);
+  [[nodiscard]] static std::size_t entry_bytes(const std::string& key);
+
+  mutable std::mutex mu_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::ofstream journal_;
+  CacheStats stats_;
+};
+
+}  // namespace tinysdr::serve

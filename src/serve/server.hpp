@@ -1,0 +1,64 @@
+// The tinysdr_serve daemon's transport: a single-listener NDJSON server
+// over a Unix-domain socket or local (127.0.0.1) TCP, plus the runner
+// thread that drains the engine's job queue.
+//
+// Connections are handled one at a time in the accept loop — clients are
+// short-lived CLI invocations, and job execution happens on the runner
+// thread (with its own exec-pool parallelism), so the accept path is
+// never the bottleneck. Tests run serve_forever() on a std::thread, speak
+// the protocol over a socketpair-style client, then stop() — no separate
+// process needed.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace tinysdr::serve {
+
+class Engine;
+
+struct ServerConfig {
+  /// Unix-domain socket path; a stale file at the path is replaced.
+  std::string unix_socket;
+  /// Loopback TCP port; 0 picks an ephemeral port (read it back with
+  /// tcp_port()), -1 disables TCP. Exactly one transport must be chosen.
+  int tcp_port = -1;
+};
+
+class Server {
+ public:
+  Server(Engine& engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the job-runner thread. False (with a reason)
+  /// on any socket failure; the server is then inert.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// Accept/serve until a shutdown request arrives or stop() is called.
+  void serve_forever();
+
+  /// Thread-safe: unblocks serve_forever() and stops the runner.
+  void stop();
+
+  /// Resolved TCP port (after start() with tcp_port == 0).
+  [[nodiscard]] int tcp_port() const { return resolved_port_; }
+
+ private:
+  void runner_loop();
+  void handle_connection(int fd);
+
+  Engine* engine_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int resolved_port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread runner_;
+};
+
+}  // namespace tinysdr::serve

@@ -42,6 +42,8 @@ PhyCampaignResult run_phy_campaign(const Deployment& deployment,
                                    const exec::ExecPolicy& policy) {
   if (registry.size() == 0)
     throw std::invalid_argument("run_phy_campaign: empty registry");
+  const phy::RegisteredPhy* pinned = nullptr;
+  if (config.only_protocol) pinned = &registry.at(*config.only_protocol);
 
   const auto& nodes = deployment.nodes();
   PhyCampaignResult result;
@@ -63,7 +65,9 @@ PhyCampaignResult run_phy_campaign(const Deployment& deployment,
         }
 
         const Node& node = nodes[i];
-        const auto& entry = registry.entries()[i % registry.size()];
+        const auto& entry =
+            pinned != nullptr ? *pinned
+                              : registry.entries()[i % registry.size()];
         auto tx = entry.make_tx();
         auto rx = entry.make_rx();
 

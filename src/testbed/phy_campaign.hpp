@@ -13,6 +13,7 @@
 // order, so output is byte-identical for any thread count.
 #pragma once
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct PhyCampaignConfig {
   /// five built-in protocols, including Sigfox).
   std::size_t payload_bytes = 12;
   std::uint64_t base_seed = 1;
+  /// Pin every node to one protocol instead of round-robin assignment —
+  /// the "reprogram the whole fleet to LoRa" experiment a testbed
+  /// operator (or a serve job) runs. Must be registered in the registry.
+  std::optional<phy::Protocol> only_protocol;
 };
 
 struct PhyNodeResult {

@@ -1,0 +1,158 @@
+// SweepCache: content-addressed keys, LRU byte budget, journal
+// persistence, and corrupt-entry tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "phy/link_sim.hpp"
+#include "serve/cache.hpp"
+
+namespace tinysdr::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "serve_cache_" + name;
+}
+
+phy::PointResult make_point(double rssi, std::uint64_t frames) {
+  phy::PointResult p{};
+  p.rssi_dbm = rssi;
+  p.frames = frames;
+  p.bits = frames * 64;
+  p.bit_errors = frames / 2;
+  p.symbols = frames * 8;
+  p.symbol_errors = frames / 3;
+  return p;
+}
+
+TEST(SweepCache, KeyIsGridIndependentAndParameterSensitive) {
+  // The same (phy, base_seed, rssi) names the same key no matter which
+  // grid the point sits in: point_seed is a pure function of
+  // (base_seed, rssi), so two different campaigns share cache entries.
+  const std::uint64_t seed_a =
+      phy::LinkSimulator::point_seed(42, -118.0);  // from grid {-120,-118}
+  const std::uint64_t seed_b =
+      phy::LinkSimulator::point_seed(42, -118.0);  // from grid {-118,-110}
+  EXPECT_EQ(seed_a, seed_b);
+  const auto key_a = point_cache_key("lora", seed_a, 50, 16, 300, 11.5);
+  const auto key_b = point_cache_key("lora", seed_b, 50, 16, 300, 11.5);
+  EXPECT_EQ(key_a, key_b);
+
+  // Any parameter that changes the physics changes the key.
+  EXPECT_NE(key_a, point_cache_key("ble", seed_a, 50, 16, 300, 11.5));
+  EXPECT_NE(key_a, point_cache_key("lora", seed_a + 1, 50, 16, 300, 11.5));
+  EXPECT_NE(key_a, point_cache_key("lora", seed_a, 51, 16, 300, 11.5));
+  EXPECT_NE(key_a, point_cache_key("lora", seed_a, 50, 17, 300, 11.5));
+  EXPECT_NE(key_a, point_cache_key("lora", seed_a, 50, 16, 301, 11.5));
+  EXPECT_NE(key_a, point_cache_key("lora", seed_a, 50, 16, 300, 11.6));
+}
+
+TEST(SweepCache, LookupInsertRoundTripsExactly) {
+  SweepCache cache;
+  const auto key = point_cache_key("lora", 7, 10, 8, 300, 11.5);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  const auto point = make_point(-117.25, 10);
+  cache.insert(key, point);
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, point);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(SweepCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  SweepCache cache{512};  // room for only a few entries
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(point_cache_key("lora", static_cast<std::uint64_t>(i),
+                                   10, 8, 300, 11.5));
+    cache.insert(keys.back(), make_point(-100.0 - i, 10));
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 512u);
+  // The newest entry survived; the oldest was evicted.
+  EXPECT_TRUE(cache.lookup(keys.back()).has_value());
+  EXPECT_FALSE(cache.lookup(keys.front()).has_value());
+}
+
+TEST(SweepCache, ZeroBudgetDisablesCaching) {
+  SweepCache cache{0};
+  const auto key = point_cache_key("ble", 1, 10, 8, 0, 4.0);
+  cache.insert(key, make_point(-90.0, 10));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SweepCache, JournalRoundTripsAcrossProcessRestart) {
+  const std::string path = temp_path("journal.ndjson");
+  std::remove(path.c_str());
+  const auto key_a = point_cache_key("lora", 11, 10, 8, 300, 11.5);
+  const auto key_b = point_cache_key("nbiot", 12, 20, 12, 0, 5.0);
+  const auto point_a = make_point(-117.5, 10);
+  const auto point_b = make_point(-131.125, 20);
+  {
+    SweepCache cache;
+    ASSERT_EQ(cache.attach_journal(path), 0u);  // fresh file
+    cache.insert(key_a, point_a);
+    cache.insert(key_b, point_b);
+  }  // "process" dies; journal holds both inserts
+
+  SweepCache reborn;
+  EXPECT_EQ(reborn.attach_journal(path), 2u);
+  auto a = reborn.lookup(key_a);
+  auto b = reborn.lookup(key_b);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Bit-exact round trip through the journal's JSON doubles.
+  EXPECT_EQ(*a, point_a);
+  EXPECT_EQ(*b, point_b);
+  std::remove(path.c_str());
+}
+
+TEST(SweepCache, CorruptJournalLinesAreCountedAndSkipped) {
+  const std::string path = temp_path("corrupt.ndjson");
+  std::remove(path.c_str());
+  const auto key = point_cache_key("lora", 21, 10, 8, 300, 11.5);
+  const auto point = make_point(-119.0, 10);
+  {
+    SweepCache cache;
+    cache.attach_journal(path);
+    cache.insert(key, point);
+  }
+  {
+    // A hostile mix of damage: garbage, wrong shape, non-integer counts,
+    // negative counts, a truncated line.
+    std::ofstream out{path, std::ios::app};
+    out << "not json\n"
+        << "{\"k\":\"x\"}\n"
+        << "{\"k\":\"y\",\"r\":[1,2,3]}\n"
+        << "{\"k\":\"z\",\"r\":[-100,1.5,0,0,0,0,0]}\n"
+        << "{\"k\":\"w\",\"r\":[-100,-4,0,0,0,0,0]}\n"
+        << "{\"k\":\"t\",\"r\":[-100,";
+  }
+
+  obs::Registry registry;
+  obs::MetricsSession session{registry};
+  SweepCache reborn;
+  EXPECT_EQ(reborn.attach_journal(path), 1u);  // only the good line
+  EXPECT_EQ(reborn.stats().corrupt, 6u);
+  auto hit = reborn.lookup(key);
+  ASSERT_TRUE(hit.has_value());  // the valid entry still loads
+  EXPECT_EQ(*hit, point);
+  // The damage is observable through the metrics registry.
+  EXPECT_NE(registry.json().find("serve.cache.corrupt"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tinysdr::serve

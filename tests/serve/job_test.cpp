@@ -1,0 +1,151 @@
+// tinysdr-job-v1 / tinysdr-result-v1 schema: parsing, validation errors,
+// canonicalisation (defaults materialised, stable bytes).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "phy/registry.hpp"
+#include "serve/job.hpp"
+
+namespace tinysdr::serve {
+namespace {
+
+JobSpec parse_ok(const std::string& json) {
+  std::string error;
+  auto job = parse_job(json, error);
+  EXPECT_TRUE(job) << error;
+  return job.value_or(JobSpec{});
+}
+
+std::string parse_fail(const std::string& json) {
+  std::string error;
+  auto job = parse_job(json, error);
+  EXPECT_FALSE(job) << "unexpectedly parsed: " << json;
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(JobSchema, ParsesMinimalSweepJob) {
+  auto job = parse_ok(
+      R"({"schema":"tinysdr-job-v1","sweeps":[{"phy":"lora","rssi":[-120,-118]}]})");
+  ASSERT_EQ(job.sweeps.size(), 1u);
+  EXPECT_EQ(job.sweeps[0].phy, phy::Protocol::kLora);
+  EXPECT_EQ(job.sweeps[0].rssi_dbm, (std::vector<double>{-120.0, -118.0}));
+  // Defaults applied and registry-calibrated knobs resolved at parse time.
+  EXPECT_EQ(job.sweeps[0].trials, 50u);
+  EXPECT_EQ(job.sweeps[0].payload_bytes, 16u);
+  ASSERT_TRUE(job.sweeps[0].pad_samples.has_value());
+  ASSERT_TRUE(job.sweeps[0].noise_figure_db.has_value());
+  const auto& entry =
+      phy::Registry::builtin().at(phy::Protocol::kLora);
+  EXPECT_EQ(*job.sweeps[0].pad_samples, entry.pad_samples);
+  EXPECT_EQ(*job.sweeps[0].noise_figure_db, entry.system_noise_figure_db);
+}
+
+TEST(JobSchema, ParsesFleetJobWithPinnedPhy) {
+  auto job = parse_ok(
+      R"({"schema":"tinysdr-job-v1","name":"fleet","priority":3,
+          "fleets":[{"nodes":8,"trials_per_node":4,"phy":"zigbee"}]})");
+  EXPECT_EQ(job.name, "fleet");
+  EXPECT_EQ(job.priority, 3);
+  ASSERT_EQ(job.fleets.size(), 1u);
+  EXPECT_EQ(job.fleets[0].nodes, 8u);
+  ASSERT_TRUE(job.fleets[0].phy.has_value());
+  EXPECT_EQ(*job.fleets[0].phy, phy::Protocol::kZigbee);
+}
+
+TEST(JobSchema, RejectsBadDocuments) {
+  parse_fail("not json at all");
+  parse_fail(R"({"schema":"tinysdr-bench-v1","sweeps":[]})");
+  parse_fail(R"({"schema":"tinysdr-job-v1"})");  // no sweeps, no fleets
+  parse_fail(R"({"schema":"tinysdr-job-v1","sweeps":[],"fleets":[]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1","sweeps":[{"phy":"wimax","rssi":[-100]}]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1","sweeps":[{"phy":"lora","rssi":[]}]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1","sweeps":[{"phy":"lora","rssi":["x"]}]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1",
+          "sweeps":[{"phy":"lora","rssi":[-100],"trials":0}]})");
+  // Non-integral and out-of-range seeds.
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1",
+          "sweeps":[{"phy":"lora","rssi":[-100],"base_seed":1.5}]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1",
+          "sweeps":[{"phy":"lora","rssi":[-100],"base_seed":-3}]})");
+  parse_fail(
+      R"({"schema":"tinysdr-job-v1",
+          "sweeps":[{"phy":"lora","rssi":[-100],"base_seed":1e17}]})");
+}
+
+TEST(JobSchema, RejectsPayloadBeyondPhyMax) {
+  const auto& ble = phy::Registry::builtin().at(phy::Protocol::kBle);
+  const std::string too_big = std::to_string(ble.max_payload + 1);
+  const auto error = parse_fail(
+      R"({"schema":"tinysdr-job-v1",
+          "sweeps":[{"phy":"ble","rssi":[-90],"payload_bytes":)" +
+      too_big + "}]}");
+  EXPECT_NE(error.find("payload"), std::string::npos) << error;
+}
+
+TEST(JobSchema, CanonicalJsonRoundTripsAndIsStable) {
+  // Two spellings of the same job — one terse, one with the defaults
+  // written out — canonicalise to the same bytes and the same spec.
+  auto terse = parse_ok(
+      R"({"schema":"tinysdr-job-v1","sweeps":[{"phy":"ble","rssi":[-95]}]})");
+  auto spelled = parse_ok(
+      R"({"schema":"tinysdr-job-v1","name":"job","priority":0,
+          "sweeps":[{"phy":"ble","rssi":[-95],"trials":50,
+                     "payload_bytes":16,"base_seed":1,"pad_samples":0}]})");
+  EXPECT_EQ(terse, spelled);
+  EXPECT_EQ(terse.canonical_json(), spelled.canonical_json());
+
+  // parse(canonical(x)) == x, and canonical is a fixed point.
+  auto reparsed = parse_ok(terse.canonical_json());
+  EXPECT_EQ(reparsed, terse);
+  EXPECT_EQ(reparsed.canonical_json(), terse.canonical_json());
+}
+
+TEST(JobSchema, DeadlineAndPrioritySurviveCanonicalisation) {
+  auto job = parse_ok(
+      R"({"schema":"tinysdr-job-v1","name":"rush","priority":7,
+          "deadline_s":12.5,
+          "sweeps":[{"phy":"sigfox","rssi":[-130,-128],
+                     "payload_bytes":8}]})");
+  ASSERT_TRUE(job.deadline_s.has_value());
+  EXPECT_EQ(*job.deadline_s, 12.5);
+  auto reparsed = parse_ok(job.canonical_json());
+  EXPECT_EQ(reparsed, job);
+}
+
+TEST(JobSchema, ResultJsonEmbedsJobAndPoints) {
+  JobSpec job;
+  job.name = "tiny";
+  SweepSpec sweep;
+  sweep.phy = phy::Protocol::kLora;
+  sweep.rssi_dbm = {-120.0};
+  sweep.trials = 2;
+  sweep.pad_samples = 300;
+  sweep.noise_figure_db = 11.5;
+  job.sweeps.push_back(sweep);
+
+  JobResult result;
+  result.job = job;
+  SweepResult sr;
+  phy::PointResult p{};
+  p.rssi_dbm = -120.0;
+  p.frames = 2;
+  p.bits = 128;
+  sr.points.push_back(p);
+  result.sweeps.push_back(sr);
+
+  const std::string json = result.json();
+  EXPECT_NE(json.find("\"schema\":\"tinysdr-result-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"tinysdr-job-v1\""), std::string::npos);
+  EXPECT_NE(json.find("[-120,2,0,128,0,0,0]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace tinysdr::serve

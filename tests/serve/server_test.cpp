@@ -1,0 +1,198 @@
+// The NDJSON protocol (handle_line, no sockets) and the full daemon
+// transport (Unix socket server on a thread, raw POSIX client) — including
+// the tentpole contract: bytes fetched through the daemon are identical to
+// the in-process engine's result document.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "phy/registry.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace tinysdr::serve {
+namespace {
+
+constexpr std::string_view kSmallJob =
+    R"({"schema":"tinysdr-job-v1","name":"wire",
+        "sweeps":[{"phy":"ble","rssi":[-95,-92],"trials":4,
+                   "payload_bytes":8,"base_seed":3}]})";
+
+std::string submit_line(std::string_view job) {
+  std::string line{R"({"type":"submit","job":)"};
+  for (char c : job) line += (c == '\n' ? ' ' : c);
+  line += "}";
+  return line;
+}
+
+TEST(Protocol, RejectsJunkWithoutCrashing) {
+  Engine engine{phy::Registry::builtin(), {}};
+  for (const char* junk :
+       {"", "not json", "[1,2,3]", "{\"type\":\"explode\"}",
+        R"({"type":"submit"})", R"({"type":"submit","job":{}})",
+        R"({"type":"status"})", R"({"type":"status","id":999})",
+        R"({"type":"result","id":42})"}) {
+    Response r = handle_line(engine, junk);
+    ASSERT_EQ(r.lines.size(), 1u) << junk;
+    EXPECT_NE(r.lines[0].find("\"ok\":false"), std::string::npos) << junk;
+    EXPECT_FALSE(r.shutdown);
+  }
+}
+
+TEST(Protocol, SubmitStatusResultLifecycle) {
+  Engine engine{phy::Registry::builtin(), {}};
+  Response submitted = handle_line(engine, submit_line(kSmallJob));
+  ASSERT_EQ(submitted.lines.size(), 1u);
+  EXPECT_TRUE(submitted.submitted);
+  EXPECT_NE(submitted.lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(submitted.lines[0].find("\"id\":1"), std::string::npos);
+
+  // Result before execution: a polite not-ready error carrying the state.
+  Response early = handle_line(engine, R"({"type":"result","id":1})");
+  ASSERT_EQ(early.lines.size(), 1u);
+  EXPECT_NE(early.lines[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(early.lines[0].find("queued"), std::string::npos);
+
+  engine.run_all();
+
+  Response status = handle_line(engine, R"({"type":"status","id":1})");
+  ASSERT_EQ(status.lines.size(), 1u);
+  EXPECT_NE(status.lines[0].find("\"state\":\"done\""), std::string::npos);
+
+  // The result response is a header line plus the raw document line —
+  // verbatim engine bytes, so daemon clients inherit byte-identity.
+  Response result = handle_line(engine, R"({"type":"result","id":1})");
+  ASSERT_EQ(result.lines.size(), 2u);
+  EXPECT_NE(result.lines[0].find("\"lines\":1"), std::string::npos);
+  EXPECT_EQ(result.lines[1], engine.result_json(1).value_or(""));
+
+  Response stats = handle_line(engine, R"({"type":"stats"})");
+  ASSERT_EQ(stats.lines.size(), 1u);
+  EXPECT_NE(stats.lines[0].find("serve.cache.misses"), std::string::npos);
+
+  Response bye = handle_line(engine, R"({"type":"shutdown"})");
+  EXPECT_TRUE(bye.shutdown);
+}
+
+/// Minimal blocking NDJSON client for the socket test.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  bool send_line(const std::string& line) {
+    const std::string framed = line + "\n";
+    return ::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(framed.size());
+  }
+
+  bool read_line(std::string& line) {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(Server, DaemonResultBytesMatchInProcessEngine) {
+  // Reference: the same job through a plain in-process engine.
+  Engine reference{phy::Registry::builtin(), {}};
+  std::string error;
+  auto ref_id = reference.submit_json(kSmallJob, error);
+  ASSERT_TRUE(ref_id.has_value()) << error;
+  reference.run_all();
+  const std::string reference_bytes =
+      reference.result_json(*ref_id).value_or("");
+  ASSERT_FALSE(reference_bytes.empty());
+
+  const std::string socket_path = testing::TempDir() + "serve_test.sock";
+  Engine engine{phy::Registry::builtin(), {}};
+  ServerConfig config;
+  config.unix_socket = socket_path;
+  Server server{engine, config};
+  ASSERT_TRUE(server.start(error)) << error;
+  std::thread accept_thread{[&server] { server.serve_forever(); }};
+
+  {
+    TestClient client{socket_path};
+    ASSERT_TRUE(client.connected());
+    std::string reply;
+
+    ASSERT_TRUE(client.send_line(R"({"type":"ping"})"));
+    ASSERT_TRUE(client.read_line(reply));
+    EXPECT_NE(reply.find("\"pong\":true"), std::string::npos);
+
+    ASSERT_TRUE(client.send_line(submit_line(kSmallJob)));
+    ASSERT_TRUE(client.read_line(reply));
+    ASSERT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+
+    // Poll until the runner thread finishes the job.
+    for (;;) {
+      ASSERT_TRUE(client.send_line(R"({"type":"status","id":1})"));
+      ASSERT_TRUE(client.read_line(reply));
+      if (reply.find("\"state\":\"done\"") != std::string::npos) break;
+      ASSERT_EQ(reply.find("\"state\":\"failed\""), std::string::npos)
+          << reply;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    std::string header;
+    std::string body;
+    ASSERT_TRUE(client.send_line(R"({"type":"result","id":1})"));
+    ASSERT_TRUE(client.read_line(header));
+    ASSERT_TRUE(client.read_line(body));
+    EXPECT_NE(header.find("\"ok\":true"), std::string::npos);
+    // The tentpole contract, over the wire.
+    EXPECT_EQ(body, reference_bytes);
+
+    ASSERT_TRUE(client.send_line(R"({"type":"shutdown"})"));
+    ASSERT_TRUE(client.read_line(reply));
+    EXPECT_NE(reply.find("\"stopping\":true"), std::string::npos);
+  }
+
+  accept_thread.join();
+  ::unlink(socket_path.c_str());
+}
+
+TEST(Server, StartFailsCleanlyWithoutTransport) {
+  Engine engine{phy::Registry::builtin(), {}};
+  Server server{engine, {}};  // neither socket nor TCP chosen
+  std::string error;
+  EXPECT_FALSE(server.start(error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace tinysdr::serve
