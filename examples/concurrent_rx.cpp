@@ -11,6 +11,9 @@
 #include <iostream>
 
 #include "core/concurrent.hpp"
+#include "dsp/nco.hpp"
+#include "flow/blocks.hpp"
+#include "flow/graph.hpp"
 
 using namespace tinysdr;
 using namespace tinysdr::core;
@@ -56,6 +59,32 @@ int main() {
     std::cout << "  interferer " << interferer << " dBm: SER A "
               << r.ser_a * 100.0 << "%\n";
   }
+
+  // The "one antenna, two branches" architecture as a flowgraph: the
+  // captured stream fans out through a zero-copy tap, so each branch
+  // (here: a per-band power monitor after its own channel filter) reads
+  // the same samples without the source being copied per consumer.
+  std::cout << "\n[3] Fan-out sketch: one capture, two monitor branches:\n";
+  dsp::Samples capture(8192);
+  dsp::Nco lo_tone, hi_tone;
+  lo_tone.set_frequency(0.02);   // in-band for the 0.125 low-pass
+  hi_tone.set_frequency(0.37);   // far out of band
+  for (auto& s : capture) s = 0.5f * (lo_tone.next() + hi_tone.next());
+
+  flow::FlowGraph fanout;
+  auto* src = fanout.add_block<flow::VectorSource>(capture);
+  auto* band_a = fanout.add_block<flow::FirBlock>(dsp::design_lowpass(14, 0.125));
+  auto* probe_a = fanout.add_block<flow::PowerProbe>();
+  auto* probe_raw = fanout.add_block<flow::PowerProbe>();
+  fanout.connect(src, band_a);
+  fanout.connect(band_a, probe_a);
+  fanout.connect_tap(src, probe_raw);  // second branch, zero extra copies
+  auto report = fanout.run();
+  std::cout << "  graph " << flow::to_string(report.state)
+            << ": raw mean power " << probe_raw->mean_power()
+            << ", band-A (low-pass) mean power " << probe_a->mean_power()
+            << " — the filter keeps the in-band tone's half of the "
+               "power, the tap sees everything\n";
 
   std::cout << "\nConclusion (paper): an IoT endpoint CAN decode concurrent "
                "LoRa in real time — at 17% of a small FPGA and ~207 mW — "

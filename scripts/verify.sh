@@ -63,6 +63,16 @@ check_json "$smoke_dir/adversary_bench.json" \
 echo "== serve smoke: campaign daemon + memoization cache contract =="
 scripts/serve_smoke.sh "$smoke_dir/serve"
 
+echo "== flow smoke: zero-copy streaming runtime =="
+# The bench doubles as the streaming smoke: it fails (non-zero exit) if
+# the threaded sink diverges from the single-thread schedule or the
+# graph output drifts from the copy-engine reference.
+./build/bench/bench_flow_streaming \
+  --json "$smoke_dir/flow_streaming.json" > /dev/null
+check_json "$smoke_dir/flow_streaming.json" \
+  --eq "deterministic_match=1.0" --eq "copy_match_ok=1.0" \
+  --gt "speedup_spsc_vs_copy=1.0"
+
 echo "== perf gate: bench runs vs checked-in baselines =="
 if [[ "$have_python" == 1 ]]; then
   # Local machines differ from the baseline machine, so wall-clock and
@@ -95,6 +105,13 @@ if [[ "$have_python" == 1 ]]; then
     --current "$smoke_dir/serve_throughput.json" \
     --timing-tolerance 3.0 --ignore warm_throughput \
     --report "$smoke_dir/perf_gate_serve_throughput.json"
+  # flow_streaming.json was produced by the flow smoke above; the
+  # deterministic contract scalars gate tightly, rates loosely.
+  python3 scripts/perf_gate.py \
+    --baseline bench/baselines/BENCH_flow_streaming.json \
+    --current "$smoke_dir/flow_streaming.json" \
+    --timing-tolerance 3.0 --ignore ".seconds" \
+    --report "$smoke_dir/perf_gate_flow_streaming.json"
 else
   echo "smoke: python3 not found, skipping perf gate"
 fi
@@ -108,11 +125,11 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan -j"$(nproc)"
 
-  echo "== tier-1: TSan build (exec + campaign suites) =="
+  echo "== tier-1: TSan build (exec + campaign + flow suites) =="
   cmake --preset tsan
   cmake --build --preset tsan -j"$(nproc)"
   ctest --preset tsan -j"$(nproc)" \
-    -R "SeedStreams|ParallelFor|TaskGroup|WorkerPool|ParallelCampaign|Campaign|FaultCampaign"
+    -R "SeedStreams|ParallelFor|TaskGroup|WorkerPool|ParallelCampaign|Campaign|FaultCampaign|SpscRing|FlowThreaded"
 fi
 
 echo "verify: OK"

@@ -11,18 +11,20 @@ dsp::Samples AwgnChannel::apply(const dsp::Samples& signal, Dbm rssi) {
 
 dsp::Samples AwgnChannel::apply_snr(const dsp::Samples& signal,
                                     double snr_db) {
+  dsp::Samples out = signal;
+  add_noise(out, snr_db);
+  return out;
+}
+
+void AwgnChannel::add_noise(std::span<dsp::Complex> signal, double snr_db) {
   // Unit signal power assumed; complex noise power = 10^(-snr/10), split
   // evenly between I and Q.
   double noise_power = std::pow(10.0, -snr_db / 10.0);
   auto sigma = static_cast<float>(std::sqrt(noise_power / 2.0));
-  dsp::Samples out;
-  out.reserve(signal.size());
-  for (const auto& s : signal) {
-    out.push_back(s + dsp::Complex{
-                          sigma * static_cast<float>(rng_.next_gaussian()),
-                          sigma * static_cast<float>(rng_.next_gaussian())});
+  for (auto& s : signal) {
+    s += dsp::Complex{sigma * static_cast<float>(rng_.next_gaussian()),
+                      sigma * static_cast<float>(rng_.next_gaussian())};
   }
-  return out;
 }
 
 dsp::Samples AwgnChannel::noise_only(std::size_t count, Dbm reference_rssi) {

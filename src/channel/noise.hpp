@@ -9,6 +9,8 @@
 // SF8/BW125 LoRa knee at about -126 dBm as the paper reports.
 #pragma once
 
+#include <span>
+
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "dsp/types.hpp"
@@ -54,6 +56,13 @@ class AwgnChannel {
   /// Add noise at an explicit SNR (dB) relative to unit signal power.
   [[nodiscard]] dsp::Samples apply_snr(const dsp::Samples& signal,
                                        double snr_db);
+
+  /// In-place variant of apply_snr for zero-copy pipelines: perturbs
+  /// `signal` where it lives (a ring's WriteView, a capture buffer) and
+  /// draws from the same RNG in the same per-sample I-then-Q order, so a
+  /// block processed through successive add_noise calls is bit-identical
+  /// to one apply_snr call over the concatenation.
+  void add_noise(std::span<dsp::Complex> signal, double snr_db);
 
   /// Generate a pure-noise block with the channel's floor power relative to
   /// a unit-power signal at `reference_rssi`.

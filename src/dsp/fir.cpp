@@ -5,6 +5,55 @@
 #include "obs/profile.hpp"
 
 namespace tinysdr::dsp {
+namespace {
+
+// One cache-resident tile of the block FIR, over flattened I/Q floats:
+// tap-outer, sample-inner, so every inner loop is a stride-1
+// multiply-accumulate. Each output element still receives its taps in
+// ascending-k order — the same operand values and order as process()
+// (modulo FMA contraction) — and the loop shape is identical for every
+// chunking, so splitting a stream across calls cannot change the bytes.
+//
+// restrict is sound: dst is caller storage, base points into either the
+// filter's private scratch copy or the caller's input — never the
+// output. On x86-64 the kernel gets an AVX2+FMA variant selected once
+// at runtime by feature check (not target_clones("arch=..."), which
+// dispatches on CPU *model* and misses other AVX2 parts); the baseline
+// build keeps old machines working.
+[[gnu::always_inline]] inline void fir_tile_body(
+    float* __restrict__ dst, const float* __restrict__ base,
+    const float* taps, std::size_t tap_count, std::size_t len) {
+  const float t0 = taps[0];
+  for (std::size_t j = 0; j < len; ++j) dst[j] = base[j] * t0;
+  for (std::size_t k = 1; k < tap_count; ++k) {
+    const float t = taps[k];
+    const float* __restrict__ src = base - 2 * k;
+    for (std::size_t j = 0; j < len; ++j) dst[j] += src[j] * t;
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+__attribute__((target("avx2,fma"))) void fir_tile_avx2(
+    float* __restrict__ dst, const float* __restrict__ base,
+    const float* taps, std::size_t tap_count, std::size_t len) {
+  fir_tile_body(dst, base, taps, tap_count, len);
+}
+#endif
+
+void fir_tile(float* __restrict__ dst, const float* __restrict__ base,
+              const float* taps, std::size_t tap_count, std::size_t len) {
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+  static const bool kHasAvx2 =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (kHasAvx2) {
+    fir_tile_avx2(dst, base, taps, tap_count, len);
+    return;
+  }
+#endif
+  fir_tile_body(dst, base, taps, tap_count, len);
+}
+
+}  // namespace
 
 std::vector<float> design_lowpass(std::size_t taps, double cutoff_ratio,
                                   WindowKind window) {
@@ -48,11 +97,57 @@ Complex FirFilter::process(Complex in) {
 }
 
 Samples FirFilter::filter(std::span<const Complex> in) {
-  obs::ProfileScope prof{"fir"};
-  Samples out;
-  out.reserve(in.size());
-  for (Complex s : in) out.push_back(process(s));
+  Samples out(in.size());
+  filter_into(in, out);
   return out;
+}
+
+void FirFilter::filter_into(std::span<const Complex> in,
+                            std::span<Complex> out) {
+  if (out.size() < in.size())
+    throw std::invalid_argument("FirFilter::filter_into: out too small");
+  if (in.empty()) return;
+  obs::ProfileScope prof{"fir"};
+
+  const std::size_t T = taps_.size();
+  const std::size_t n = in.size();
+
+  // Only the first T-1 outputs reach back before `in`; stage those on a
+  // short contiguous timeline (delay history + head of the block). Every
+  // later output reads exclusively from `in`, so the kernel runs over
+  // the caller's storage directly — zero staging for the bulk of the
+  // stream. Requires in/out to be disjoint (ring views and fresh
+  // vectors always are); overlapping calls take the staged path for the
+  // whole block.
+  const std::size_t head = std::min(n, T - 1);
+  const bool overlap =
+      in.data() < out.data() + n && out.data() < in.data() + n;
+  const std::size_t staged = overlap ? n : head;
+  scratch_.resize((T - 1) + staged);
+  for (std::size_t j = 0; j + 1 < T; ++j)
+    scratch_[j] = delay_[(head_ + 1 + j) % T];
+  std::copy(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(staged),
+            scratch_.begin() + (T - 1));
+
+  // Tiled fir_tile passes keep the output hot in cache across all T
+  // taps. std::complex<float> is layout-compatible with float[2].
+  const float* sf = reinterpret_cast<const float*>(scratch_.data() + (T - 1));
+  const float* xf = reinterpret_cast<const float*>(in.data());
+  float* of = reinterpret_cast<float*>(out.data());
+  constexpr std::size_t kTile = 2048;
+  for (std::size_t i0 = 0; i0 < staged; i0 += kTile) {
+    const std::size_t len = 2 * std::min(kTile, staged - i0);
+    fir_tile(of + 2 * i0, sf + 2 * i0, taps_.data(), T, len);
+  }
+  for (std::size_t i0 = staged; i0 < n; i0 += kTile) {
+    const std::size_t len = 2 * std::min(kTile, n - i0);
+    fir_tile(of + 2 * i0, xf + 2 * i0, taps_.data(), T, len);
+  }
+
+  // Leave the delay line exactly as n process() calls would have.
+  for (std::size_t m = 1; m <= std::min(T, n); ++m)
+    delay_[(head_ + n - m) % T] = in[n - m];
+  head_ = (head_ + n) % T;
 }
 
 void FirFilter::reset() {

@@ -37,6 +37,17 @@ class FirFilter {
   /// Filter a whole block (stateful: continues from previous calls).
   [[nodiscard]] Samples filter(std::span<const Complex> in);
 
+  /// Filter `in` into caller-owned storage (out.size() >= in.size()),
+  /// continuing from previous calls with the same state semantics as
+  /// filter()/process(). Each output accumulates taps in the same
+  /// ascending order as process(), but over a contiguous history scratch
+  /// with a vectorizable tap-outer inner loop and no allocation, so
+  /// results can differ from the per-sample path in the last ulp (FMA
+  /// contraction). Chunking is invisible: any split of a stream through
+  /// filter_into produces identical bytes. This is the streaming engine's
+  /// hot path (flow::FirBlock writes straight into a ring's WriteView).
+  void filter_into(std::span<const Complex> in, std::span<Complex> out);
+
   /// Reset internal delay line to zeros.
   void reset();
 
@@ -44,6 +55,7 @@ class FirFilter {
   std::vector<float> taps_;
   std::vector<Complex> delay_;
   std::size_t head_ = 0;
+  std::vector<Complex> scratch_;  ///< filter_into history + block staging
 };
 
 }  // namespace tinysdr::dsp

@@ -34,6 +34,8 @@ thread_local bool t_in_region = false;
 
 }  // namespace
 
+bool in_parallel_region() { return t_in_region; }
+
 struct WorkerPool::Job {
   std::size_t n = 0;
   std::size_t grain = 1;

@@ -31,6 +31,13 @@
 
 namespace tinysdr::exec {
 
+/// True while the calling thread is executing inside a WorkerPool region
+/// body. Nested regions degrade to inline serial execution on the calling
+/// thread, so primitives that need real concurrency (exec::run_pinned and
+/// the flowgraph's threaded scheduler built on it) check this to fall back
+/// to dedicated threads instead.
+[[nodiscard]] bool in_parallel_region();
+
 class WorkerPool {
  public:
   /// Body of a parallel region: body(index, participant). `participant`

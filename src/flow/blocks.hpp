@@ -1,19 +1,27 @@
-// Standard block library for the flowgraph framework: the platform's DSP
-// primitives in GNU-Radio-style clothing.
+// Standard block library for the zero-copy flowgraph: the platform's DSP
+// primitives in GNU-Radio-style clothing, working in place on ring views.
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <optional>
 
 #include "dsp/fir.hpp"
 #include "dsp/nco.hpp"
 #include "flow/graph.hpp"
+#include "obs/metrics.hpp"
 #include "phy/phy.hpp"
 #include "radio/quantizer.hpp"
 
 namespace tinysdr::flow {
 
-inline constexpr std::size_t kChunk = 1024;
+/// Per-activation production cap for sources: bounds single-thread
+/// scheduler latency per pass without affecting output (blocks are
+/// chunk-size independent). 4096 complex samples (32 KiB) amortizes
+/// per-activation accounting while staying L1/L2 resident downstream.
+inline constexpr std::size_t kChunk = 4096;
 
 /// Source emitting a fixed sample vector once.
 class VectorSource : public Block {
@@ -21,14 +29,11 @@ class VectorSource : public Block {
   explicit VectorSource(dsp::Samples data)
       : Block("vector_source"), data_(std::move(data)) {}
 
-  bool work(Ring*, Ring* out) override {
-    if (pos_ >= data_.size() || out == nullptr) return false;
-    std::span<const dsp::Complex> remaining{data_.data() + pos_,
-                                            data_.size() - pos_};
-    std::size_t pushed = out->push(remaining.subspan(
-        0, std::min<std::size_t>(remaining.size(), kChunk)));
-    pos_ += pushed;
-    return pushed > 0;
+  WorkResult work(const ReadView&, WriteView& out) override {
+    std::size_t n = std::min(out.size(), data_.size() - pos_);
+    out.write(0, std::span<const dsp::Complex>{data_.data() + pos_, n});
+    pos_ += n;
+    return {0, n};
   }
   [[nodiscard]] bool finished() const override { return pos_ >= data_.size(); }
 
@@ -37,7 +42,8 @@ class VectorSource : public Block {
   std::size_t pos_ = 0;
 };
 
-/// Source emitting `count` samples of a complex tone from the DDS.
+/// Source emitting `count` samples of a complex tone from the DDS,
+/// synthesized directly into the ring.
 class NcoSource : public Block {
  public:
   NcoSource(double cycles_per_sample, std::size_t count)
@@ -45,15 +51,16 @@ class NcoSource : public Block {
     nco_.set_frequency(cycles_per_sample);
   }
 
-  bool work(Ring*, Ring* out) override {
-    if (emitted_ >= count_ || out == nullptr) return false;
-    std::size_t n = std::min({kChunk, count_ - emitted_, out->space()});
-    if (n == 0) return false;
-    dsp::Samples chunk;
-    chunk.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) chunk.push_back(nco_.next());
-    emitted_ += out->push(chunk);
-    return true;
+  WorkResult work(const ReadView&, WriteView& out) override {
+    std::size_t n = std::min({kChunk, count_ - emitted_, out.size()});
+    std::size_t written = 0;
+    while (written < n) {
+      auto seg = out.chunk(written, n - written);
+      for (auto& s : seg) s = nco_.next();
+      written += seg.size();
+    }
+    emitted_ += n;
+    return {0, n};
   }
   [[nodiscard]] bool finished() const override { return emitted_ >= count_; }
 
@@ -63,28 +70,31 @@ class NcoSource : public Block {
   std::size_t emitted_ = 0;
 };
 
-/// Streaming FIR filter block.
+/// Streaming FIR filter: contiguous input runs go straight through
+/// FirFilter::filter_into into the output view — no staging buffers.
 class FirBlock : public Block {
  public:
   explicit FirBlock(std::vector<float> taps)
       : Block("fir"), fir_(std::move(taps)) {}
 
-  bool work(Ring* in, Ring* out) override {
-    if (in == nullptr || out == nullptr) return false;
-    std::size_t n = std::min(in->size(), out->space());
-    if (n == 0) return false;
-    dsp::Samples chunk;
-    in->pop(std::min(n, kChunk), chunk);
-    auto filtered = fir_.filter(chunk);
-    out->push(filtered);
-    return !chunk.empty();
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    std::size_t n = std::min(in.size(), out.size());
+    std::size_t done = 0;
+    while (done < n) {
+      auto src = in.chunk(done, n - done);
+      auto dst = out.chunk(done, src.size());
+      std::size_t m = std::min(src.size(), dst.size());
+      fir_.filter_into(src.first(m), dst.first(m));
+      done += m;
+    }
+    return {n, n};
   }
 
  private:
   dsp::FirFilter fir_;
 };
 
-/// Keep-one-in-N decimator.
+/// Keep-one-in-N decimator (phase carried across activations).
 class DecimatorBlock : public Block {
  public:
   explicit DecimatorBlock(std::size_t factor)
@@ -92,17 +102,33 @@ class DecimatorBlock : public Block {
     if (factor == 0) throw std::invalid_argument("DecimatorBlock: factor 0");
   }
 
-  bool work(Ring* in, Ring* out) override {
-    if (in == nullptr || out == nullptr || in->empty()) return false;
-    dsp::Samples chunk;
-    in->pop(kChunk, chunk);
-    dsp::Samples kept;
-    for (const auto& s : chunk) {
-      if (phase_ == 0) kept.push_back(s);
-      phase_ = (phase_ + 1) % factor_;
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    // Segment-at-a-time strided copy (per-sample view indexing would
+    // branch into the ring's two spans on every access).
+    std::size_t consumed = 0;
+    std::size_t produced = 0;
+    const std::size_t n = in.size();
+    while (consumed < n) {
+      auto src = in.chunk(consumed, n - consumed);
+      auto dst = out.chunk(produced, out.size() - produced);
+      std::size_t si = phase_ == 0 ? 0 : factor_ - phase_;
+      std::size_t di = 0;
+      while (si < src.size() && di < dst.size()) {
+        dst[di++] = src[si];
+        si += factor_;
+      }
+      if (si < src.size()) {
+        // Output segment full: stop at the last unconsumed input.
+        phase_ = 0;
+        consumed += si;
+        produced += di;
+        break;
+      }
+      phase_ = (phase_ + src.size()) % factor_;
+      consumed += src.size();
+      produced += di;
     }
-    out->push(kept);
-    return true;
+    return {consumed, produced};
   }
 
  private:
@@ -116,13 +142,11 @@ class QuantizerBlock : public Block {
   explicit QuantizerBlock(int bits = 13)
       : Block("quantizer"), quantizer_(bits, 1.0f) {}
 
-  bool work(Ring* in, Ring* out) override {
-    if (in == nullptr || out == nullptr || in->empty()) return false;
-    dsp::Samples chunk;
-    in->pop(kChunk, chunk);
-    auto quantized = quantizer_.roundtrip(chunk);
-    out->push(quantized);
-    return true;
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    std::size_t n = std::min(in.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = quantizer_.dequantize(quantizer_.quantize(in[i]));
+    return {n, n};
   }
 
  private:
@@ -135,22 +159,74 @@ class MapBlock : public Block {
   using Fn = std::function<dsp::Complex(dsp::Complex)>;
   explicit MapBlock(Fn fn) : Block("map"), fn_(std::move(fn)) {}
 
-  bool work(Ring* in, Ring* out) override {
-    if (in == nullptr || out == nullptr || in->empty()) return false;
-    dsp::Samples chunk;
-    in->pop(kChunk, chunk);
-    for (auto& s : chunk) s = fn_(s);
-    out->push(chunk);
-    return true;
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    std::size_t n = std::min(in.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn_(in[i]);
+    return {n, n};
   }
 
  private:
   Fn fn_;
 };
 
+/// Release a burst when the edge's sample counter reaches a target
+/// (litex_m2sdr's timed_tx against its hardware sample_counter): emits
+/// silence until the output stream position hits `fire_at_sample`, then
+/// passes the input burst through verbatim. With `total_samples` set the
+/// gate keeps the TX timeline running with silence after the burst until
+/// that many samples have left, then ends the stream.
+class TimedTxGate : public Block {
+ public:
+  explicit TimedTxGate(std::uint64_t fire_at_sample,
+                       std::optional<std::uint64_t> total_samples = {})
+      : Block("timed_tx_gate"),
+        fire_at_(fire_at_sample),
+        total_(total_samples) {
+    if (total_ && *total_ < fire_at_)
+      throw std::invalid_argument("TimedTxGate: total < fire_at");
+  }
+
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    std::uint64_t pos = out.stream_pos();
+    std::size_t produced = 0;
+    // Lead-in silence up to the fire point.
+    if (pos < fire_at_) {
+      std::size_t zeros = static_cast<std::size_t>(
+          std::min<std::uint64_t>(fire_at_ - pos, out.size()));
+      out.fill(0, zeros, dsp::Complex{0.0f, 0.0f});
+      produced += zeros;
+    }
+    // The burst itself.
+    std::size_t n = std::min(in.size(), out.size() - produced);
+    std::size_t copied = 0;
+    while (copied < n) {
+      auto src = in.chunk(copied, n - copied);
+      out.write(produced + copied, src);
+      copied += src.size();
+    }
+    produced += n;
+    // Tail silence once the burst is fully through, if a stream length
+    // was requested; returning {0,0} afterwards retires the gate.
+    if (total_ && in.done() && in.size() == n) {
+      std::uint64_t sent = pos + produced;
+      if (sent < *total_) {
+        std::size_t zeros = static_cast<std::size_t>(std::min<std::uint64_t>(
+            *total_ - sent, out.size() - produced));
+        out.fill(produced, zeros, dsp::Complex{0.0f, 0.0f});
+        produced += zeros;
+      }
+    }
+    return {n, produced};
+  }
+
+ private:
+  std::uint64_t fire_at_;
+  std::optional<std::uint64_t> total_;
+};
+
 /// Source transmitting one frame through a unified-PHY transmitter: the
-/// payload is modulated up front and the waveform streamed out in chunks,
-/// so any PhyTx drops into a flowgraph as its head end.
+/// payload is modulated up front and the waveform streamed out, so any
+/// PhyTx drops into a flowgraph as its head end.
 class PhyTxSource : public Block {
  public:
   PhyTxSource(const phy::PhyTx& tx, std::span<const std::uint8_t> payload,
@@ -161,14 +237,11 @@ class PhyTxSource : public Block {
     data_.insert(data_.end(), pad_samples, dsp::Complex{0.0f, 0.0f});
   }
 
-  bool work(Ring*, Ring* out) override {
-    if (pos_ >= data_.size() || out == nullptr) return false;
-    std::span<const dsp::Complex> remaining{data_.data() + pos_,
-                                            data_.size() - pos_};
-    std::size_t pushed = out->push(remaining.subspan(
-        0, std::min<std::size_t>(remaining.size(), kChunk)));
-    pos_ += pushed;
-    return pushed > 0;
+  WorkResult work(const ReadView&, WriteView& out) override {
+    std::size_t n = std::min(out.size(), data_.size() - pos_);
+    out.write(0, std::span<const dsp::Complex>{data_.data() + pos_, n});
+    pos_ += n;
+    return {0, n};
   }
   [[nodiscard]] bool finished() const override { return pos_ >= data_.size(); }
 
@@ -179,21 +252,37 @@ class PhyTxSource : public Block {
 
 /// Terminal sink feeding a unified-PHY receiver: samples accumulate until
 /// the graph drains, then `result()` demodulates the whole capture and
-/// scores it against the reference payload.
+/// scores it against the reference payload. `capture_cap` bounds the
+/// stored capture for long streaming runs; samples past the cap are still
+/// consumed (so the stream keeps flowing) but dropped and counted.
 class PhyRxSink : public Block {
  public:
-  PhyRxSink(const phy::PhyRx& rx, std::vector<std::uint8_t> reference)
+  static constexpr std::size_t kUncapped =
+      std::numeric_limits<std::size_t>::max();
+
+  PhyRxSink(const phy::PhyRx& rx, std::vector<std::uint8_t> reference,
+            std::size_t capture_cap = kUncapped)
       : Block("phy_rx:" + std::string(phy::protocol_name(rx.protocol()))),
         rx_(&rx),
-        reference_(std::move(reference)) {}
+        reference_(std::move(reference)),
+        cap_(capture_cap) {}
 
-  bool work(Ring* in, Ring*) override {
-    if (in == nullptr || in->empty()) return false;
-    in->pop(in->size(), data_);
-    return true;
+  WorkResult work(const ReadView& in, WriteView&) override {
+    std::size_t keep = std::min(in.size(), cap_ - data_.size());
+    std::size_t old = data_.size();
+    data_.resize(old + keep);
+    in.copy_to(std::span<dsp::Complex>{data_.data() + old, keep});
+    std::size_t dropped = in.size() - keep;
+    if (dropped > 0) {
+      dropped_ += dropped;
+      if (auto* m = obs::metrics())
+        m->counter("flow.sink_overflow").add(static_cast<double>(dropped));
+    }
+    return {in.size(), 0};
   }
 
   [[nodiscard]] const dsp::Samples& data() const { return data_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] phy::FrameResult result() const {
     return rx_->demodulate(data_, reference_);
   }
@@ -202,41 +291,59 @@ class PhyRxSink : public Block {
   const phy::PhyRx* rx_;
   std::vector<std::uint8_t> reference_;
   dsp::Samples data_;
+  std::size_t cap_;
+  std::uint64_t dropped_ = 0;
 };
 
-/// Terminal sink collecting everything.
+/// Terminal sink collecting everything (up to an optional cap; overflow
+/// is consumed-but-dropped and counted, so capped sinks never stall a
+/// streaming graph).
 class VectorSink : public Block {
  public:
-  VectorSink() : Block("vector_sink") {}
+  static constexpr std::size_t kUncapped =
+      std::numeric_limits<std::size_t>::max();
 
-  bool work(Ring* in, Ring*) override {
-    if (in == nullptr || in->empty()) return false;
-    in->pop(in->size(), data_);
-    return true;
+  explicit VectorSink(std::size_t cap = kUncapped)
+      : Block("vector_sink"), cap_(cap) {}
+
+  WorkResult work(const ReadView& in, WriteView&) override {
+    std::size_t keep = std::min(in.size(), cap_ - data_.size());
+    std::size_t old = data_.size();
+    data_.resize(old + keep);
+    in.copy_to(std::span<dsp::Complex>{data_.data() + old, keep});
+    std::size_t dropped = in.size() - keep;
+    if (dropped > 0) {
+      dropped_ += dropped;
+      if (auto* m = obs::metrics())
+        m->counter("flow.sink_overflow").add(static_cast<double>(dropped));
+    }
+    return {in.size(), 0};
   }
 
   [[nodiscard]] const dsp::Samples& data() const { return data_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
  private:
   dsp::Samples data_;
+  std::size_t cap_;
+  std::uint64_t dropped_ = 0;
 };
 
-/// Terminal sink measuring mean power and peak magnitude.
+/// Terminal sink measuring mean power and peak magnitude in place.
 class PowerProbe : public Block {
  public:
   PowerProbe() : Block("power_probe") {}
 
-  bool work(Ring* in, Ring*) override {
-    if (in == nullptr || in->empty()) return false;
-    dsp::Samples chunk;
-    in->pop(in->size(), chunk);
-    for (const auto& s : chunk) {
-      double m = std::norm(s);
-      power_sum_ += m;
-      peak_ = std::max(peak_, std::sqrt(m));
-      ++count_;
+  WorkResult work(const ReadView& in, WriteView&) override {
+    for (auto seg : {in.first(), in.second()}) {
+      for (const auto& s : seg) {
+        double m = std::norm(s);
+        power_sum_ += m;
+        peak_ = std::max(peak_, std::sqrt(m));
+        ++count_;
+      }
     }
-    return true;
+    return {in.size(), 0};
   }
 
   [[nodiscard]] double mean_power() const {

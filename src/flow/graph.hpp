@@ -1,46 +1,56 @@
-// Streaming flowgraph framework (paper §7: "Future versions can
+// Zero-copy streaming flowgraph (paper §7: "Future versions can
 // incorporate a pipeline to use high level synthesis tools or integrate
 // with GNUradio for easy prototyping").
 //
-// A deliberately small GNU-Radio-shaped core: blocks process chunks of
-// complex baseband samples through bounded FIFOs; a round-robin scheduler
-// runs the graph until the source dries up and every buffer drains. The
-// platform's DSP primitives (NCO, FIR, decimator, AGC, quantizer, probes)
-// are wrapped as blocks so a receive chain can be assembled the way a
-// GNU Radio user would sketch it — see flow/blocks.hpp.
+// A GNU-Radio-shaped core rebuilt for throughput: blocks process samples
+// in place through lock-free SPSC rings (flow/ring.hpp) instead of
+// copy-on-push vectors. A block's work() receives a ReadView over its
+// input edge and a WriteView over its primary output edge and reports how
+// much it consumed/produced; the graph commits on its behalf. Graphs are
+// DAGs: every block has at most one input edge, one primary output edge,
+// and any number of *tap* edges (fan-out probes that receive a copy of
+// whatever the primary edge gets — the only copies left in the engine).
+//
+// Two schedulers, one output:
+//   run()           deterministic single-thread round-robin in topological
+//                   order, with a typed report (drained / stalled / budget
+//                   exhausted) naming the first non-progressing block.
+//   run_threaded()  each block pinned to its own exec worker, parking on
+//                   ring credit (wait_readable / wait_writable). Because
+//                   every block is a pure stream function of its input
+//                   sequence, the sink output is byte-identical to run()'s
+//                   regardless of how chunks interleave (pinned by tests).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dsp/types.hpp"
+#include "flow/ring.hpp"
 
 namespace tinysdr::flow {
 
-/// Bounded FIFO of samples connecting two blocks.
-class Ring {
- public:
-  explicit Ring(std::size_t capacity = std::size_t{1} << 14)
-      : capacity_(capacity) {}
+/// What one activation accomplished: samples consumed from the input view
+/// and produced into the output view. The graph commits exactly these.
+struct WorkResult {
+  std::size_t consumed = 0;
+  std::size_t produced = 0;
 
-  [[nodiscard]] std::size_t size() const { return data_.size() - head_; }
-  [[nodiscard]] std::size_t space() const { return capacity_ - size(); }
-  [[nodiscard]] bool empty() const { return size() == 0; }
-
-  /// Append up to space() samples; returns how many were accepted.
-  std::size_t push(std::span<const dsp::Complex> in);
-  /// Remove up to `max` samples into `out` (appended); returns how many.
-  std::size_t pop(std::size_t max, dsp::Samples& out);
-
- private:
-  std::size_t capacity_;
-  std::vector<dsp::Complex> data_;
-  std::size_t head_ = 0;  // index of the first valid sample
+  [[nodiscard]] bool progressed() const { return consumed + produced > 0; }
 };
 
-/// A processing stage. Sources ignore `in`; sinks produce nothing.
+/// A processing stage. Sources receive an empty ReadView; sinks (and
+/// blocks with no output edge) receive a zero-capacity WriteView.
+///
+/// Contract: a block offered readable samples and writable space must make
+/// progress (consume or produce); returning {0,0} in that state is a logic
+/// stall and both schedulers report it as such. Blocks must be pure stream
+/// functions of their input sequence — output independent of how the
+/// stream is chunked across activations — which is what makes the
+/// threaded and single-thread schedules byte-identical.
 class Block {
  public:
   explicit Block(std::string name) : name_(std::move(name)) {}
@@ -51,41 +61,115 @@ class Block {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Move data forward: consume from `in` (may be nullptr for sources),
-  /// produce into `out` (may be nullptr for sinks). Return true if any
-  /// progress was made (samples consumed or produced).
-  virtual bool work(Ring* in, Ring* out) = 0;
+  virtual WorkResult work(const ReadView& in, WriteView& out) = 0;
 
-  /// Sources report completion so the scheduler knows when to stop.
+  /// Sources report completion so the scheduler can close their edges.
   [[nodiscard]] virtual bool finished() const { return false; }
 
  private:
   std::string name_;
 };
 
-/// A linear chain of blocks: source -> transforms... -> sink.
+/// How a graph run ended.
+enum class RunState {
+  kDrained,          ///< every source finished and every edge emptied
+  kStalled,          ///< a block stopped progressing with work available
+  kBudgetExhausted,  ///< run() hit max_iterations while still progressing
+};
+
+[[nodiscard]] const char* to_string(RunState state);
+
+struct RunReport {
+  RunState state = RunState::kDrained;
+  std::size_t iterations = 0;        ///< scheduler passes (run() only)
+  std::string stalled_block;         ///< first non-progressing block
+  std::uint64_t samples_streamed = 0;  ///< total committed across all edges
+
+  [[nodiscard]] bool drained() const { return state == RunState::kDrained; }
+  explicit operator bool() const { return drained(); }
+};
+
+/// A DAG of blocks connected by SPSC rings.
 class FlowGraph {
  public:
-  /// Append a block; the graph owns it. Returns a borrowed pointer for
-  /// later inspection (e.g. reading a probe).
+  /// Append a block and auto-chain it after the previous add()'ed block
+  /// (the classic linear-pipeline convenience). Returns a borrowed
+  /// pointer for later inspection and explicit wiring.
   template <typename B, typename... Args>
   B* add(Args&&... args) {
-    auto block = std::make_unique<B>(std::forward<Args>(args)...);
-    B* raw = block.get();
-    blocks_.push_back(std::move(block));
-    if (blocks_.size() > 1) rings_.push_back(std::make_unique<Ring>());
+    B* raw = add_block<B>(std::forward<Args>(args)...);
+    if (last_chained_ >= 0)
+      connect(nodes_[static_cast<std::size_t>(last_chained_)].block.get(),
+              raw);
+    last_chained_ = static_cast<int>(nodes_.size()) - 1;
     return raw;
   }
 
-  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Append a block with no implicit edge (wire it with connect()/
+  /// connect_tap()). Does not disturb the add() auto-chain.
+  template <typename B, typename... Args>
+  B* add_block(Args&&... args) {
+    auto block = std::make_unique<B>(std::forward<Args>(args)...);
+    B* raw = block.get();
+    Node node;
+    node.block = std::move(block);
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
 
-  /// Run until the source is finished and all buffers have drained, or no
-  /// block can make progress (stall — returns false).
-  bool run(std::size_t max_iterations = 1 << 20);
+  /// Primary edge from -> to. Throws if `from` already has a primary
+  /// output or `to` already has an input (blocks are single-in/single-out
+  /// plus taps).
+  void connect(Block* from, Block* to,
+               std::size_t capacity = kDefaultRingCapacity);
+
+  /// Tap edge: `tap` receives a copy of every sample `from` produces on
+  /// its primary edge. Throws if `tap` already has an input.
+  void connect_tap(Block* from, Block* tap,
+                   std::size_t capacity = kDefaultRingCapacity);
+
+  [[nodiscard]] std::size_t block_count() const { return nodes_.size(); }
+
+  /// Deterministic single-thread schedule: round-robin in topological
+  /// order until drained, stalled, or out of passes.
+  RunReport run(std::size_t max_iterations = std::size_t{1} << 20);
+
+  /// Threaded schedule: one pinned worker per block, parking on ring
+  /// credit. Blocks until drained or stalled (no iteration budget — a
+  /// healthy streaming graph finishes when its sources do). Sink output
+  /// is byte-identical to run()'s.
+  RunReport run_threaded();
 
  private:
-  std::vector<std::unique_ptr<Block>> blocks_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  struct Node {
+    std::unique_ptr<Block> block;
+    int in_edge = -1;            ///< index into edges_, -1 = source
+    int out_edge = -1;           ///< primary output, -1 = sink
+    std::vector<int> tap_edges;  ///< extra outputs fed by copy
+  };
+  struct Edge {
+    std::unique_ptr<SpscRing> ring;
+    int from = -1;
+    int to = -1;
+  };
+
+  [[nodiscard]] int index_of(Block* block) const;
+  int add_edge(Block* from, Block* to, std::size_t capacity);
+  /// Topological order of node indices; throws on a cycle.
+  [[nodiscard]] std::vector<std::size_t> topo_order() const;
+
+  /// One activation of node i against its edges: acquire views, call
+  /// work(), mirror produced samples into taps, commit. Returns the
+  /// block's WorkResult; sets *exhausted_input when the input is done and
+  /// untouched (the node can be retired).
+  WorkResult activate(std::size_t i, bool* exhausted_input);
+  void close_outputs(std::size_t i);
+  /// Writable space on every output edge of node i (primary + taps).
+  [[nodiscard]] std::size_t output_space(const Node& node);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  int last_chained_ = -1;
 };
 
 }  // namespace tinysdr::flow

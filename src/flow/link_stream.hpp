@@ -1,0 +1,203 @@
+// Continuous-waveform LinkSimulator mode: the trial engine rebuilt as a
+// streaming flowgraph.
+//
+// LinkSimulator::run_point() processes trials as isolated vectors — fine
+// for PER curves, wrong shape for a testbed that streams frames
+// back-to-back through a live channel. StreamingLink runs the same
+// experiment as one continuous sample stream:
+//
+//   FrameStreamSource -> InterfererMixBlock -> AwgnStreamBlock
+//                     -> FrameSlicerSink
+//
+// The source modulates frame after frame (pad + waveform + pad, then an
+// inter-frame gap of silence) and publishes a FrameSchedule entry per
+// frame; the channel blocks look the schedule up by absolute stream
+// position (ReadView::stream_pos) to know which trial's RNG drives each
+// sample; the slicer reassembles each frame region and demodulates it.
+//
+// Determinism contract: every random draw replays LinkSimulator's exact
+// streams (payload / interferer / channel selectors off the same
+// (point, trial) seeds) and every float lands in the same accumulation
+// order, so the aggregated PointResult is byte-identical to
+// LinkSimulator::run_point() for the same plan and point — pinned by
+// tests, and equally true for run() and run_threaded().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "channel/noise.hpp"
+#include "flow/blocks.hpp"
+#include "flow/graph.hpp"
+#include "phy/link_sim.hpp"
+#include "phy/phy.hpp"
+
+namespace tinysdr::flow {
+
+/// Continuous-mode configuration: the familiar TrialPlan (trials become
+/// back-to-back frames) plus the streaming-only knobs.
+struct StreamPlan {
+  phy::TrialPlan trial;
+  /// Silence between consecutive frame regions.
+  std::size_t gap_samples = 0;
+  /// Capacity of every ring in the streaming graph.
+  std::size_t ring_capacity = kDefaultRingCapacity;
+};
+
+/// One frame's region in the stream: where it sits, what was sent, and
+/// the randomness that shaped it. Immutable once published.
+struct FrameEntry {
+  std::uint64_t start = 0;   ///< absolute stream position of the region
+  std::size_t length = 0;    ///< pad + waveform + pad
+  std::uint64_t trial_seed = 0;
+  std::vector<std::uint8_t> payload;
+  /// Interferer emissions for this frame, one per active slot, plus the
+  /// clean region they superpose onto (populated only when waves exist).
+  /// The mix block replays channel::superpose over these verbatim, so the
+  /// combined region is bit-for-bit what run_point() computes.
+  std::vector<dsp::Samples> waves;
+  std::vector<double> rel_dbs;  ///< per-wave power relative to the signal
+  dsp::Samples clean;
+};
+
+/// Append-only, position-ordered frame metadata shared by the source and
+/// the downstream channel/slicer blocks. The source publishes an entry
+/// before committing any of the region's samples, so by the time a
+/// consumer's ReadView covers a position, its entry is visible; each
+/// consumer walks the schedule with its own cursor.
+class FrameSchedule {
+ public:
+  void push(FrameEntry entry);
+  /// Entry at `cursor`, or nullptr if not published yet. The pointer stays
+  /// valid for the schedule's lifetime (entries are never removed).
+  [[nodiscard]] const FrameEntry* at(std::size_t cursor) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<FrameEntry> entries_;
+};
+
+/// Source: modulates the plan's trials as one continuous stream of frame
+/// regions separated by gaps, publishing a FrameEntry per region.
+class FrameStreamSource : public Block {
+ public:
+  FrameStreamSource(const phy::PhyTx& tx, const StreamPlan& plan,
+                    const phy::SweepPoint& point,
+                    std::vector<std::pair<const phy::Interferer*,
+                                          std::optional<Dbm>>> slots,
+                    FrameSchedule* schedule);
+
+  WorkResult work(const ReadView& in, WriteView& out) override;
+  [[nodiscard]] bool finished() const override;
+
+ private:
+  void stage_frame(std::uint64_t start);
+
+  const phy::PhyTx* tx_;
+  const StreamPlan* plan_;
+  phy::SweepPoint point_;
+  std::vector<std::pair<const phy::Interferer*, std::optional<Dbm>>> slots_;
+  FrameSchedule* schedule_;
+  std::uint64_t point_seed_ = 0;
+
+  std::size_t frame_idx_ = 0;
+  dsp::Samples staged_;        ///< current region's clean padded waveform
+  std::size_t region_pos_ = 0;
+  std::size_t gap_left_ = 0;
+  bool in_gap_ = false;
+};
+
+/// Superposes each schedule entry's interferer overlays onto the stream
+/// (the only thing between frame regions is silence, passed through).
+class InterfererMixBlock : public Block {
+ public:
+  explicit InterfererMixBlock(const FrameSchedule* schedule)
+      : Block("interferer_mix"), schedule_(schedule) {}
+
+  WorkResult work(const ReadView& in, WriteView& out) override;
+
+ private:
+  const FrameSchedule* schedule_;
+  std::size_t cursor_ = 0;
+  dsp::Samples mixed_;  ///< current region after superposition
+};
+
+/// AWGN channel as a stream block: each frame region gets its own
+/// AwgnChannel seeded from the entry's trial seed (LinkSimulator's channel
+/// stream), gaps stay noiseless — exactly what the per-trial engine does.
+class AwgnStreamBlock : public Block {
+ public:
+  AwgnStreamBlock(const FrameSchedule* schedule, Hertz sample_rate,
+                  double noise_figure_db, Dbm rssi);
+
+  WorkResult work(const ReadView& in, WriteView& out) override;
+
+ private:
+  const FrameSchedule* schedule_;
+  Hertz sample_rate_;
+  double noise_figure_db_;
+  double snr_db_ = 0.0;
+  std::size_t cursor_ = 0;
+  std::optional<channel::AwgnChannel> channel_;  ///< current region's RNG
+};
+
+/// Sink: reassembles each frame region from the stream, demodulates it
+/// against the entry's payload, and aggregates the PointResult.
+class FrameSlicerSink : public Block {
+ public:
+  FrameSlicerSink(const phy::PhyRx& rx, const FrameSchedule* schedule)
+      : Block("frame_slicer"), rx_(&rx), schedule_(schedule) {}
+
+  WorkResult work(const ReadView& in, WriteView& out) override;
+
+  [[nodiscard]] const phy::PointResult& result() const { return result_; }
+  [[nodiscard]] std::size_t frames_sliced() const { return frames_sliced_; }
+
+ private:
+  const phy::PhyRx* rx_;
+  const FrameSchedule* schedule_;
+  std::size_t cursor_ = 0;
+  dsp::Samples region_;
+  phy::PointResult result_;
+  std::size_t frames_sliced_ = 0;
+};
+
+/// What a continuous run produced: the aggregated link stats (byte-equal
+/// to LinkSimulator::run_point) plus how the graph run ended.
+struct StreamResult {
+  phy::PointResult point;
+  RunReport report;
+};
+
+/// The streaming trial engine. Borrows the TX/RX and any attached
+/// interferers; they must outlive it and be safe for concurrent const use.
+class StreamingLink {
+ public:
+  StreamingLink(const phy::PhyTx& tx, const phy::PhyRx& rx, StreamPlan plan);
+
+  /// Attach an interferer exactly as LinkSimulator::add_interferer does:
+  /// `power` fixes its received power, nullopt defers to the sweep
+  /// point's interferer_rssi.
+  void add_interferer(const phy::Interferer& source,
+                      std::optional<Dbm> power = std::nullopt);
+
+  [[nodiscard]] const StreamPlan& plan() const { return plan_; }
+
+  /// Stream every trial through a freshly built flowgraph. `threaded`
+  /// selects run_threaded(); the result is byte-identical either way.
+  [[nodiscard]] StreamResult run(const phy::SweepPoint& point,
+                                 bool threaded = false) const;
+
+ private:
+  const phy::PhyTx* tx_;
+  const phy::PhyRx* rx_;
+  StreamPlan plan_;
+  std::vector<std::pair<const phy::Interferer*, std::optional<Dbm>>> slots_;
+};
+
+}  // namespace tinysdr::flow

@@ -13,16 +13,6 @@ namespace tinysdr::phy {
 
 namespace {
 
-// PCG stream selectors for the independent randomness a trial consumes.
-// Distinct streams of one trial seed, so adding a consumer (e.g. a fading
-// draw) never perturbs the others. The first interferer slot keeps the
-// historical kInterfererStream; further slots get kExtraInterfererBase + k,
-// clear of any selector the trial already uses.
-constexpr std::uint64_t kPayloadStream = 1;
-constexpr std::uint64_t kInterfererStream = 2;
-constexpr std::uint64_t kChannelStream = 3;
-constexpr std::uint64_t kExtraInterfererBase = 16;
-
 void fill_random(std::vector<std::uint8_t>& payload, std::size_t count,
                  Rng& rng) {
   payload.resize(count);

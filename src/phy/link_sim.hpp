@@ -144,6 +144,18 @@ class LinkSimulator {
 
   [[nodiscard]] const TrialPlan& plan() const { return plan_; }
 
+  /// PCG stream selectors for the independent randomness a trial consumes.
+  /// Distinct streams of one trial seed, so adding a consumer never
+  /// perturbs the others. Public so alternative trial engines (the flow
+  /// layer's continuous-streaming mode) can replay the exact same
+  /// randomness and stay byte-identical with run_point(). The first
+  /// interferer slot keeps the historical kInterfererStream; further slots
+  /// get kExtraInterfererBase + k, clear of any selector already in use.
+  static constexpr std::uint64_t kPayloadStream = 1;
+  static constexpr std::uint64_t kInterfererStream = 2;
+  static constexpr std::uint64_t kChannelStream = 3;
+  static constexpr std::uint64_t kExtraInterfererBase = 16;
+
   /// Seed for a point: pure in (base, rssi value), independent of where —
   /// or whether — the point sits in any particular sweep grid.
   [[nodiscard]] static std::uint64_t point_seed(std::uint64_t base,

@@ -18,51 +18,14 @@ dsp::Samples random_samples(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-TEST(Ring, PushPopFifoOrder) {
-  Ring ring{8};
-  dsp::Samples in{{1, 0}, {2, 0}, {3, 0}};
-  EXPECT_EQ(ring.push(in), 3u);
-  EXPECT_EQ(ring.size(), 3u);
-  dsp::Samples out;
-  EXPECT_EQ(ring.pop(2, out), 2u);
-  EXPECT_EQ(out[0].real(), 1.0f);
-  EXPECT_EQ(out[1].real(), 2.0f);
-  EXPECT_EQ(ring.size(), 1u);
-}
-
-TEST(Ring, RespectsCapacity) {
-  Ring ring{4};
-  dsp::Samples in(10, dsp::Complex{1, 1});
-  EXPECT_EQ(ring.push(in), 4u);
-  EXPECT_EQ(ring.space(), 0u);
-  dsp::Samples out;
-  ring.pop(2, out);
-  EXPECT_EQ(ring.space(), 2u);
-}
-
-TEST(Ring, CompactionPreservesStream) {
-  Ring ring{1 << 16};
-  Rng rng{5};
-  dsp::Samples reference;
-  dsp::Samples drained;
-  for (int round = 0; round < 50; ++round) {
-    auto chunk = random_samples(500 + rng.next_below(1000), round);
-    reference.insert(reference.end(), chunk.begin(), chunk.end());
-    ring.push(chunk);
-    ring.pop(300 + rng.next_below(900), drained);
-  }
-  ring.pop(ring.size(), drained);
-  ASSERT_EQ(drained.size(), reference.size());
-  for (std::size_t i = 0; i < drained.size(); ++i)
-    EXPECT_EQ(drained[i], reference[i]) << i;
-}
-
 TEST(FlowGraph, SourceToSinkPassthrough) {
   FlowGraph graph;
   auto data = random_samples(5000, 1);
   graph.add<VectorSource>(data);
   auto* sink = graph.add<VectorSink>();
-  ASSERT_TRUE(graph.run());
+  auto report = graph.run();
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report.state, RunState::kDrained);
   ASSERT_EQ(sink->data().size(), data.size());
   for (std::size_t i = 0; i < data.size(); ++i)
     EXPECT_EQ(sink->data()[i], data[i]);
@@ -165,13 +128,138 @@ TEST(FlowGraph, RadioRxFrontEndAsGraph) {
   EXPECT_NEAR(static_cast<double>(bin), 4.0 * cycles * 4096.0, 1.5);
 }
 
-TEST(FlowGraph, StallDetectedWhenSinkMissing) {
-  // A graph ending in a transform (no sink) fills its last ring and cannot
-  // drain: run() must report the stall instead of spinning forever.
+TEST(FlowGraph, StallReportNamesTheBlockedBlock) {
+  // A graph ending in a transform (no sink) offers the FIR readable input
+  // that it can never move: run() must report the stall and name the fir,
+  // not spin forever or blame the (backpressured, blameless) source.
   FlowGraph graph;
   graph.add<NcoSource>(0.1, 1 << 20);
   graph.add<FirBlock>(dsp::design_lowpass(4, 0.25));
-  EXPECT_FALSE(graph.run(10000));
+  auto report = graph.run(10000);
+  EXPECT_FALSE(report);
+  EXPECT_EQ(report.state, RunState::kStalled);
+  EXPECT_EQ(report.stalled_block, "fir");
+}
+
+TEST(FlowGraph, BudgetExhaustedReportedAsSuch) {
+  FlowGraph graph;
+  graph.add<NcoSource>(0.1, 1 << 22);
+  graph.add<FirBlock>(dsp::design_lowpass(4, 0.25));
+  graph.add<VectorSink>();
+  auto report = graph.run(3);  // healthy graph, absurdly small budget
+  EXPECT_FALSE(report);
+  EXPECT_EQ(report.state, RunState::kBudgetExhausted);
+  EXPECT_TRUE(report.stalled_block.empty());
+  EXPECT_EQ(report.iterations, 3u);
+}
+
+TEST(FlowGraph, ReportCountsSamplesAcrossEdges) {
+  FlowGraph graph;
+  auto data = random_samples(1000, 11);
+  graph.add<VectorSource>(data);
+  graph.add<MapBlock>([](dsp::Complex s) { return s; });
+  graph.add<VectorSink>();
+  auto report = graph.run();
+  ASSERT_TRUE(report);
+  EXPECT_EQ(report.samples_streamed, 2000u);  // two edges, 1000 each
+}
+
+TEST(FlowGraph, TapReceivesExactCopyOfPrimaryStream) {
+  FlowGraph graph;
+  auto data = random_samples(3000, 4);
+  auto* src = graph.add_block<VectorSource>(data);
+  auto* fir = graph.add_block<FirBlock>(dsp::design_lowpass(8, 0.2));
+  auto* sink = graph.add_block<VectorSink>();
+  auto* tap = graph.add_block<VectorSink>();
+  graph.connect(src, fir);
+  graph.connect(fir, sink);
+  graph.connect_tap(fir, tap);
+  ASSERT_TRUE(graph.run());
+  ASSERT_EQ(tap->data().size(), sink->data().size());
+  for (std::size_t i = 0; i < sink->data().size(); ++i)
+    EXPECT_EQ(tap->data()[i], sink->data()[i]) << i;
+}
+
+TEST(FlowGraph, TapFeedsAnIndependentChain) {
+  // Fan-out: the same FIR output drives a decimating chain and a power
+  // probe, GNU-Radio style.
+  FlowGraph graph;
+  auto* src = graph.add_block<NcoSource>(0.05, 8192);
+  auto* fir = graph.add_block<FirBlock>(dsp::design_lowpass(14, 0.125));
+  auto* dec = graph.add_block<DecimatorBlock>(4);
+  auto* sink = graph.add_block<VectorSink>();
+  auto* probe = graph.add_block<PowerProbe>();
+  graph.connect(src, fir);
+  graph.connect(fir, dec);
+  graph.connect(dec, sink);
+  graph.connect_tap(fir, probe);
+  ASSERT_TRUE(graph.run());
+  EXPECT_EQ(sink->data().size(), 8192u / 4u);
+  EXPECT_EQ(probe->samples(), 8192u);
+  // The probe taps the FIR output: in-band tone minus passband droop.
+  EXPECT_NEAR(probe->mean_power(), 1.0, 0.25);
+}
+
+TEST(FlowGraph, ConnectRejectsDuplicateAndSelfEdges) {
+  FlowGraph graph;
+  auto* a = graph.add_block<NcoSource>(0.1, 16);
+  auto* b = graph.add_block<VectorSink>();
+  auto* c = graph.add_block<VectorSink>();
+  graph.connect(a, b);
+  EXPECT_THROW(graph.connect(a, c), std::invalid_argument);  // dup output
+  EXPECT_THROW(graph.connect(c, b), std::invalid_argument);  // dup input
+  EXPECT_THROW(graph.connect_tap(c, c), std::invalid_argument);  // self loop
+}
+
+TEST(FlowGraph, TimedTxGateFiresBurstAtSample) {
+  // litex-style timed TX: the burst leaves exactly at sample 100 on the
+  // edge's monotonic counter, silence before and after, stream ends at
+  // exactly total_samples.
+  auto burst = random_samples(64, 9);
+  FlowGraph graph;
+  graph.add<VectorSource>(burst);
+  graph.add<TimedTxGate>(100, std::optional<std::uint64_t>{300});
+  auto* sink = graph.add<VectorSink>();
+  ASSERT_TRUE(graph.run());
+  ASSERT_EQ(sink->data().size(), 300u);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(sink->data()[i], (dsp::Complex{0.0f, 0.0f})) << i;
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    EXPECT_EQ(sink->data()[100 + i], burst[i]) << i;
+  for (std::size_t i = 100 + burst.size(); i < 300; ++i)
+    EXPECT_EQ(sink->data()[i], (dsp::Complex{0.0f, 0.0f})) << i;
+}
+
+TEST(FlowGraph, TimedTxGateWithoutTotalEndsAfterBurst) {
+  auto burst = random_samples(32, 10);
+  FlowGraph graph;
+  graph.add<VectorSource>(burst);
+  graph.add<TimedTxGate>(50);
+  auto* sink = graph.add<VectorSink>();
+  ASSERT_TRUE(graph.run());
+  ASSERT_EQ(sink->data().size(), 50u + burst.size());
+  for (std::size_t i = 0; i < burst.size(); ++i)
+    EXPECT_EQ(sink->data()[50 + i], burst[i]) << i;
+}
+
+TEST(FlowGraph, TimedTxGateRejectsTotalBeforeFire) {
+  EXPECT_THROW(TimedTxGate(100, std::optional<std::uint64_t>{50}),
+               std::invalid_argument);
+}
+
+TEST(FlowGraph, CappedSinkDropsOverflowAndKeepsDraining) {
+  // A capped sink must keep consuming past its cap (count, don't stall):
+  // the graph still drains and the drop count is exact.
+  auto data = random_samples(2500, 6);
+  FlowGraph graph;
+  graph.add<VectorSource>(data);
+  auto* sink = graph.add<VectorSink>(1000);
+  auto report = graph.run();
+  ASSERT_TRUE(report);
+  EXPECT_EQ(sink->data().size(), 1000u);
+  EXPECT_EQ(sink->dropped(), 1500u);
+  for (std::size_t i = 0; i < 1000; ++i)
+    EXPECT_EQ(sink->data()[i], data[i]);
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+// Continuous-waveform LinkSimulator mode: frames streamed back-to-back
+// through a flowgraph must reproduce the per-trial engine's PointResult
+// byte for byte — same seeds, same floats, same verdicts — in both the
+// single-thread and threaded (FlowThreaded* in TSan CI) schedules.
+#include "flow/link_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/registry.hpp"
+
+namespace tinysdr::flow {
+namespace {
+
+phy::TrialPlan small_plan() {
+  phy::TrialPlan plan;
+  plan.trials = 5;
+  plan.payload_bytes = 8;
+  plan.pad_samples = 24;
+  plan.base_seed = 77;
+  return plan;
+}
+
+TEST(LinkStream, MatchesRunPointExactly) {
+  const auto& entry = phy::Registry::builtin().at(phy::Protocol::kZigbee);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  auto plan = small_plan();
+
+  // A mid-curve RSSI so errors are plausible: identical verdicts matter
+  // most where the link is marginal.
+  const phy::SweepPoint point{Dbm{-97.0}, std::nullopt};
+  phy::LinkSimulator classic{*tx, *rx, plan};
+  auto expected = classic.run_point(point);
+
+  StreamingLink stream{*tx, *rx, StreamPlan{plan, /*gap_samples=*/0}};
+  auto got = stream.run(point);
+  EXPECT_TRUE(got.report.drained());
+  EXPECT_EQ(got.point, expected);
+}
+
+TEST(LinkStream, GapsBetweenFramesDoNotChangeVerdicts) {
+  const auto& entry = phy::Registry::builtin().at(phy::Protocol::kBle);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  auto plan = small_plan();
+  const phy::SweepPoint point{Dbm{-90.0}, std::nullopt};
+
+  phy::LinkSimulator classic{*tx, *rx, plan};
+  auto expected = classic.run_point(point);
+
+  StreamingLink stream{*tx, *rx, StreamPlan{plan, /*gap_samples=*/173}};
+  auto got = stream.run(point);
+  EXPECT_TRUE(got.report.drained());
+  EXPECT_EQ(got.point, expected);
+  // Gaps flowed through the graph: more samples streamed than the frames
+  // alone account for.
+  EXPECT_GT(got.report.samples_streamed, expected.frames * 2);
+}
+
+TEST(LinkStream, InterfererSuperpositionMatchesRunPoint) {
+  const auto& entry = phy::Registry::builtin().at(phy::Protocol::kZigbee);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  const auto& ble = phy::Registry::builtin().at(phy::Protocol::kBle);
+  auto jam_tx = ble.make_tx();
+  auto plan = small_plan();
+
+  phy::PhyTxInterferer jammer{*jam_tx, plan.payload_bytes};
+  const phy::SweepPoint point{Dbm{-94.0}, Dbm{-96.0}};
+
+  phy::LinkSimulator classic{*tx, *rx, plan};
+  classic.add_interferer(jammer);
+  auto expected = classic.run_point(point);
+
+  StreamingLink stream{*tx, *rx, StreamPlan{plan, /*gap_samples=*/31}};
+  stream.add_interferer(jammer);
+  auto got = stream.run(point);
+  EXPECT_TRUE(got.report.drained());
+  EXPECT_EQ(got.point, expected);
+}
+
+TEST(FlowThreadedLinkStream, ThreadedRunIsByteIdenticalToo) {
+  const auto& entry = phy::Registry::builtin().at(phy::Protocol::kBle);
+  auto tx = entry.make_tx();
+  auto rx = entry.make_rx();
+  auto plan = small_plan();
+  const phy::SweepPoint point{Dbm{-92.0}, std::nullopt};
+
+  phy::LinkSimulator classic{*tx, *rx, plan};
+  auto expected = classic.run_point(point);
+
+  StreamPlan splan{plan, /*gap_samples=*/64, /*ring_capacity=*/1 << 10};
+  StreamingLink stream{*tx, *rx, splan};
+  auto got = stream.run(point, /*threaded=*/true);
+  EXPECT_TRUE(got.report.drained());
+  EXPECT_EQ(got.point, expected);
+}
+
+}  // namespace
+}  // namespace tinysdr::flow

@@ -1,0 +1,120 @@
+// Property tests for the SPSC ring protocol: any single-threaded
+// interleaving of acquire/commit/close obeys the view-size, counter and
+// FIFO invariants, checked against a simple model queue.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "flow/ring.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/property.hpp"
+
+namespace tinysdr::flow {
+namespace {
+
+using testkit::check;
+namespace gen = testkit::gen;
+
+dsp::Complex tag(std::uint64_t i) {
+  return {static_cast<float>(i & 0xFFF), static_cast<float>(i >> 12)};
+}
+
+// An op is (kind % 3, amount): 0 = produce, 1 = consume, 2 = partial
+// produce (commit less than acquired).
+using Ops = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+testkit::Gen<Ops> ops() {
+  return gen::vector_of(gen::pair_of(gen::uint_below(3), gen::uint_below(96)),
+                        0, 0);
+}
+
+TEST(SpscRingProperty, ViewsNeverExceedCapacityAndFifoHolds) {
+  auto result = check(ops(), [](const Ops& script) {
+    SpscRing ring{64};
+    const std::size_t cap = ring.capacity();
+    std::deque<std::uint64_t> model;
+    std::uint64_t next_in = 0;
+    std::uint64_t next_out = 0;
+    for (const auto& [kind, amount] : script) {
+      if (kind == 1) {
+        auto r = ring.acquire_read(amount);
+        if (r.size() > model.size()) return false;          // over-read
+        if (r.size() > cap) return false;                   // over-view
+        if (r.stream_pos() != next_out) return false;       // clock skew
+        for (std::size_t i = 0; i < r.size(); ++i)
+          if (r[i] != tag(model[i])) return false;          // FIFO broken
+        for (std::size_t i = 0; i < r.size(); ++i) model.pop_front();
+        ring.commit_read(r.size());
+        next_out += r.size();
+      } else {
+        auto w = ring.acquire_write(amount);
+        if (w.size() > cap - model.size()) return false;    // over-acquire
+        if (w.stream_pos() != next_in) return false;
+        std::size_t n = kind == 2 ? w.size() / 2 : w.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          w[i] = tag(next_in + i);
+          model.push_back(next_in + i);
+        }
+        ring.commit_write(n);
+        next_in += n;
+      }
+      // The free-running counters must always agree with the model.
+      if (ring.total_produced() != next_in) return false;
+      if (ring.total_consumed() != next_out) return false;
+      if (ring.size() != model.size()) return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(SpscRingProperty, CommitBeyondAcquiredAlwaysThrows) {
+  auto g = gen::pair_of(gen::uint_below(64), gen::uint_below(64));
+  auto result = check(g, [](const std::pair<std::uint32_t, std::uint32_t>& c) {
+    SpscRing ring{64};
+    auto w = ring.acquire_write(c.first);
+    bool threw = false;
+    try {
+      ring.commit_write(w.size() + 1 + c.second);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+    if (!threw) return false;
+    // The failed commit must not have corrupted the protocol state.
+    ring.commit_write(w.size());
+    return ring.readable() == w.size();
+  });
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(SpscRingProperty, SampleClockIsMonotonicAcrossAnySchedule) {
+  auto result = check(ops(), [](const Ops& script) {
+    SpscRing ring{32};
+    std::uint64_t last_wpos = 0;
+    std::uint64_t last_rpos = 0;
+    for (const auto& [kind, amount] : script) {
+      if (kind == 1) {
+        auto r = ring.acquire_read(amount);
+        if (r.stream_pos() < last_rpos) return false;
+        last_rpos = r.stream_pos();
+        ring.commit_read(r.size());
+      } else {
+        auto w = ring.acquire_write(amount);
+        if (w.stream_pos() < last_wpos) return false;
+        last_wpos = w.stream_pos();
+        for (std::size_t i = 0; i < w.size(); ++i)
+          w[i] = dsp::Complex{0.0f, 0.0f};
+        ring.commit_write(w.size());
+      }
+      if (ring.total_consumed() > ring.total_produced()) return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(result.ok) << result.message();
+}
+
+}  // namespace
+}  // namespace tinysdr::flow

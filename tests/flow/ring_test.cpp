@@ -1,0 +1,181 @@
+// SpscRing: the zero-copy protocol (acquire/commit span views), the
+// monotonic sample clock, and the two-thread contract under load (the
+// SpscRing* suites run under TSan in CI).
+#include "flow/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tinysdr::flow {
+namespace {
+
+dsp::Complex tag(std::uint64_t i) {
+  // Encode a stream index exactly in a float pair (24-bit mantissa each).
+  return {static_cast<float>(i & 0xFFF), static_cast<float>(i >> 12)};
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing{10}.capacity(), 16u);
+  EXPECT_EQ(SpscRing{16}.capacity(), 16u);
+  EXPECT_EQ(SpscRing{1}.capacity(), 1u);
+  EXPECT_THROW(SpscRing{0}, std::invalid_argument);
+}
+
+TEST(SpscRing, AcquireCommitRoundTripsInOrder) {
+  SpscRing ring{8};
+  auto w = ring.acquire_write(3);
+  ASSERT_EQ(w.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) w[i] = tag(i);
+  ring.commit_write(3);
+  EXPECT_EQ(ring.readable(), 3u);
+
+  auto r = ring.acquire_read();
+  ASSERT_EQ(r.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(r[i], tag(i));
+  ring.commit_read(2);
+  EXPECT_EQ(ring.readable(), 1u);
+  EXPECT_EQ(ring.writable(), 7u);
+}
+
+TEST(SpscRing, ViewsWrapViaSecondSpan) {
+  SpscRing ring{8};
+  ring.commit_write(ring.acquire_write(6).size() == 6 ? 6 : 0);
+  ring.commit_read(ring.acquire_read(6).size() == 6 ? 6 : 0);
+  // head = tail = 6; acquiring 4 free slots must wrap 6,7 -> 0,1.
+  auto w = ring.acquire_write(4);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.first().size(), 2u);
+  EXPECT_EQ(w.second().size(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) w[i] = tag(100 + i);
+  ring.commit_write(4);
+
+  auto r = ring.acquire_read();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.first().size(), 2u);
+  EXPECT_EQ(r.second().size(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(r[i], tag(100 + i));
+  // chunk() never crosses the wrap seam.
+  EXPECT_EQ(r.chunk(0, 4).size(), 2u);
+  EXPECT_EQ(r.chunk(2, 4).size(), 2u);
+}
+
+TEST(SpscRing, CommitBeyondAcquiredThrows) {
+  SpscRing ring{8};
+  (void)ring.acquire_write(4);
+  EXPECT_THROW(ring.commit_write(5), std::logic_error);
+  ring.commit_write(4);
+  (void)ring.acquire_read(2);
+  EXPECT_THROW(ring.commit_read(3), std::logic_error);
+}
+
+TEST(SpscRing, StreamPosIsTheMonotonicSampleClock) {
+  SpscRing ring{8};
+  std::uint64_t expected_write = 0;
+  std::uint64_t expected_read = 0;
+  for (int round = 0; round < 10; ++round) {
+    auto w = ring.acquire_write(5);
+    EXPECT_EQ(w.stream_pos(), expected_write);
+    ring.commit_write(w.size());
+    expected_write += w.size();
+    auto r = ring.acquire_read();
+    EXPECT_EQ(r.stream_pos(), expected_read);
+    ring.commit_read(r.size());
+    expected_read += r.size();
+  }
+  EXPECT_EQ(ring.total_produced(), expected_write);
+  EXPECT_EQ(ring.total_consumed(), expected_read);
+}
+
+TEST(SpscRing, DoneOnlyWhenClosedAndFullyVisible) {
+  SpscRing ring{8};
+  auto w = ring.acquire_write(3);
+  (void)w;
+  ring.commit_write(3);
+  EXPECT_FALSE(ring.acquire_read().done());  // not closed yet
+  ring.close();
+  auto r = ring.acquire_read();
+  EXPECT_TRUE(r.done());  // closed and this view covers everything
+  ring.commit_read(r.size());
+  auto empty = ring.acquire_read();
+  EXPECT_TRUE(empty.done());
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SpscRing, WaitReadableReturnsZeroWhenClosedAndDrained) {
+  SpscRing ring{8};
+  ring.set_blocking(true);
+  ring.close();
+  EXPECT_EQ(ring.wait_readable(), 0u);
+  EXPECT_EQ(ring.wait_writable(), 8u);
+}
+
+// ------------------------------------------------------- two-thread load
+
+TEST(SpscRingStress, ContendedStreamKeepsOrderAndCounts) {
+  constexpr std::uint64_t kTotal = 1 << 20;
+  SpscRing ring{1 << 10};
+  ring.set_blocking(true);
+
+  std::thread producer([&] {
+    Rng rng{42};
+    std::uint64_t sent = 0;
+    while (sent < kTotal) {
+      std::size_t want = 1 + rng.next_below(700);
+      (void)ring.wait_writable();
+      auto w = ring.acquire_write(want);
+      std::size_t n =
+          std::min<std::uint64_t>(w.size(), kTotal - sent);
+      for (std::size_t i = 0; i < n; ++i) w[i] = tag(sent + i);
+      ring.commit_write(n);
+      sent += n;
+    }
+    ring.close();
+  });
+
+  Rng rng{43};
+  std::uint64_t got = 0;
+  bool ordered = true;
+  for (;;) {
+    std::size_t avail = ring.wait_readable();
+    if (avail == 0) break;
+    auto r = ring.acquire_read(1 + rng.next_below(900));
+    EXPECT_EQ(r.stream_pos(), got);
+    for (std::size_t i = 0; i < r.size(); ++i)
+      ordered &= r[i] == tag(got + i);
+    got += r.size();
+    ring.commit_read(r.size());
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(got, kTotal);
+  EXPECT_EQ(ring.total_produced(), kTotal);
+  EXPECT_EQ(ring.total_consumed(), kTotal);
+}
+
+TEST(SpscRingStress, CloseMidStreamWakesTheConsumer) {
+  SpscRing ring{64};
+  ring.set_blocking(true);
+  std::thread producer([&] {
+    auto w = ring.acquire_write(10);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = tag(i);
+    ring.commit_write(w.size());
+    ring.close();
+  });
+  std::uint64_t got = 0;
+  for (;;) {
+    std::size_t avail = ring.wait_readable();
+    if (avail == 0) break;
+    auto r = ring.acquire_read();
+    got += r.size();
+    ring.commit_read(r.size());
+  }
+  producer.join();
+  EXPECT_EQ(got, 10u);
+}
+
+}  // namespace
+}  // namespace tinysdr::flow
