@@ -73,6 +73,15 @@ check_json "$smoke_dir/flow_streaming.json" \
   --eq "deterministic_match=1.0" --eq "copy_match_ok=1.0" \
   --gt "speedup_spsc_vs_copy=1.0"
 
+echo "== impairment smoke: ablation + batch/stream chain identity =="
+# The bench exits non-zero if the zero-magnitude chain perturbs the trial
+# engine or the streaming chain diverges from the batch one.
+./build/bench/bench_impairments \
+  --json "$smoke_dir/impairments.json" > /dev/null
+check_json "$smoke_dir/impairments.json" \
+  --series ablation_per \
+  --eq "batch_stream_identical=1.0" --eq "zero_chain_identical=1.0"
+
 echo "== perf gate: bench runs vs checked-in baselines =="
 if [[ "$have_python" == 1 ]]; then
   # Local machines differ from the baseline machine, so wall-clock and
@@ -112,6 +121,12 @@ if [[ "$have_python" == 1 ]]; then
     --current "$smoke_dir/flow_streaming.json" \
     --timing-tolerance 3.0 --ignore ".seconds" \
     --report "$smoke_dir/perf_gate_flow_streaming.json"
+  # impairments.json was produced by the impairment smoke above; every
+  # number in it is deterministic, so it gates at the default tolerance.
+  python3 scripts/perf_gate.py \
+    --baseline bench/baselines/BENCH_impairments.json \
+    --current "$smoke_dir/impairments.json" \
+    --report "$smoke_dir/perf_gate_impairments.json"
 else
   echo "smoke: python3 not found, skipping perf gate"
 fi

@@ -1,0 +1,45 @@
+#include "dsp/cfo.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::dsp {
+
+double estimate_cfo(std::span<const Complex> x,
+                    const CfoEstimatorConfig& config) {
+  const std::size_t lag = config.lag == 0 ? 1 : config.lag;
+  const bool squared = config.power == 2;
+  if (x.size() <= lag) return 0.0;
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t n = lag; n < x.size(); ++n) {
+    Complex a = x[n];
+    Complex b = x[n - lag];
+    if (squared) {
+      a *= a;
+      b *= b;
+    }
+    const Complex p = a * std::conj(b);
+    re += static_cast<double>(p.real());
+    im += static_cast<double>(p.imag());
+  }
+  if (re == 0.0 && im == 0.0) return 0.0;
+  const double raw = std::atan2(im, re) /
+                     (2.0 * std::numbers::pi * static_cast<double>(lag) *
+                      (squared ? 2.0 : 1.0));
+  const double est = raw - config.bias_cycles_per_sample;
+  return std::isfinite(est) ? est : 0.0;
+}
+
+void mix_cfo(std::span<Complex> x, double cycles_per_sample,
+             double start_phase_rad) {
+  if (cycles_per_sample == 0.0 && start_phase_rad == 0.0) return;
+  const double step = 2.0 * std::numbers::pi * cycles_per_sample;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double phi = start_phase_rad + step * static_cast<double>(n);
+    x[n] *= Complex{static_cast<float>(std::cos(phi)),
+                    static_cast<float>(std::sin(phi))};
+  }
+}
+
+}  // namespace tinysdr::dsp

@@ -1,0 +1,55 @@
+// Carrier-frequency-offset estimation and correction.
+//
+// The estimator is the conjugate-lag autocorrelation angle: for a capture
+// x it forms S = sum_n x[n] * conj(x[n-L]) and reads the offset as
+// arg(S) / (2*pi*L) cycles/sample. The lag L is the knob that adapts it
+// per PHY:
+//   - L = 1 for oversampled constant-envelope modulations (GFSK, O-QPSK,
+//     DBPSK): in-symbol samples rotate by the CFO alone and dominate the
+//     sum, transition samples average out;
+//   - L = samples-per-symbol for LoRa: the repeated preamble upchirps
+//     correlate coherently at exactly one symbol (Schmidl-&-Cox shape, the
+//     lora-lite demod_symbol_peak_cfo pattern), data symbols decorrelate —
+//     at critical sampling the lag-1 sum degenerates to ~0 because each
+//     chirp's per-sample increments sweep the full circle.
+// A modulation with an inherent mean rotation (NB-IoT's pi/2-BPSK) shows
+// up as a constant bias; callers calibrate it once on a clean reference
+// waveform (phy::measure_cfo_bias) and pass it here to subtract.
+//
+// Capture range is +-1/(2L) cycles/sample; estimates are pure functions of
+// the input (double accumulation, no RNG), so repeated calls are
+// byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/types.hpp"
+
+namespace tinysdr::dsp {
+
+struct CfoEstimatorConfig {
+  /// Autocorrelation lag in samples (>= 1; 0 is treated as 1).
+  std::size_t lag = 1;
+  /// Inherent modulation rotation (cycles/sample) subtracted from the raw
+  /// angle — the zero-CFO reading of the target waveform.
+  double bias_cycles_per_sample = 0.0;
+  /// Nonlinearity order: 2 squares each sample before correlating (and
+  /// halves the angle), stripping BPSK-family data flips — pi phase jumps
+  /// become 2*pi and vanish, so the residual rotation is deterministic.
+  /// The price is capture range: +-1/(2*L*power) cycles/sample. Values
+  /// other than 1 or 2 are treated as 1.
+  std::size_t power = 1;
+};
+
+/// Estimated offset in cycles/sample (0 when the capture is shorter than
+/// the lag or carries no energy). Always finite.
+[[nodiscard]] double estimate_cfo(std::span<const Complex> x,
+                                  const CfoEstimatorConfig& config = {});
+
+/// Rotate the capture by e^{j*(2*pi*f*n + phase0)} in place (n from 0 at
+/// x[0]). Correct an estimated offset with mix_cfo(x, -estimate).
+void mix_cfo(std::span<Complex> x, double cycles_per_sample,
+             double start_phase_rad = 0.0);
+
+}  // namespace tinysdr::dsp

@@ -1,0 +1,116 @@
+// Impairment and calibration blocks for free-running flowgraphs.
+//
+// The schedule-aware ImpairStreamBlock (link_stream.hpp) exists to replay
+// LinkSimulator trials byte-for-byte. These blocks are the general-purpose
+// counterparts for graphs with no FrameSchedule — a front-end capture
+// chain, a TX distortion model ahead of a spectrum probe:
+//
+//   ImpairChainBlock  the whole stream is one region: every chain slot is
+//                     seeded once at construction and its state carries
+//                     forever (a radio's defects don't reset per packet);
+//   DcNotchBlock      the streaming single-pole DC notch (impair::DcNotch);
+//   CfoCorrectBlock   a fixed-frequency de-rotator with phase carried
+//                     across chunks (apply the negative of an estimate).
+//
+// All three are pure stream functions of their input sequence — output
+// independent of chunking — so they compose with either scheduler.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/cfo.hpp"
+#include "flow/graph.hpp"
+#include "impair/correct.hpp"
+#include "impair/impair.hpp"
+
+namespace tinysdr::flow {
+
+/// The impairment chain over a continuous stream. Slot k draws from RNG
+/// stream (seed, stream_base + k), mirroring the trial engines' layout.
+class ImpairChainBlock : public Block {
+ public:
+  ImpairChainBlock(impair::Chain chain, std::uint64_t seed,
+                   std::uint64_t stream_base = 0)
+      : Block("impair_chain"), chain_(std::move(chain)) {
+    states_.reserve(chain_.size());
+    for (std::size_t k = 0; k < chain_.size(); ++k)
+      states_.push_back(impair::ImpairState{Rng{seed, stream_base + k}});
+  }
+
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    const std::size_t n = std::min(in.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i];
+    std::size_t done = 0;
+    while (done < n) {
+      auto seg = out.chunk(done, n - done);
+      for (std::size_t k = 0; k < chain_.size(); ++k)
+        chain_[k].impairment->apply(seg, states_[k]);
+      done += seg.size();
+    }
+    return {n, n};
+  }
+
+ private:
+  impair::Chain chain_;
+  std::vector<impair::ImpairState> states_;
+};
+
+/// Streaming DC removal: impair::DcNotch as a flow block.
+class DcNotchBlock : public Block {
+ public:
+  explicit DcNotchBlock(float alpha = 1.0f / 1024.0f)
+      : Block("dc_notch"), notch_(alpha) {}
+
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    const std::size_t n = std::min(in.size(), out.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i];
+    std::size_t done = 0;
+    while (done < n) {
+      auto seg = out.chunk(done, n - done);
+      notch_.process(seg);
+      done += seg.size();
+    }
+    return {n, n};
+  }
+
+  [[nodiscard]] dsp::Complex dc() const { return notch_.dc(); }
+
+ private:
+  impair::DcNotch notch_;
+};
+
+/// Fixed-frequency mixer: rotates the stream by e^{j*2*pi*f*n}, n the
+/// absolute sample index, phase continuous across chunks. To correct an
+/// offset, feed it the negative of a dsp::estimate_cfo reading.
+class CfoCorrectBlock : public Block {
+ public:
+  explicit CfoCorrectBlock(double cycles_per_sample)
+      : Block("cfo_correct"), cycles_per_sample_(cycles_per_sample) {}
+
+  WorkResult work(const ReadView& in, WriteView& out) override {
+    const std::size_t n = std::min(in.size(), out.size());
+    // Phase is position-pure: phi = step * absolute_index, one rounding
+    // path per sample, so chunk boundaries can never skew the rotation.
+    const double step = 2.0 * std::numbers::pi * cycles_per_sample_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phi = step * static_cast<double>(pos_ + i);
+      out[i] = in[i] * dsp::Complex{static_cast<float>(std::cos(phi)),
+                                    static_cast<float>(std::sin(phi))};
+    }
+    pos_ += n;
+    return {n, n};
+  }
+
+  [[nodiscard]] double cycles_per_sample() const { return cycles_per_sample_; }
+
+ private:
+  double cycles_per_sample_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace tinysdr::flow

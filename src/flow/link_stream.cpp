@@ -218,6 +218,66 @@ WorkResult AwgnStreamBlock::work(const ReadView& in, WriteView& out) {
   return {n, n};
 }
 
+ImpairStreamBlock::ImpairStreamBlock(const FrameSchedule* schedule,
+                                     const impair::Chain& chain,
+                                     impair::Stage stage)
+    : Block("impair_" + std::string(impair::stage_name(stage))),
+      schedule_(schedule),
+      stage_(stage) {
+  for (std::size_t k = 0; k < chain.size(); ++k)
+    if (chain[k].stage == stage) slots_.push_back({chain[k].impairment, k});
+}
+
+WorkResult ImpairStreamBlock::work(const ReadView& in, WriteView& out) {
+  const std::size_t n = std::min(in.size(), out.size());
+  const std::uint64_t base = in.stream_pos();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t pos = base + i;
+    const FrameEntry* e = schedule_->at(cursor_);
+    while (e != nullptr && pos >= e->start + e->length) {
+      ++cursor_;
+      region_active_ = false;
+      e = schedule_->at(cursor_);
+    }
+    std::size_t run;
+    if (e == nullptr || pos < e->start || slots_.empty()) {
+      // Gap silence (or a stage with no slots): passthrough, like the
+      // batch engine which never touches inter-trial silence.
+      std::uint64_t limit =
+          e == nullptr ? std::uint64_t(n - i) : e->start - pos;
+      run = static_cast<std::size_t>(std::min<std::uint64_t>(n - i, limit));
+      for (std::size_t j = 0; j < run; ++j) out[i + j] = in[i + j];
+    } else {
+      if (!region_active_) {
+        // Fresh per-slot state at region entry: same seeds run_point uses
+        // (trial seed, kImpairStreamBase + global chain index).
+        states_.clear();
+        for (const Slot& s : slots_)
+          states_.push_back(impair::ImpairState{
+              Rng{e->trial_seed,
+                  phy::LinkSimulator::kImpairStreamBase + s.chain_index}});
+        region_active_ = true;
+      }
+      run = static_cast<std::size_t>(
+          std::min<std::uint64_t>(n - i, e->start + e->length - pos));
+      for (std::size_t j = 0; j < run; ++j) out[i + j] = in[i + j];
+      std::size_t done = 0;
+      while (done < run) {
+        auto seg = out.chunk(i + done, run - done);
+        // Slots compose in chain order per segment; each block's
+        // chunk-independence makes this equal to whole-region application.
+        for (std::size_t k = 0; k < slots_.size(); ++k)
+          slots_[k].impairment->apply(seg, states_[k]);
+        done += seg.size();
+      }
+      samples_processed_ += run;
+    }
+    i += run;
+  }
+  return {n, n};
+}
+
 WorkResult FrameSlicerSink::work(const ReadView& in, WriteView&) {
   const std::size_t n = in.size();
   const std::uint64_t base = in.stream_pos();
@@ -256,21 +316,51 @@ void StreamingLink::add_interferer(const phy::Interferer& source,
   slots_.emplace_back(&source, power);
 }
 
+void StreamingLink::add_impairment(const impair::Impairment& block,
+                                   impair::Stage stage) {
+  impairments_.push_back({&block, stage});
+}
+
 StreamResult StreamingLink::run(const phy::SweepPoint& point,
                                 bool threaded) const {
   FrameSchedule schedule;
   FlowGraph graph;
   const Hertz rate = plan_.trial.channel_rate.value_or(rx_->sample_rate());
 
+  bool has_tx_impair = false;
+  bool has_rx_impair = false;
+  for (const auto& slot : impairments_) {
+    if (slot.stage == impair::Stage::kTx) has_tx_impair = true;
+    if (slot.stage == impair::Stage::kRx) has_rx_impair = true;
+  }
+
   auto* src = graph.add_block<FrameStreamSource>(*tx_, plan_, point, slots_,
                                                  &schedule);
   auto* mix = graph.add_block<InterfererMixBlock>(&schedule);
+  ImpairStreamBlock* tx_imp =
+      has_tx_impair ? graph.add_block<ImpairStreamBlock>(
+                          &schedule, impairments_, impair::Stage::kTx)
+                    : nullptr;
   auto* awgn = graph.add_block<AwgnStreamBlock>(
       &schedule, rate, plan_.trial.noise_figure_db, point.rssi);
+  ImpairStreamBlock* rx_imp =
+      has_rx_impair ? graph.add_block<ImpairStreamBlock>(
+                          &schedule, impairments_, impair::Stage::kRx)
+                    : nullptr;
   auto* sink = graph.add_block<FrameSlicerSink>(*rx_, &schedule);
   graph.connect(src, mix, plan_.ring_capacity);
-  graph.connect(mix, awgn, plan_.ring_capacity);
-  graph.connect(awgn, sink, plan_.ring_capacity);
+  if (tx_imp != nullptr) {
+    graph.connect(mix, tx_imp, plan_.ring_capacity);
+    graph.connect(tx_imp, awgn, plan_.ring_capacity);
+  } else {
+    graph.connect(mix, awgn, plan_.ring_capacity);
+  }
+  if (rx_imp != nullptr) {
+    graph.connect(awgn, rx_imp, plan_.ring_capacity);
+    graph.connect(rx_imp, sink, plan_.ring_capacity);
+  } else {
+    graph.connect(awgn, sink, plan_.ring_capacity);
+  }
 
   StreamResult result;
   result.report = threaded ? graph.run_threaded() : graph.run();
@@ -282,6 +372,17 @@ StreamResult StreamingLink::run(const phy::SweepPoint& point,
         .add(static_cast<double>(result.point.frames));
     m->counter("flow.stream.samples")
         .add(static_cast<double>(result.report.samples_streamed));
+    // Chain-order totals added once per run, like run_point — journaled
+    // metrics stay identical across ring sizes and schedulers.
+    for (const auto& slot : impairments_) {
+      const ImpairStreamBlock* stage_block =
+          slot.stage == impair::Stage::kTx ? tx_imp : rx_imp;
+      m->counter("impair." + std::string(impair::stage_name(slot.stage)) +
+                 "." + std::string(slot.impairment->name()) + ".samples")
+          .add(stage_block == nullptr
+                   ? 0.0
+                   : static_cast<double>(stage_block->samples_processed()));
+    }
   }
   return result;
 }

@@ -146,6 +146,41 @@ class AwgnStreamBlock : public Block {
   std::optional<channel::AwgnChannel> channel_;  ///< current region's RNG
 };
 
+/// The impairment chain as a schedule-aware stream block: applies every
+/// slot of one stage, in chain order, to each frame region (gaps pass
+/// through untouched). Per-slot ImpairState is re-seeded at region entry
+/// from the entry's trial seed and the slot's *global* chain index —
+/// exactly LinkSimulator's Rng{tseed, kImpairStreamBase + k} — and carried
+/// across chunks, so the output is byte-identical to the batch engine for
+/// any ring size and either scheduler.
+class ImpairStreamBlock : public Block {
+ public:
+  ImpairStreamBlock(const FrameSchedule* schedule, const impair::Chain& chain,
+                    impair::Stage stage);
+
+  WorkResult work(const ReadView& in, WriteView& out) override;
+
+  /// Total region samples this stage processed (same count for every slot
+  /// in the stage — each slot sees the whole region).
+  [[nodiscard]] std::uint64_t samples_processed() const {
+    return samples_processed_;
+  }
+
+ private:
+  struct Slot {
+    const impair::Impairment* impairment;
+    std::size_t chain_index;  ///< index in the full chain (RNG stream)
+  };
+
+  const FrameSchedule* schedule_;
+  impair::Stage stage_;
+  std::vector<Slot> slots_;
+  std::size_t cursor_ = 0;
+  std::vector<impair::ImpairState> states_;  ///< parallel to slots_
+  bool region_active_ = false;
+  std::uint64_t samples_processed_ = 0;
+};
+
 /// Sink: reassembles each frame region from the stream, demodulates it
 /// against the entry's payload, and aggregates the PointResult.
 class FrameSlicerSink : public Block {
@@ -186,6 +221,16 @@ class StreamingLink {
   void add_interferer(const phy::Interferer& source,
                       std::optional<Dbm> power = std::nullopt);
 
+  /// Append an impairment block exactly as LinkSimulator::add_impairment
+  /// does: same chain order, same stage placement (TX between the
+  /// interferer mix and the AWGN channel, RX after it), same RNG streams —
+  /// run() stays byte-identical to run_point() with the same chain.
+  void add_impairment(const impair::Impairment& block, impair::Stage stage);
+
+  [[nodiscard]] const impair::Chain& impairments() const {
+    return impairments_;
+  }
+
   [[nodiscard]] const StreamPlan& plan() const { return plan_; }
 
   /// Stream every trial through a freshly built flowgraph. `threaded`
@@ -198,6 +243,7 @@ class StreamingLink {
   const phy::PhyRx* rx_;
   StreamPlan plan_;
   std::vector<std::pair<const phy::Interferer*, std::optional<Dbm>>> slots_;
+  impair::Chain impairments_;
 };
 
 }  // namespace tinysdr::flow

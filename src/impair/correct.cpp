@@ -1,0 +1,71 @@
+#include "impair/correct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::impair {
+
+dsp::Complex remove_dc(std::span<dsp::Complex> x) {
+  if (x.empty()) return {0.0f, 0.0f};
+  double re = 0.0;
+  double im = 0.0;
+  for (const auto& s : x) {
+    re += static_cast<double>(s.real());
+    im += static_cast<double>(s.imag());
+  }
+  const auto n = static_cast<double>(x.size());
+  const dsp::Complex dc{static_cast<float>(re / n),
+                        static_cast<float>(im / n)};
+  for (auto& s : x) s -= dc;
+  return dc;
+}
+
+double IqEstimate::gain_db() const {
+  const double g = std::sqrt(c1 * c1 + c2 * c2);
+  return g > 0.0 ? 20.0 * std::log10(g) : 0.0;
+}
+
+double IqEstimate::phase_deg() const {
+  return std::atan2(c1, c2) * 180.0 / std::numbers::pi;
+}
+
+IqEstimate estimate_iq_imbalance(std::span<const dsp::Complex> x) {
+  if (x.empty()) return {};
+  double theta1 = 0.0;  // E[sgn(I)*Q]
+  double theta2 = 0.0;  // E[|I|]
+  double theta3 = 0.0;  // E[|Q|]
+  for (const auto& s : x) {
+    const double i = s.real();
+    const double q = s.imag();
+    theta1 += (i > 0.0 ? q : i < 0.0 ? -q : 0.0);
+    theta2 += std::abs(i);
+    theta3 += std::abs(q);
+  }
+  const auto n = static_cast<double>(x.size());
+  theta1 /= n;
+  theta2 /= n;
+  theta3 /= n;
+  if (theta2 <= 1e-12) return {};  // I rail dead: nothing to reference
+  IqEstimate est;
+  est.c1 = theta1 / theta2;
+  const double c2sq = theta3 * theta3 - theta1 * theta1;
+  est.c2 = c2sq > 0.0 ? std::sqrt(c2sq) / theta2 : 1.0;
+  return est;
+}
+
+void correct_iq_imbalance(std::span<dsp::Complex> x, const IqEstimate& est) {
+  if (!(est.c2 > 1e-6) || !std::isfinite(est.c1) || !std::isfinite(est.c2))
+    return;
+  const auto c1 = static_cast<float>(est.c1);
+  const auto inv_c2 = static_cast<float>(1.0 / est.c2);
+  for (auto& s : x)
+    s = dsp::Complex{s.real(), (s.imag() - c1 * s.real()) * inv_c2};
+}
+
+IqEstimate correct_iq_imbalance(std::span<dsp::Complex> x) {
+  IqEstimate est = estimate_iq_imbalance(x);
+  correct_iq_imbalance(x, est);
+  return est;
+}
+
+}  // namespace tinysdr::impair

@@ -1,0 +1,121 @@
+#include "impair/impair.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tinysdr::impair {
+
+std::string_view stage_name(Stage stage) {
+  return stage == Stage::kTx ? "tx" : "rx";
+}
+
+// ---------------------------------------------------------- IqImbalance
+
+IqImbalance::IqImbalance(double gain_db, double phase_deg)
+    : gain_db_(gain_db),
+      phase_deg_(phase_deg),
+      enabled_(gain_db != 0.0 || phase_deg != 0.0) {
+  const double g = std::pow(10.0, gain_db / 20.0);
+  const double phi = phase_deg * std::numbers::pi / 180.0;
+  sin_term_ = static_cast<float>(g * std::sin(phi));
+  cos_term_ = static_cast<float>(g * std::cos(phi));
+}
+
+void IqImbalance::apply(std::span<dsp::Complex> x, ImpairState& state) const {
+  if (enabled_) {
+    for (auto& s : x)
+      s = dsp::Complex{s.real(),
+                       sin_term_ * s.real() + cos_term_ * s.imag()};
+  }
+  state.pos += x.size();
+}
+
+// ------------------------------------------------------------- DcOffset
+
+DcOffset::DcOffset(dsp::Complex offset)
+    : offset_(offset), enabled_(offset != dsp::Complex{0.0f, 0.0f}) {}
+
+void DcOffset::apply(std::span<dsp::Complex> x, ImpairState& state) const {
+  if (enabled_)
+    for (auto& s : x) s += offset_;
+  state.pos += x.size();
+}
+
+// ------------------------------------------------------------- CfoDrift
+
+CfoDrift::CfoDrift(double cfo_cycles_per_sample,
+                   double drift_cycles_per_sample2)
+    : cfo_(cfo_cycles_per_sample),
+      drift_(drift_cycles_per_sample2),
+      enabled_(cfo_cycles_per_sample != 0.0 ||
+               drift_cycles_per_sample2 != 0.0) {}
+
+void CfoDrift::apply(std::span<dsp::Complex> x, ImpairState& state) const {
+  if (enabled_) {
+    for (auto& s : x) {
+      // Phase computed fresh from the absolute region position each
+      // sample (not accumulated), so any chunking reproduces it exactly.
+      const auto n = static_cast<double>(state.pos);
+      const double phi =
+          2.0 * std::numbers::pi * (cfo_ * n + 0.5 * drift_ * n * n);
+      s *= dsp::Complex{static_cast<float>(std::cos(phi)),
+                        static_cast<float>(std::sin(phi))};
+      ++state.pos;
+    }
+  } else {
+    state.pos += x.size();
+  }
+}
+
+// ----------------------------------------------------------- PhaseNoise
+
+PhaseNoise::PhaseNoise(double sigma_rad_per_sample)
+    : sigma_(sigma_rad_per_sample), enabled_(sigma_rad_per_sample != 0.0) {}
+
+void PhaseNoise::apply(std::span<dsp::Complex> x, ImpairState& state) const {
+  if (enabled_) {
+    for (auto& s : x) {
+      state.phase += sigma_ * state.rng.next_gaussian();
+      s *= dsp::Complex{static_cast<float>(std::cos(state.phase)),
+                        static_cast<float>(std::sin(state.phase))};
+      ++state.pos;
+    }
+  } else {
+    state.pos += x.size();
+  }
+}
+
+// --------------------------------------------------------------- PaClip
+
+PaClip::PaClip(double clip_level, double smoothness)
+    : clip_level_(clip_level),
+      smoothness_(smoothness > 0.0 ? smoothness : 2.0),
+      enabled_(clip_level > 0.0) {}
+
+void PaClip::apply(std::span<dsp::Complex> x, ImpairState& state) const {
+  if (enabled_) {
+    const double inv_a = 1.0 / clip_level_;
+    const double two_p = 2.0 * smoothness_;
+    for (auto& s : x) {
+      const double mag = std::sqrt(static_cast<double>(std::norm(s)));
+      if (mag <= 0.0) continue;
+      const double shrink =
+          std::pow(1.0 + std::pow(mag * inv_a, two_p), -1.0 / two_p);
+      s *= static_cast<float>(shrink);
+    }
+  }
+  state.pos += x.size();
+}
+
+// ---------------------------------------------------------------- Chain
+
+void apply_stage(const Chain& chain, Stage stage, std::span<dsp::Complex> x,
+                 std::uint64_t trial_seed, std::uint64_t stream_base) {
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    if (chain[k].stage != stage) continue;
+    ImpairState state{Rng{trial_seed, stream_base + k}};
+    chain[k].impairment->apply(x, state);
+  }
+}
+
+}  // namespace tinysdr::impair

@@ -42,6 +42,11 @@ void LinkSimulator::add_interferer(const Interferer& source,
   interferers_.push_back({&source, power});
 }
 
+void LinkSimulator::add_impairment(const impair::Impairment& block,
+                                   impair::Stage stage) {
+  impairments_.push_back({&block, stage});
+}
+
 std::uint64_t LinkSimulator::point_seed(std::uint64_t base, double rssi_dbm) {
   return exec::stream_seed(
       base, exec::splitmix64(std::bit_cast<std::uint64_t>(rssi_dbm)));
@@ -62,6 +67,15 @@ PointResult LinkSimulator::run_point(const SweepPoint& point) const {
   // steady-state cost is the waveform writes themselves.
   dsp::Samples wave, interferer_wave;
   std::vector<std::uint8_t> payload;
+
+  bool has_tx_impair = false;
+  bool has_rx_impair = false;
+  for (const auto& slot : impairments_) {
+    if (slot.stage == impair::Stage::kTx) has_tx_impair = true;
+    if (slot.stage == impair::Stage::kRx) has_rx_impair = true;
+  }
+  std::uint64_t tx_impair_samples = 0;
+  std::uint64_t rx_impair_samples = 0;
 
   for (std::size_t t = 0; t < plan_.trials; ++t) {
     const std::uint64_t tseed = exec::stream_seed(pseed, t);
@@ -97,9 +111,28 @@ PointResult LinkSimulator::run_point(const SweepPoint& point) const {
       signal = &combined;
     }
 
+    // TX-stage impairments distort the combined waveform on a copy, so
+    // the clean `wave` stays available to reactive interferer models and
+    // an empty chain leaves this path untouched.
+    if (has_tx_impair) {
+      if (signal != &combined) {
+        combined.assign(signal->begin(), signal->end());
+        signal = &combined;
+      }
+      impair::apply_stage(impairments_, impair::Stage::kTx, combined, tseed,
+                          kImpairStreamBase);
+      tx_impair_samples += combined.size();
+    }
+
     channel::AwgnChannel channel{rate, plan_.noise_figure_db,
                                  Rng{tseed, kChannelStream}};
     auto noisy = channel.apply(*signal, point.rssi);
+
+    if (has_rx_impair) {
+      impair::apply_stage(impairments_, impair::Stage::kRx, noisy, tseed,
+                          kImpairStreamBase);
+      rx_impair_samples += noisy.size();
+    }
 
     FrameResult r;
     if (registry != nullptr) {
@@ -132,6 +165,18 @@ PointResult LinkSimulator::run_point(const SweepPoint& point) const {
         .add(static_cast<double>(acc.bit_errors));
     registry->counter(prefix + ".symbol_errors")
         .add(static_cast<double>(acc.symbol_errors));
+    // One add per chain slot, in chain order — the streaming engine adds
+    // the same totals in the same order, keeping journaled metrics
+    // byte-identical between the two paths.
+    for (const auto& slot : impairments_) {
+      const std::uint64_t total = slot.stage == impair::Stage::kTx
+                                      ? tx_impair_samples
+                                      : rx_impair_samples;
+      registry
+          ->counter("impair." + std::string(impair::stage_name(slot.stage)) +
+                    "." + std::string(slot.impairment->name()) + ".samples")
+          .add(static_cast<double>(total));
+    }
   }
   return acc;
 }

@@ -23,6 +23,7 @@
 
 #include "channel/noise.hpp"
 #include "exec/policy.hpp"
+#include "impair/impair.hpp"
 #include "phy/phy.hpp"
 
 namespace tinysdr::phy {
@@ -142,6 +143,20 @@ class LinkSimulator {
     return interferers_.size();
   }
 
+  /// Append an impairment block to the ordered chain (borrowed; must
+  /// outlive the simulator). TX-stage slots distort the combined waveform
+  /// after the interferer mix and before the AWGN channel; RX-stage slots
+  /// land on the noisy capture before demodulation. Slot k draws from RNG
+  /// stream (trial seed, kImpairStreamBase + k) — k the slot's index in
+  /// the full chain — so results are independent of the sweep grid and
+  /// thread count, and flow::StreamingLink can replay them byte-for-byte.
+  /// An empty chain leaves every existing sweep byte-identical.
+  void add_impairment(const impair::Impairment& block, impair::Stage stage);
+
+  [[nodiscard]] const impair::Chain& impairments() const {
+    return impairments_;
+  }
+
   [[nodiscard]] const TrialPlan& plan() const { return plan_; }
 
   /// PCG stream selectors for the independent randomness a trial consumes.
@@ -155,6 +170,9 @@ class LinkSimulator {
   static constexpr std::uint64_t kInterfererStream = 2;
   static constexpr std::uint64_t kChannelStream = 3;
   static constexpr std::uint64_t kExtraInterfererBase = 16;
+  /// Impairment chain slot k draws stream kImpairStreamBase + k; the base
+  /// sits clear of the interferer block (kExtraInterfererBase + k).
+  static constexpr std::uint64_t kImpairStreamBase = 64;
 
   /// Seed for a point: pure in (base, rssi value), independent of where —
   /// or whether — the point sits in any particular sweep grid.
@@ -197,6 +215,7 @@ class LinkSimulator {
   const PhyRx* rx_;
   TrialPlan plan_;
   std::vector<InterfererSlot> interferers_;
+  impair::Chain impairments_;
   /// Adapters created by set_interferer(); stable addresses for the slots.
   std::vector<std::unique_ptr<Interferer>> owned_;
 };

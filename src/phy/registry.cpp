@@ -41,23 +41,33 @@ const Registry& Registry::builtin() {
   static const Registry registry = [] {
     Registry r;
     r.add({Protocol::kLora, std::string(protocol_name(Protocol::kLora)),
-           kLoraSystemNf, lora::kMaxPayload, 300,
+           kLoraSystemNf, lora::kMaxPayload, 300, 256, 1, 0,
            [] { return std::make_unique<LoraPacketTx>(); },
            [] { return std::make_unique<LoraPacketRx>(); }});
     r.add({Protocol::kBle, std::string(protocol_name(Protocol::kBle)),
-           kBleSystemNf, 31, 0,
+           kBleSystemNf, 31, 0, 1, 1, 0,
            [] { return std::make_unique<BleBeaconTx>(); },
            [] { return std::make_unique<BleBeaconRx>(); }});
     r.add({Protocol::kZigbee, std::string(protocol_name(Protocol::kZigbee)),
-           kZigbeeSystemNf, zigbee::kMaxPsdu - 2, 0,
+           // cfo_window 512 with cfo_lag 64: the fixed preamble is 8
+           // identical zero symbols of 64 samples, so lag-one-symbol
+           // products inside the window rotate by the CFO alone
+           // (Schmidl-&-Cox) — O-QPSK's chip-dependent rotation makes any
+           // whole-frame or lag-1 estimate payload-biased, and the
+           // frame-coherent demod needs ~1e-4 cycles/sample precision.
+           kZigbeeSystemNf, zigbee::kMaxPsdu - 2, 0, 64, 1, 512,
            [] { return std::make_unique<ZigbeeTx>(); },
            [] { return std::make_unique<ZigbeeRx>(); }});
     r.add({Protocol::kSigfox, std::string(protocol_name(Protocol::kSigfox)),
-           kSigfoxSystemNf, sigfox::kMaxPayload, 0,
+           kSigfoxSystemNf, sigfox::kMaxPayload, 0, 1, 1, 0,
            [] { return std::make_unique<SigfoxTx>(); },
            [] { return std::make_unique<SigfoxRx>(); }});
     r.add({Protocol::kNbiot, std::string(protocol_name(Protocol::kNbiot)),
-           kNbiotSystemNf, nbiot::kMaxPayload, 0,
+           // cfo_power 2 strips pi/2-BPSK data flips (they would bias a
+           // first-order estimate); cfo_lag 16 = two symbols, where the
+           // squared signal's pi-per-symbol ramp is exactly 2*pi == 0, so
+           // the bias vanishes and precision scales by the lag.
+           kNbiotSystemNf, nbiot::kMaxPayload, 0, 16, 2, 0,
            [] { return std::make_unique<NbiotTx>(); },
            [] { return std::make_unique<NbiotRx>(); }});
     return r;

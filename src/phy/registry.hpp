@@ -28,6 +28,18 @@ struct RegisteredPhy {
   /// synchronising receivers (LoRa packet sync hunts for the preamble);
   /// aligned demodulators expect the frame at sample zero and must get 0.
   std::size_t pad_samples = 0;
+  /// Autocorrelation lag (samples) the CFO estimator should use for this
+  /// PHY: 1 for oversampled constant-envelope modulations, samples-per-
+  /// symbol for LoRa's repeated-preamble correlation (see dsp/cfo.hpp).
+  std::size_t cfo_lag = 1;
+  /// Estimator nonlinearity order: 2 for BPSK-family PHYs whose data
+  /// flips would otherwise bias the angle (NB-IoT pi/2-BPSK); 1 elsewhere.
+  std::size_t cfo_power = 1;
+  /// Samples of the capture the estimator reads (0 = all). Non-zero for
+  /// PHYs whose rotation is data-dependent but whose frames open with a
+  /// fixed pattern (Zigbee's 8-symbol preamble + SFD): windowing to it
+  /// makes the measured bias payload-independent.
+  std::size_t cfo_window = 0;
   std::function<std::unique_ptr<PhyTx>()> make_tx;
   std::function<std::unique_ptr<PhyRx>()> make_rx;
 };

@@ -9,6 +9,7 @@ void register_builtin_harnesses() {
     register_phy_harnesses();
     register_obs_harnesses();
     register_adversary_harnesses();
+    register_impair_harnesses();
     return true;
   }();
   (void)once;

@@ -17,6 +17,7 @@ void register_ota_harnesses();
 void register_phy_harnesses();
 void register_obs_harnesses();
 void register_adversary_harnesses();
+void register_impair_harnesses();
 
 /// Registers every builtin harness exactly once (idempotent).
 void register_builtin_harnesses();

@@ -1,0 +1,135 @@
+// Impairment-pipeline harnesses: a fuzzed chain of every impairment block
+// over fuzzed magnitudes must stay total (no crash, no NaN/Inf) and
+// chunk-independent, and the CFO estimator must return a finite,
+// range-bounded value for any lag/power/bias over any capture — including
+// degenerate ones (empty, shorter than the lag, all-zero).
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/cfo.hpp"
+#include "dsp/types.hpp"
+#include "harnesses.hpp"
+#include "impair/correct.hpp"
+#include "impair/impair.hpp"
+#include "testkit/bytes.hpp"
+#include "testkit/harness.hpp"
+
+namespace tinysdr::fuzz {
+namespace {
+
+void require(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+void require_finite(std::span<const dsp::Complex> x, const std::string& who) {
+  for (auto s : x)
+    require(std::isfinite(s.real()) && std::isfinite(s.imag()),
+            who + ": non-finite sample");
+}
+
+std::vector<dsp::Complex> make_signal(std::size_t n, std::uint64_t seed,
+                                      double amplitude) {
+  std::vector<dsp::Complex> x(n);
+  Rng rng{seed, 7};
+  for (auto& s : x)
+    s = dsp::Complex{static_cast<float>(amplitude * rng.next_gaussian()),
+                     static_cast<float>(amplitude * rng.next_gaussian())};
+  return x;
+}
+
+// Fuzzed magnitudes through the full block set, applied once whole and
+// once in fuzz-chosen chunks with carried state: both runs must be
+// bit-identical and finite.
+void impairments_harness(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  const std::size_t n = 1 + src.uint_below(384);
+  const std::uint64_t seed = src.u64();
+  auto whole = make_signal(n, seed, src.real_in(0.0, 4.0));
+  auto split = whole;
+
+  const impair::IqImbalance iq{src.real_in(-6.0, 6.0),
+                               src.real_in(-30.0, 30.0)};
+  const impair::DcOffset dc{
+      {static_cast<float>(src.real_in(-2.0, 2.0)),
+       static_cast<float>(src.real_in(-2.0, 2.0))}};
+  const impair::CfoDrift cfo{src.real_in(-0.6, 0.6),
+                             src.real_in(-1e-3, 1e-3)};
+  const impair::PhaseNoise pn{src.real_in(0.0, 1.0)};
+  const impair::PaClip clip{src.real_in(-1.0, 3.0), src.real_in(0.1, 6.0)};
+  const impair::Impairment* blocks[] = {&clip, &iq, &cfo, &dc, &pn};
+
+  const std::uint64_t state_seed = src.u64();
+  const std::size_t chunk = 1 + src.uint_below(64);
+  for (std::size_t k = 0; k < std::size(blocks); ++k) {
+    impair::ImpairState st_whole{Rng{state_seed, 64 + k}};
+    blocks[k]->apply(whole, st_whole);
+
+    impair::ImpairState st{Rng{state_seed, 64 + k}};
+    for (std::size_t off = 0; off < split.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, split.size() - off);
+      blocks[k]->apply(std::span<dsp::Complex>{split.data() + off, len}, st);
+    }
+    require(st.pos == st_whole.pos, "impair: chunked pos diverged");
+  }
+  require_finite(whole, "impair.chain");
+  const std::string name{"impair: chunked apply diverged from whole"};
+  for (std::size_t i = 0; i < n; ++i) {
+    require(whole[i].real() == split[i].real() &&
+                whole[i].imag() == split[i].imag(),
+            name);
+  }
+}
+
+// Any capture, any config: the estimator must return a finite value inside
+// its capture range (plus the configured bias), and never throw.
+void cfo_estimator_harness(std::span<const std::uint8_t> data) {
+  testkit::ByteSource src{data};
+
+  const std::size_t n = src.uint_below(768);  // 0 and 1 are in range
+  std::vector<dsp::Complex> x = make_signal(n, src.u64(),
+                                            src.real_in(0.0, 100.0));
+  if (!x.empty() && src.boolean()) {
+    // Sometimes a tone with real CFO, sometimes noise, sometimes zeros.
+    const double f = src.real_in(-0.5, 0.5);
+    if (src.boolean()) {
+      for (auto& s : x) s = dsp::Complex{1.0f, 0.0f};
+    }
+    dsp::mix_cfo(x, f);
+    require_finite(x, "dsp.mix_cfo");
+  }
+  if (!x.empty() && src.boolean())
+    x.assign(x.size(), dsp::Complex{0.0f, 0.0f});
+
+  dsp::CfoEstimatorConfig cfg;
+  cfg.lag = 1 + src.uint_below(2048);  // may exceed the capture length
+  cfg.bias_cycles_per_sample = src.real_in(-0.1, 0.1);
+  cfg.power = src.uint_below(4);  // invalid powers must degrade to 1
+  const double est = dsp::estimate_cfo(x, cfg);
+  require(std::isfinite(est), "dsp.cfo_estimator: non-finite estimate");
+  require(std::abs(est) <=
+              0.5 + std::abs(cfg.bias_cycles_per_sample) + 1e-9,
+          "dsp.cfo_estimator: estimate outside capture range");
+
+  if (!x.empty()) {
+    dsp::mix_cfo(x, -est);
+    require_finite(x, "dsp.cfo_estimator: correction output");
+    impair::correct_iq_imbalance(x);
+    require_finite(x, "impair.iq_correction");
+  }
+}
+
+}  // namespace
+
+void register_impair_harnesses() {
+  auto& reg = testkit::HarnessRegistry::instance();
+  reg.add({"phy.impairments", impairments_harness, /*max_len=*/96});
+  reg.add({"dsp.cfo_estimator", cfo_estimator_harness, /*max_len=*/64});
+}
+
+}  // namespace tinysdr::fuzz

@@ -1,0 +1,186 @@
+// Impairment-block contracts: pinned golden vectors at fixed seed/params,
+// bit-exact zero-magnitude passthrough with no RNG draws, and
+// chunk-independence (any split of a region with carried state is
+// byte-identical to one whole-region call) — the property both trial
+// engines' byte-identity rests on.
+#include "impair/impair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "impair/correct.hpp"
+
+namespace tinysdr::impair {
+namespace {
+
+std::vector<dsp::Complex> golden_input(std::size_t n = 16) {
+  std::vector<dsp::Complex> x(n);
+  Rng rng{0xBEEF, 7};
+  for (auto& s : x)
+    s = dsp::Complex{static_cast<float>(rng.next_gaussian()),
+                     static_cast<float>(rng.next_gaussian())};
+  return x;
+}
+
+ImpairState golden_state() { return ImpairState{Rng{0x1234, 64}}; }
+
+void expect_golden(const Impairment& imp,
+                   const std::vector<dsp::Complex>& want) {
+  auto x = golden_input();
+  ImpairState st = golden_state();
+  imp.apply(x, st);
+  ASSERT_LE(want.size(), x.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), want[i].real(), 1e-6) << "sample " << i;
+    EXPECT_NEAR(x[i].imag(), want[i].imag(), 1e-6) << "sample " << i;
+  }
+  EXPECT_EQ(st.pos, x.size());
+}
+
+TEST(ImpairGolden, IqImbalance) {
+  expect_golden(IqImbalance{1.0, 5.0},
+                {{0.67395997f, -1.11017454f},
+                 {0.307206273f, 2.91535997f},
+                 {-0.104664706f, -0.21081695f},
+                 {-0.526915669f, 0.0585451722f},
+                 {-0.451275527f, -0.549143016f},
+                 {-1.58939362f, -0.503316879f},
+                 {-0.175116837f, -0.575594962f},
+                 {-3.11091661f, -0.777058363f}});
+}
+
+TEST(ImpairGolden, DcOffset) {
+  expect_golden(DcOffset{{0.25f, -0.125f}},
+                {{0.92395997f, -1.17718744f},
+                 {0.557206273f, 2.45636535f},
+                 {0.145335287f, -0.304451525f},
+                 {-0.276915669f, -0.0265230983f},
+                 {-0.201275527f, -0.576812267f},
+                 {-1.33939362f, -0.436241239f},
+                 {0.074883163f, -0.624638438f},
+                 {-2.86091661f, -0.548029542f}});
+}
+
+TEST(ImpairGolden, CfoDrift) {
+  expect_golden(CfoDrift{0.01, 1e-6},
+                {{0.67395997f, -1.05218744f},
+                 {0.144506633f, 2.59556174f},
+                 {-0.0813457519f, -0.191155478f},
+                 {-0.53603518f, -0.00201670825f},
+                 {-0.324709117f, -0.549861729f},
+                 {-1.41536236f, -0.787268817f},
+                 {0.0211694986f, -0.529014468f},
+                 {-2.63446164f, -1.70773804f}});
+}
+
+TEST(ImpairGolden, PhaseNoise) {
+  expect_golden(PhaseNoise{0.05},
+                {{0.649921477f, -1.06720304f},
+                 {0.553515553f, 2.53996897f},
+                 {-0.0985462144f, -0.182883009f},
+                 {-0.525431871f, 0.106109172f},
+                 {-0.42671442f, -0.475077569f},
+                 {-1.59782934f, -0.26454553f},
+                 {-0.215747654f, -0.483484626f},
+                 {-3.13392687f, -0.187770456f}});
+}
+
+TEST(ImpairGolden, PaClip) {
+  expect_golden(PaClip{0.8, 2.0},
+                {{0.415063888f, -0.647998452f},
+                 {0.0943294317f, 0.792622924f},
+                 {-0.104546055f, -0.179248095f},
+                 {-0.503273249f, 0.0940582976f},
+                 {-0.414426327f, -0.414919198f},
+                 {-0.77382046f, -0.151532531f},
+                 {-0.167600378f, -0.478192657f},
+                 {-0.79187125f, -0.107680455f}});
+}
+
+// Zero magnitude must be a bit-exact passthrough that draws no randomness
+// and still advances the position (downstream slots depend on it).
+void expect_passthrough(const Impairment& imp) {
+  auto x = golden_input();
+  const auto original = x;
+  ImpairState st = golden_state();
+  imp.apply(x, st);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].real(), original[i].real()) << imp.name() << " @" << i;
+    EXPECT_EQ(x[i].imag(), original[i].imag()) << imp.name() << " @" << i;
+  }
+  EXPECT_EQ(st.pos, x.size()) << imp.name();
+  Rng fresh{0x1234, 64};
+  EXPECT_EQ(st.rng.next_gaussian(), fresh.next_gaussian())
+      << imp.name() << " consumed randomness while disabled";
+}
+
+TEST(ImpairPassthrough, ZeroMagnitudeIsExact) {
+  expect_passthrough(IqImbalance{0.0, 0.0});
+  expect_passthrough(DcOffset{{0.0f, 0.0f}});
+  expect_passthrough(CfoDrift{0.0});
+  expect_passthrough(PhaseNoise{0.0});
+  expect_passthrough(PaClip{0.0});
+  expect_passthrough(PaClip{-1.0});
+}
+
+// Chunk-independence: processing a region in arbitrary consecutive splits
+// with one carried ImpairState is byte-identical to a single whole-region
+// apply — for every block, including the stateful random-walk one.
+void expect_chunk_independent(const Impairment& imp) {
+  auto whole = golden_input(257);
+  ImpairState st_whole = golden_state();
+  imp.apply(whole, st_whole);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+    auto split = golden_input(257);
+    ImpairState st = golden_state();
+    for (std::size_t off = 0; off < split.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, split.size() - off);
+      imp.apply(std::span<dsp::Complex>{split.data() + off, n}, st);
+    }
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      ASSERT_EQ(split[i].real(), whole[i].real())
+          << imp.name() << " chunk=" << chunk << " @" << i;
+      ASSERT_EQ(split[i].imag(), whole[i].imag())
+          << imp.name() << " chunk=" << chunk << " @" << i;
+    }
+    EXPECT_EQ(st.pos, st_whole.pos);
+  }
+}
+
+TEST(ImpairChunking, EveryBlockIsChunkIndependent) {
+  expect_chunk_independent(IqImbalance{1.5, 8.0});
+  expect_chunk_independent(DcOffset{{0.3f, -0.2f}});
+  expect_chunk_independent(CfoDrift{0.013, 2e-7});
+  expect_chunk_independent(PhaseNoise{0.07});
+  expect_chunk_independent(PaClip{0.7, 3.0});
+}
+
+TEST(ImpairChain, ApplyStageFiltersByStageAndKeepsSlotStreams) {
+  IqImbalance iq{1.0, 5.0};
+  DcOffset dc{{0.25f, -0.125f}};
+  Chain chain{{&iq, Stage::kTx}, {&dc, Stage::kRx}};
+
+  auto tx_only = golden_input();
+  apply_stage(chain, Stage::kTx, tx_only, 0x1234, 64);
+  auto want_tx = golden_input();
+  ImpairState st{Rng{0x1234, 64}};  // slot 0 -> stream base + 0
+  iq.apply(want_tx, st);
+  EXPECT_EQ(tx_only, want_tx);
+
+  auto rx_only = golden_input();
+  apply_stage(chain, Stage::kRx, rx_only, 0x1234, 64);
+  auto want_rx = golden_input();
+  ImpairState st2{Rng{0x1234, 65}};  // slot 1 -> stream base + 1
+  dc.apply(want_rx, st2);
+  EXPECT_EQ(rx_only, want_rx);
+}
+
+TEST(ImpairChain, StageNames) {
+  EXPECT_EQ(stage_name(Stage::kTx), "tx");
+  EXPECT_EQ(stage_name(Stage::kRx), "rx");
+}
+
+}  // namespace
+}  // namespace tinysdr::impair

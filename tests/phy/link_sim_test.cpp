@@ -101,6 +101,47 @@ TEST(LinkSimulator, CountersMatchResults) {
             static_cast<double>(result.bit_errors));
 }
 
+// Regression: growing the impairment-chain slot must not perturb the
+// engine when the chain is empty. These PointResults were captured on the
+// tree *before* the chain existed; any drift here means run_point() is no
+// longer byte-identical to its pre-impairment self.
+TEST(LinkSimulator, EmptyImpairmentChainPreservesHistoricResults) {
+  struct Golden {
+    const char* phy;
+    double rssi_dbm;
+    std::uint64_t frames, frame_errors, bits, bit_errors, symbols,
+        symbol_errors;
+  };
+  constexpr Golden kGolden[] = {
+      {"lora", -120.0, 6u, 1u, 576u, 96u, 0u, 0u},
+      {"ble", -95.0, 6u, 1u, 1344u, 1u, 0u, 0u},
+      {"zigbee", -94.0, 6u, 0u, 576u, 0u, 0u, 0u},
+      {"sigfox", -130.0, 6u, 0u, 576u, 0u, 0u, 0u},
+      {"nbiot", -128.0, 6u, 5u, 576u, 480u, 0u, 0u},
+  };
+  for (const auto& g : kGolden) {
+    const RegisteredPhy* entry = Registry::builtin().find_by_name(g.phy);
+    ASSERT_NE(entry, nullptr) << g.phy;
+    auto tx = entry->make_tx();
+    auto rx = entry->make_rx();
+    TrialPlan plan;
+    plan.trials = 6;
+    plan.payload_bytes = 12;
+    plan.pad_samples = entry->pad_samples;
+    plan.noise_figure_db = entry->system_noise_figure_db;
+    plan.base_seed = 0xF00D;
+    LinkSimulator sim{*tx, *rx, plan};
+    EXPECT_TRUE(sim.impairments().empty()) << g.phy;
+    const PointResult r = sim.run_point({Dbm{g.rssi_dbm}, std::nullopt});
+    EXPECT_EQ(r.frames, g.frames) << g.phy;
+    EXPECT_EQ(r.frame_errors, g.frame_errors) << g.phy;
+    EXPECT_EQ(r.bits, g.bits) << g.phy;
+    EXPECT_EQ(r.bit_errors, g.bit_errors) << g.phy;
+    EXPECT_EQ(r.symbols, g.symbols) << g.phy;
+    EXPECT_EQ(r.symbol_errors, g.symbol_errors) << g.phy;
+  }
+}
+
 TEST(LinkSimulator, InterfererDegradesTheWeakLink) {
   Hertz fs = Hertz::from_kilohertz(500.0);
   LoraPhyConfig cfg125{.params = {8, Hertz::from_kilohertz(125.0)},
